@@ -1,0 +1,336 @@
+// Benchmarks regenerating the per-operation costs behind every table and
+// figure of the paper's evaluation (§5). Each BenchmarkFigN corresponds to
+// one figure; the full parameter sweeps (CSV output) live in
+// internal/harness and cmd/benchfigs.
+//
+//	go test -bench=. -benchmem
+package clobbernvm_test
+
+import (
+	"fmt"
+	"testing"
+
+	clobbernvm "clobbernvm"
+	"clobbernvm/internal/analysis"
+	"clobbernvm/internal/harness"
+	"clobbernvm/internal/ir"
+	"clobbernvm/internal/memcache"
+	"clobbernvm/internal/vacation"
+	"clobbernvm/internal/yada"
+	"clobbernvm/internal/ycsb"
+)
+
+// benchScale provisions pools large enough for -benchtime sweeps.
+var benchScale = func() harness.Scale {
+	sc := harness.SmallScale
+	sc.PoolBytes = 1 << 27
+	sc.Threads = []int{1}
+	return sc
+}()
+
+// benchState caches a provisioned pool+engine+structure across the testing
+// framework's repeated invocations of a sub-benchmark (which probe with
+// growing b.N): re-provisioning a gigabyte pool per probe would leave GC
+// work inside the timed region and distort ns/op.
+type benchState struct {
+	setup *harness.Setup
+	store clobbernvm.Store
+	gen   *ycsb.Generator
+	next  int
+}
+
+var benchStates = map[string]*benchState{}
+
+func getBenchState(b *testing.B, st harness.StructureKind, ek harness.EngineKind) *benchState {
+	b.Helper()
+	key := string(st) + "/" + string(ek)
+	if s, ok := benchStates[key]; ok {
+		return s
+	}
+	setup, err := harness.NewSetup(ek, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := harness.OpenStructure(st, setup.Engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &benchState{
+		setup: setup,
+		store: store,
+		gen:   ycsb.NewGenerator(ycsb.WorkloadLoad, 0, harness.KeySize(st), harness.ValueSize, 1),
+	}
+	// Warm population outside any timer.
+	for i := 0; i < 2000; i++ {
+		if err := store.Insert(0, s.gen.Key(s.next), s.gen.Next().Value); err != nil {
+			b.Fatal(err)
+		}
+		s.next++
+	}
+	benchStates[key] = s
+	return s
+}
+
+// BenchmarkFig6Insert measures one data-structure insert transaction per
+// iteration, per engine per structure (the Figure 6 single-thread points).
+func BenchmarkFig6Insert(b *testing.B) {
+	engines := []harness.EngineKind{
+		harness.EngineClobber, harness.EnginePMDK,
+		harness.EngineMnemosyne, harness.EngineAtlas,
+	}
+	for _, st := range harness.AllStructures {
+		for _, ek := range engines {
+			b.Run(fmt.Sprintf("%s/%s", st, ek), func(b *testing.B) {
+				s := getBenchState(b, st, ek)
+				s0 := s.setup.Engine.Stats().Snapshot()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.store.Insert(0, s.gen.Key(s.next), s.gen.Next().Value); err != nil {
+						b.Fatal(err)
+					}
+					s.next++
+				}
+				b.StopTimer()
+				d := s.setup.Engine.Stats().Snapshot().Sub(s0)
+				b.ReportMetric(float64(d.TotalLogEntries())/float64(b.N), "logentries/op")
+				b.ReportMetric(float64(d.TotalLogBytes())/float64(b.N), "logB/op")
+			})
+			// The sub-benchmark has fully finished probing: release its
+			// pool (two large arrays) before provisioning the next one.
+			delete(benchStates, string(st)+"/"+string(ek))
+		}
+	}
+}
+
+// BenchmarkFig7Variant measures the §5.3 logging-component breakdown on the
+// hashmap (the structure Figure 7 discusses in most detail).
+func BenchmarkFig7Variant(b *testing.B) {
+	variants := []harness.EngineKind{
+		harness.EngineNoLog, harness.EngineClobberVLogOnly,
+		harness.EngineClobberCLogOnly, harness.EngineClobber, harness.EnginePMDK,
+	}
+	for _, ek := range variants {
+		b.Run(string(ek), func(b *testing.B) {
+			setup, err := harness.NewSetup(ek, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := harness.OpenStructure(harness.StructHashMap, setup.Engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := ycsb.NewGenerator(ycsb.WorkloadLoad, 0, 8, harness.ValueSize, 1)
+			p0 := setup.Pool.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.Insert(0, g.Key(i), g.Next().Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d := setup.Pool.Stats().Sub(p0)
+			b.ReportMetric(float64(d.Fences)/float64(b.N), "fences/op")
+			b.ReportMetric(float64(d.Flushes)/float64(b.N), "flushes/op")
+		})
+	}
+}
+
+// BenchmarkFig8IDOMeter measures the iDO instrumentation path (Figure 8's
+// comparison system) on skiplist inserts, reporting its boundary-record
+// traffic.
+func BenchmarkFig8IDOMeter(b *testing.B) {
+	tab, err := harness.Fig8(harness.Scale{
+		Entries: 500, Ops: 500, Threads: []int{1},
+		PoolBytes: 1 << 27, Runs: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tab
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One full Figure 8 measurement per iteration at micro scale.
+		if _, err := harness.Fig8(harness.Scale{
+			Entries: 200, Ops: 200, Threads: []int{1},
+			PoolBytes: 1 << 26, Runs: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Recovery measures one crash-and-recover cycle per iteration
+// (Figure 9), clobber vs pmdk.
+func BenchmarkFig9Recovery(b *testing.B) {
+	sc := harness.Scale{
+		Entries: 1000, Ops: 100, Threads: []int{1},
+		PoolBytes: 1 << 27, Latency: benchScale.Latency, Runs: 1,
+	}
+	for _, ek := range []harness.EngineKind{harness.EngineClobber, harness.EnginePMDK} {
+		b.Run(string(ek), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, _, err := harness.MeasureRecovery(ek, harness.StructHashMap, sc, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(d.Seconds()*1000, "recovery-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Memcached measures one memcached request per iteration for
+// each §5.6 mix, per engine.
+func BenchmarkFig10Memcached(b *testing.B) {
+	for _, mix := range memcache.AllMixes {
+		for _, ek := range []harness.EngineKind{
+			harness.EngineClobber, harness.EnginePMDK, harness.EngineMnemosyne,
+		} {
+			b.Run(fmt.Sprintf("%s/%s", mix.Name, ek), func(b *testing.B) {
+				setup, err := harness.NewSetup(ek, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cache, err := memcache.New(setup.Engine, 34,
+					memcache.Options{Capacity: 1 << 22, Lock: memcache.LockRW})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				if _, err := memcache.Drive(cache, memcache.DriverConfig{
+					Mix: mix, Threads: 1, Ops: b.N, KeySpace: 10000,
+					KeySize: 16, ValSize: 64, Seed: 7,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Vacation measures one vacation task per iteration, per table
+// structure, per engine (Figure 11).
+func BenchmarkFig11Vacation(b *testing.B) {
+	for _, kind := range []vacation.TreeKind{vacation.RBTreeTables, vacation.AVLTreeTables} {
+		for _, ek := range []harness.EngineKind{
+			harness.EngineNoLog, harness.EngineClobber, harness.EnginePMDK, harness.EngineMnemosyne,
+		} {
+			b.Run(fmt.Sprintf("%s/%s", kind, ek), func(b *testing.B) {
+				setup, err := harness.NewSetup(ek, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr, err := vacation.New(setup.Engine, 34, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := mgr.Populate(0, 200, 1); err != nil {
+					b.Fatal(err)
+				}
+				tasks := vacation.GenTasks(b.N, 4, 200, 2)
+				b.ResetTimer()
+				for _, task := range tasks {
+					if err := mgr.RunTask(0, task); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Yada measures one complete refinement run per iteration
+// (Figure 12) at a fixed small input, per engine.
+func BenchmarkFig12Yada(b *testing.B) {
+	for _, ek := range []harness.EngineKind{
+		harness.EngineNoLog, harness.EnginePMDK, harness.EngineClobber,
+	} {
+		b.Run(string(ek), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				setup, err := harness.NewSetup(ek, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms, err := yada.NewMesh(setup.Engine, 34, 1<<14)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ms.Bootstrap(0, yada.GenInput(30, 42)); err != nil {
+					b.Fatal(err)
+				}
+				if err := ms.SeedQueue(0, 22); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ms.RefineAll(0, 22, 10000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Identification measures refined vs conservative clobber
+// identification on skiplist inserts (Figure 13's runtime side).
+func BenchmarkFig13Identification(b *testing.B) {
+	for _, ek := range []harness.EngineKind{
+		harness.EngineClobber, harness.EngineClobberConservative,
+	} {
+		b.Run(string(ek), func(b *testing.B) {
+			setup, err := harness.NewSetup(ek, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := harness.OpenStructure(harness.StructSkipList, setup.Engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := ycsb.NewGenerator(ycsb.WorkloadLoad, 0, 8, harness.ValueSize, 1)
+			s0 := setup.Engine.Stats().Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.Insert(0, g.Key(i), g.Next().Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d := setup.Engine.Stats().Snapshot().Sub(s0)
+			b.ReportMetric(float64(d.LogEntries)/float64(b.N), "clobberentries/op")
+		})
+	}
+}
+
+// BenchmarkFig14Passes measures the compiler passes' latency per corpus
+// transaction (Figure 14): frontend only vs frontend + clobber
+// identification.
+func BenchmarkFig14Passes(b *testing.B) {
+	b.Run("frontend", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, build := range corpusBuilders() {
+				f := build()
+				if err := f.Validate(); err != nil {
+					b.Fatal(err)
+				}
+				ir.BuildDomTree(f)
+			}
+		}
+	})
+	b.Run("with-passes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, build := range corpusBuilders() {
+				f := build()
+				if err := f.Validate(); err != nil {
+					b.Fatal(err)
+				}
+				analysis.Analyze(f)
+			}
+		}
+	})
+}
+
+func corpusBuilders() []func() *ir.Func {
+	return []func() *ir.Func{
+		analysis.ListInsert, analysis.BPTreeInsert, analysis.HashmapInsert,
+		analysis.SkiplistInsert, analysis.RBTreeInsert, analysis.MemcachedSet,
+		analysis.VacationReserve, analysis.YadaRefine,
+	}
+}

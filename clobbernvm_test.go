@@ -1,0 +1,172 @@
+package clobbernvm_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	clobbernvm "clobbernvm"
+)
+
+func TestCreateRunRecoverCycle(t *testing.T) {
+	db, err := clobbernvm.Create(clobbernvm.Options{PoolSize: 1 << 24, Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := db.Pool().RootSlot(2)
+	db.Register("incr", func(m clobbernvm.Mem, args *clobbernvm.Args) error {
+		m.Store64(counter, m.Load64(counter)+args.Uint64(0))
+		return nil
+	})
+	for i := 0; i < 10; i++ {
+		if err := db.Run(0, "incr", clobbernvm.NewArgs().PutUint64(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got uint64
+	if err := db.RunRO(0, func(m clobbernvm.Mem) error {
+		got = m.Load64(counter)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("counter = %d, want 30", got)
+	}
+	if s := db.Stats(); s.Committed != 10 {
+		t.Fatalf("Committed = %d", s.Committed)
+	}
+}
+
+func TestSaveImageOpenRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.img")
+
+	db, err := clobbernvm.Create(clobbernvm.Options{PoolSize: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := db.Pool().RootSlot(2)
+	incr := func(m clobbernvm.Mem, args *clobbernvm.Args) error {
+		m.Store64(counter, m.Load64(counter)+1)
+		return nil
+	}
+	db.Register("incr", incr)
+	for i := 0; i < 5; i++ {
+		if err := db.Run(0, "incr", clobbernvm.NoArgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash mid-transaction, then save the durable image (what a DAX file
+	// would contain after the power loss).
+	db.Pool().ScheduleCrash(1)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); !ok || !errors.Is(err, clobbernvm.ErrCrash) {
+					panic(r)
+				}
+			}
+		}()
+		_ = db.Run(0, "incr", clobbernvm.NoArgs)
+	}()
+	db.Pool().Crash()
+	if err := db.SaveImage(path); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := clobbernvm.Open(path, clobbernvm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.Register("incr", incr) // same function, new process
+	n, err := db2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := db2.RunRO(0, func(m clobbernvm.Mem) error {
+		got = db2.Pool().Load64(db2.Pool().RootSlot(2))
+		_ = m
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(5 + n) // recovered transaction (if begun) re-executed
+	if got != want {
+		t.Fatalf("counter = %d, want %d (recovered=%d)", got, want, n)
+	}
+}
+
+func TestNewStoreKinds(t *testing.T) {
+	for _, kind := range []clobbernvm.StructureKind{
+		clobbernvm.HashMapKind, clobbernvm.SkipListKind, clobbernvm.RBTreeKind,
+		clobbernvm.BPTreeKind, clobbernvm.AVLTreeKind,
+	} {
+		t.Run(string(kind), func(t *testing.T) {
+			db, err := clobbernvm.Create(clobbernvm.Options{PoolSize: 1 << 24})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := db.NewStore(kind, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				key := []byte(fmt.Sprintf("key-%04d", i))
+				if err := s.Insert(0, key, []byte("value")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n, err := s.Len(0); err != nil || n != 50 {
+				t.Fatalf("Len = %d (err %v)", n, err)
+			}
+			v, found, err := s.Get(0, []byte("key-0007"))
+			if err != nil || !found || string(v) != "value" {
+				t.Fatalf("Get = %q %v %v", v, found, err)
+			}
+		})
+	}
+}
+
+func TestNewStoreBadSlot(t *testing.T) {
+	db, err := clobbernvm.Create(clobbernvm.Options{PoolSize: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NewStore(clobbernvm.HashMapKind, 0); err == nil {
+		t.Fatal("reserved slot accepted")
+	}
+	if _, err := db.NewStore(clobbernvm.StructureKind("bogus"), 5); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestAttachAfterInProcessCrash(t *testing.T) {
+	db, err := clobbernvm.Create(clobbernvm.Options{PoolSize: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := db.Pool().RootSlot(3)
+	fn := func(m clobbernvm.Mem, args *clobbernvm.Args) error {
+		m.Store64(cell, m.Load64(cell)+args.Uint64(0))
+		return nil
+	}
+	db.Register("add", fn)
+	if err := db.Run(0, "add", clobbernvm.NewArgs().PutUint64(7)); err != nil {
+		t.Fatal(err)
+	}
+	db.Pool().Crash()
+	db2, err := clobbernvm.Attach(db.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.Register("add", fn)
+	if _, err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Pool().Load64(cell); got != 7 {
+		t.Fatalf("cell = %d", got)
+	}
+}

@@ -1,0 +1,90 @@
+// Command benchfigs regenerates the paper's evaluation figures as CSV, the
+// counterpart of the artifact's run_all.sh (which dumps fig*.csv files).
+//
+// Usage:
+//
+//	benchfigs -fig all -scale small -out .
+//	benchfigs -fig 6 -scale paper
+//
+// Figures: 6 (data-structure throughput), 7 (logging breakdown), 8 (iDO
+// comparison), 9 (recovery), 10 (memcached), 11 (vacation), 12 (yada),
+// 13 (optimization effectiveness, plus the static pass counts), 14 (compile
+// latency).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clobbernvm/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6..14, 13static, ext-ycsb, ext-fence, or all")
+	scale := flag.String("scale", "small", "experiment scale: small, medium or paper")
+	out := flag.String("out", ".", "output directory for CSV files")
+	flag.Parse()
+
+	sc := harness.SmallScale
+	switch *scale {
+	case "small":
+	case "medium":
+		sc = harness.MediumScale
+	case "paper":
+		sc = harness.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "benchfigs: unknown scale %q (want small, medium or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	runners := map[string]func() (*harness.Table, error){
+		"6":        func() (*harness.Table, error) { return harness.Fig6(sc) },
+		"7":        func() (*harness.Table, error) { return harness.Fig7(sc) },
+		"8":        func() (*harness.Table, error) { return harness.Fig8(sc) },
+		"9":        func() (*harness.Table, error) { return harness.Fig9(sc) },
+		"10":       func() (*harness.Table, error) { return harness.Fig10(sc) },
+		"11":       func() (*harness.Table, error) { return harness.Fig11(sc) },
+		"12":       func() (*harness.Table, error) { return harness.Fig12(sc) },
+		"13":       func() (*harness.Table, error) { return harness.Fig13(sc) },
+		"13static": func() (*harness.Table, error) { return harness.Fig13Static(), nil },
+		"14":       func() (*harness.Table, error) { return harness.Fig14(0), nil },
+		// Extensions beyond the paper's figures.
+		"ext-ycsb":  func() (*harness.Table, error) { return harness.ExtYCSBMixes(sc) },
+		"ext-fence": func() (*harness.Table, error) { return harness.ExtFenceAblation(sc) },
+	}
+	order := []string{"6", "7", "8", "9", "10", "11", "12", "13", "13static", "14",
+		"ext-ycsb", "ext-fence"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			if _, ok := runners[f]; !ok {
+				fmt.Fprintf(os.Stderr, "benchfigs: unknown figure %q\n", f)
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	for _, f := range selected {
+		start := time.Now()
+		tab, err := runners[f]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: fig%s: %v\n", f, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, "fig"+f+".csv")
+		if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("fig%-9s %4d rows  %8.1fs  -> %s\n",
+			f, len(tab.Rows), time.Since(start).Seconds(), path)
+	}
+}

@@ -1,0 +1,45 @@
+// Command clobberpass runs the Clobber-NVM compiler passes (§4.4) over the
+// transaction corpus and prints, per transaction, the candidate input reads,
+// the conservative clobber-write candidates, what the dependency-analysis
+// propagation removed (unexposed/shadowed), and the final instrumentation
+// plan — the developer-visible output of "compiling with Clobber-NVM".
+//
+//	clobberpass              # analyze the whole corpus
+//	clobberpass -tx skiplist_insert
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clobbernvm/internal/analysis"
+)
+
+func main() {
+	tx := flag.String("tx", "", "analyze only the named transaction (substring match)")
+	dump := flag.Bool("dump", false, "also print the transaction's IR")
+	flag.Parse()
+
+	matched := 0
+	for _, f := range analysis.Corpus() {
+		if *tx != "" && !strings.Contains(f.Name, *tx) {
+			continue
+		}
+		matched++
+		if err := f.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "clobberpass: %s: %v\n", f.Name, err)
+			os.Exit(1)
+		}
+		if *dump {
+			fmt.Print(f.Dump())
+		}
+		fmt.Print(analysis.Explain(f))
+		fmt.Println()
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "clobberpass: no transaction matches %q\n", *tx)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,203 @@
+// Command torture is a randomized crash-recovery stress tool: it runs
+// random operation streams against a chosen structure and engine, injects a
+// simulated power failure at a random store, recovers, audits the structure
+// against a model, and repeats — reporting a summary at the end. It exists
+// to give the failure-atomicity guarantees adversarial mileage beyond the
+// deterministic unit-test sweeps.
+//
+//	torture -engine clobber -structure rbtree -rounds 200
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"clobbernvm/internal/atlas"
+	"clobbernvm/internal/clobber"
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/redolog"
+	"clobbernvm/internal/undolog"
+)
+
+const rootSlot = 16
+
+func main() {
+	engine := flag.String("engine", "clobber", "engine: clobber, pmdk, mnemosyne, atlas")
+	structure := flag.String("structure", "rbtree", "structure: hashmap, skiplist, rbtree, bptree, avltree, list")
+	rounds := flag.Int("rounds", 100, "crash/recover rounds")
+	opsPerRound := flag.Int("ops", 50, "operations between crashes")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	crashes, recoveries, completions := 0, 0, 0
+
+	pool := nvm.New(1<<27, nvm.WithEvictProbability(0.5), nvm.WithSeed(*seed))
+	alloc, err := pmem.Create(pool)
+	check(err)
+	eng, err := createEngine(*engine, pool, alloc)
+	check(err)
+	store, err := openStructure(*structure, eng)
+	check(err)
+
+	model := map[string][]byte{}
+	key := func() []byte { return []byte(fmt.Sprintf("key-%05d", rng.Intn(300))) }
+
+	for round := 0; round < *rounds; round++ {
+		// A burst of committed operations, mirrored into the model.
+		for i := 0; i < *opsPerRound; i++ {
+			k := key()
+			if rng.Intn(4) == 0 {
+				if _, err := store.Delete(0, k); err != nil {
+					fatal(round, "delete", err)
+				}
+				delete(model, string(k))
+			} else {
+				v := []byte(fmt.Sprintf("val-%d-%d", round, i))
+				if err := store.Insert(0, k, v); err != nil {
+					fatal(round, "insert", err)
+				}
+				model[string(k)] = v
+			}
+		}
+
+		// Crash during one more insert.
+		crashKey := key()
+		crashVal := []byte(fmt.Sprintf("crash-%d", round))
+		pool.ScheduleCrash(int64(1 + rng.Intn(150)))
+		fired := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok || !errors.Is(err, nvm.ErrCrash) {
+						panic(r)
+					}
+					fired = true
+				}
+			}()
+			_ = store.Insert(0, crashKey, crashVal)
+		}()
+		pool.ScheduleCrash(0)
+		if !fired {
+			completions++
+			model[string(crashKey)] = crashVal
+			continue
+		}
+		crashes++
+
+		// Power loss; reopen everything.
+		pool.Crash()
+		alloc, err = pmem.Attach(pool)
+		if err != nil {
+			fatal(round, "attach allocator", err)
+		}
+		eng, err = attachEngine(*engine, pool, alloc)
+		if err != nil {
+			fatal(round, "attach engine", err)
+		}
+		store, err = openStructure(*structure, eng)
+		if err != nil {
+			fatal(round, "open structure", err)
+		}
+		n, err := eng.Recover()
+		if err != nil {
+			fatal(round, "recover", err)
+		}
+		recoveries += n
+
+		// All-or-nothing audit for the crashed key.
+		got, found, err := store.Get(0, crashKey)
+		if err != nil {
+			fatal(round, "get crash key", err)
+		}
+		prev, hadPrev := model[string(crashKey)]
+		switch {
+		case found && bytes.Equal(got, crashVal):
+			model[string(crashKey)] = crashVal // completed (recovered or pre-crash)
+		case found && hadPrev && bytes.Equal(got, prev):
+			// rolled back / never happened: old value intact
+		case !found && !hadPrev:
+			// never happened, key was absent
+		default:
+			fatal(round, "audit", fmt.Errorf("torn state for %q: found=%v val=%q", crashKey, found, got))
+		}
+
+		// Every other committed key must be intact.
+		for k, want := range model {
+			if k == string(crashKey) {
+				continue
+			}
+			got, found, err := store.Get(0, []byte(k))
+			if err != nil || !found || !bytes.Equal(got, want) {
+				fatal(round, "audit", fmt.Errorf("committed key %q lost or corrupt (found=%v err=%v)", k, found, err))
+			}
+		}
+	}
+	fmt.Printf("torture: %s/%s survived %d rounds (%d crashes, %d re-executions/rollbacks, %d uninterrupted)\n",
+		*engine, *structure, *rounds, crashes, recoveries, completions)
+}
+
+func createEngine(kind string, p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+	switch kind {
+	case "clobber":
+		return clobber.Create(p, a, clobber.Options{Slots: 4})
+	case "pmdk":
+		return undolog.Create(p, a, undolog.Options{Slots: 4})
+	case "mnemosyne":
+		return redolog.Create(p, a, redolog.Options{Slots: 4})
+	case "atlas":
+		return atlas.Create(p, a, atlas.Options{Slots: 4})
+	}
+	return nil, fmt.Errorf("unknown engine %q", kind)
+}
+
+func attachEngine(kind string, p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+	switch kind {
+	case "clobber":
+		return clobber.Attach(p, a, clobber.Options{})
+	case "pmdk":
+		return undolog.Attach(p, a, undolog.Options{})
+	case "mnemosyne":
+		return redolog.Attach(p, a, redolog.Options{})
+	case "atlas":
+		return atlas.Attach(p, a, atlas.Options{})
+	}
+	return nil, fmt.Errorf("unknown engine %q", kind)
+}
+
+func openStructure(kind string, eng pds.Engine) (pds.Store, error) {
+	switch kind {
+	case "hashmap":
+		return pds.NewHashMap(eng, rootSlot)
+	case "skiplist":
+		return pds.NewSkipList(eng, rootSlot)
+	case "rbtree":
+		return pds.NewRBTree(eng, rootSlot)
+	case "bptree":
+		return pds.NewBPTree(eng, rootSlot)
+	case "avltree":
+		return pds.NewAVLTree(eng, rootSlot)
+	case "list":
+		return pds.NewList(eng, rootSlot)
+	}
+	return nil, fmt.Errorf("unknown structure %q", kind)
+}
+
+func fatal(round int, what string, err error) {
+	fmt.Fprintf(os.Stderr, "torture: round %d: %s: %v\n", round, what, err)
+	os.Exit(1)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torture:", err)
+		os.Exit(1)
+	}
+}

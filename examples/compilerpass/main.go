@@ -1,0 +1,66 @@
+// compilerpass: the paper's two halves meeting — run the static
+// clobber-write identification (§4.4) over the list-insert transaction from
+// Figure 2, then execute the equivalent transaction on the runtime engine
+// and show that the static instrumentation plan predicts the runtime
+// clobber_log exactly: one site, one entry per insert.
+//
+//	go run ./examples/compilerpass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	clobbernvm "clobbernvm"
+	"clobbernvm/internal/analysis"
+)
+
+func main() {
+	// --- static side: the compiler pass ---------------------------------
+	f := analysis.ListInsert()
+	fmt.Println("STATIC: compiler pass over Figure 2's list insertion")
+	fmt.Println(analysis.Explain(f))
+
+	res := analysis.Analyze(f)
+	plannedSites := len(res.RefinedSites())
+
+	// --- dynamic side: the runtime engine --------------------------------
+	db, err := clobbernvm.Create(clobbernvm.Options{PoolSize: 32 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	head := db.Pool().RootSlot(2)
+	db.Register("list_ins", func(m clobbernvm.Mem, args *clobbernvm.Args) error {
+		val := args.Bytes(0)
+		n, err := m.Alloc(16 + uint64(len(val)))
+		if err != nil {
+			return err
+		}
+		m.Store(n+16, val)             // n->val = strcpy(v)
+		m.Store64(n+8, m.Load64(head)) // n->nxt = lst->hd
+		m.Store64(head, n)             // lst->hd = n  <- the clobber write
+		return nil
+	})
+
+	const inserts = 100
+	for i := 0; i < inserts; i++ {
+		if err := db.Run(0, "list_ins",
+			clobbernvm.NewArgs().PutBytes([]byte(fmt.Sprintf("value-%03d", i)))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	fmt.Printf("DYNAMIC: %d inserts executed on the clobber engine\n", inserts)
+	fmt.Printf("  clobber_log entries: %d (%.2f per transaction)\n",
+		s.LogEntries, float64(s.LogEntries)/inserts)
+	fmt.Printf("  v_log entries:       %d (1 per transaction)\n", s.VLogEntries)
+
+	perTx := float64(s.LogEntries) / inserts
+	fmt.Println()
+	if int(perTx+0.5) == plannedSites {
+		fmt.Printf("MATCH: the static plan (%d site) predicts the runtime logging (%.0f entry/tx)\n",
+			plannedSites, perTx)
+	} else {
+		fmt.Printf("MISMATCH: plan %d sites vs %.2f entries/tx\n", plannedSites, perTx)
+	}
+}

@@ -1,0 +1,71 @@
+// kvstore: drive the paper's four persistent data structures through the
+// public API with a YCSB-style workload and compare the engines' logging
+// behaviour — a miniature of Figures 6 and 7.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	clobbernvm "clobbernvm"
+)
+
+const (
+	entries  = 3000
+	rootSlot = 4
+)
+
+func main() {
+	kinds := []clobbernvm.StructureKind{
+		clobbernvm.BPTreeKind, clobbernvm.HashMapKind,
+		clobbernvm.SkipListKind, clobbernvm.RBTreeKind,
+	}
+	fmt.Printf("%-10s %10s %16s %16s\n", "structure", "ops/s", "clobber entries", "v_log entries")
+	for _, kind := range kinds {
+		db, err := clobbernvm.Create(clobbernvm.Options{
+			PoolSize: 256 << 20,
+			Latency:  clobbernvm.DefaultLatency,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err := db.NewStore(kind, rootSlot)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		value := make([]byte, 256)
+		start := time.Now()
+		for i := 0; i < entries; i++ {
+			key := []byte(fmt.Sprintf("user%012d", i*2654435761%entries_space))
+			if err := store.Insert(0, key, value); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+
+		// Point lookups.
+		hits := 0
+		for i := 0; i < 500; i++ {
+			key := []byte(fmt.Sprintf("user%012d", i*2654435761%entries_space))
+			if _, found, err := store.Get(0, key); err != nil {
+				log.Fatal(err)
+			} else if found {
+				hits++
+			}
+		}
+		if hits == 0 {
+			log.Fatalf("%s: lookups found nothing", kind)
+		}
+
+		s := db.Stats()
+		fmt.Printf("%-10s %10.0f %16d %16d\n", kind,
+			float64(entries)/elapsed.Seconds(), s.LogEntries, s.VLogEntries)
+	}
+}
+
+// entries_space spreads the multiplicative-hash keys.
+const entries_space = 1 << 30

@@ -1,0 +1,3 @@
+module clobbernvm
+
+go 1.22

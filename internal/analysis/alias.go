@@ -1,0 +1,85 @@
+// Package analysis implements the Clobber-NVM compiler passes of §4.4 over
+// the mini-IR of package ir: a basic alias analysis, the conservative
+// candidate-clobber-write identification, and the dependency-analysis
+// propagation that removes "unexposed" and "shadowed" false candidates
+// (Figures 4 and 5 of the paper).
+//
+// The paper runs these passes in LLVM; here they run over ir.Func bodies
+// that encode the benchmark transactions. The pass output — the set of
+// stores requiring clobber_log instrumentation — is compared conservative
+// vs. refined for the optimization-effectiveness experiment (Figure 13),
+// and the pass runtime is the "compile latency" of Figure 14.
+package analysis
+
+import "clobbernvm/internal/ir"
+
+// AliasResult is the three-point alias lattice.
+type AliasResult int
+
+// Alias lattice values.
+const (
+	NoAlias AliasResult = iota
+	MayAlias
+	MustAlias
+)
+
+func (a AliasResult) String() string {
+	switch a {
+	case NoAlias:
+		return "no"
+	case MayAlias:
+		return "may"
+	default:
+		return "must"
+	}
+}
+
+// root chases GEP chains to the underlying object and accumulates the
+// constant offset; exact is false if any step had a runtime offset.
+func root(p *ir.Value) (base *ir.Value, offset int64, exact bool) {
+	offset, exact = 0, true
+	for {
+		switch p.Op {
+		case ir.OpGEP:
+			offset += p.Const
+			p = p.Args[0]
+		case ir.OpGEPVar:
+			exact = false
+			p = p.Args[0]
+		default:
+			return p, offset, exact
+		}
+	}
+}
+
+// Alias decides the relationship of two pointer values, in the style of
+// LLVM's basic alias analysis:
+//
+//   - identical SSA pointers must alias;
+//   - distinct fresh allocations never alias anything else (noalias);
+//   - same underlying object with known distinct offsets never alias, with
+//     equal offsets must alias;
+//   - everything else may alias.
+func Alias(p, q *ir.Value) AliasResult {
+	if p == q {
+		return MustAlias
+	}
+	bp, op, ep := root(p)
+	bq, oq, eq := root(q)
+
+	if bp == bq {
+		if ep && eq {
+			if op == oq {
+				return MustAlias
+			}
+			return NoAlias
+		}
+		return MayAlias
+	}
+	// Distinct roots: a fresh allocation cannot alias any other object.
+	if bp.Op == ir.OpAlloc || bq.Op == ir.OpAlloc {
+		return NoAlias
+	}
+	// Distinct parameters or loaded pointers may point anywhere.
+	return MayAlias
+}

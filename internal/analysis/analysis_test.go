@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"clobbernvm/internal/ir"
+)
+
+func TestAliasLattice(t *testing.T) {
+	f := ir.NewFunc("alias", "*p", "*q")
+	b := f.Entry()
+	p, q := f.Param(0), f.Param(1)
+	a1 := b.Alloc("a1")
+	a2 := b.Alloc("a2")
+	g8 := b.GEP(p, 8)
+	g8b := b.GEP(p, 8)
+	g16 := b.GEP(p, 16)
+	gv := b.GEPVar(p, b.Arith("i"))
+	ga1 := b.GEP(a1, 8)
+	b.Ret()
+
+	cases := []struct {
+		x, y *ir.Value
+		want AliasResult
+	}{
+		{p, p, MustAlias},
+		{p, q, MayAlias},
+		{a1, a2, NoAlias},
+		{a1, p, NoAlias},
+		{g8, g8b, MustAlias},
+		{g8, g16, NoAlias},
+		{g8, gv, MayAlias},
+		{gv, q, MayAlias},
+		{ga1, q, NoAlias},
+	}
+	for i, c := range cases {
+		if got := Alias(c.x, c.y); got != c.want {
+			t.Errorf("case %d: Alias = %v, want %v", i, got, c.want)
+		}
+		if got := Alias(c.y, c.x); got != c.want {
+			t.Errorf("case %d (sym): Alias = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestListInsertHasOneClobberSite(t *testing.T) {
+	res := Analyze(ListInsert())
+	if n := len(res.RefinedSites()); n != 1 {
+		t.Fatalf("list_ins refined sites = %d, want 1 (the head update)", n)
+	}
+	site := res.RefinedSites()[0]
+	// The site must be the store to &lst->hd (a GEP of param 0 at offset 0).
+	if site.Args[0].Op != ir.OpGEP || site.Args[0].Args[0] != res.Func.Param(0) {
+		t.Fatalf("wrong site identified: %v", site)
+	}
+}
+
+func TestFigure4ConservativeIdentification(t *testing.T) {
+	// Figure 4's pattern: read x; later two stores that may alias x.
+	// Conservatively both are candidates.
+	f := ir.NewFunc("fig4", "*x", "*u")
+	b := f.Entry()
+	x, u := f.Param(0), f.Param(1)
+	b.Load(x, false)
+	b.Store(u, b.Arith("v1")) // may alias x
+	b.Store(u, b.Arith("v2")) // may alias x, but shadowed by the first
+	b.Ret()
+
+	res := Analyze(f)
+	if n := len(res.ConservativeSites()); n != 2 {
+		t.Fatalf("conservative sites = %d, want 2", n)
+	}
+	if n := len(res.RefinedSites()); n != 1 {
+		t.Fatalf("refined sites = %d, want 1 (second store shadowed)", n)
+	}
+	if res.RemovedShadowed != 1 {
+		t.Fatalf("RemovedShadowed = %d", res.RemovedShadowed)
+	}
+}
+
+func TestFigure5Unexposed(t *testing.T) {
+	// Figure 5 (left): store u; load x (may alias u → candidate input);
+	// store u again. If the second store hits x's location, so did the
+	// first — before the read. The read was never an input.
+	f := ir.NewFunc("fig5u", "*x", "*u")
+	b := f.Entry()
+	x, u := f.Param(0), f.Param(1)
+	b.Store(u, b.Arith("v1"))
+	b.Load(x, false)
+	b.Store(u, b.Arith("v2"))
+	b.Ret()
+
+	res := Analyze(f)
+	if res.RemovedUnexposed < 1 {
+		t.Fatalf("RemovedUnexposed = %d, want >= 1", res.RemovedUnexposed)
+	}
+	if n := len(res.RefinedSites()); n != 0 {
+		t.Fatalf("refined sites = %d, want 0", n)
+	}
+}
+
+func TestLoopShadowing(t *testing.T) {
+	// A loop whose body rewrites the same must-alias location each
+	// iteration: the paper notes the first iteration clobbers and later
+	// ones are shadowed. With one store site the site stays, but a second
+	// fix-up store after the loop must be removed.
+	f := ir.NewFunc("loopshadow", "*p")
+	b := f.Entry()
+	addr := b.GEP(f.Param(0), 0)
+	b.Load(addr, false)
+	loop := f.NewBlock("loop")
+	after := f.NewBlock("after")
+	b.Br(loop)
+	loop.Store(addr, loop.Arith("iter"))
+	loop.CondBr(loop.Arith("more"), loop, after)
+	after.Store(addr, after.Arith("fixup"))
+	after.Ret()
+
+	res := Analyze(f)
+	if n := len(res.ConservativeSites()); n != 2 {
+		t.Fatalf("conservative sites = %d, want 2", n)
+	}
+	sites := res.RefinedSites()
+	if len(sites) != 1 || sites[0].Block.Name != "loop" {
+		t.Fatalf("refined sites = %v, want just the loop store", sites)
+	}
+}
+
+func TestSkiplistCounts(t *testing.T) {
+	// §5.9: "the compiler pass removes two clobber candidates out of five,
+	// ending up requiring only three clobber_log entries per transaction."
+	res := Analyze(SkiplistInsert())
+	if n := len(res.ConservativeSites()); n != 5 {
+		t.Fatalf("skiplist conservative sites = %d, want 5", n)
+	}
+	if n := len(res.RefinedSites()); n != 3 {
+		t.Fatalf("skiplist refined sites = %d, want 3", n)
+	}
+}
+
+func TestCorpusAnalyzesCleanly(t *testing.T) {
+	for _, f := range Corpus() {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		res := Analyze(f)
+		if len(res.RefinedSites()) > len(res.ConservativeSites()) {
+			t.Fatalf("%s: refinement added sites", f.Name)
+		}
+		if len(res.ConservativeSites()) == 0 {
+			t.Fatalf("%s: no clobber candidates at all (suspicious)", f.Name)
+		}
+		t.Logf("%-18s conservative=%d refined=%d (unexposed-removed=%d shadowed-removed=%d)",
+			f.Name, len(res.ConservativeSites()), len(res.RefinedSites()),
+			res.RemovedUnexposed, res.RemovedShadowed)
+	}
+}
+
+// TestSoundnessAgainstDynamicOracle generates random straight-line programs
+// and checks that every dynamically observed clobber store is identified by
+// the refined static pass (the pass may over-approximate, never under-).
+func TestSoundnessAgainstDynamicOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 300; trial++ {
+		f, gepVars := randomStraightLine(rng)
+		res := Analyze(f)
+		refined := map[*ir.Value]bool{}
+		for _, s := range res.RefinedSites() {
+			refined[s] = true
+		}
+		// Execute under several concrete aliasing scenarios.
+		for scenario := 0; scenario < 4; scenario++ {
+			paramAddr := map[int]int64{}
+			for i, p := range f.Params {
+				if !p.Ptr {
+					continue
+				}
+				switch scenario {
+				case 0: // all disjoint
+					paramAddr[i] = int64(1+i) << 20
+				case 1: // all the same object
+					paramAddr[i] = 1 << 20
+				default: // random overlap
+					paramAddr[i] = int64(1+rng.Intn(2)) << 20
+				}
+			}
+			gepOff := map[int]int64{}
+			for _, id := range gepVars {
+				gepOff[id] = int64(rng.Intn(3) * 8)
+			}
+			dyn := DynamicClobbers(f, paramAddr, gepOff)
+			for st := range dyn {
+				if !refined[st] {
+					t.Fatalf("trial %d scenario %d: dynamic clobber %v missed by refined pass\nfunc %s",
+						trial, scenario, st, f.Name)
+				}
+			}
+		}
+	}
+}
+
+// randomStraightLine builds a random single-block function over a few
+// pointers. Returns the IDs of OpGEPVar instructions for offset assignment.
+func randomStraightLine(rng *rand.Rand) (*ir.Func, []int) {
+	f := ir.NewFunc("rand", "*p", "*q")
+	b := f.Entry()
+	ptrs := []*ir.Value{f.Param(0), f.Param(1)}
+	var gepVars []int
+	var vals []*ir.Value
+	vals = append(vals, b.Const(1))
+
+	n := 4 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			ptrs = append(ptrs, b.Alloc("a"))
+		case 1:
+			base := ptrs[rng.Intn(len(ptrs))]
+			ptrs = append(ptrs, b.GEP(base, int64(rng.Intn(3)*8)))
+		case 2:
+			base := ptrs[rng.Intn(len(ptrs))]
+			g := b.GEPVar(base, vals[rng.Intn(len(vals))])
+			gepVars = append(gepVars, g.ID)
+			ptrs = append(ptrs, g)
+		case 3, 4:
+			addr := ptrs[rng.Intn(len(ptrs))]
+			vals = append(vals, b.Load(addr, false))
+		default:
+			addr := ptrs[rng.Intn(len(ptrs))]
+			b.Store(addr, vals[rng.Intn(len(vals))])
+		}
+	}
+	// Ensure at least one read-write pair exists.
+	addr := ptrs[rng.Intn(len(ptrs))]
+	vals = append(vals, b.Load(addr, false))
+	b.Store(addr, vals[len(vals)-1])
+	b.Ret()
+	return f, gepVars
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"sort"
+
+	"clobbernvm/internal/ir"
+)
+
+// Pair links a candidate input read with a candidate clobber write.
+type Pair struct {
+	Read  *ir.Value
+	Write *ir.Value
+}
+
+// Result is the outcome of the clobber-write identification pass.
+type Result struct {
+	Func *ir.Func
+	// InputReads are the candidate input reads (loads that may be the
+	// first access to a transaction input).
+	InputReads []*ir.Value
+	// Conservative is the candidate set before dependency-analysis
+	// propagation (Figure 4).
+	Conservative []Pair
+	// Refined is the candidate set after removing unexposed and shadowed
+	// false candidates (Figure 5).
+	Refined []Pair
+	// RemovedUnexposed / RemovedShadowed count eliminated candidates.
+	RemovedUnexposed int
+	RemovedShadowed  int
+}
+
+// ConservativeSites returns the distinct store instructions the conservative
+// pass would instrument.
+func (r *Result) ConservativeSites() []*ir.Value { return sites(r.Conservative) }
+
+// RefinedSites returns the distinct store instructions the refined pass
+// instruments.
+func (r *Result) RefinedSites() []*ir.Value { return sites(r.Refined) }
+
+func sites(pairs []Pair) []*ir.Value {
+	seen := map[*ir.Value]bool{}
+	var out []*ir.Value
+	for _, p := range pairs {
+		if !seen[p.Write] {
+			seen[p.Write] = true
+			out = append(out, p.Write)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Analyze runs the full clobber-write identification: conservative candidate
+// discovery followed by dependency-analysis propagation.
+func Analyze(f *ir.Func) *Result {
+	dom := ir.BuildDomTree(f)
+	res := &Result{Func: f}
+
+	loads := f.Loads()
+	stores := f.Stores()
+
+	// Step 1 (Figure 4, left): candidate input reads. A read dominated by
+	// an earlier store that MUST write the same address cannot read a
+	// transaction input.
+	for _, ld := range loads {
+		dominated := false
+		for _, st := range stores {
+			if dom.Dominates(st, ld) && Alias(st.Args[0], ld.Args[0]) == MustAlias {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			res.InputReads = append(res.InputReads, ld)
+		}
+	}
+
+	// Step 2 (Figure 4, right): candidate clobber writes. Any successor
+	// store that MAY write a candidate read's address is a candidate.
+	for _, ld := range res.InputReads {
+		for _, st := range stores {
+			if !dom.Reachable(ld, st) {
+				continue
+			}
+			if Alias(st.Args[0], ld.Args[0]) != NoAlias {
+				res.Conservative = append(res.Conservative, Pair{Read: ld, Write: st})
+			}
+		}
+	}
+
+	// Dependency-analysis propagation (Figure 5).
+	for _, pr := range res.Conservative {
+		if unexposed(dom, stores, pr) {
+			res.RemovedUnexposed++
+			continue
+		}
+		if shadowed(dom, res.Conservative, pr) {
+			res.RemovedShadowed++
+			continue
+		}
+		res.Refined = append(res.Refined, pr)
+	}
+	return res
+}
+
+// unexposed detects the first false-candidate type (Figure 5, left): some
+// earlier store w0 dominates the read and MUST alias the candidate write. If
+// the candidate write really overwrote the read's location, then w0 already
+// wrote it before the read — so the read was never an input.
+func unexposed(dom *ir.DomTree, stores []*ir.Value, pr Pair) bool {
+	for _, w0 := range stores {
+		if w0 == pr.Write {
+			continue
+		}
+		if !dom.Dominates(w0, pr.Read) {
+			continue
+		}
+		if Alias(w0.Args[0], pr.Write.Args[0]) == MustAlias {
+			return true
+		}
+	}
+	return false
+}
+
+// shadowed detects the second false-candidate type (Figure 5, right): an
+// earlier candidate clobber write w1 dominates the candidate w, with an
+// alias relationship guaranteeing that if w overwrites the input, w1 already
+// did. The three sufficient combinations from the paper reduce to: w1 is
+// itself a clobber candidate for the same read, and w1 MUST-aliases either
+// the candidate write or the read address.
+func shadowed(dom *ir.DomTree, all []Pair, pr Pair) bool {
+	for _, other := range all {
+		w1 := other.Write
+		if other.Read != pr.Read || w1 == pr.Write {
+			continue
+		}
+		if !dom.Dominates(w1, pr.Write) {
+			continue
+		}
+		if Alias(w1.Args[0], pr.Write.Args[0]) == MustAlias ||
+			Alias(w1.Args[0], pr.Read.Args[0]) == MustAlias {
+			return true
+		}
+	}
+	return false
+}

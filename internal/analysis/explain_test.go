@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainListInsert(t *testing.T) {
+	out := Explain(ListInsert())
+	for _, want := range []string{
+		"transaction list_ins",
+		"candidate input reads",
+		"INSTRUMENT",
+		"final plan: 1 clobber_log callback site(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainSkiplistShowsRemovals(t *testing.T) {
+	out := Explain(SkiplistInsert())
+	if !strings.Contains(out, "removed by refinement") {
+		t.Fatalf("skiplist explain shows no removals:\n%s", out)
+	}
+	if !strings.Contains(out, "final plan: 3 clobber_log callback site(s)") {
+		t.Fatalf("skiplist plan wrong:\n%s", out)
+	}
+}
+
+func TestExplainCoversWholeCorpus(t *testing.T) {
+	for _, f := range Corpus() {
+		out := Explain(f)
+		if !strings.Contains(out, f.Name) || !strings.Contains(out, "final plan") {
+			t.Errorf("%s: malformed explain output", f.Name)
+		}
+	}
+}
+
+func TestDescribePointerForms(t *testing.T) {
+	f := ListInsert()
+	out := Explain(f)
+	// Figure 2's head pointer is a param field.
+	if !strings.Contains(out, "param lst+0") {
+		t.Errorf("head pointer not described as param field:\n%s", out)
+	}
+}

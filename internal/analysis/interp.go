@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+
+	"clobbernvm/internal/ir"
+)
+
+// DynamicClobbers executes a straight-line function (single block, no
+// branches) with concrete addresses and returns the store instructions that
+// truly overwrite a transaction input during that execution. It is the
+// ground-truth oracle the static pass must over-approximate: a sound pass
+// never instruments fewer sites than the dynamic truth.
+//
+// paramAddr assigns each pointer parameter its concrete object address;
+// gepVarOff assigns each OpGEPVar instruction its concrete offset for this
+// execution. Loaded pointer values resolve to whatever address arithmetic
+// stored there earlier, or to a fresh unaliased address if never written.
+func DynamicClobbers(f *ir.Func, paramAddr map[int]int64, gepVarOff map[int]int64) map[*ir.Value]bool {
+	if len(f.Blocks) != 1 && len(f.Entry().Succs) != 0 {
+		panic("analysis: DynamicClobbers requires a straight-line function")
+	}
+	addrOf := make(map[*ir.Value]int64) // pointer value → concrete address
+	nextFresh := int64(1 << 40)
+	resolve := func(v *ir.Value) int64 {
+		if a, ok := addrOf[v]; ok {
+			return a
+		}
+		nextFresh += 1 << 20
+		addrOf[v] = nextFresh
+		return nextFresh
+	}
+	for i, p := range f.Params {
+		if p.Ptr {
+			if a, ok := paramAddr[i]; ok {
+				addrOf[p] = a
+			}
+		}
+	}
+
+	memPtr := make(map[int64]*ir.Value) // address → pointer value stored there
+	read := make(map[int64]bool)
+	written := make(map[int64]bool)
+	clobbers := make(map[*ir.Value]bool)
+
+	var evalAddr func(v *ir.Value) int64
+	evalAddr = func(v *ir.Value) int64 {
+		switch v.Op {
+		case ir.OpGEP:
+			return evalAddr(v.Args[0]) + v.Const
+		case ir.OpGEPVar:
+			off := gepVarOff[v.ID]
+			return evalAddr(v.Args[0]) + off
+		case ir.OpAlloc, ir.OpParam:
+			return resolve(v)
+		case ir.OpLoad:
+			// A loaded pointer: resolve through memory if a pointer was
+			// stored at that address, else a fresh object.
+			a := evalAddr(v.Args[0])
+			if pv, ok := memPtr[a]; ok {
+				return evalAddr(pv)
+			}
+			return resolve(v)
+		default:
+			return resolve(v)
+		}
+	}
+
+	for _, in := range f.Entry().Instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			a := evalAddr(in.Args[0])
+			if !written[a] {
+				read[a] = true
+			}
+		case ir.OpStore:
+			a := evalAddr(in.Args[0])
+			// Only the FIRST overwrite of a still-intact input is a
+			// clobber; once written, the location no longer holds the
+			// input (later stores are the "shadowed" pattern).
+			if read[a] && !written[a] {
+				clobbers[in] = true
+			}
+			written[a] = true
+			if in.Args[1].Ptr {
+				memPtr[a] = in.Args[1]
+			}
+		}
+	}
+	return clobbers
+}
+
+// DynamicClobbersCFG is the control-flow-aware version of DynamicClobbers:
+// it executes f along one concrete path, with branch directions chosen by
+// branchFn (called with the CondBr instruction and how many times that
+// branch has executed, so loops can be bounded) and a hard step limit. It
+// returns the store instructions that truly clobbered an input on that
+// path. As with the straight-line oracle, a sound static pass must have
+// every returned store in its refined instrumentation plan.
+func DynamicClobbersCFG(
+	f *ir.Func,
+	paramAddr map[int]int64,
+	gepVarOff map[int]int64,
+	branchFn func(cond *ir.Value, visits int) bool,
+	maxSteps int,
+) (map[*ir.Value]bool, error) {
+	addrOf := make(map[*ir.Value]int64)
+	nextFresh := int64(1 << 40)
+	resolve := func(v *ir.Value) int64 {
+		if a, ok := addrOf[v]; ok {
+			return a
+		}
+		nextFresh += 1 << 20
+		addrOf[v] = nextFresh
+		return nextFresh
+	}
+	for i, p := range f.Params {
+		if p.Ptr {
+			if a, ok := paramAddr[i]; ok {
+				addrOf[p] = a
+			}
+		}
+	}
+
+	memPtr := make(map[int64]*ir.Value)
+	read := make(map[int64]bool)
+	written := make(map[int64]bool)
+	clobbers := make(map[*ir.Value]bool)
+
+	// evalAddr resolves pointer expressions; inProgress breaks cycles that
+	// arise when a pointer stored in memory (memPtr) leads back to a load
+	// of the same location (possible in list/graph-shaped programs).
+	inProgress := map[*ir.Value]bool{}
+	var evalAddr func(v *ir.Value) int64
+	evalAddr = func(v *ir.Value) int64 {
+		switch v.Op {
+		case ir.OpGEP:
+			return evalAddr(v.Args[0]) + v.Const
+		case ir.OpGEPVar:
+			return evalAddr(v.Args[0]) + gepVarOff[v.ID]
+		case ir.OpAlloc, ir.OpParam:
+			return resolve(v)
+		case ir.OpLoad:
+			if inProgress[v] {
+				return resolve(v)
+			}
+			inProgress[v] = true
+			a := evalAddr(v.Args[0])
+			var out int64
+			if pv, ok := memPtr[a]; ok && pv != v {
+				out = evalAddr(pv)
+			} else {
+				out = resolve(v)
+			}
+			delete(inProgress, v)
+			return out
+		default:
+			return resolve(v)
+		}
+	}
+
+	visits := map[*ir.Value]int{}
+	block := f.Entry()
+	steps := 0
+	for {
+		var next *ir.Block
+		for _, in := range block.Instrs {
+			steps++
+			if steps > maxSteps {
+				return nil, fmt.Errorf("analysis: execution exceeded %d steps", maxSteps)
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				a := evalAddr(in.Args[0])
+				if !written[a] {
+					read[a] = true
+				}
+			case ir.OpStore:
+				a := evalAddr(in.Args[0])
+				if read[a] && !written[a] {
+					clobbers[in] = true
+				}
+				written[a] = true
+				if in.Args[1].Ptr {
+					memPtr[a] = in.Args[1]
+				}
+			case ir.OpBr:
+				next = block.Succs[0]
+			case ir.OpCondBr:
+				visits[in]++
+				if branchFn(in, visits[in]) {
+					next = block.Succs[0]
+				} else {
+					next = block.Succs[1]
+				}
+			case ir.OpRet:
+				return clobbers, nil
+			}
+		}
+		if next == nil {
+			return clobbers, nil
+		}
+		block = next
+	}
+}

@@ -1,0 +1,176 @@
+package atlas
+
+import (
+	"errors"
+	"testing"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+func newEngine(t *testing.T) (*nvm.Pool, *Engine) {
+	t.Helper()
+	p := nvm.New(1<<24, nvm.WithEvictProbability(0))
+	a, err := pmem.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Create(p, a, Options{Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func TestEveryStoreLogged(t *testing.T) {
+	// Atlas cannot elide log entries, even for repeated stores to the same
+	// location — the key contrast with both PMDK dedup and clobber logging.
+	p, e := newEngine(t)
+	cell := p.RootSlot(8)
+	e.Register("four", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(cell, 1)
+		m.Store64(cell, 2)
+		m.Store64(cell, 3)
+		m.Store64(cell, 4)
+		return nil
+	})
+	if err := e.Run(0, "four", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().LogEntries.Load(); n != 4 {
+		t.Fatalf("atlas entries = %d, want 4 (one per store)", n)
+	}
+	if got := p.Load64(cell); got != 4 {
+		t.Fatalf("cell = %d", got)
+	}
+}
+
+func TestDependencyRingAppendedPerCommit(t *testing.T) {
+	p, e := newEngine(t)
+	cell := p.RootSlot(8)
+	e.Register("w", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(cell, args.Uint64(0))
+		return nil
+	})
+	if err := e.Run(0, "w", txn.NewArgs().PutUint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	s0 := p.Stats()
+	if err := e.Run(0, "w", txn.NewArgs().PutUint64(2)); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Stats().Sub(s0)
+	// begin(1) + entry(1) + outputs(1) + idle(1) + dependency record(1) = 5
+	if d.Fences != 5 {
+		t.Fatalf("fences per FASE = %d, want 5 (incl. dependency record)", d.Fences)
+	}
+}
+
+func TestSnapshotScanRuns(t *testing.T) {
+	p, e := newEngine(t)
+	cell := p.RootSlot(8)
+	e.Register("w", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(cell, args.Uint64(0))
+		return nil
+	})
+	// The snapshot scan issues one extra fence every SnapshotInterval
+	// commits.
+	var fenceCounts []int64
+	for i := 0; i < SnapshotInterval+2; i++ {
+		s0 := p.Stats()
+		if err := e.Run(0, "w", txn.NewArgs().PutUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		fenceCounts = append(fenceCounts, p.Stats().Sub(s0).Fences)
+	}
+	base := fenceCounts[0]
+	sawScan := false
+	for _, f := range fenceCounts {
+		if f == base+1 {
+			sawScan = true
+		}
+	}
+	if !sawScan {
+		t.Fatalf("no commit paid the snapshot scan fence: %v", fenceCounts)
+	}
+}
+
+func TestRollbackOnCrash(t *testing.T) {
+	for n := int64(1); n <= 30; n++ {
+		p := nvm.New(1<<24, nvm.WithEvictProbability(0.5), nvm.WithSeed(n))
+		a, _ := pmem.Create(p)
+		e, err := Create(p, a, Options{Slots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := p.RootSlot(8)
+		e.Register("init", func(m txn.Mem, args *txn.Args) error {
+			m.Store64(cell, 100)
+			m.Store64(cell+8, 200)
+			return nil
+		})
+		e.Register("swap", func(m txn.Mem, args *txn.Args) error {
+			x := m.Load64(cell)
+			y := m.Load64(cell + 8)
+			m.Store64(cell, y)
+			m.Store64(cell+8, x)
+			return nil
+		})
+		if err := e.Run(0, "init", txn.NoArgs); err != nil {
+			t.Fatal(err)
+		}
+		p.ScheduleCrash(n)
+		fired := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok || !errors.Is(err, nvm.ErrCrash) {
+						panic(r)
+					}
+					fired = true
+				}
+			}()
+			_ = e.Run(0, "swap", txn.NoArgs)
+		}()
+		if !fired {
+			return
+		}
+		p.Crash()
+		a2, err := pmem.Attach(p)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", n, err)
+		}
+		e2, err := Attach(p, a2, Options{})
+		if err != nil {
+			t.Fatalf("crash@%d: %v", n, err)
+		}
+		if _, err := e2.Recover(); err != nil {
+			t.Fatalf("crash@%d: %v", n, err)
+		}
+		x, y := p.Load64(cell), p.Load64(cell+8)
+		ok := (x == 100 && y == 200) || (x == 200 && y == 100)
+		if !ok {
+			t.Fatalf("crash@%d: torn swap: %d, %d", n, x, y)
+		}
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	p, e := newEngine(t)
+	cell := p.RootSlot(8)
+	p.Store64(cell, 5)
+	p.Persist(cell, 8)
+	boom := errors.New("abort")
+	e.Register("boom", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(cell, 99)
+		return boom
+	})
+	if err := e.Run(0, "boom", txn.NoArgs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := p.Load64(cell); got != 5 {
+		t.Fatalf("cell = %d after abort, want 5", got)
+	}
+}

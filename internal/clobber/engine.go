@@ -1,0 +1,574 @@
+// Package clobber implements Clobber-NVM's failure-atomicity engine: the
+// paper's primary contribution (§3–§4).
+//
+// Clobber logging is undo-then-reexecute with the undo logging restricted to
+// clobber writes — stores that overwrite a transaction *input* (a value read
+// before it is written inside the transaction). Recovery restores the
+// clobbered inputs from the clobber_log, restores volatile inputs (function
+// name and arguments) from the v_log, and re-executes the interrupted
+// transaction from the beginning; everything else the crash tore is simply
+// overwritten by the deterministic re-execution.
+//
+// The paper identifies clobber writes with an LLVM pass. Go offers no such
+// hook, so this engine interposes on every transactional memory access
+// (txn.Mem — exactly where the compiler pass would have inserted callbacks)
+// and detects clobber writes dynamically with a per-transaction access map:
+// a store to a location that was loaded earlier in the transaction, and has
+// not already been clobber-logged, is a clobber write. Two precision modes
+// reproduce the compiler ablation of §5.9 (Figure 13):
+//
+//   - refined (default): word-granularity tracking; loads of locations the
+//     transaction itself already wrote are not inputs (the "unexposed"
+//     refinement), and locations already clobber-logged are never logged
+//     again (the "shadowed" refinement, which in loops removes every
+//     iteration after the first);
+//   - conservative: the same tracking with neither refinement — loads of
+//     self-written words still register as inputs and already-logged words
+//     are logged again on later stores, modelling alias-analysis-only
+//     identification without dependency propagation.
+//
+// Log layout per worker slot (fixed table, one slot per thread, matching the
+// paper's per-thread v_log):
+//
+//	status word   seq<<2 | phase   (idle / ongoing / freeing)
+//	v_log         txfunc name + encoded args + checksum, in a pre-allocated
+//	              buffer — one entry, hence exactly two fences per
+//	              transaction (begin and commit), the property §5.3 credits
+//	              for v_log's low cost
+//	clobber_log   a plog.DataLog of (addr, old bytes) records, one fence per
+//	              entry (built over the same log subsystem as the PMDK-style
+//	              undo engine, as in the paper)
+//	alloc log     best-effort record of transactional allocations, reclaimed
+//	              before re-execution so re-executed pmallocs do not leak
+//	free log      deferred frees, applied only after commit so interrupted
+//	              transactions can still read the memory they freed
+package clobber
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/plog"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+const (
+	phaseIdle    = 0
+	phaseOngoing = 1
+	phaseFreeing = 2
+
+	anchorMagic = 0x434c4f4252 // "CLOBR"
+
+	maxNameLen = 64
+
+	// Slot header field offsets.
+	offStatus         = 0
+	offNameLen        = 8
+	offName           = 16
+	offArgsLen        = 16 + maxNameLen
+	offVLogChecksum   = offArgsLen + 8
+	offFreeApplied    = offVLogChecksum + 8
+	offReclaimApplied = offFreeApplied + 8
+	offArgs           = 128
+)
+
+// rootSlot is the pool root slot anchoring this engine's slot table.
+const rootSlot = 1
+
+// Options configures engine creation.
+type Options struct {
+	// Slots is the number of worker slots (default txn.MaxSlots).
+	Slots int
+	// ArgsCap is the per-slot v_log buffer capacity (default 4096).
+	ArgsCap uint64
+	// DataLogCap is the per-slot clobber_log capacity (default 1 MiB).
+	DataLogCap uint64
+	// AllocLogCap / FreeLogCap bound per-transaction allocs and frees
+	// (default 4096 each).
+	AllocLogCap int
+	FreeLogCap  int
+	// Conservative disables the dependency-analysis refinements
+	// (Fig 13 baseline).
+	Conservative bool
+	// DisableVLog skips v_log persistence (Clobber-NVM-clobberlog variant
+	// of §5.3; NOT failure-atomic).
+	DisableVLog bool
+	// DisableClobberLog skips clobber_log persistence (Clobber-NVM-vlog
+	// variant of §5.3; NOT failure-atomic).
+	DisableClobberLog bool
+}
+
+func (o *Options) fill() {
+	if o.Slots <= 0 || o.Slots > txn.MaxSlots {
+		o.Slots = txn.MaxSlots
+	}
+	if o.ArgsCap == 0 {
+		o.ArgsCap = 4096
+	}
+	if o.DataLogCap == 0 {
+		o.DataLogCap = 1 << 20
+	}
+	if o.AllocLogCap == 0 {
+		o.AllocLogCap = 4096
+	}
+	if o.FreeLogCap == 0 {
+		o.FreeLogCap = 4096
+	}
+}
+
+// ErrTxTooLarge reports exhaustion of a per-transaction log area.
+var ErrTxTooLarge = errors.New("clobber: transaction exceeds log capacity")
+
+// ErrDirtyAbort reports a txfunc error after it had already stored to
+// persistent memory: clobber transactions commit at begin and cannot roll
+// back, so failing after the first store violates the programming model.
+var ErrDirtyAbort = errors.New("clobber: txfunc failed after writing (transactions cannot abort)")
+
+// Engine is the Clobber-NVM failure-atomicity engine.
+type Engine struct {
+	pool  *nvm.Pool
+	alloc *pmem.Allocator
+	reg   txn.Registry
+	stats txn.Stats
+	opts  Options
+	slots []*slot
+}
+
+var _ txn.Engine = (*Engine)(nil)
+
+type slot struct {
+	mu   sync.Mutex
+	id   int
+	hdr  uint64 // slot block base address
+	dlog *plog.DataLog
+	alog *plog.AddrLog
+	flog *plog.AddrLog
+	seq  uint64 // volatile cache of the last used sequence number
+}
+
+// Create formats a fresh engine on the pool. The allocator must already be
+// created. The engine anchor is stored in pool root slot 1.
+func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
+	opts.fill()
+	e := &Engine{pool: p, alloc: a, opts: opts}
+
+	anchorSize := uint64(24 + opts.Slots*8)
+	anchor, err := a.Alloc(0, anchorSize)
+	if err != nil {
+		return nil, fmt.Errorf("clobber: create anchor: %w", err)
+	}
+	p.Store64(anchor, anchorMagic)
+	p.Store64(anchor+8, uint64(opts.Slots))
+	p.Store64(anchor+16, opts.ArgsCap)
+
+	hdrSize := uint64(offArgs) + opts.ArgsCap
+	dlogOff := align8(hdrSize)
+	alogOff := dlogOff + plog.DataLogSize(opts.DataLogCap)
+	flogOff := alogOff + plog.AddrLogSize(opts.AllocLogCap)
+	slotSize := flogOff + plog.AddrLogSize(opts.FreeLogCap)
+
+	for i := 0; i < opts.Slots; i++ {
+		base, err := a.Alloc(i, slotSize)
+		if err != nil {
+			return nil, fmt.Errorf("clobber: create slot %d: %w", i, err)
+		}
+		// Zero the header so status reads as idle/seq 0.
+		p.Store(base, make([]byte, offArgs))
+		p.Persist(base, offArgs)
+		s := &slot{
+			id:   i,
+			hdr:  base,
+			dlog: plog.FormatDataLog(p, i, base+dlogOff, opts.DataLogCap),
+			alog: plog.FormatAddrLog(p, i, base+alogOff, opts.AllocLogCap),
+			flog: plog.FormatAddrLog(p, i, base+flogOff, opts.FreeLogCap),
+		}
+		e.slots = append(e.slots, s)
+		p.Store64(anchor+24+uint64(i)*8, base)
+	}
+	p.Persist(anchor, anchorSize)
+	p.Store64(p.RootSlot(rootSlot), anchor)
+	p.Persist(p.RootSlot(rootSlot), 8)
+	return e, nil
+}
+
+// Attach opens an engine previously created on the pool (after restart or
+// crash). Register all txfuncs, then call Recover.
+func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
+	opts.fill()
+	anchor := p.Load64(p.RootSlot(rootSlot))
+	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+		return nil, errors.New("clobber: pool has no clobber engine")
+	}
+	n := int(p.Load64(anchor + 8))
+	if n <= 0 || n > txn.MaxSlots {
+		return nil, fmt.Errorf("clobber: corrupt anchor: %d slots", n)
+	}
+	opts.Slots = n
+	opts.ArgsCap = p.Load64(anchor + 16)
+	e := &Engine{pool: p, alloc: a, opts: opts}
+
+	hdrSize := uint64(offArgs) + opts.ArgsCap
+	dlogOff := align8(hdrSize)
+	for i := 0; i < n; i++ {
+		base := p.Load64(anchor + 24 + uint64(i)*8)
+		dlog, err := plog.AttachDataLog(p, i, base+dlogOff)
+		if err != nil {
+			return nil, fmt.Errorf("clobber: slot %d: %w", i, err)
+		}
+		alogOff := dlogOff + plog.DataLogSize(dlogCapOf(p, base+dlogOff))
+		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
+		if err != nil {
+			return nil, fmt.Errorf("clobber: slot %d: %w", i, err)
+		}
+		flogOff := alogOff + plog.AddrLogSize(int(alogCapOf(p, base+alogOff)))
+		flog, err := plog.AttachAddrLog(p, i, base+flogOff)
+		if err != nil {
+			return nil, fmt.Errorf("clobber: slot %d: %w", i, err)
+		}
+		status := p.Load64(base + offStatus)
+		e.slots = append(e.slots, &slot{
+			id: i, hdr: base, dlog: dlog, alog: alog, flog: flog,
+			seq: status >> 2,
+		})
+	}
+	return e, nil
+}
+
+func dlogCapOf(p *nvm.Pool, base uint64) uint64 { return p.Load64(base + 8) }
+func alogCapOf(p *nvm.Pool, base uint64) uint64 { return p.Load64(base + 8) }
+
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string {
+	if e.opts.Conservative {
+		return "clobber-conservative"
+	}
+	return "clobber"
+}
+
+// Register implements txn.Engine.
+func (e *Engine) Register(name string, fn txn.TxFunc) { e.reg.Register(name, fn) }
+
+// Stats implements txn.Engine.
+func (e *Engine) Stats() *txn.Stats { return &e.stats }
+
+// Pool returns the engine's pool (for examples and harnesses).
+func (e *Engine) Pool() *nvm.Pool { return e.pool }
+
+// Allocator returns the engine's persistent allocator.
+func (e *Engine) Allocator() *pmem.Allocator { return e.alloc }
+
+// Run implements txn.Engine: it executes the registered txfunc
+// failure-atomically on the given worker slot.
+func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
+	fn, err := e.reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := txn.CheckSlot(slotID); err != nil || slotID >= len(e.slots) {
+		return fmt.Errorf("%w: %d (engine has %d)", txn.ErrBadSlot, slotID, len(e.slots))
+	}
+	s := e.slots[slotID]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.runLocked(s, name, args, fn, false)
+}
+
+func (e *Engine) runLocked(s *slot, name string, args *txn.Args, fn txn.TxFunc, recovered bool) error {
+	if args == nil {
+		args = txn.NoArgs
+	}
+	seq := s.seq + 1
+	if err := e.begin(s, seq, name, args); err != nil {
+		return err
+	}
+	s.seq = seq
+	s.dlog.Reset()
+	s.alog.Reset()
+	s.flog.Reset()
+
+	m := newMem(e, s, seq)
+	if err := fn(m, args); err != nil {
+		if m.stored {
+			panic(fmt.Errorf("%w: txfunc %q: %v", ErrDirtyAbort, name, err))
+		}
+		// No persistent effects yet: the transaction trivially aborts.
+		e.setStatus(s, seq, phaseIdle)
+		return err
+	}
+	e.commit(s, seq, m)
+	e.stats.Committed.Add(1)
+	if recovered {
+		e.stats.Recovered.Add(1)
+	}
+	return nil
+}
+
+// begin writes the v_log entry: txfunc name, encoded arguments and a
+// checksum binding them to this sequence, then the ongoing status word —
+// all flushed together and ordered by a single fence.
+func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args) error {
+	if len(name) > maxNameLen {
+		return fmt.Errorf("clobber: txfunc name %q exceeds %d bytes", name, maxNameLen)
+	}
+	enc := args.Encode()
+	if uint64(len(enc)) > e.opts.ArgsCap {
+		return fmt.Errorf("%w: %d arg bytes (cap %d)", ErrTxTooLarge, len(enc), e.opts.ArgsCap)
+	}
+	p := e.pool
+	if !e.opts.DisableVLog {
+		p.Store64(s.hdr+offNameLen, uint64(len(name)))
+		nameBuf := make([]byte, maxNameLen)
+		copy(nameBuf, name)
+		p.Store(s.hdr+offName, nameBuf)
+		p.Store64(s.hdr+offArgsLen, uint64(len(enc)))
+		if len(enc) > 0 {
+			p.Store(s.hdr+offArgs, enc)
+		}
+		p.Store64(s.hdr+offVLogChecksum, vlogChecksum(seq, name, enc))
+		p.Store64(s.hdr+offFreeApplied, 0)
+		p.Store64(s.hdr+offReclaimApplied, 0)
+		p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
+		p.Flush(s.hdr, uint64(offArgs)+uint64(len(enc)))
+		p.Fence()
+		e.stats.VLogEntries.Add(1)
+		e.stats.VLogBytes.Add(int64(len(name) + len(enc)))
+	}
+	return nil
+}
+
+func vlogChecksum(seq uint64, name string, enc []byte) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ seq
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	h ^= 0xabcd
+	for _, c := range enc {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h
+}
+
+// commit flushes the transaction's outputs, marks the transaction committed
+// (one fence), then applies deferred frees.
+func (e *Engine) commit(s *slot, seq uint64, m *mem) {
+	p := e.pool
+	for _, line := range m.t.dirty {
+		p.Flush(line*nvm.LineSize, nvm.LineSize)
+	}
+	p.Fence()
+
+	if m.frees > 0 {
+		e.setStatus(s, seq, phaseFreeing)
+		e.applyFrees(s, seq, 0)
+	}
+	e.setStatus(s, seq, phaseIdle)
+}
+
+func (e *Engine) setStatus(s *slot, seq uint64, phase uint64) {
+	if e.opts.DisableVLog {
+		return
+	}
+	p := e.pool
+	p.Store64(s.hdr+offStatus, seq<<2|phase)
+	p.Persist(s.hdr+offStatus, 8)
+}
+
+// applyFrees performs the deferred frees recorded in the free log, bumping a
+// persistent progress counter *before* each free so a crash can only leak,
+// never double-free.
+func (e *Engine) applyFrees(s *slot, seq uint64, from uint64) {
+	p := e.pool
+	addrs := s.flog.Scan(seq)
+	for i := from; i < uint64(len(addrs)); i++ {
+		p.Store64(s.hdr+offFreeApplied, i+1)
+		p.Persist(s.hdr+offFreeApplied, 8)
+		if err := e.alloc.Free(addrs[i]); err != nil {
+			// A corrupt free is a programming error surfaced at commit;
+			// leaking is the only safe continuation.
+			continue
+		}
+	}
+}
+
+// RunRO implements txn.Engine. Clobber-NVM does not interpose on reads (its
+// key advantage over redo systems), so read-only operations access the pool
+// directly.
+func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
+	if err := txn.CheckSlot(slotID); err != nil {
+		return err
+	}
+	return fn(roMem{e.pool})
+}
+
+// Recover implements txn.Engine (§4.3). For every slot with an ongoing
+// transaction it (1) restores clobbered inputs from the clobber_log,
+// (2) reclaims the interrupted execution's allocations, (3) re-executes the
+// transaction via the registered txfunc with the arguments restored from the
+// v_log. Slots interrupted while applying deferred frees resume them.
+//
+// Slots recover concurrently: the paper notes this is valid because the
+// strong strict 2PL contract makes ongoing transactions' lock sets — and
+// hence their footprints — disjoint ("Clobber-NVM recovers each thread
+// independently").
+func (e *Engine) Recover() (int, error) {
+	var (
+		mu         sync.Mutex
+		recovered  int
+		firstErr   error
+		firstPanic any
+		wg         sync.WaitGroup
+	)
+	for _, s := range e.slots {
+		wg.Add(1)
+		go func(s *slot) {
+			defer wg.Done()
+			defer func() {
+				// Re-raise panics (notably simulated-crash injections) on
+				// the calling goroutine so harnesses can catch them.
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			n, err := e.recoverSlot(s)
+			mu.Lock()
+			defer mu.Unlock()
+			recovered += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	return recovered, firstErr
+}
+
+func (e *Engine) recoverSlot(s *slot) (int, error) {
+	p := e.pool
+	status := p.Load64(s.hdr + offStatus)
+	seq, phase := status>>2, status&3
+	s.seq = seq
+	switch phase {
+	case phaseIdle:
+		return 0, nil
+	case phaseFreeing:
+		// The transaction had committed; only its deferred frees remain.
+		e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
+		e.setStatus(s, seq, phaseIdle)
+		return 0, nil
+	}
+
+	// Ongoing: validate the v_log entry.
+	nameLen := p.Load64(s.hdr + offNameLen)
+	argsLen := p.Load64(s.hdr + offArgsLen)
+	if nameLen > maxNameLen || argsLen > e.opts.ArgsCap {
+		e.setStatus(s, seq, phaseIdle)
+		return 0, nil
+	}
+	nameBuf := make([]byte, nameLen)
+	p.Load(s.hdr+offName, nameBuf)
+	enc := make([]byte, argsLen)
+	if argsLen > 0 {
+		p.Load(s.hdr+offArgs, enc)
+	}
+	if p.Load64(s.hdr+offVLogChecksum) != vlogChecksum(seq, string(nameBuf), enc) {
+		// The begin fence never completed: the transaction performed no
+		// persistent writes. Clear and move on.
+		e.setStatus(s, seq, phaseIdle)
+		return 0, nil
+	}
+
+	// 1. Restore clobbered inputs (reverse order, then one fence).
+	entries := s.dlog.Scan(seq)
+	for i := len(entries) - 1; i >= 0; i-- {
+		p.Store(entries[i].Addr, entries[i].Data)
+		p.Flush(entries[i].Addr, uint64(len(entries[i].Data)))
+	}
+	if len(entries) > 0 {
+		p.Fence()
+	}
+
+	// 2. Reclaim the interrupted execution's allocations so re-execution
+	// does not leak. Progress counter first: crash here leaks, never
+	// double-frees.
+	allocs := s.alog.Scan(seq)
+	for i := p.Load64(s.hdr + offReclaimApplied); i < uint64(len(allocs)); i++ {
+		p.Store64(s.hdr+offReclaimApplied, i+1)
+		p.Persist(s.hdr+offReclaimApplied, 8)
+		if err := e.alloc.Free(allocs[i]); err != nil {
+			continue
+		}
+	}
+
+	// 3. Re-execute.
+	args, err := txn.DecodeArgs(enc)
+	if err != nil {
+		return 0, fmt.Errorf("clobber: slot %d: corrupt v_log args: %w", s.id, err)
+	}
+	fn, err := e.reg.Lookup(string(nameBuf))
+	if err != nil {
+		return 0, fmt.Errorf("clobber: slot %d: recovery needs txfunc %q: %w", s.id, nameBuf, err)
+	}
+	if err := e.runLocked(s, string(nameBuf), args, fn, true); err != nil {
+		return 0, fmt.Errorf("clobber: slot %d: re-execution of %q failed: %w", s.id, nameBuf, err)
+	}
+	return 1, nil
+}
+
+// SlotStatus describes one worker slot's persistent recovery state, for
+// operational inspection (cmd tools, tests, post-crash triage).
+type SlotStatus struct {
+	// Slot is the worker slot id.
+	Slot int
+	// Seq is the slot's current transaction sequence number.
+	Seq uint64
+	// Phase is "idle", "ongoing" or "freeing".
+	Phase string
+	// TxFunc is the v_log-recorded function name (ongoing slots only).
+	TxFunc string
+	// ArgBytes is the encoded argument size in the v_log.
+	ArgBytes int
+	// ClobberEntries counts valid clobber_log records for Seq.
+	ClobberEntries int
+}
+
+// SlotStatuses reads every slot's persistent state. Safe to call on an
+// attached engine before Recover to see what recovery would do.
+func (e *Engine) SlotStatuses() []SlotStatus {
+	p := e.pool
+	out := make([]SlotStatus, 0, len(e.slots))
+	for _, s := range e.slots {
+		status := p.Load64(s.hdr + offStatus)
+		seq, phase := status>>2, status&3
+		st := SlotStatus{Slot: s.id, Seq: seq}
+		switch phase {
+		case phaseOngoing:
+			st.Phase = "ongoing"
+			nameLen := p.Load64(s.hdr + offNameLen)
+			if nameLen <= maxNameLen {
+				buf := make([]byte, nameLen)
+				p.Load(s.hdr+offName, buf)
+				st.TxFunc = string(buf)
+			}
+			st.ArgBytes = int(p.Load64(s.hdr + offArgsLen))
+			st.ClobberEntries = len(s.dlog.Scan(seq))
+		case phaseFreeing:
+			st.Phase = "freeing"
+		default:
+			st.Phase = "idle"
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package clobber
+
+// flagTable is a small open-addressing hash table from tracking unit
+// (word index) to access-class flags. It replaces a Go map on the
+// transaction's hot path: the real Clobber-NVM identifies clobber writes at
+// compile time and pays nothing per load at run time, so the dynamic
+// detector standing in for the compiler must be as close to free as
+// possible or it would distort the engine comparison.
+//
+// Linear probing, power-of-two capacity, grow at 75% load. Keys are word
+// indexes (addr >> 3), stored +1 so zero means empty.
+type flagTable struct {
+	keys  []uint64
+	vals  []uint8
+	n     int
+	mask  uint64
+	dirty []uint64 // line indexes touched by stores (deduplicated, unordered)
+	seen  flagTableLines
+}
+
+// flagTableLines tracks dirty cache lines with the same open addressing.
+type flagTableLines struct {
+	keys []uint64
+	n    int
+	mask uint64
+}
+
+const flagTableInitial = 256
+
+func newFlagTable() *flagTable {
+	t := &flagTable{
+		keys: make([]uint64, flagTableInitial),
+		vals: make([]uint8, flagTableInitial),
+		mask: flagTableInitial - 1,
+	}
+	t.seen.keys = make([]uint64, flagTableInitial)
+	t.seen.mask = flagTableInitial - 1
+	return t
+}
+
+func mixHash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// get returns the flags for unit u (0 if untracked).
+func (t *flagTable) get(u uint64) uint8 {
+	k := u + 1
+	i := mixHash(k) & t.mask
+	for {
+		cur := t.keys[i]
+		if cur == k {
+			return t.vals[i]
+		}
+		if cur == 0 {
+			return 0
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// or sets flag bits for unit u and returns the previous flags.
+func (t *flagTable) or(u uint64, bits uint8) uint8 {
+	k := u + 1
+	i := mixHash(k) & t.mask
+	for {
+		cur := t.keys[i]
+		if cur == k {
+			old := t.vals[i]
+			t.vals[i] = old | bits
+			return old
+		}
+		if cur == 0 {
+			t.keys[i] = k
+			t.vals[i] = bits
+			t.n++
+			if t.n*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return 0
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *flagTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, len(oldKeys)*2)
+	t.vals = make([]uint8, len(oldVals)*2)
+	t.mask = uint64(len(t.keys) - 1)
+	t.n = 0
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := mixHash(k) & t.mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+		t.n++
+	}
+}
+
+// markLine records a dirty cache line (deduplicated).
+func (t *flagTable) markLine(line uint64) {
+	s := &t.seen
+	k := line + 1
+	i := mixHash(k) & s.mask
+	for {
+		cur := s.keys[i]
+		if cur == k {
+			return
+		}
+		if cur == 0 {
+			s.keys[i] = k
+			s.n++
+			t.dirty = append(t.dirty, line)
+			if s.n*4 > len(s.keys)*3 {
+				s.grow()
+			}
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *flagTableLines) grow() {
+	old := s.keys
+	s.keys = make([]uint64, len(old)*2)
+	s.mask = uint64(len(s.keys) - 1)
+	s.n = 0
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		j := mixHash(k) & s.mask
+		for s.keys[j] != 0 {
+			j = (j + 1) & s.mask
+		}
+		s.keys[j] = k
+		s.n++
+	}
+}

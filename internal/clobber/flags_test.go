@@ -1,0 +1,101 @@
+package clobber
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagTableBasic(t *testing.T) {
+	ft := newFlagTable()
+	if got := ft.get(42); got != 0 {
+		t.Fatalf("empty get = %d", got)
+	}
+	if old := ft.or(42, flagInput); old != 0 {
+		t.Fatalf("first or returned %d", old)
+	}
+	if got := ft.get(42); got != flagInput {
+		t.Fatalf("get = %d", got)
+	}
+	if old := ft.or(42, flagStored); old != flagInput {
+		t.Fatalf("second or returned %d", old)
+	}
+	if got := ft.get(42); got != flagInput|flagStored {
+		t.Fatalf("get = %d", got)
+	}
+}
+
+func TestFlagTableZeroKey(t *testing.T) {
+	// Word index 0 must be storable (keys are offset by one internally).
+	ft := newFlagTable()
+	ft.or(0, flagLogged)
+	if got := ft.get(0); got != flagLogged {
+		t.Fatalf("get(0) = %d", got)
+	}
+}
+
+func TestFlagTableGrowth(t *testing.T) {
+	ft := newFlagTable()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		ft.or(i*3, uint8(1+i%7))
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := ft.get(i * 3); got != uint8(1+i%7) {
+			t.Fatalf("after growth get(%d) = %d, want %d", i*3, got, 1+i%7)
+		}
+	}
+	if got := ft.get(1); got != 0 {
+		t.Fatalf("absent key = %d", got)
+	}
+}
+
+func TestFlagTableMatchesMapReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ft := newFlagTable()
+		ref := map[uint64]uint8{}
+		for _, op := range ops {
+			u := uint64(op >> 3)
+			bits := uint8(1 << (op % 3))
+			wantOld := ref[u]
+			gotOld := ft.or(u, bits)
+			if gotOld != wantOld {
+				return false
+			}
+			ref[u] |= bits
+		}
+		for u, want := range ref {
+			if ft.get(u) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagTableDirtyLineDedup(t *testing.T) {
+	ft := newFlagTable()
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		l := uint64(rng.Intn(600))
+		ft.markLine(l)
+		seen[l] = true
+	}
+	if len(ft.dirty) != len(seen) {
+		t.Fatalf("dirty lines = %d, want %d (dedup broken)", len(ft.dirty), len(seen))
+	}
+	got := map[uint64]bool{}
+	for _, l := range ft.dirty {
+		if got[l] {
+			t.Fatalf("line %d recorded twice", l)
+		}
+		got[l] = true
+		if !seen[l] {
+			t.Fatalf("phantom line %d", l)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package clobber
+
+import (
+	"fmt"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/plog"
+	"clobbernvm/internal/txn"
+)
+
+// Access-map flag bits. The table is the run-time stand-in for the compiler's
+// dependency analysis: it classifies each tracked word of the transaction's
+// footprint.
+const (
+	flagInput  = 1 << 0 // loaded before any store → transaction input
+	flagStored = 1 << 1 // stored by this transaction
+	flagLogged = 1 << 2 // already clobber-logged
+)
+
+// mem is the in-transaction memory view. Every access runs through it,
+// exactly where the Clobber-NVM compiler would have inserted callbacks.
+type mem struct {
+	e   *Engine
+	s   *slot
+	seq uint64
+
+	t *flagTable
+
+	stored bool
+	frees  int
+}
+
+var _ txn.Mem = (*mem)(nil)
+
+func newMem(e *Engine, s *slot, seq uint64) *mem {
+	return &mem{e: e, s: s, seq: seq, t: newFlagTable()}
+}
+
+// Load implements txn.Mem.
+func (m *mem) Load(addr uint64, buf []byte) {
+	m.trackLoad(addr, uint64(len(buf)))
+	m.e.pool.Load(addr, buf)
+}
+
+// Load64 implements txn.Mem.
+func (m *mem) Load64(addr uint64) uint64 {
+	m.trackLoad(addr, 8)
+	return m.e.pool.Load64(addr)
+}
+
+func (m *mem) trackLoad(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	// With the clobber_log disabled (No-log / v_log-only variants of §5.3)
+	// there is nothing to detect, so the baseline pays no tracking.
+	if m.e.opts.DisableClobberLog {
+		return
+	}
+	for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
+		if m.e.opts.Conservative {
+			// Conservative identification cannot prove a read is dominated
+			// by the transaction's own store (the "unexposed" pattern), so
+			// every load marks its units as candidate inputs.
+			m.t.or(u, flagInput)
+			continue
+		}
+		// Refined: a load of a unit this transaction already stored reads a
+		// transaction-produced value, not an input.
+		if m.t.get(u)&flagStored == 0 {
+			m.t.or(u, flagInput)
+		}
+	}
+}
+
+// Store implements txn.Mem. It detects clobber writes and logs the old
+// value before applying the store — the clobber_log callback of §4.2.
+func (m *mem) Store(addr uint64, data []byte) {
+	m.preStore(addr, uint64(len(data)))
+	m.e.pool.Store(addr, data)
+}
+
+// Store64 implements txn.Mem.
+func (m *mem) Store64(addr uint64, v uint64) {
+	m.preStore(addr, 8)
+	m.e.pool.Store64(addr, v)
+}
+
+func (m *mem) preStore(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	m.stored = true
+	if !m.e.opts.DisableClobberLog {
+		needLog := false
+		for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
+			old := m.t.or(u, flagStored)
+			if old&flagInput != 0 {
+				// Conservative identification lacks the "shadowed"
+				// refinement: it cannot prove an earlier clobber write
+				// already covered this unit, so it logs again (the
+				// in-loops pattern of Figure 5).
+				if m.e.opts.Conservative || old&flagLogged == 0 {
+					needLog = true
+				}
+			}
+		}
+		if needLog {
+			m.logClobber(addr, n)
+		}
+	}
+	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
+		m.t.markLine(l)
+	}
+}
+
+// logClobber records the pre-store value of [addr, addr+n) in the
+// clobber_log (one flush set + one fence, the PMDK undo-log discipline) and
+// marks the covered units logged so shadowed writes skip the log.
+func (m *mem) logClobber(addr, n uint64) {
+	old := make([]byte, n)
+	m.e.pool.Load(addr, old)
+	nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{})
+	if err != nil {
+		panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
+	}
+	m.e.stats.LogEntries.Add(1)
+	m.e.stats.LogBytes.Add(int64(nbytes))
+	for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
+		m.t.or(u, flagLogged)
+	}
+}
+
+// Alloc implements txn.Mem (the pmalloc callback). The allocation is
+// recorded (best effort) so recovery can reclaim it before re-execution.
+func (m *mem) Alloc(size uint64) (txn.Addr, error) {
+	addr, err := m.e.alloc.Alloc(m.s.id, size)
+	if err != nil {
+		return 0, err
+	}
+	if !m.e.opts.DisableVLog {
+		if err := m.s.alog.Append(m.seq, addr, false); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrTxTooLarge, err)
+		}
+	}
+	return addr, nil
+}
+
+// Free implements txn.Mem. Frees are deferred to commit so an interrupted
+// transaction can still read the memory during re-execution.
+func (m *mem) Free(addr txn.Addr) error {
+	if err := m.s.flog.Append(m.seq, addr, false); err != nil {
+		return fmt.Errorf("%w: %v", ErrTxTooLarge, err)
+	}
+	m.frees++
+	return nil
+}
+
+// roMem is the read-only view used by RunRO: direct pool reads, no
+// interposition — undo-family engines pay nothing on the read path.
+type roMem struct{ pool *nvm.Pool }
+
+var _ txn.Mem = roMem{}
+
+func (r roMem) Load(addr uint64, buf []byte) { r.pool.Load(addr, buf) }
+func (r roMem) Load64(addr uint64) uint64    { return r.pool.Load64(addr) }
+func (r roMem) Store(addr uint64, data []byte) {
+	panic("clobber: store inside a read-only operation")
+}
+func (r roMem) Store64(addr uint64, v uint64) {
+	panic("clobber: store inside a read-only operation")
+}
+func (r roMem) Alloc(size uint64) (txn.Addr, error) {
+	return 0, fmt.Errorf("clobber: alloc inside a read-only operation")
+}
+func (r roMem) Free(addr txn.Addr) error {
+	return fmt.Errorf("clobber: free inside a read-only operation")
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/ycsb"
+)
+
+// Extension experiments beyond the paper's figures: a mixed-workload YCSB
+// sweep (the paper only measures the Load phase) and a fence-cost ablation
+// probing the premise that ordering fences, not flushes, separate the
+// engines.
+
+// ExtYCSBMixes measures throughput for YCSB A (50/50 read/update), B (95/5)
+// and C (read-only) over the loaded structures, per engine. Redo's read
+// interposition makes it fall behind as the read fraction grows — the §5.6
+// search-intensive observation, reproduced on the raw structures.
+func ExtYCSBMixes(sc Scale) (*Table, error) {
+	t := &Table{
+		Name:   "ext-ycsb",
+		Header: []string{"engine", "structure", "workload", "ops_per_sec", "read_checks_per_op"},
+	}
+	engines := []EngineKind{EngineClobber, EnginePMDK, EngineMnemosyne}
+	workloads := []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC}
+	for _, st := range []StructureKind{StructHashMap, StructRBTree} {
+		for _, ek := range engines {
+			for _, w := range workloads {
+				setup, err := NewSetup(ek, sc)
+				if err != nil {
+					return nil, err
+				}
+				store, err := OpenStructure(st, setup.Engine)
+				if err != nil {
+					return nil, err
+				}
+				if err := populate(store, st, sc.Entries, 1); err != nil {
+					return nil, err
+				}
+				g := ycsb.NewGenerator(w, sc.Entries, KeySize(st), ValueSize, 7)
+				s0 := setup.Engine.Stats().Snapshot()
+				start := time.Now()
+				for i := 0; i < sc.Ops; i++ {
+					op := g.Next()
+					switch op.Kind {
+					case ycsb.OpRead:
+						if _, _, err := store.Get(0, op.Key); err != nil {
+							return nil, err
+						}
+					default:
+						if err := store.Insert(0, op.Key, op.Value); err != nil {
+							return nil, err
+						}
+					}
+				}
+				elapsed := time.Since(start)
+				d := setup.Engine.Stats().Snapshot().Sub(s0)
+				t.add(string(ek), string(st), w.Name,
+					opsPerSec(sc.Ops, elapsed),
+					float64(d.ReadChecks)/float64(sc.Ops))
+			}
+		}
+	}
+	return t, nil
+}
+
+// ExtFenceAblation sweeps the simulated fence latency and reports the
+// clobber-vs-PMDK speedup at each point, together with the per-transaction
+// fence counts. It decomposes clobber logging's advantage into its two
+// ingredients: with free fences the remaining speedup reflects pure log
+// *volume* (fewer entries to build, flush and store), while as fences grow
+// expensive the speedup converges toward the fence-*count* ratio — the
+// ordering-instruction effect §2.1 describes. Clobber-NVM should win at
+// every point of the sweep, for shifting reasons.
+func ExtFenceAblation(sc Scale) (*Table, error) {
+	t := &Table{
+		Name: "ext-fence-ablation",
+		Header: []string{"fence_ns", "clobber_ops_per_sec", "pmdk_ops_per_sec", "speedup",
+			"clobber_fences_per_tx", "pmdk_fences_per_tx"},
+	}
+	for _, fence := range []int{0, 150, 600, 2400} {
+		scl := sc
+		scl.Latency = nvm.Latency{FlushNS: sc.Latency.FlushNS, FenceNS: fence}
+		tputs := map[EngineKind]float64{}
+		fencesPerTx := map[EngineKind]float64{}
+		for _, ek := range []EngineKind{EngineClobber, EnginePMDK} {
+			setup, err := NewSetup(ek, scl)
+			if err != nil {
+				return nil, err
+			}
+			store, err := OpenStructure(StructHashMap, setup.Engine)
+			if err != nil {
+				return nil, err
+			}
+			if err := populate(store, StructHashMap, scl.Entries, 1); err != nil {
+				return nil, err
+			}
+			p0 := setup.Pool.Stats()
+			elapsed, err := measureInsertThroughput(store, StructHashMap, scl.Entries, scl.Ops, 1)
+			if err != nil {
+				return nil, err
+			}
+			tputs[ek] = opsPerSec(scl.Ops, elapsed)
+			fencesPerTx[ek] = float64(setup.Pool.Stats().Sub(p0).Fences) / float64(scl.Ops)
+		}
+		t.add(fmt.Sprint(fence), tputs[EngineClobber], tputs[EnginePMDK],
+			tputs[EngineClobber]/tputs[EnginePMDK],
+			fencesPerTx[EngineClobber], fencesPerTx[EnginePMDK])
+	}
+	return t, nil
+}

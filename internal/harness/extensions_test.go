@@ -1,0 +1,60 @@
+package harness
+
+import "testing"
+
+func TestExtYCSBMixesShape(t *testing.T) {
+	tab, err := ExtYCSBMixes(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2*3*3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Only the redo engine pays read interposition.
+	for _, row := range tab.Rows {
+		rc := cellF(t, tab, row, "read_checks_per_op")
+		switch cell(t, tab, row, "engine") {
+		case "mnemosyne":
+			if cell(t, tab, row, "workload") == "c" && rc == 0 {
+				t.Error("mnemosyne read-only workload paid no read checks")
+			}
+		default:
+			if rc != 0 {
+				t.Errorf("%s paid read checks (%v)", cell(t, tab, row, "engine"), rc)
+			}
+		}
+	}
+	// On the read-only workload, clobber must beat mnemosyne (no read path).
+	for _, st := range []string{"hashmap", "rbtree"} {
+		cl := find(t, tab, map[string]string{"engine": "clobber", "structure": st, "workload": "c"})
+		mn := find(t, tab, map[string]string{"engine": "mnemosyne", "structure": st, "workload": "c"})
+		if cellF(t, tab, cl[0], "ops_per_sec") < cellF(t, tab, mn[0], "ops_per_sec") {
+			t.Errorf("%s workload C: clobber slower than mnemosyne", st)
+		}
+	}
+}
+
+func TestExtFenceAblationShape(t *testing.T) {
+	tab, err := ExtFenceAblation(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Clobber wins at every point of the sweep: from log volume (free
+	// fences) to fence count (expensive fences). Timing noise on a shared
+	// host can dent single points, so require a modest floor.
+	for _, row := range tab.Rows {
+		if sp := cellF(t, tab, row, "speedup"); sp < 0.8 {
+			t.Errorf("fence=%s ns: clobber clearly slower than pmdk (%.2f)",
+				cell(t, tab, row, "fence_ns"), sp)
+		}
+		cf := cellF(t, tab, row, "clobber_fences_per_tx")
+		pf := cellF(t, tab, row, "pmdk_fences_per_tx")
+		if cf >= pf {
+			t.Errorf("fence=%s ns: clobber fences/tx (%v) not < pmdk (%v)",
+				cell(t, tab, row, "fence_ns"), cf, pf)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package ido models iDO logging (Liu et al., MICRO '18), the
+// state-of-the-art recovery-via-resumption system the paper compares against
+// in §5.4 (Figure 8).
+//
+// iDO's compiler splits each transaction into idempotent regions — maximal
+// code stretches that never overwrite their own inputs — and logs at every
+// region boundary: a snapshot of the register file, the live stack state
+// (iDO keeps the program stack in NVM) and the program counter, plus a flush
+// and fence for the locations the finished region modified. Failure recovery
+// re-executes only the interrupted idempotent region and resumes.
+//
+// iDO's code is not public; the paper re-implemented a compiler
+// instrumentation pass purely to *measure* what iDO would log. This package
+// is the same kind of artifact: an execution-driven meter. Run executes the
+// txfunc with in-place stores (it is not itself failure-atomic) while
+// detecting idempotent-region boundaries dynamically: a store to a word the
+// current region has already read ends the region. At each boundary it
+// charges iDO's log record and ordering costs to the engine statistics, so
+// the same data-structure code measured under the clobber engine yields the
+// Figure 8 comparison.
+package ido
+
+import (
+	"errors"
+	"fmt"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+// RegisterSnapshotBytes is the size of the register-file snapshot iDO
+// persists at each region boundary: 16 general-purpose registers plus flags
+// and the program counter (x86-64), 8 bytes each.
+const RegisterSnapshotBytes = 18 * 8
+
+// StackSlotBytes is the per-boundary charge for live stack variables. iDO
+// maintains the program stack in NVM and must capture the live frame state
+// (key/value pointers, cursors, loop indices — around sixteen 8-byte slots
+// for the benchmark transactions) at every region boundary so the region can
+// resume; Clobber-NVM records the equivalent once per transaction in its
+// v_log. This is the cost §5.4 summarizes as "their logged state at each
+// logging point is much larger than Clobber-NVM's".
+const StackSlotBytes = 16 * 8
+
+// Meter is the iDO accounting engine. It satisfies txn.Engine so the same
+// benchmark code drives it, but it provides no failure atomicity: Recover is
+// a no-op, exactly like the measurement-only pass in the paper.
+type Meter struct {
+	pool  *nvm.Pool
+	alloc *pmem.Allocator
+	reg   txn.Registry
+	stats txn.Stats
+}
+
+var _ txn.Engine = (*Meter)(nil)
+
+// New creates an iDO meter over the pool and allocator.
+func New(p *nvm.Pool, a *pmem.Allocator) *Meter {
+	return &Meter{pool: p, alloc: a}
+}
+
+// Name implements txn.Engine.
+func (m *Meter) Name() string { return "ido" }
+
+// Register implements txn.Engine.
+func (m *Meter) Register(name string, fn txn.TxFunc) { m.reg.Register(name, fn) }
+
+// Stats implements txn.Engine. LogEntries counts region boundaries (iDO's
+// logging points); LogBytes counts boundary-record bytes.
+func (m *Meter) Stats() *txn.Stats { return &m.stats }
+
+// Run implements txn.Engine: execute with idempotent-region accounting.
+func (m *Meter) Run(slot int, name string, args *txn.Args) error {
+	fn, err := m.reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := txn.CheckSlot(slot); err != nil {
+		return err
+	}
+	if args == nil {
+		args = txn.NoArgs
+	}
+	t := &tracer{m: m, read: make(map[uint64]struct{}), dirty: make(map[uint64]struct{})}
+	// The FASE entry is iDO's first logging point (it must be able to
+	// resume from the transaction's beginning).
+	t.boundary()
+	if err := fn(t, args); err != nil {
+		return err
+	}
+	// Closing boundary: the final region's modified locations are flushed
+	// and the resume point advances past the FASE.
+	t.boundary()
+	m.stats.Committed.Add(1)
+	return nil
+}
+
+// RunRO implements txn.Engine.
+func (m *Meter) RunRO(slot int, fn txn.ROFunc) error {
+	if err := txn.CheckSlot(slot); err != nil {
+		return err
+	}
+	return fn(roMem{m.pool})
+}
+
+// Recover implements txn.Engine. The meter does not implement iDO's
+// resumption machinery — it exists to measure logging traffic.
+func (m *Meter) Recover() (int, error) { return 0, nil }
+
+// tracer is the region-tracking memory view.
+type tracer struct {
+	m *Meter
+	// read is the current idempotent region's input set (words).
+	read map[uint64]struct{}
+	// dirty is the current region's modified line set, flushed at the next
+	// boundary.
+	dirty map[uint64]struct{}
+}
+
+var _ txn.Mem = (*tracer)(nil)
+
+// boundary closes the current idempotent region: persist the register/stack
+// snapshot (log record) and flush+fence the region's modified locations.
+func (t *tracer) boundary() {
+	p := t.m.pool
+	for l := range t.dirty {
+		p.Flush(l*nvm.LineSize, nvm.LineSize)
+	}
+	p.Fence()
+	t.m.stats.LogEntries.Add(1)
+	t.m.stats.LogBytes.Add(RegisterSnapshotBytes + StackSlotBytes)
+	t.read = make(map[uint64]struct{})
+	t.dirty = make(map[uint64]struct{})
+}
+
+func (t *tracer) Load(addr uint64, buf []byte) {
+	t.trackLoad(addr, uint64(len(buf)))
+	t.m.pool.Load(addr, buf)
+}
+
+func (t *tracer) Load64(addr uint64) uint64 {
+	t.trackLoad(addr, 8)
+	return t.m.pool.Load64(addr)
+}
+
+func (t *tracer) trackLoad(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for w := addr >> 3; w <= (addr+n-1)>>3; w++ {
+		t.read[w] = struct{}{}
+	}
+}
+
+func (t *tracer) Store(addr uint64, data []byte) {
+	t.preStore(addr, uint64(len(data)))
+	t.m.pool.Store(addr, data)
+}
+
+func (t *tracer) Store64(addr uint64, v uint64) {
+	t.preStore(addr, 8)
+	t.m.pool.Store64(addr, v)
+}
+
+// preStore ends the region if this store overwrites a region input (the
+// anti-dependence that breaks idempotence), then records the write.
+func (t *tracer) preStore(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for w := addr >> 3; w <= (addr+n-1)>>3; w++ {
+		if _, ok := t.read[w]; ok {
+			t.boundary()
+			break
+		}
+	}
+	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
+		t.dirty[l] = struct{}{}
+	}
+}
+
+func (t *tracer) Alloc(size uint64) (txn.Addr, error) {
+	return t.m.alloc.Alloc(0, size)
+}
+
+func (t *tracer) Free(addr txn.Addr) error { return t.m.alloc.Free(addr) }
+
+type roMem struct{ pool *nvm.Pool }
+
+var _ txn.Mem = roMem{}
+
+func (r roMem) Load(addr uint64, buf []byte)   { r.pool.Load(addr, buf) }
+func (r roMem) Load64(addr uint64) uint64      { return r.pool.Load64(addr) }
+func (r roMem) Store(addr uint64, data []byte) { panic("ido: store in read-only op") }
+func (r roMem) Store64(addr uint64, v uint64)  { panic("ido: store in read-only op") }
+func (r roMem) Alloc(size uint64) (txn.Addr, error) {
+	return 0, errors.New("ido: alloc in read-only op")
+}
+func (r roMem) Free(addr txn.Addr) error { return errors.New("ido: free in read-only op") }
+
+// String describes the meter configuration.
+func (m *Meter) String() string {
+	return fmt.Sprintf("ido meter (boundary record = %d B)", RegisterSnapshotBytes+StackSlotBytes)
+}

@@ -1,0 +1,154 @@
+package ido
+
+import (
+	"testing"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+func newMeter(t *testing.T) (*nvm.Pool, *Meter) {
+	t.Helper()
+	p := nvm.New(1 << 22)
+	a, err := pmem.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, New(p, a)
+}
+
+func TestIdempotentTxHasTwoBoundaries(t *testing.T) {
+	p, m := newMeter(t)
+	cell := p.RootSlot(8)
+	// Pure write: never overwrites an input → a single idempotent region,
+	// bounded by the entry and exit logging points.
+	m.Register("write", func(mm txn.Mem, args *txn.Args) error {
+		mm.Store64(cell, 42)
+		return nil
+	})
+	if err := m.Run(0, "write", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Stats().LogEntries.Load(); n != 2 {
+		t.Fatalf("boundaries = %d, want 2", n)
+	}
+	if got := p.Load64(cell); got != 42 {
+		t.Fatalf("cell = %d", got)
+	}
+}
+
+func TestAntiDependenceSplitsRegions(t *testing.T) {
+	p, m := newMeter(t)
+	cell := p.RootSlot(8)
+	m.Register("rmw", func(mm txn.Mem, args *txn.Args) error {
+		v := mm.Load64(cell)   // region 1 input
+		mm.Store64(cell, v+1)  // overwrites it → boundary
+		w := mm.Load64(cell)   // region 2 input
+		mm.Store64(cell, w*10) // boundary again
+		return nil
+	})
+	if err := m.Run(0, "rmw", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	// entry + 2 anti-dependence boundaries + exit = 4
+	if n := m.Stats().LogEntries.Load(); n != 4 {
+		t.Fatalf("boundaries = %d, want 4", n)
+	}
+	if got := p.Load64(cell); got != 10 {
+		t.Fatalf("cell = %d, want 10", got)
+	}
+}
+
+func TestLoopLogsEveryIteration(t *testing.T) {
+	// The key contrast with clobber logging: a read-modify-write loop
+	// breaks idempotence each iteration, so iDO logs per iteration while
+	// clobber logs once.
+	p, m := newMeter(t)
+	cell := p.RootSlot(8)
+	const iters = 10
+	m.Register("loop", func(mm txn.Mem, args *txn.Args) error {
+		for i := 0; i < iters; i++ {
+			mm.Store64(cell, mm.Load64(cell)+1)
+		}
+		return nil
+	})
+	if err := m.Run(0, "loop", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Stats().LogEntries.Load(); n < iters {
+		t.Fatalf("boundaries = %d, want >= %d", n, iters)
+	}
+	if got := p.Load64(cell); got != iters {
+		t.Fatalf("cell = %d", got)
+	}
+}
+
+func TestBoundaryBytesCharged(t *testing.T) {
+	p, m := newMeter(t)
+	cell := p.RootSlot(8)
+	m.Register("write", func(mm txn.Mem, args *txn.Args) error {
+		mm.Store64(cell, 1)
+		return nil
+	})
+	if err := m.Run(0, "write", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 * (RegisterSnapshotBytes + StackSlotBytes))
+	if got := m.Stats().LogBytes.Load(); got != want {
+		t.Fatalf("LogBytes = %d, want %d", got, want)
+	}
+}
+
+func TestBoundaryFlushesModifiedLines(t *testing.T) {
+	p, m := newMeter(t)
+	base := p.HeapBase() + 1<<16
+	m.Register("spread", func(mm txn.Mem, args *txn.Args) error {
+		mm.Store64(base, 1)
+		mm.Store64(base+nvm.LineSize, 2)
+		mm.Store64(base+2*nvm.LineSize, 3)
+		return nil
+	})
+	s0 := p.Stats()
+	if err := m.Run(0, "spread", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Stats().Sub(s0)
+	if d.Flushes < 3 {
+		t.Fatalf("flushes = %d, want >= 3", d.Flushes)
+	}
+	if d.Fences != 2 { // entry boundary + exit boundary
+		t.Fatalf("fences = %d, want 2", d.Fences)
+	}
+}
+
+func TestAllocAndFreePassThrough(t *testing.T) {
+	_, m := newMeter(t)
+	m.Register("alloc", func(mm txn.Mem, args *txn.Args) error {
+		a, err := mm.Alloc(64)
+		if err != nil {
+			return err
+		}
+		mm.Store64(a, 5)
+		return mm.Free(a)
+	})
+	if err := m.Run(0, "alloc", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunROAndRecover(t *testing.T) {
+	p, m := newMeter(t)
+	cell := p.RootSlot(8)
+	p.Store64(cell, 77)
+	var got uint64
+	if err := m.RunRO(0, func(mm txn.Mem) error { got = mm.Load64(cell); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("RunRO = %d", got)
+	}
+	if n, err := m.Recover(); n != 0 || err != nil {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,108 @@
+package ir
+
+// DomTree holds the dominator relation for a function, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type DomTree struct {
+	idom map[*Block]*Block
+	rpo  map[*Block]int
+}
+
+// BuildDomTree computes the dominator tree of f's reachable blocks.
+func BuildDomTree(f *Func) *DomTree {
+	order := f.ReversePostorder()
+	rpo := make(map[*Block]int, len(order))
+	for i, b := range order {
+		rpo[b] = i
+	}
+	idom := make(map[*Block]*Block, len(order))
+	entry := f.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpo[a] > rpo[b] {
+				a = idom[a]
+			}
+			for rpo[b] > rpo[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{idom: idom, rpo: rpo}
+}
+
+// BlockDominates reports whether block a dominates block b.
+func (d *DomTree) BlockDominates(a, b *Block) bool {
+	if _, ok := d.idom[b]; !ok {
+		return false // b unreachable
+	}
+	for {
+		if b == a {
+			return true
+		}
+		parent := d.idom[b]
+		if parent == b {
+			return false // reached entry
+		}
+		b = parent
+	}
+}
+
+// Dominates reports whether instruction x dominates instruction y:
+// every path from entry to y passes through x first.
+func (d *DomTree) Dominates(x, y *Value) bool {
+	if x.Block == y.Block {
+		return x.Index < y.Index
+	}
+	return d.BlockDominates(x.Block, y.Block)
+}
+
+// Reachable reports whether instruction y can execute after instruction x on
+// some path (x's successors eventually reach y, or y follows x in the same
+// block, or they share a cycle).
+func (d *DomTree) Reachable(x, y *Value) bool {
+	if x.Block == y.Block && x.Index < y.Index {
+		return true
+	}
+	// BFS over successors from x's block.
+	seen := map[*Block]bool{}
+	queue := append([]*Block(nil), x.Block.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == y.Block {
+			return true
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return false
+}

@@ -1,0 +1,327 @@
+// Package ir defines a small SSA-flavoured intermediate representation with
+// explicit memory operations and a control-flow graph. It is the substrate
+// for the clobber-write identification passes in package analysis — this
+// repository's stand-in for the LLVM IR the paper's compiler extension
+// operates on (§4.4).
+//
+// A Func models one transaction body (the txfunc). Pointer values carry
+// provenance (parameter, fresh allocation, field address, loaded pointer),
+// which is what the alias analysis reasons about; scalar computation is
+// opaque.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates instruction kinds.
+type Op int
+
+// Instruction kinds.
+const (
+	OpParam  Op = iota // function parameter (pointer or scalar)
+	OpConst            // integer constant
+	OpAlloc            // fresh persistent allocation (pmalloc): a noalias pointer
+	OpGEP              // pointer arithmetic: base + constant offset
+	OpGEPVar           // pointer arithmetic with a non-constant offset
+	OpLoad             // memory read through a pointer operand
+	OpStore            // memory write: Args[0] = address, Args[1] = value
+	OpArith            // opaque scalar computation over operands
+	OpBr               // unconditional branch
+	OpCondBr           // conditional branch: Args[0] = condition
+	OpRet              // return (transaction exit)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpParam:
+		return "param"
+	case OpConst:
+		return "const"
+	case OpAlloc:
+		return "alloc"
+	case OpGEP:
+		return "gep"
+	case OpGEPVar:
+		return "gepvar"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpArith:
+		return "arith"
+	case OpBr:
+		return "br"
+	case OpCondBr:
+		return "condbr"
+	case OpRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Value is an SSA value and/or instruction. Instructions that produce no
+// value (stores, branches) are still Values for uniform handling.
+type Value struct {
+	ID    int
+	Op    Op
+	Name  string
+	Args  []*Value
+	Const int64 // OpConst value or OpGEP offset
+	Block *Block
+	// Index is the instruction's position within its block.
+	Index int
+	// Ptr marks the value as pointer-typed (params must opt in).
+	Ptr bool
+}
+
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	var args []string
+	for _, a := range v.Args {
+		args = append(args, fmt.Sprintf("v%d", a.ID))
+	}
+	s := fmt.Sprintf("v%d = %s", v.ID, v.Op)
+	if v.Op == OpConst || v.Op == OpGEP {
+		s += fmt.Sprintf(" %d", v.Const)
+	}
+	if v.Name != "" {
+		s += " " + v.Name
+	}
+	if len(args) > 0 {
+		s += " (" + strings.Join(args, ", ") + ")"
+	}
+	return s
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []*Value
+	Succs  []*Block
+	Preds  []*Block
+	fn     *Func
+
+	terminated bool
+}
+
+// Func is one transaction body.
+type Func struct {
+	Name   string
+	Params []*Value
+	Blocks []*Block
+
+	nextVal int
+}
+
+// NewFunc creates a function. Pointer parameters are declared with a "*"
+// prefix on the name (e.g. "*lst"); others are scalars.
+func NewFunc(name string, params ...string) *Func {
+	f := &Func{Name: name}
+	for _, p := range params {
+		ptr := strings.HasPrefix(p, "*")
+		f.Params = append(f.Params, &Value{
+			ID: f.nextID(), Op: OpParam, Name: strings.TrimPrefix(p, "*"), Ptr: ptr,
+		})
+	}
+	f.NewBlock("entry")
+	return f
+}
+
+func (f *Func) nextID() int {
+	id := f.nextVal
+	f.nextVal++
+	return id
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Param returns the i-th parameter value.
+func (f *Func) Param(i int) *Value { return f.Params[i] }
+
+// NewBlock appends a new empty basic block.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name, fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (b *Block) add(v *Value) *Value {
+	if b.terminated {
+		panic(fmt.Sprintf("ir: instruction after terminator in block %s", b.Name))
+	}
+	v.Block = b
+	v.Index = len(b.Instrs)
+	b.Instrs = append(b.Instrs, v)
+	return v
+}
+
+// Const introduces an integer constant.
+func (b *Block) Const(c int64) *Value {
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpConst, Const: c})
+}
+
+// Alloc introduces a fresh persistent allocation (noalias pointer).
+func (b *Block) Alloc(name string) *Value {
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpAlloc, Name: name, Ptr: true})
+}
+
+// GEP computes base+offset with a constant offset.
+func (b *Block) GEP(base *Value, offset int64) *Value {
+	if !base.Ptr {
+		panic("ir: GEP of non-pointer")
+	}
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpGEP, Args: []*Value{base}, Const: offset, Ptr: true})
+}
+
+// GEPVar computes base+offset with a runtime offset.
+func (b *Block) GEPVar(base, offset *Value) *Value {
+	if !base.Ptr {
+		panic("ir: GEPVar of non-pointer")
+	}
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpGEPVar, Args: []*Value{base, offset}, Ptr: true})
+}
+
+// Load reads through addr. If ptrResult is true the loaded value is itself a
+// pointer (e.g. following a next field).
+func (b *Block) Load(addr *Value, ptrResult bool) *Value {
+	if !addr.Ptr {
+		panic("ir: load through non-pointer")
+	}
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpLoad, Args: []*Value{addr}, Ptr: ptrResult})
+}
+
+// Store writes val through addr.
+func (b *Block) Store(addr, val *Value) *Value {
+	if !addr.Ptr {
+		panic("ir: store through non-pointer")
+	}
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpStore, Args: []*Value{addr, val}})
+}
+
+// Arith introduces an opaque scalar computation.
+func (b *Block) Arith(name string, args ...*Value) *Value {
+	return b.add(&Value{ID: b.fn.nextID(), Op: OpArith, Name: name, Args: args})
+}
+
+// Br terminates the block with an unconditional branch.
+func (b *Block) Br(to *Block) {
+	b.add(&Value{ID: b.fn.nextID(), Op: OpBr})
+	b.terminated = true
+	b.Succs = append(b.Succs, to)
+	to.Preds = append(to.Preds, b)
+}
+
+// CondBr terminates the block with a two-way branch.
+func (b *Block) CondBr(cond *Value, t, f *Block) {
+	b.add(&Value{ID: b.fn.nextID(), Op: OpCondBr, Args: []*Value{cond}})
+	b.terminated = true
+	b.Succs = append(b.Succs, t, f)
+	t.Preds = append(t.Preds, b)
+	f.Preds = append(f.Preds, b)
+}
+
+// Ret terminates the block as a transaction exit.
+func (b *Block) Ret() {
+	b.add(&Value{ID: b.fn.nextID(), Op: OpRet})
+	b.terminated = true
+}
+
+// Validate checks structural well-formedness: every block terminated, every
+// non-entry block reachable via predecessors, operands defined.
+func (f *Func) Validate() error {
+	for _, b := range f.Blocks {
+		if !b.terminated {
+			return fmt.Errorf("ir: %s: block %s lacks a terminator", f.Name, b.Name)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s: block %s is empty", f.Name, b.Name)
+		}
+	}
+	return nil
+}
+
+// ReversePostorder returns the blocks in reverse postorder from entry.
+// Unreachable blocks are excluded.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Stores returns all store instructions in the function.
+func (f *Func) Stores() []*Value {
+	var out []*Value
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == OpStore {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Loads returns all load instructions in the function.
+func (f *Func) Loads() []*Value {
+	var out []*Value
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == OpLoad {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Dump renders the function as readable pseudo-IR, one instruction per
+// line, for debugging and the clobberpass -dump flag.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.Ptr {
+			b.WriteByte('*')
+		}
+		b.WriteString(p.Name)
+	}
+	b.WriteString(")\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s", in)
+			switch in.Op {
+			case OpBr:
+				fmt.Fprintf(&b, " -> %s", blk.Succs[0].Name)
+			case OpCondBr:
+				fmt.Fprintf(&b, " -> %s | %s", blk.Succs[0].Name, blk.Succs[1].Name)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

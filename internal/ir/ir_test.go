@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds entry → (left|right) → exit.
+func diamond() (*Func, *Block, *Block, *Block, *Block) {
+	f := NewFunc("diamond", "*p")
+	entry := f.Entry()
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	exit := f.NewBlock("exit")
+	cond := entry.Arith("cond")
+	entry.CondBr(cond, left, right)
+	left.Arith("l")
+	left.Br(exit)
+	right.Arith("r")
+	right.Br(exit)
+	exit.Ret()
+	return f, entry, left, right, exit
+}
+
+func TestValidate(t *testing.T) {
+	f, _, _, _, _ := diamond()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewFunc("bad")
+	g.Entry().Arith("x")
+	if err := g.Validate(); err == nil {
+		t.Fatal("unterminated function validated")
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	f, entry, _, _, exit := diamond()
+	rpo := f.ReversePostorder()
+	if len(rpo) != 4 {
+		t.Fatalf("rpo has %d blocks", len(rpo))
+	}
+	if rpo[0] != entry {
+		t.Fatal("rpo does not start at entry")
+	}
+	if rpo[3] != exit {
+		t.Fatal("rpo does not end at exit")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f, entry, left, right, exit := diamond()
+	dom := BuildDomTree(f)
+	if !dom.BlockDominates(entry, exit) {
+		t.Fatal("entry must dominate exit")
+	}
+	if dom.BlockDominates(left, exit) || dom.BlockDominates(right, exit) {
+		t.Fatal("diamond arms must not dominate exit")
+	}
+	if !dom.BlockDominates(entry, left) || !dom.BlockDominates(left, left) {
+		t.Fatal("basic dominance broken")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := NewFunc("loop", "*p")
+	entry := f.Entry()
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	entry.Arith("init")
+	entry.Br(head)
+	c := head.Arith("cond")
+	head.CondBr(c, body, exit)
+	body.Arith("work")
+	body.Br(head)
+	exit.Ret()
+
+	dom := BuildDomTree(f)
+	if !dom.BlockDominates(head, body) || !dom.BlockDominates(head, exit) {
+		t.Fatal("loop header must dominate body and exit")
+	}
+	if dom.BlockDominates(body, exit) {
+		t.Fatal("loop body must not dominate exit")
+	}
+}
+
+func TestInstrDominates(t *testing.T) {
+	f := NewFunc("straight", "*p")
+	b := f.Entry()
+	a1 := b.Arith("a")
+	a2 := b.Arith("b")
+	b.Ret()
+	dom := BuildDomTree(f)
+	if !dom.Dominates(a1, a2) {
+		t.Fatal("earlier instr must dominate later in same block")
+	}
+	if dom.Dominates(a2, a1) {
+		t.Fatal("later instr must not dominate earlier")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	f, entry, left, right, exit := diamond()
+	dom := BuildDomTree(f)
+	e0 := entry.Instrs[0]
+	l0 := left.Instrs[0]
+	r0 := right.Instrs[0]
+	x0 := exit.Instrs[0]
+	if !dom.Reachable(e0, l0) || !dom.Reachable(e0, x0) {
+		t.Fatal("entry must reach arms and exit")
+	}
+	if dom.Reachable(l0, r0) {
+		t.Fatal("left arm must not reach right arm")
+	}
+	if !dom.Reachable(l0, x0) {
+		t.Fatal("left arm must reach exit")
+	}
+	if dom.Reachable(x0, e0) {
+		t.Fatal("exit must not reach entry")
+	}
+}
+
+func TestReachableInLoop(t *testing.T) {
+	f := NewFunc("loop", "*p")
+	entry := f.Entry()
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	entry.Br(body)
+	w1 := body.Arith("w1")
+	w2 := body.Arith("w2")
+	body.CondBr(body.Arith("c"), body, exit)
+	exit.Ret()
+	dom := BuildDomTree(f)
+	// In a loop, a later instruction reaches an earlier one via the back
+	// edge.
+	if !dom.Reachable(w2, w1) {
+		t.Fatal("back edge reachability missing")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	f := NewFunc("p", "scalar")
+	b := f.Entry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GEP of scalar did not panic")
+		}
+	}()
+	b.GEP(f.Param(0), 8)
+}
+
+func TestInstrAfterTerminatorPanics(t *testing.T) {
+	f := NewFunc("p")
+	b := f.Entry()
+	b.Ret()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("instruction after terminator did not panic")
+		}
+	}()
+	b.Arith("late")
+}
+
+func TestStoresLoadsEnumeration(t *testing.T) {
+	f := NewFunc("m", "*p")
+	b := f.Entry()
+	v := b.Load(f.Param(0), false)
+	b.Store(f.Param(0), v)
+	b.Ret()
+	if len(f.Loads()) != 1 || len(f.Stores()) != 1 {
+		t.Fatalf("loads=%d stores=%d", len(f.Loads()), len(f.Stores()))
+	}
+}
+
+func TestDump(t *testing.T) {
+	f, _, _, _, _ := diamond()
+	out := f.Dump()
+	for _, want := range []string{"func diamond(*p)", "entry:", "left:", "condbr", "-> left | right"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+// Package memcache is a memcached-style persistent key-value cache (§5.6):
+// a 256-bucket hash table plus an LRU eviction list, both persistent, with
+// every mutation a failure-atomic transaction. A text-protocol server
+// (protocol.go, server.go) and a memslap-style load driver (driver.go)
+// complete the application.
+//
+// Like the paper's port, the lock protecting the cache is configurable —
+// exclusive mutex, spinlock, or reader-writer lock — because memcached's
+// coarse-grained locking, not the persistence engine, dominates its scaling
+// behaviour (§5.6's observation).
+//
+// Get is read-only (it does not touch the LRU list), matching the paper's
+// measurement that search operations "do not involve logging mechanisms";
+// eviction order is therefore insertion/update recency.
+package memcache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/txn"
+)
+
+// numBuckets is the cache's hash-bucket count (memcached grows its table
+// by powers of two; a fixed large table keeps chains short at benchmark
+// populations).
+const numBuckets = 1 << 16
+
+// LockMode selects the global lock implementation, as in §5.6.
+type LockMode int
+
+// Lock modes.
+const (
+	// LockExclusive is memcached's original global mutex.
+	LockExclusive LockMode = iota
+	// LockSpin is a spinlock (better for insert-intensive mixes, §5.6).
+	LockSpin
+	// LockRW is a reader-writer lock (better for search-intensive mixes).
+	LockRW
+)
+
+func (l LockMode) String() string {
+	switch l {
+	case LockExclusive:
+		return "mutex"
+	case LockSpin:
+		return "spinlock"
+	default:
+		return "rwlock"
+	}
+}
+
+// cacheLock abstracts the three lock choices.
+type cacheLock interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
+}
+
+type exclusiveLock struct{ mu sync.Mutex }
+
+func (l *exclusiveLock) Lock()    { l.mu.Lock() }
+func (l *exclusiveLock) Unlock()  { l.mu.Unlock() }
+func (l *exclusiveLock) RLock()   { l.mu.Lock() }
+func (l *exclusiveLock) RUnlock() { l.mu.Unlock() }
+
+type spinLock struct{ state atomic.Int32 }
+
+func (l *spinLock) Lock() {
+	for !l.state.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+func (l *spinLock) Unlock()  { l.state.Store(0) }
+func (l *spinLock) RLock()   { l.Lock() }
+func (l *spinLock) RUnlock() { l.Unlock() }
+
+type rwLock struct{ mu sync.RWMutex }
+
+func (l *rwLock) Lock()    { l.mu.Lock() }
+func (l *rwLock) Unlock()  { l.mu.Unlock() }
+func (l *rwLock) RLock()   { l.mu.RLock() }
+func (l *rwLock) RUnlock() { l.mu.RUnlock() }
+
+// Header layout: [magic][count][lruHead][lruTail][capacity][buckets...].
+// Item layout: [kv][hnext][lnext][lprev][flags].
+const (
+	mcMagic = 0x4d454d43 // "MEMC"
+
+	hdrMagic   = 0
+	hdrCount   = 8
+	hdrLRUHead = 16
+	hdrLRUTail = 24
+	hdrCap     = 32
+	hdrBuckets = 40
+
+	itKV    = 0
+	itHNext = 8
+	itLNext = 16
+	itLPrev = 24
+	itFlags = 32
+	itSize  = 40
+)
+
+// Cache is the persistent memcached-style store.
+type Cache struct {
+	eng      pds.Engine
+	rootSlot int
+	lock     cacheLock
+
+	// Volatile statistics.
+	Hits, Misses, Evictions atomic.Int64
+}
+
+// Options configures the cache.
+type Options struct {
+	// Capacity is the maximum item count before LRU eviction (default 1M).
+	Capacity uint64
+	// Lock selects the global lock implementation.
+	Lock LockMode
+}
+
+// New opens the cache anchored at pool root slot rootSlot, creating it if
+// needed, and registers its txfuncs on the engine.
+func New(eng pds.Engine, rootSlot int, opts Options) (*Cache, error) {
+	if opts.Capacity == 0 {
+		opts.Capacity = 1 << 20
+	}
+	c := &Cache{eng: eng, rootSlot: rootSlot}
+	switch opts.Lock {
+	case LockSpin:
+		c.lock = &spinLock{}
+	case LockRW:
+		c.lock = &rwLock{}
+	default:
+		c.lock = &exclusiveLock{}
+	}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	c.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != mcMagic {
+			return nil, fmt.Errorf("memcache: root slot %d does not hold a cache", rootSlot)
+		}
+		return c, nil
+	}
+	if err := eng.Run(0, c.fn("init"), txn.NewArgs().PutUint64(opts.Capacity)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cache) fn(op string) string { return fmt.Sprintf("memcache%d:%s", c.rootSlot, op) }
+
+func (c *Cache) hdr(m txn.Mem) txn.Addr {
+	return m.Load64(c.eng.Pool().RootSlot(c.rootSlot))
+}
+
+func hashKey(key []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return h % numBuckets
+}
+
+func bucketAddr(hdr txn.Addr, b uint64) txn.Addr { return hdr + hdrBuckets + b*8 }
+
+// kv block layout is the same as pds: [klen u32][vlen u32][key][val]; we
+// duplicate the tiny helpers here to keep the packages independent.
+func kvWrite(m txn.Mem, key, val []byte) (txn.Addr, error) {
+	addr, err := m.Alloc(8 + uint64(len(key)) + uint64(len(val)))
+	if err != nil {
+		return 0, err
+	}
+	m.Store64(addr, uint64(len(key))|uint64(len(val))<<32)
+	if len(key) > 0 {
+		m.Store(addr+8, key)
+	}
+	if len(val) > 0 {
+		m.Store(addr+8+uint64(len(key)), val)
+	}
+	return addr, nil
+}
+
+func kvLens(m txn.Mem, addr txn.Addr) (int, int) {
+	w := m.Load64(addr)
+	return int(uint32(w)), int(w >> 32)
+}
+
+func kvKeyEqual(m txn.Mem, addr txn.Addr, key []byte) bool {
+	klen, _ := kvLens(m, addr)
+	if klen != len(key) {
+		return false
+	}
+	buf := make([]byte, klen)
+	m.Load(addr+8, buf)
+	return string(buf) == string(key)
+}
+
+func kvVal(m txn.Mem, addr txn.Addr) []byte {
+	klen, vlen := kvLens(m, addr)
+	buf := make([]byte, vlen)
+	if vlen > 0 {
+		m.Load(addr+8+uint64(klen), buf)
+	}
+	return buf
+}
+
+func kvKey(m txn.Mem, addr txn.Addr) []byte {
+	klen, _ := kvLens(m, addr)
+	buf := make([]byte, klen)
+	if klen > 0 {
+		m.Load(addr+8, buf)
+	}
+	return buf
+}
+
+// lruUnlink detaches item from the LRU list.
+func lruUnlink(m txn.Mem, hdr, item txn.Addr) {
+	prev, next := m.Load64(item+itLPrev), m.Load64(item+itLNext)
+	if prev != 0 {
+		m.Store64(prev+itLNext, next)
+	} else {
+		m.Store64(hdr+hdrLRUHead, next)
+	}
+	if next != 0 {
+		m.Store64(next+itLPrev, prev)
+	} else {
+		m.Store64(hdr+hdrLRUTail, prev)
+	}
+}
+
+// lruPushHead makes item the most recently used.
+func lruPushHead(m txn.Mem, hdr, item txn.Addr) {
+	head := m.Load64(hdr + hdrLRUHead)
+	m.Store64(item+itLPrev, 0)
+	m.Store64(item+itLNext, head)
+	if head != 0 {
+		m.Store64(head+itLPrev, item)
+	} else {
+		m.Store64(hdr+hdrLRUTail, item)
+	}
+	m.Store64(hdr+hdrLRUHead, item)
+}
+
+// bucketUnlink removes item from its hash chain.
+func bucketUnlink(m txn.Mem, hdr, item txn.Addr, key []byte) {
+	b := bucketAddr(hdr, hashKey(key))
+	prev := txn.Addr(0)
+	for cur := m.Load64(b); cur != 0; cur = m.Load64(cur + itHNext) {
+		if cur == item {
+			next := m.Load64(cur + itHNext)
+			if prev == 0 {
+				m.Store64(b, next)
+			} else {
+				m.Store64(prev+itHNext, next)
+			}
+			return
+		}
+		prev = cur
+	}
+}
+
+func (c *Cache) register() {
+	slotAddr := c.eng.Pool().RootSlot(c.rootSlot)
+
+	c.eng.Register(c.fn("init"), func(m txn.Mem, args *txn.Args) error {
+		hdr, err := m.Alloc(hdrBuckets + numBuckets*8)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr+hdrMagic, mcMagic)
+		m.Store64(hdr+hdrCount, 0)
+		m.Store64(hdr+hdrLRUHead, 0)
+		m.Store64(hdr+hdrLRUTail, 0)
+		m.Store64(hdr+hdrCap, args.Uint64(0))
+		m.Store(hdr+hdrBuckets, make([]byte, numBuckets*8))
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	c.eng.Register(c.fn("set"), func(m txn.Mem, args *txn.Args) error {
+		key, val := args.Bytes(0), args.Bytes(1)
+		flags := args.Uint64(2)
+		hdr := c.hdr(m)
+		b := bucketAddr(hdr, hashKey(key))
+
+		// Update in place if present.
+		for it := m.Load64(b); it != 0; it = m.Load64(it + itHNext) {
+			kv := m.Load64(it + itKV)
+			if kvKeyEqual(m, kv, key) {
+				nkv, err := kvWrite(m, key, val)
+				if err != nil {
+					return err
+				}
+				m.Store64(it+itKV, nkv) // clobber
+				m.Store64(it+itFlags, flags)
+				if err := m.Free(kv); err != nil {
+					return err
+				}
+				lruUnlink(m, hdr, it)
+				lruPushHead(m, hdr, it)
+				return nil
+			}
+		}
+
+		// Insert a fresh item at the bucket head and LRU head.
+		kv, err := kvWrite(m, key, val)
+		if err != nil {
+			return err
+		}
+		it, err := m.Alloc(itSize)
+		if err != nil {
+			return err
+		}
+		m.Store64(it+itKV, kv)
+		m.Store64(it+itHNext, m.Load64(b))
+		m.Store64(it+itFlags, flags)
+		m.Store64(b, it) // clobber: bucket head
+		lruPushHead(m, hdr, it)
+		count := m.Load64(hdr+hdrCount) + 1
+		m.Store64(hdr+hdrCount, count) // clobber: item count
+
+		// Evict the LRU tail if over capacity (inside the same
+		// transaction: a set that evicts is still one atomic operation).
+		if count > m.Load64(hdr+hdrCap) {
+			tail := m.Load64(hdr + hdrLRUTail)
+			if tail != 0 && tail != it {
+				tkv := m.Load64(tail + itKV)
+				bucketUnlink(m, hdr, tail, kvKey(m, tkv))
+				lruUnlink(m, hdr, tail)
+				m.Store64(hdr+hdrCount, count-1)
+				if err := m.Free(tkv); err != nil {
+					return err
+				}
+				if err := m.Free(tail); err != nil {
+					return err
+				}
+				c.Evictions.Add(1)
+			}
+		}
+		return nil
+	})
+
+	c.eng.Register(c.fn("delete"), func(m txn.Mem, args *txn.Args) error {
+		key := args.Bytes(0)
+		hdr := c.hdr(m)
+		b := bucketAddr(hdr, hashKey(key))
+		for it := m.Load64(b); it != 0; it = m.Load64(it + itHNext) {
+			kv := m.Load64(it + itKV)
+			if kvKeyEqual(m, kv, key) {
+				bucketUnlink(m, hdr, it, key)
+				lruUnlink(m, hdr, it)
+				m.Store64(hdr+hdrCount, m.Load64(hdr+hdrCount)-1)
+				if err := m.Free(kv); err != nil {
+					return err
+				}
+				return m.Free(it)
+			}
+		}
+		return nil
+	})
+}
+
+// Set stores key=value with zero flags.
+func (c *Cache) Set(slot int, key, value []byte) error {
+	return c.SetFlags(slot, key, value, 0)
+}
+
+// SetFlags stores key=value with the memcached client-opaque flags word.
+func (c *Cache) SetFlags(slot int, key, value []byte, flags uint32) error {
+	c.lock.Lock()
+	defer c.lock.Unlock()
+	return c.eng.Run(slot, c.fn("set"),
+		txn.NewArgs().PutBytes(key).PutBytes(value).PutUint64(uint64(flags)))
+}
+
+// Get returns the value for key.
+func (c *Cache) Get(slot int, key []byte) ([]byte, bool, error) {
+	v, _, found, err := c.GetFlags(slot, key)
+	return v, found, err
+}
+
+// GetFlags returns the value and stored flags for key.
+func (c *Cache) GetFlags(slot int, key []byte) ([]byte, uint32, bool, error) {
+	c.lock.RLock()
+	defer c.lock.RUnlock()
+	var out []byte
+	var flags uint32
+	found := false
+	err := c.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := c.hdr(m)
+		for it := m.Load64(bucketAddr(hdr, hashKey(key))); it != 0; it = m.Load64(it + itHNext) {
+			kv := m.Load64(it + itKV)
+			if kvKeyEqual(m, kv, key) {
+				out = kvVal(m, kv)
+				flags = uint32(m.Load64(it + itFlags))
+				found = true
+				return nil
+			}
+		}
+		return nil
+	})
+	if found {
+		c.Hits.Add(1)
+	} else {
+		c.Misses.Add(1)
+	}
+	return out, flags, found, err
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Cache) Delete(slot int, key []byte) (bool, error) {
+	c.lock.Lock()
+	defer c.lock.Unlock()
+	exists := false
+	if err := c.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := c.hdr(m)
+		for it := m.Load64(bucketAddr(hdr, hashKey(key))); it != 0; it = m.Load64(it + itHNext) {
+			if kvKeyEqual(m, m.Load64(it+itKV), key) {
+				exists = true
+				return nil
+			}
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if !exists {
+		return false, nil
+	}
+	return true, c.eng.Run(slot, c.fn("delete"), txn.NewArgs().PutBytes(key))
+}
+
+// Len returns the item count.
+func (c *Cache) Len() (int, error) {
+	c.lock.RLock()
+	defer c.lock.RUnlock()
+	var n uint64
+	err := c.eng.RunRO(0, func(m txn.Mem) error {
+		n = m.Load64(c.hdr(m) + hdrCount)
+		return nil
+	})
+	return int(n), err
+}
+
+// CheckInvariants verifies count, bucket-chain and LRU-list consistency.
+func (c *Cache) CheckInvariants() error {
+	c.lock.RLock()
+	defer c.lock.RUnlock()
+	return c.eng.RunRO(0, func(m txn.Mem) error {
+		hdr := c.hdr(m)
+		count := m.Load64(hdr + hdrCount)
+		// Walk every bucket chain.
+		inBuckets := map[txn.Addr]bool{}
+		for b := uint64(0); b < numBuckets; b++ {
+			for it := m.Load64(bucketAddr(hdr, b)); it != 0; it = m.Load64(it + itHNext) {
+				if inBuckets[it] {
+					return fmt.Errorf("memcache: bucket cycle at %#x", it)
+				}
+				inBuckets[it] = true
+			}
+		}
+		if uint64(len(inBuckets)) != count {
+			return fmt.Errorf("memcache: count %d but %d items in buckets", count, len(inBuckets))
+		}
+		// Walk the LRU list both ways.
+		seen := 0
+		var last txn.Addr
+		for it := m.Load64(hdr + hdrLRUHead); it != 0; it = m.Load64(it + itLNext) {
+			if !inBuckets[it] {
+				return fmt.Errorf("memcache: LRU item %#x missing from buckets", it)
+			}
+			seen++
+			if seen > len(inBuckets) {
+				return fmt.Errorf("memcache: LRU cycle")
+			}
+			last = it
+		}
+		if seen != len(inBuckets) {
+			return fmt.Errorf("memcache: LRU has %d items, buckets %d", seen, len(inBuckets))
+		}
+		if last != m.Load64(hdr+hdrLRUTail) {
+			return fmt.Errorf("memcache: LRU tail mismatch")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,110 @@
+package memcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Mix is a memslap-style request mix (§5.6's four workloads).
+type Mix struct {
+	Name       string
+	InsertFrac float64
+}
+
+// The paper's four workloads.
+var (
+	MixInsertIntensive = Mix{Name: "95i-5s", InsertFrac: 0.95}
+	MixInsertMost      = Mix{Name: "75i-25s", InsertFrac: 0.75}
+	MixSearchMost      = Mix{Name: "25i-75s", InsertFrac: 0.25}
+	MixSearchIntensive = Mix{Name: "5i-95s", InsertFrac: 0.05}
+)
+
+// AllMixes lists the §5.6 workloads in paper order.
+var AllMixes = []Mix{MixInsertIntensive, MixInsertMost, MixSearchMost, MixSearchIntensive}
+
+// DriverConfig shapes the generated load: uniformly distributed 16-byte keys
+// and 64-byte values by default, as in §5.6.
+type DriverConfig struct {
+	Mix      Mix
+	Threads  int
+	Ops      int // total operations across all threads
+	KeySpace int
+	KeySize  int
+	ValSize  int
+	Seed     int64
+}
+
+func (c *DriverConfig) fill() {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10000
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 10000
+	}
+	if c.KeySize <= 0 {
+		c.KeySize = 16
+	}
+	if c.ValSize <= 0 {
+		c.ValSize = 64
+	}
+}
+
+// DriverResult reports a run.
+type DriverResult struct {
+	Ops      int
+	Elapsed  time.Duration
+	OpsPerMS float64
+}
+
+// Drive runs the request mix directly against the cache (the in-process
+// analogue of memslap's client threads) and returns the measured throughput.
+func Drive(c *Cache, cfg DriverConfig) (DriverResult, error) {
+	cfg.fill()
+	perThread := cfg.Ops / cfg.Threads
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Threads)
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
+			key := make([]byte, cfg.KeySize)
+			val := make([]byte, cfg.ValSize)
+			for i := 0; i < perThread; i++ {
+				k := rng.Intn(cfg.KeySpace)
+				copy(key, fmt.Sprintf("%0*d", cfg.KeySize, k))
+				if rng.Float64() < cfg.Mix.InsertFrac {
+					rng.Read(val)
+					if err := c.Set(t, key, val); err != nil {
+						errs[t] = err
+						return
+					}
+				} else {
+					if _, _, err := c.Get(t, key); err != nil {
+						errs[t] = err
+						return
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return DriverResult{}, err
+		}
+	}
+	total := perThread * cfg.Threads
+	return DriverResult{
+		Ops:      total,
+		Elapsed:  elapsed,
+		OpsPerMS: float64(total) / float64(elapsed.Milliseconds()+1),
+	}, nil
+}

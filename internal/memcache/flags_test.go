@@ -1,0 +1,110 @@
+package memcache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFlagsRoundTrip(t *testing.T) {
+	_, c := newCache(t, Options{})
+	if err := c.SetFlags(0, []byte("k"), []byte("v"), 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, found, err := c.GetFlags(0, []byte("k"))
+	if err != nil || !found {
+		t.Fatalf("get: %v %v", found, err)
+	}
+	if string(v) != "v" || flags != 0xBEEF {
+		t.Fatalf("value %q flags %#x", v, flags)
+	}
+	// Updating the value updates the flags too.
+	if err := c.SetFlags(0, []byte("k"), []byte("v2"), 7); err != nil {
+		t.Fatal(err)
+	}
+	_, flags, _, _ = c.GetFlags(0, []byte("k"))
+	if flags != 7 {
+		t.Fatalf("updated flags = %d", flags)
+	}
+}
+
+func TestProtocolEchoesFlags(t *testing.T) {
+	_, c := newCache(t, Options{})
+	input := "set k 42 0 5\r\nhello\r\nget k\r\nquit\r\n"
+	var out strings.Builder
+	if err := NewSession(c, 0, strings.NewReader(input), &out).Serve(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VALUE k 42 5\r\n") {
+		t.Fatalf("flags not echoed:\n%s", out.String())
+	}
+}
+
+func TestProtocolRejectsBadFlags(t *testing.T) {
+	_, c := newCache(t, Options{})
+	var out strings.Builder
+	if err := NewSession(c, 0, strings.NewReader("set k notanumber 0 1\r\n"), &out).Serve(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CLIENT_ERROR") {
+		t.Fatalf("bad flags accepted:\n%s", out.String())
+	}
+}
+
+func TestProtocolStats(t *testing.T) {
+	_, c := newCache(t, Options{})
+	input := "set a 0 0 1\r\nx\r\nget a\r\nget missing\r\nstats\r\nquit\r\n"
+	var out strings.Builder
+	if err := NewSession(c, 0, strings.NewReader(input), &out).Serve(); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"STAT curr_items 1\r\n",
+		"STAT get_hits 1\r\n",
+		"STAT get_misses 1\r\n",
+		"STAT evictions 0\r\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestProtocolRobustToGarbage feeds random byte streams to a session: it
+// must never panic, and the cache must stay structurally consistent.
+func TestProtocolRobustToGarbage(t *testing.T) {
+	_, c := newCache(t, Options{})
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		buf := make([]byte, n)
+		for i := range buf {
+			// Bias toward printable bytes and protocol separators so some
+			// inputs parse partway before going wrong.
+			switch rng.Intn(6) {
+			case 0:
+				buf[i] = byte(rng.Intn(256))
+			case 1:
+				buf[i] = ' '
+			case 2:
+				buf[i] = "setgldqu"[rng.Intn(8)]
+			default:
+				buf[i] = byte('a' + rng.Intn(26))
+			}
+		}
+		buf = append(buf, "\r\n"...)
+		var out strings.Builder
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: session panicked on %q: %v", trial, buf, r)
+				}
+			}()
+			_ = NewSession(c, 0, strings.NewReader(string(buf)), &out).Serve()
+		}()
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Session serves the memcached text protocol (the subset memslap exercises:
+// set, get, delete, quit) over one connection, dispatching to the cache.
+type Session struct {
+	cache *Cache
+	slot  int
+	r     *bufio.Reader
+	w     *bufio.Writer
+}
+
+// NewSession wraps a connection's reader/writer. slot is the worker slot
+// this session's transactions run on.
+func NewSession(cache *Cache, slot int, r io.Reader, w io.Writer) *Session {
+	return &Session{cache: cache, slot: slot, r: bufio.NewReader(r), w: bufio.NewWriter(w)}
+}
+
+// Serve processes commands until EOF, "quit", or a protocol error.
+func (s *Session) Serve() error {
+	defer s.w.Flush()
+	for {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit":
+			return nil
+		case "stats":
+			if err := s.handleStats(); err != nil {
+				return err
+			}
+		case "set":
+			if err := s.handleSet(fields); err != nil {
+				return err
+			}
+		case "get", "gets":
+			if err := s.handleGet(fields); err != nil {
+				return err
+			}
+		case "delete":
+			if err := s.handleDelete(fields); err != nil {
+				return err
+			}
+		default:
+			s.reply("ERROR")
+		}
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Session) reply(line string) {
+	s.w.WriteString(line)
+	s.w.WriteString("\r\n")
+}
+
+// handleSet parses: set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+// The flags word is stored and echoed back on get, as real clients expect;
+// exptime is parsed but ignored (eviction here is LRU-only).
+func (s *Session) handleSet(fields []string) error {
+	if len(fields) < 5 {
+		s.reply("CLIENT_ERROR bad command line format")
+		return nil
+	}
+	key := fields[1]
+	flags, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		s.reply("CLIENT_ERROR bad command line format")
+		return nil
+	}
+	if _, err := strconv.Atoi(fields[3]); err != nil {
+		s.reply("CLIENT_ERROR bad command line format")
+		return nil
+	}
+	n, err := strconv.Atoi(fields[4])
+	if err != nil || n < 0 || n > 1<<20 {
+		s.reply("CLIENT_ERROR bad data chunk")
+		return nil
+	}
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(s.r, data); err != nil {
+		return err
+	}
+	if string(data[n:]) != "\r\n" {
+		s.reply("CLIENT_ERROR bad data chunk")
+		return nil
+	}
+	if err := s.cache.SetFlags(s.slot, []byte(key), data[:n], uint32(flags)); err != nil {
+		s.reply("SERVER_ERROR " + err.Error())
+		return nil
+	}
+	s.reply("STORED")
+	return nil
+}
+
+// handleGet parses: get <key> [<key>...]\r\n
+func (s *Session) handleGet(fields []string) error {
+	for _, key := range fields[1:] {
+		val, flags, found, err := s.cache.GetFlags(s.slot, []byte(key))
+		if err != nil {
+			s.reply("SERVER_ERROR " + err.Error())
+			return nil
+		}
+		if !found {
+			continue
+		}
+		fmt.Fprintf(s.w, "VALUE %s %d %d\r\n", key, flags, len(val))
+		s.w.Write(val)
+		s.w.WriteString("\r\n")
+	}
+	s.reply("END")
+	return nil
+}
+
+// handleStats emits the subset of memcached's stats that this cache tracks.
+func (s *Session) handleStats() error {
+	n, err := s.cache.Len()
+	if err != nil {
+		s.reply("SERVER_ERROR " + err.Error())
+		return nil
+	}
+	fmt.Fprintf(s.w, "STAT curr_items %d\r\n", n)
+	fmt.Fprintf(s.w, "STAT get_hits %d\r\n", s.cache.Hits.Load())
+	fmt.Fprintf(s.w, "STAT get_misses %d\r\n", s.cache.Misses.Load())
+	fmt.Fprintf(s.w, "STAT evictions %d\r\n", s.cache.Evictions.Load())
+	s.reply("END")
+	return nil
+}
+
+// handleDelete parses: delete <key>\r\n
+func (s *Session) handleDelete(fields []string) error {
+	if len(fields) < 2 {
+		s.reply("CLIENT_ERROR bad command line format")
+		return nil
+	}
+	existed, err := s.cache.Delete(s.slot, []byte(fields[1]))
+	if err != nil {
+		s.reply("SERVER_ERROR " + err.Error())
+		return nil
+	}
+	if existed {
+		s.reply("DELETED")
+	} else {
+		s.reply("NOT_FOUND")
+	}
+	return nil
+}

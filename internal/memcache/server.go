@@ -1,0 +1,79 @@
+package memcache
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"clobbernvm/internal/txn"
+)
+
+// Server accepts memcached text-protocol connections and serves them from a
+// Cache. Each connection is assigned a worker slot round-robin.
+type Server struct {
+	cache *Cache
+	ln    net.Listener
+
+	nextSlot atomic.Int64
+	slots    int
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer starts listening on addr (e.g. "127.0.0.1:0").
+func NewServer(cache *Cache, addr string, slots int) (*Server, error) {
+	if slots <= 0 || slots > txn.MaxSlots {
+		slots = 8
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cache: cache, ln: ln, slots: slots, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				return
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		slot := int(s.nextSlot.Add(1)) % s.slots
+		go func() {
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			_ = NewSession(s.cache, slot, conn, conn).Serve()
+		}()
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}

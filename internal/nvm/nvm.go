@@ -1,0 +1,349 @@
+// Package nvm simulates byte-addressable non-volatile memory with a volatile
+// CPU cache in front of it.
+//
+// The simulation mirrors the machine model of Clobber-NVM (ASPLOS '21):
+// a pool of persistent memory is accessed with loads and stores through a
+// write-back cache of 64-byte lines. Stores land in the cache and are NOT
+// durable until the line has been explicitly flushed (Flush/FlushOpt) and a
+// subsequent Fence has completed. A simulated power failure (Crash) discards
+// the cache: each dirty line independently either reaches the media (the
+// hardware happened to evict it) or is lost, modelling the uncontrolled
+// eviction order of real caches.
+//
+// The pool keeps two images:
+//
+//   - mem:   the coherent view every CPU sees (cache ∪ media),
+//   - media: the durable view that survives Crash.
+//
+// Flush copies lines from mem to media. Crash copies a random subset of the
+// remaining dirty lines (eviction luck) and then resets mem to media.
+//
+// The pool also carries the cost model: Flush and Fence spin for a
+// configurable simulated latency so that benchmark wall-clock times reflect
+// the ordering-instruction costs the paper measures, and every primitive is
+// counted so log-traffic figures can be derived exactly.
+package nvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// LineSize is the simulated cache-line size in bytes.
+const LineSize = 64
+
+// HeaderSize is the number of bytes at the start of every pool reserved for
+// pool metadata: the magic number and the named root-slot table. The
+// persistent heap managed by package pmem begins at HeaderSize.
+const HeaderSize = 4096
+
+// NumRootSlots is the number of 8-byte named root slots in the pool header.
+// Engines and applications anchor their persistent structures here.
+const NumRootSlots = 64
+
+const (
+	magicOffset = 0
+	rootsOffset = 64                 // root slot i lives at rootsOffset + 8*i
+	poolMagic   = 0x434c4f42424e564d // "CLOBBNVM"
+)
+
+// ErrCrash is the panic value raised when a scheduled crash point is reached.
+// Harnesses recover() it, call (*Pool).Crash, and then run engine recovery.
+var ErrCrash = errors.New("nvm: simulated power failure")
+
+// ErrOutOfRange reports an access outside the pool.
+var ErrOutOfRange = errors.New("nvm: address out of range")
+
+const dirtyShards = 64
+
+// Pool is a simulated NVM region plus its cache model.
+//
+// Concurrent use: Load/Store/Flush/Fence are safe for concurrent use by
+// multiple goroutines provided the application serializes conflicting
+// accesses to the same addresses (the locking discipline every engine in
+// this repository requires anyway, mirroring the paper's strong strict
+// two-phase locking model). Crash and SaveImage require external quiescence.
+type Pool struct {
+	mem   []byte // coherent CPU view
+	media []byte // durable view
+
+	dirtyMu [dirtyShards]sync.Mutex
+	dirty   []map[uint64]struct{} // per-shard set of dirty line indexes
+
+	lat   Latency
+	stats Stats
+
+	// crashAt, when > 0, is the 1-based store ordinal at which the pool
+	// panics with ErrCrash. 0 disables crash injection.
+	crashAt    atomic.Int64
+	storeCount atomic.Int64
+
+	// evictProb is the probability that a dirty line survives a crash
+	// (i.e. the hardware evicted it to media before power was lost).
+	evictProb float64
+	rngMu     sync.Mutex
+	rng       *rand.Rand
+}
+
+// Option configures a Pool at creation time.
+type Option func(*Pool)
+
+// WithLatency sets the simulated cost model. The zero Latency disables all
+// simulated delays (counters are always maintained).
+func WithLatency(l Latency) Option { return func(p *Pool) { p.lat = l } }
+
+// WithEvictProbability sets the probability that a dirty (unflushed) line
+// nevertheless reaches the media during a crash, modelling background cache
+// eviction. Default 0.5.
+func WithEvictProbability(q float64) Option {
+	return func(p *Pool) { p.evictProb = q }
+}
+
+// WithSeed seeds the pool's private RNG (used only for crash eviction luck).
+func WithSeed(seed int64) Option {
+	return func(p *Pool) { p.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates a pool of the given size in bytes. Size is rounded up to a
+// multiple of LineSize and must exceed HeaderSize.
+func New(size uint64, opts ...Option) *Pool {
+	if size < HeaderSize+LineSize {
+		size = HeaderSize + LineSize
+	}
+	if r := size % LineSize; r != 0 {
+		size += LineSize - r
+	}
+	p := &Pool{
+		mem:       make([]byte, size),
+		media:     make([]byte, size),
+		evictProb: 0.5,
+		rng:       rand.New(rand.NewSource(1)),
+		dirty:     make([]map[uint64]struct{}, dirtyShards),
+	}
+	for i := range p.dirty {
+		p.dirty[i] = make(map[uint64]struct{})
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	binary.LittleEndian.PutUint64(p.mem[magicOffset:], poolMagic)
+	copy(p.media, p.mem[:HeaderSize])
+	return p
+}
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() uint64 { return uint64(len(p.mem)) }
+
+// Prefault touches every page of both pool images so that operating-system
+// page faults land here rather than inside a measured region. Benchmark
+// setups call this before starting timers.
+func (p *Pool) Prefault() {
+	const page = 4096
+	for i := 0; i < len(p.mem); i += page {
+		p.mem[i] = 0
+		p.media[i] = 0
+	}
+}
+
+// HeapBase returns the first address usable by an allocator.
+func (p *Pool) HeapBase() uint64 { return HeaderSize }
+
+// RootSlot returns the address of named root slot i (0 <= i < NumRootSlots).
+func (p *Pool) RootSlot(i int) uint64 {
+	if i < 0 || i >= NumRootSlots {
+		panic(fmt.Sprintf("nvm: root slot %d out of range", i))
+	}
+	return rootsOffset + uint64(8*i)
+}
+
+func (p *Pool) check(addr, n uint64) {
+	if addr+n > uint64(len(p.mem)) || addr+n < addr {
+		panic(fmt.Errorf("%w: [%#x,%#x) size %#x", ErrOutOfRange, addr, addr+n, len(p.mem)))
+	}
+}
+
+// Load copies len(buf) bytes starting at addr into buf. Loads always observe
+// the coherent view (cache contents included).
+func (p *Pool) Load(addr uint64, buf []byte) {
+	p.check(addr, uint64(len(buf)))
+	p.stats.Loads.Add(1)
+	p.stats.BytesLoaded.Add(int64(len(buf)))
+	copy(buf, p.mem[addr:])
+}
+
+// Load64 reads a little-endian uint64 at addr.
+func (p *Pool) Load64(addr uint64) uint64 {
+	p.check(addr, 8)
+	p.stats.Loads.Add(1)
+	p.stats.BytesLoaded.Add(8)
+	return binary.LittleEndian.Uint64(p.mem[addr:])
+}
+
+// Store writes data at addr into the cache (NOT durable until flushed and
+// fenced). If a crash has been scheduled and this store reaches the crash
+// ordinal, Store panics with ErrCrash after applying the write.
+//
+// The write is applied line by line under each line's shard lock so that a
+// concurrent Flush of the same line (by another thread persisting its own
+// neighbouring object) can never copy a torn 8-byte value to the media.
+func (p *Pool) Store(addr uint64, data []byte) {
+	p.check(addr, uint64(len(data)))
+	p.stats.Stores.Add(1)
+	p.stats.BytesStored.Add(int64(len(data)))
+	n := uint64(len(data))
+	if n > 0 {
+		first, last := addr/LineSize, (addr+n-1)/LineSize
+		for l := first; l <= last; l++ {
+			lo := l * LineSize
+			if lo < addr {
+				lo = addr
+			}
+			hi := (l + 1) * LineSize
+			if hi > addr+n {
+				hi = addr + n
+			}
+			s := &p.dirtyMu[l%dirtyShards]
+			s.Lock()
+			copy(p.mem[lo:hi], data[lo-addr:hi-addr])
+			p.dirty[l%dirtyShards][l] = struct{}{}
+			s.Unlock()
+		}
+	}
+	p.tickCrash()
+}
+
+// Store64 writes a little-endian uint64 at addr.
+func (p *Pool) Store64(addr uint64, v uint64) {
+	p.check(addr, 8)
+	p.stats.Stores.Add(1)
+	p.stats.BytesStored.Add(8)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	first, last := addr/LineSize, (addr+7)/LineSize
+	for l := first; l <= last; l++ {
+		lo := l * LineSize
+		if lo < addr {
+			lo = addr
+		}
+		hi := (l + 1) * LineSize
+		if hi > addr+8 {
+			hi = addr + 8
+		}
+		s := &p.dirtyMu[l%dirtyShards]
+		s.Lock()
+		copy(p.mem[lo:hi], buf[lo-addr:hi-addr])
+		p.dirty[l%dirtyShards][l] = struct{}{}
+		s.Unlock()
+	}
+	p.tickCrash()
+}
+
+func (p *Pool) tickCrash() {
+	at := p.crashAt.Load()
+	if at <= 0 {
+		return
+	}
+	if p.storeCount.Add(1) == at {
+		panic(ErrCrash)
+	}
+}
+
+// ScheduleCrash arms crash injection: the pool panics with ErrCrash on the
+// n-th subsequent store (n >= 1). ScheduleCrash(0) disarms.
+func (p *Pool) ScheduleCrash(n int64) {
+	p.storeCount.Store(0)
+	p.crashAt.Store(n)
+}
+
+// CrashScheduled reports whether crash injection is armed and has not fired.
+func (p *Pool) CrashScheduled() bool {
+	return p.crashAt.Load() > 0 && p.storeCount.Load() < p.crashAt.Load()
+}
+
+// Flush writes every cache line covering [addr, addr+n) to the media and
+// pays the flush latency once per line (modelling clwb/clflushopt issue).
+// Ordering with respect to later stores is only guaranteed after Fence.
+func (p *Pool) Flush(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.check(addr, n)
+	first, last := addr/LineSize, (addr+n-1)/LineSize
+	for l := first; l <= last; l++ {
+		p.flushLine(l)
+	}
+}
+
+func (p *Pool) flushLine(l uint64) {
+	p.stats.Flushes.Add(1)
+	s := &p.dirtyMu[l%dirtyShards]
+	s.Lock()
+	delete(p.dirty[l%dirtyShards], l)
+	off := l * LineSize
+	copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
+	s.Unlock()
+	spin(p.lat.FlushNS)
+}
+
+// FlushOpt is the weakly ordered flush variant (clflushopt/clwb): identical
+// durability semantics in this simulation, kept as a separate entry point so
+// engines express intent and the counters distinguish the two.
+func (p *Pool) FlushOpt(addr, n uint64) { p.Flush(addr, n) }
+
+// Fence orders preceding flushes before subsequent stores (sfence) and pays
+// the fence latency.
+func (p *Pool) Fence() {
+	p.stats.Fences.Add(1)
+	spin(p.lat.FenceNS)
+}
+
+// Persist is the common flush-then-fence sequence.
+func (p *Pool) Persist(addr, n uint64) {
+	p.Flush(addr, n)
+	p.Fence()
+}
+
+// Crash simulates a power failure: every dirty line is independently either
+// evicted to media (probability WithEvictProbability, default 0.5) or lost,
+// then the coherent view is reset to the media image. Crash requires that no
+// other goroutine is accessing the pool.
+func (p *Pool) Crash() {
+	p.stats.Crashes.Add(1)
+	p.crashAt.Store(0)
+	p.rngMu.Lock()
+	for i := range p.dirty {
+		for l := range p.dirty[i] {
+			if p.rng.Float64() < p.evictProb {
+				off := l * LineSize
+				copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
+			}
+		}
+		p.dirty[i] = make(map[uint64]struct{})
+	}
+	p.rngMu.Unlock()
+	copy(p.mem, p.media)
+}
+
+// DirtyLines returns the number of cache lines currently dirty.
+func (p *Pool) DirtyLines() int {
+	total := 0
+	for i := range p.dirty {
+		p.dirtyMu[i].Lock()
+		total += len(p.dirty[i])
+		p.dirtyMu[i].Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() StatsSnapshot { return p.stats.snapshot() }
+
+// ResetStats zeroes all counters.
+func (p *Pool) ResetStats() { p.stats.reset() }
+
+// Latency returns the pool's configured cost model.
+func (p *Pool) Latency() Latency { return p.lat }

@@ -1,0 +1,61 @@
+package nvm
+
+import "sync/atomic"
+
+// Stats holds the pool's live counters. All fields are updated atomically.
+type Stats struct {
+	Loads       atomic.Int64
+	Stores      atomic.Int64
+	BytesLoaded atomic.Int64
+	BytesStored atomic.Int64
+	Flushes     atomic.Int64
+	Fences      atomic.Int64
+	Crashes     atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the pool counters.
+type StatsSnapshot struct {
+	Loads       int64
+	Stores      int64
+	BytesLoaded int64
+	BytesStored int64
+	Flushes     int64
+	Fences      int64
+	Crashes     int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Loads:       s.Loads.Load(),
+		Stores:      s.Stores.Load(),
+		BytesLoaded: s.BytesLoaded.Load(),
+		BytesStored: s.BytesStored.Load(),
+		Flushes:     s.Flushes.Load(),
+		Fences:      s.Fences.Load(),
+		Crashes:     s.Crashes.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.Loads.Store(0)
+	s.Stores.Store(0)
+	s.BytesLoaded.Store(0)
+	s.BytesStored.Store(0)
+	s.Flushes.Store(0)
+	s.Fences.Store(0)
+	s.Crashes.Store(0)
+}
+
+// Sub returns the difference a-b, counter by counter. Useful for measuring
+// the traffic of a single operation window.
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Loads:       a.Loads - b.Loads,
+		Stores:      a.Stores - b.Stores,
+		BytesLoaded: a.BytesLoaded - b.BytesLoaded,
+		BytesStored: a.BytesStored - b.BytesStored,
+		Flushes:     a.Flushes - b.Flushes,
+		Fences:      a.Fences - b.Fences,
+		Crashes:     a.Crashes - b.Crashes,
+	}
+}

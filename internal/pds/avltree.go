@@ -1,0 +1,492 @@
+package pds
+
+import (
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/txn"
+)
+
+// AVLTree is the AVL tree from the STAMP suite that §5.7 swaps in for the
+// red-black tree to show vacation's sensitivity to the underlying structure.
+// One global reader-writer lock; recursive insert/delete with rotations.
+//
+// Persistent layout: header [magic][root]; node [kv][left][right][height].
+type AVLTree struct {
+	eng      Engine
+	rootSlot int
+
+	mu sync.RWMutex
+}
+
+var _ Store = (*AVLTree)(nil)
+
+const (
+	avlMagic = 0x41564c54 // "AVLT"
+
+	avlKV     = 0
+	avlLeft   = 8
+	avlRight  = 16
+	avlHeight = 24
+	avlSize   = 32
+)
+
+// NewAVLTree opens the tree anchored at rootSlot, creating it if needed.
+func NewAVLTree(eng Engine, rootSlot int) (*AVLTree, error) {
+	t := &AVLTree{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	t.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != avlMagic {
+			return nil, fmt.Errorf("pds: root slot %d does not hold an avltree", rootSlot)
+		}
+		return t, nil
+	}
+	if err := eng.Run(0, t.fn("init"), txn.NoArgs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *AVLTree) fn(op string) string { return instanceName("avltree", t.rootSlot, op) }
+
+// Name implements Store.
+func (t *AVLTree) Name() string { return "avltree" }
+
+func (t *AVLTree) rootLink(m txn.Mem) txn.Addr {
+	return m.Load64(t.eng.Pool().RootSlot(t.rootSlot)) + 8
+}
+
+func avlH(m txn.Mem, n txn.Addr) int64 {
+	if n == 0 {
+		return 0
+	}
+	return int64(m.Load64(n + avlHeight))
+}
+
+func avlFix(m txn.Mem, n txn.Addr) {
+	lh, rh := avlH(m, m.Load64(n+avlLeft)), avlH(m, m.Load64(n+avlRight))
+	h := lh
+	if rh > h {
+		h = rh
+	}
+	// Store only on change: unconditional height writes would clobber-log
+	// every node on the search path on every insert.
+	if int64(m.Load64(n+avlHeight)) != h+1 {
+		m.Store64(n+avlHeight, uint64(h+1))
+	}
+}
+
+func avlBalance(m txn.Mem, n txn.Addr) int64 {
+	return avlH(m, m.Load64(n+avlLeft)) - avlH(m, m.Load64(n+avlRight))
+}
+
+// rotateRight / rotateLeft return the new subtree root.
+func avlRotateRight(m txn.Mem, y txn.Addr) txn.Addr {
+	x := m.Load64(y + avlLeft)
+	m.Store64(y+avlLeft, m.Load64(x+avlRight))
+	m.Store64(x+avlRight, y)
+	avlFix(m, y)
+	avlFix(m, x)
+	return x
+}
+
+func avlRotateLeft(m txn.Mem, x txn.Addr) txn.Addr {
+	y := m.Load64(x + avlRight)
+	m.Store64(x+avlRight, m.Load64(y+avlLeft))
+	m.Store64(y+avlLeft, x)
+	avlFix(m, x)
+	avlFix(m, y)
+	return y
+}
+
+func avlRebalance(m txn.Mem, n txn.Addr) txn.Addr {
+	avlFix(m, n)
+	b := avlBalance(m, n)
+	switch {
+	case b > 1:
+		if avlBalance(m, m.Load64(n+avlLeft)) < 0 {
+			m.Store64(n+avlLeft, avlRotateLeft(m, m.Load64(n+avlLeft)))
+		}
+		return avlRotateRight(m, n)
+	case b < -1:
+		if avlBalance(m, m.Load64(n+avlRight)) > 0 {
+			m.Store64(n+avlRight, avlRotateRight(m, m.Load64(n+avlRight)))
+		}
+		return avlRotateLeft(m, n)
+	}
+	return n
+}
+
+// AVLInsertAt inserts or updates key in the AVL tree rooted at the pointer
+// cell link, within the caller's transaction. Exported so applications
+// (vacation) can compose several trees in one failure-atomic transaction.
+func AVLInsertAt(m txn.Mem, link txn.Addr, key, val []byte) error {
+	var ins func(n txn.Addr) (txn.Addr, error)
+	ins = func(n txn.Addr) (txn.Addr, error) {
+		if n == 0 {
+			kv, err := kvWrite(m, key, val)
+			if err != nil {
+				return 0, err
+			}
+			nn, err := m.Alloc(avlSize)
+			if err != nil {
+				return 0, err
+			}
+			m.Store64(nn+avlKV, kv)
+			m.Store64(nn+avlLeft, 0)
+			m.Store64(nn+avlRight, 0)
+			m.Store64(nn+avlHeight, 1)
+			return nn, nil
+		}
+		c := kvKeyCompare(m, m.Load64(n+avlKV), key)
+		switch {
+		case c == 0:
+			old := m.Load64(n + avlKV)
+			kv, err := kvWrite(m, key, val)
+			if err != nil {
+				return 0, err
+			}
+			m.Store64(n+avlKV, kv)
+			return n, m.Free(old)
+		case c > 0:
+			old := m.Load64(n + avlLeft)
+			nl, err := ins(old)
+			if err != nil {
+				return 0, err
+			}
+			if nl != old {
+				m.Store64(n+avlLeft, nl)
+			}
+		default:
+			old := m.Load64(n + avlRight)
+			nr, err := ins(old)
+			if err != nil {
+				return 0, err
+			}
+			if nr != old {
+				m.Store64(n+avlRight, nr)
+			}
+		}
+		return avlRebalance(m, n), nil
+	}
+	root := m.Load64(link)
+	nr, err := ins(root)
+	if err != nil {
+		return err
+	}
+	if nr != root {
+		m.Store64(link, nr)
+	}
+	return nil
+}
+
+// AVLGetAt looks key up in the AVL tree rooted at link.
+func AVLGetAt(m txn.Mem, link txn.Addr, key []byte) ([]byte, bool) {
+	n := m.Load64(link)
+	for n != 0 {
+		c := kvKeyCompare(m, m.Load64(n+avlKV), key)
+		if c == 0 {
+			return kvValue(m, m.Load64(n+avlKV)), true
+		}
+		if c > 0 {
+			n = m.Load64(n + avlLeft)
+		} else {
+			n = m.Load64(n + avlRight)
+		}
+	}
+	return nil, false
+}
+
+// AVLDeleteAt removes key from the AVL tree rooted at link, reporting
+// whether it was present.
+func AVLDeleteAt(m txn.Mem, link txn.Addr, key []byte) (bool, error) {
+	found := false
+	var del func(n txn.Addr) (txn.Addr, error)
+	del = func(n txn.Addr) (txn.Addr, error) {
+		if n == 0 {
+			return 0, nil
+		}
+		c := kvKeyCompare(m, m.Load64(n+avlKV), key)
+		switch {
+		case c > 0:
+			old := m.Load64(n + avlLeft)
+			nl, err := del(old)
+			if err != nil {
+				return 0, err
+			}
+			if nl != old {
+				m.Store64(n+avlLeft, nl)
+			}
+		case c < 0:
+			old := m.Load64(n + avlRight)
+			nr, err := del(old)
+			if err != nil {
+				return 0, err
+			}
+			if nr != old {
+				m.Store64(n+avlRight, nr)
+			}
+		default:
+			found = true
+			l, r := m.Load64(n+avlLeft), m.Load64(n+avlRight)
+			if err := m.Free(m.Load64(n + avlKV)); err != nil {
+				return 0, err
+			}
+			if l == 0 || r == 0 {
+				if err := m.Free(n); err != nil {
+					return 0, err
+				}
+				if l != 0 {
+					return l, nil
+				}
+				return r, nil
+			}
+			// Two children: replace with in-order successor's kv, then
+			// delete the successor from the right subtree.
+			succ := r
+			for m.Load64(succ+avlLeft) != 0 {
+				succ = m.Load64(succ + avlLeft)
+			}
+			skv := m.Load64(succ + avlKV)
+			skey := kvKey(m, skv)
+			sval := kvValue(m, skv)
+			nkv, err := kvWrite(m, skey, sval)
+			if err != nil {
+				return 0, err
+			}
+			m.Store64(n+avlKV, nkv)
+			var delSucc func(x txn.Addr) (txn.Addr, error)
+			delSucc = func(x txn.Addr) (txn.Addr, error) {
+				if m.Load64(x+avlLeft) == 0 {
+					right := m.Load64(x + avlRight)
+					if err := m.Free(m.Load64(x + avlKV)); err != nil {
+						return 0, err
+					}
+					return right, m.Free(x)
+				}
+				nl, err := delSucc(m.Load64(x + avlLeft))
+				if err != nil {
+					return 0, err
+				}
+				m.Store64(x+avlLeft, nl)
+				return avlRebalance(m, x), nil
+			}
+			nr, err := delSucc(r)
+			if err != nil {
+				return 0, err
+			}
+			m.Store64(n+avlRight, nr)
+		}
+		return avlRebalance(m, n), nil
+	}
+	root := m.Load64(link)
+	nr, err := del(root)
+	if err != nil {
+		return false, err
+	}
+	if nr != root {
+		m.Store64(link, nr)
+	}
+	return found, nil
+}
+
+// AVLWalkAt calls fn for every key/value in order. fn returning false stops.
+func AVLWalkAt(m txn.Mem, link txn.Addr, fn func(key, val []byte) bool) {
+	var walk func(n txn.Addr) bool
+	walk = func(n txn.Addr) bool {
+		if n == 0 {
+			return true
+		}
+		if !walk(m.Load64(n + avlLeft)) {
+			return false
+		}
+		kv := m.Load64(n + avlKV)
+		if !fn(kvKey(m, kv), kvValue(m, kv)) {
+			return false
+		}
+		return walk(m.Load64(n + avlRight))
+	}
+	walk(m.Load64(link))
+}
+
+func (t *AVLTree) register() {
+	slotAddr := t.eng.Pool().RootSlot(t.rootSlot)
+
+	t.eng.Register(t.fn("init"), func(m txn.Mem, _ *txn.Args) error {
+		hdr, err := m.Alloc(16)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, avlMagic)
+		m.Store64(hdr+8, 0)
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	t.eng.Register(t.fn("ins"), func(m txn.Mem, args *txn.Args) error {
+		return AVLInsertAt(m, t.rootLink(m), args.Bytes(0), args.Bytes(1))
+	})
+
+	t.eng.Register(t.fn("del"), func(m txn.Mem, args *txn.Args) error {
+		_, err := AVLDeleteAt(m, t.rootLink(m), args.Bytes(0))
+		return err
+	})
+}
+
+// Insert implements Store.
+func (t *AVLTree) Insert(slot int, key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eng.Run(slot, t.fn("ins"), txn.NewArgs().PutBytes(key).PutBytes(value))
+}
+
+// Get implements Store.
+func (t *AVLTree) Get(slot int, key []byte) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []byte
+	found := false
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		n := m.Load64(t.rootLink(m))
+		for n != 0 {
+			c := kvKeyCompare(m, m.Load64(n+avlKV), key)
+			if c == 0 {
+				out = kvValue(m, m.Load64(n+avlKV))
+				found = true
+				return nil
+			}
+			if c > 0 {
+				n = m.Load64(n + avlLeft)
+			} else {
+				n = m.Load64(n + avlRight)
+			}
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete implements Store.
+func (t *AVLTree) Delete(slot int, key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, exists, err := t.getLocked(slot, key)
+	if err != nil || !exists {
+		return false, err
+	}
+	return true, t.eng.Run(slot, t.fn("del"), txn.NewArgs().PutBytes(key))
+}
+
+func (t *AVLTree) getLocked(slot int, key []byte) ([]byte, bool, error) {
+	var out []byte
+	found := false
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		n := m.Load64(t.rootLink(m))
+		for n != 0 {
+			c := kvKeyCompare(m, m.Load64(n+avlKV), key)
+			if c == 0 {
+				out = kvValue(m, m.Load64(n+avlKV))
+				found = true
+				return nil
+			}
+			if c > 0 {
+				n = m.Load64(n + avlLeft)
+			} else {
+				n = m.Load64(n + avlRight)
+			}
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Len implements Store.
+func (t *AVLTree) Len(slot int) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		var walk func(txn.Addr)
+		walk = func(nd txn.Addr) {
+			if nd == 0 {
+				return
+			}
+			n++
+			walk(m.Load64(nd + avlLeft))
+			walk(m.Load64(nd + avlRight))
+		}
+		walk(m.Load64(t.rootLink(m)))
+		return nil
+	})
+	return n, err
+}
+
+// Min returns the smallest key's value (used by vacation's allocation scan).
+func (t *AVLTree) Min(slot int) ([]byte, []byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var k, v []byte
+	found := false
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		n := m.Load64(t.rootLink(m))
+		if n == 0 {
+			return nil
+		}
+		for m.Load64(n+avlLeft) != 0 {
+			n = m.Load64(n + avlLeft)
+		}
+		kv := m.Load64(n + avlKV)
+		k, v = kvKey(m, kv), kvValue(m, kv)
+		found = true
+		return nil
+	})
+	return k, v, found, err
+}
+
+// CheckInvariants verifies AVL balance and BST order (for tests).
+func (t *AVLTree) CheckInvariants(slot int) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.RunRO(slot, func(m txn.Mem) error {
+		var check func(n txn.Addr) (int64, []byte, []byte, error)
+		check = func(n txn.Addr) (h int64, min, max []byte, err error) {
+			if n == 0 {
+				return 0, nil, nil, nil
+			}
+			lh, lmin, lmax, err := check(m.Load64(n + avlLeft))
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			rh, rmin, rmax, err := check(m.Load64(n + avlRight))
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if d := lh - rh; d < -1 || d > 1 {
+				return 0, nil, nil, fmt.Errorf("avltree: imbalance %d at %#x", d, n)
+			}
+			key := kvKey(m, m.Load64(n+avlKV))
+			if lmax != nil && string(lmax) >= string(key) {
+				return 0, nil, nil, fmt.Errorf("avltree: BST violation (left)")
+			}
+			if rmin != nil && string(rmin) <= string(key) {
+				return 0, nil, nil, fmt.Errorf("avltree: BST violation (right)")
+			}
+			h = lh
+			if rh > h {
+				h = rh
+			}
+			min, max = key, key
+			if lmin != nil {
+				min = lmin
+			}
+			if rmax != nil {
+				max = rmax
+			}
+			return h + 1, min, max, nil
+		}
+		_, _, _, err := check(m.Load64(t.rootLink(m)))
+		return err
+	})
+}

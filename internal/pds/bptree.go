@@ -1,0 +1,520 @@
+package pds
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/txn"
+)
+
+// B+tree geometry. Keys live inline in fixed slots (the benchmark's B+tree
+// keys are 32 bytes, §5.2); values are kv-block pointers in the leaves.
+const (
+	bptOrder   = 16 // max keys per node
+	bptKeyCap  = 32
+	bptKeySlot = 8 + bptKeyCap // length word + bytes
+
+	bptIsLeaf = 0
+	bptNKeys  = 8
+	bptKeys   = 16
+	bptPtrs   = bptKeys + bptOrder*bptKeySlot
+	bptNext   = bptPtrs + (bptOrder+1)*8
+	bptSize   = bptNext + 8
+)
+
+// bptStripes is the number of leaf-lock stripes standing in for per-node
+// reader-writer locks.
+const bptStripes = 512
+
+// BPTree is the persistent B+tree benchmark: "reader-writer locks at the
+// granularity of individual nodes, stores keys in the internal nodes, and
+// adds both the key and the value to the leaf nodes" (§5.2). This is the
+// structure the paper highlights for scalability.
+//
+// Locking: a tree-level reader-writer lock is held shared by every
+// operation; inserts additionally take the target leaf's stripe lock.
+// Structural changes (splits) promote to the exclusive tree lock. Non-split
+// inserts into different leaves therefore proceed in parallel — the
+// fine-grained behaviour the paper credits for B+tree's scaling.
+type BPTree struct {
+	eng      Engine
+	rootSlot int
+
+	treeMu  sync.RWMutex
+	stripes [bptStripes]sync.RWMutex
+}
+
+var _ Store = (*BPTree)(nil)
+
+const bptMagic = 0x42505452 // "BPTR"
+
+// NewBPTree opens the tree anchored at rootSlot, creating it if needed.
+func NewBPTree(eng Engine, rootSlot int) (*BPTree, error) {
+	t := &BPTree{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	t.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != bptMagic {
+			return nil, fmt.Errorf("pds: root slot %d does not hold a bptree", rootSlot)
+		}
+		return t, nil
+	}
+	if err := eng.Run(0, t.fn("init"), txn.NoArgs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *BPTree) fn(op string) string { return instanceName("bptree", t.rootSlot, op) }
+
+// Name implements Store.
+func (t *BPTree) Name() string { return "bptree" }
+
+func (t *BPTree) rootLink(m txn.Mem) txn.Addr {
+	return m.Load64(t.eng.Pool().RootSlot(t.rootSlot)) + 8
+}
+
+// --- node field helpers ------------------------------------------------------
+
+func bptKeyAddr(n txn.Addr, i int) txn.Addr { return n + bptKeys + uint64(i)*bptKeySlot }
+func bptPtrAddr(n txn.Addr, i int) txn.Addr { return n + bptPtrs + uint64(i)*8 }
+
+func bptLoadKey(m txn.Mem, n txn.Addr, i int) []byte {
+	a := bptKeyAddr(n, i)
+	l := m.Load64(a)
+	key := make([]byte, l)
+	if l > 0 {
+		m.Load(a+8, key)
+	}
+	return key
+}
+
+func bptStoreKey(m txn.Mem, n txn.Addr, i int, key []byte) {
+	a := bptKeyAddr(n, i)
+	m.Store64(a, uint64(len(key)))
+	if len(key) > 0 {
+		m.Store(a+8, key)
+	}
+}
+
+// bptCopyKey copies a key slot between nodes/slots.
+func bptCopyKey(m txn.Mem, dst txn.Addr, di int, src txn.Addr, si int) {
+	bptStoreKey(m, dst, di, bptLoadKey(m, src, si))
+}
+
+// bptSearch returns the first index i with keys[i] >= key, and whether it is
+// an exact match.
+func bptSearch(m txn.Mem, n txn.Addr, key []byte) (int, bool) {
+	nk := int(m.Load64(n + bptNKeys))
+	lo, hi := 0, nk
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := bytes.Compare(bptLoadKey(m, n, mid), key)
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	exact := lo < nk && bytes.Equal(bptLoadKey(m, n, lo), key)
+	return lo, exact
+}
+
+// findLeaf descends to the leaf that owns key.
+func (t *BPTree) findLeaf(m txn.Mem, key []byte) txn.Addr {
+	n := m.Load64(t.rootLink(m))
+	if n == 0 {
+		return 0
+	}
+	for m.Load64(n+bptIsLeaf) == 0 {
+		i, exact := bptSearch(m, n, key)
+		if exact {
+			i++ // equal keys descend right (children[i] < keys[i] <= children[i+1])
+		}
+		n = m.Load64(bptPtrAddr(n, i))
+	}
+	return n
+}
+
+func (t *BPTree) register() {
+	slotAddr := t.eng.Pool().RootSlot(t.rootSlot)
+
+	t.eng.Register(t.fn("init"), func(m txn.Mem, _ *txn.Args) error {
+		hdr, err := m.Alloc(16)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, bptMagic)
+		m.Store64(hdr+8, 0)
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	t.eng.Register(t.fn("ins"), func(m txn.Mem, args *txn.Args) error {
+		key, val := args.Bytes(0), args.Bytes(1)
+		if len(key) > bptKeyCap {
+			return fmt.Errorf("%w: %d bytes (cap %d)", ErrKeyTooLarge, len(key), bptKeyCap)
+		}
+		rl := t.rootLink(m)
+		root := m.Load64(rl)
+		if root == 0 {
+			leaf, err := t.newNode(m, true)
+			if err != nil {
+				return err
+			}
+			kv, err := kvWrite(m, key, val)
+			if err != nil {
+				return err
+			}
+			bptStoreKey(m, leaf, 0, key)
+			m.Store64(bptPtrAddr(leaf, 0), kv)
+			m.Store64(leaf+bptNKeys, 1)
+			m.Store64(rl, leaf)
+			return nil
+		}
+		sepKey, newNode, err := t.insertRec(m, root, key, val)
+		if err != nil {
+			return err
+		}
+		if newNode != 0 {
+			nr, err := t.newNode(m, false)
+			if err != nil {
+				return err
+			}
+			bptStoreKey(m, nr, 0, sepKey)
+			m.Store64(bptPtrAddr(nr, 0), root)
+			m.Store64(bptPtrAddr(nr, 1), newNode)
+			m.Store64(nr+bptNKeys, 1)
+			m.Store64(rl, nr)
+		}
+		return nil
+	})
+
+	t.eng.Register(t.fn("del"), func(m txn.Mem, args *txn.Args) error {
+		key := args.Bytes(0)
+		leaf := t.findLeaf(m, key)
+		if leaf == 0 {
+			return nil
+		}
+		i, exact := bptSearch(m, leaf, key)
+		if !exact {
+			return nil
+		}
+		kv := m.Load64(bptPtrAddr(leaf, i))
+		nk := int(m.Load64(leaf + bptNKeys))
+		for j := i; j < nk-1; j++ {
+			bptCopyKey(m, leaf, j, leaf, j+1)
+			m.Store64(bptPtrAddr(leaf, j), m.Load64(bptPtrAddr(leaf, j+1)))
+		}
+		m.Store64(leaf+bptNKeys, uint64(nk-1)) // lazy deletion: no merging
+		return m.Free(kv)
+	})
+}
+
+func (t *BPTree) newNode(m txn.Mem, leaf bool) (txn.Addr, error) {
+	n, err := m.Alloc(bptSize)
+	if err != nil {
+		return 0, err
+	}
+	isLeaf := uint64(0)
+	if leaf {
+		isLeaf = 1
+	}
+	m.Store64(n+bptIsLeaf, isLeaf)
+	m.Store64(n+bptNKeys, 0)
+	m.Store64(n+bptNext, 0)
+	return n, nil
+}
+
+// insertRec inserts into the subtree rooted at n. If n split, it returns the
+// separator key and the new right sibling for the parent to absorb.
+func (t *BPTree) insertRec(m txn.Mem, n txn.Addr, key, val []byte) ([]byte, txn.Addr, error) {
+	if m.Load64(n+bptIsLeaf) == 1 {
+		return t.insertLeaf(m, n, key, val)
+	}
+	i, exact := bptSearch(m, n, key)
+	if exact {
+		i++
+	}
+	child := m.Load64(bptPtrAddr(n, i))
+	sep, newChild, err := t.insertRec(m, child, key, val)
+	if err != nil || newChild == 0 {
+		return nil, 0, err
+	}
+	return t.insertInternal(m, n, i, sep, newChild)
+}
+
+// insertLeaf puts (key, val) into leaf n, splitting if full.
+func (t *BPTree) insertLeaf(m txn.Mem, n txn.Addr, key, val []byte) ([]byte, txn.Addr, error) {
+	i, exact := bptSearch(m, n, key)
+	if exact {
+		old := m.Load64(bptPtrAddr(n, i))
+		kv, err := kvWrite(m, key, val)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.Store64(bptPtrAddr(n, i), kv) // clobber: value pointer update
+		return nil, 0, m.Free(old)
+	}
+	nk := int(m.Load64(n + bptNKeys))
+	if nk < bptOrder {
+		kv, err := kvWrite(m, key, val)
+		if err != nil {
+			return nil, 0, err
+		}
+		for j := nk; j > i; j-- {
+			bptCopyKey(m, n, j, n, j-1)
+			m.Store64(bptPtrAddr(n, j), m.Load64(bptPtrAddr(n, j-1)))
+		}
+		bptStoreKey(m, n, i, key)
+		m.Store64(bptPtrAddr(n, i), kv)
+		m.Store64(n+bptNKeys, uint64(nk+1)) // clobber: occupancy counter
+		return nil, 0, nil
+	}
+
+	// Split: move the upper half to a new right leaf, then insert into the
+	// proper side.
+	right, err := t.newNode(m, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	mid := bptOrder / 2
+	for j := mid; j < nk; j++ {
+		bptCopyKey(m, right, j-mid, n, j)
+		m.Store64(bptPtrAddr(right, j-mid), m.Load64(bptPtrAddr(n, j)))
+	}
+	m.Store64(right+bptNKeys, uint64(nk-mid))
+	m.Store64(n+bptNKeys, uint64(mid))
+	m.Store64(right+bptNext, m.Load64(n+bptNext))
+	m.Store64(n+bptNext, right)
+
+	target := n
+	if bytes.Compare(key, bptLoadKey(m, right, 0)) >= 0 {
+		target = right
+	}
+	if _, _, err := t.insertLeaf(m, target, key, val); err != nil {
+		return nil, 0, err
+	}
+	return bptLoadKey(m, right, 0), right, nil
+}
+
+// insertInternal absorbs a child split (sep, newChild) at position i of
+// internal node n, splitting n itself if full.
+func (t *BPTree) insertInternal(m txn.Mem, n txn.Addr, i int, sep []byte, newChild txn.Addr) ([]byte, txn.Addr, error) {
+	nk := int(m.Load64(n + bptNKeys))
+	if nk < bptOrder {
+		for j := nk; j > i; j-- {
+			bptCopyKey(m, n, j, n, j-1)
+			m.Store64(bptPtrAddr(n, j+1), m.Load64(bptPtrAddr(n, j)))
+		}
+		bptStoreKey(m, n, i, sep)
+		m.Store64(bptPtrAddr(n, i+1), newChild)
+		m.Store64(n+bptNKeys, uint64(nk+1))
+		return nil, 0, nil
+	}
+
+	// Split internal node: middle key moves up.
+	right, err := t.newNode(m, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	mid := bptOrder / 2
+	promoted := bptLoadKey(m, n, mid)
+	rk := 0
+	for j := mid + 1; j < nk; j++ {
+		bptCopyKey(m, right, rk, n, j)
+		m.Store64(bptPtrAddr(right, rk), m.Load64(bptPtrAddr(n, j)))
+		rk++
+	}
+	m.Store64(bptPtrAddr(right, rk), m.Load64(bptPtrAddr(n, nk)))
+	m.Store64(right+bptNKeys, uint64(rk))
+	m.Store64(n+bptNKeys, uint64(mid))
+
+	// Insert (sep, newChild) into the appropriate half.
+	if i <= mid {
+		if _, _, err := t.insertInternal(m, n, i, sep, newChild); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		if _, _, err := t.insertInternal(m, right, i-mid-1, sep, newChild); err != nil {
+			return nil, 0, err
+		}
+	}
+	return promoted, right, nil
+}
+
+func (t *BPTree) stripe(leaf txn.Addr) *sync.RWMutex {
+	return &t.stripes[(leaf>>6)%bptStripes]
+}
+
+// Insert implements Store. Non-splitting inserts run under the shared tree
+// lock plus the leaf's stripe lock; splits promote to the exclusive tree
+// lock.
+func (t *BPTree) Insert(slot int, key, value []byte) error {
+	if len(key) > bptKeyCap {
+		return fmt.Errorf("%w: %d bytes (cap %d)", ErrKeyTooLarge, len(key), bptKeyCap)
+	}
+	args := txn.NewArgs().PutBytes(key).PutBytes(value)
+
+	t.treeMu.RLock()
+	var leaf txn.Addr
+	var needSplit bool
+	if err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		leaf = t.findLeaf(m, key)
+		return nil
+	}); err != nil {
+		t.treeMu.RUnlock()
+		return err
+	}
+	if leaf != 0 {
+		st := t.stripe(leaf)
+		st.Lock()
+		// Re-check under the stripe lock: another same-leaf insert may have
+		// filled it meanwhile. (Splits cannot have happened: they need the
+		// exclusive tree lock, excluded by our shared hold.)
+		if err := t.eng.RunRO(slot, func(m txn.Mem) error {
+			_, exact := bptSearch(m, leaf, key)
+			needSplit = !exact && m.Load64(leaf+bptNKeys) >= bptOrder
+			return nil
+		}); err != nil {
+			st.Unlock()
+			t.treeMu.RUnlock()
+			return err
+		}
+		if !needSplit {
+			err := t.eng.Run(slot, t.fn("ins"), args)
+			st.Unlock()
+			t.treeMu.RUnlock()
+			return err
+		}
+		st.Unlock()
+	}
+	t.treeMu.RUnlock()
+
+	// Split path (or empty tree): exclusive tree lock.
+	t.treeMu.Lock()
+	defer t.treeMu.Unlock()
+	return t.eng.Run(slot, t.fn("ins"), args)
+}
+
+// Get implements Store.
+func (t *BPTree) Get(slot int, key []byte) ([]byte, bool, error) {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	var out []byte
+	found := false
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		leaf := t.findLeaf(m, key)
+		if leaf == 0 {
+			return nil
+		}
+		st := t.stripe(leaf)
+		st.RLock()
+		defer st.RUnlock()
+		i, exact := bptSearch(m, leaf, key)
+		if exact {
+			out = kvValue(m, m.Load64(bptPtrAddr(leaf, i)))
+			found = true
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete implements Store (lazy: leaves are never merged).
+func (t *BPTree) Delete(slot int, key []byte) (bool, error) {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	var leaf txn.Addr
+	exists := false
+	if err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		leaf = t.findLeaf(m, key)
+		if leaf != 0 {
+			_, exists = bptSearch(m, leaf, key)
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if !exists {
+		return false, nil
+	}
+	st := t.stripe(leaf)
+	st.Lock()
+	defer st.Unlock()
+	return true, t.eng.Run(slot, t.fn("del"), txn.NewArgs().PutBytes(key))
+}
+
+// Len implements Store.
+func (t *BPTree) Len(slot int) (int, error) {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	n := 0
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		node := m.Load64(t.rootLink(m))
+		if node == 0 {
+			return nil
+		}
+		for m.Load64(node+bptIsLeaf) == 0 {
+			node = m.Load64(bptPtrAddr(node, 0))
+		}
+		for node != 0 {
+			n += int(m.Load64(node + bptNKeys))
+			node = m.Load64(node + bptNext)
+		}
+		return nil
+	})
+	return n, err
+}
+
+// CheckInvariants verifies ordering and occupancy invariants (for tests).
+func (t *BPTree) CheckInvariants(slot int) error {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	return t.eng.RunRO(slot, func(m txn.Mem) error {
+		root := m.Load64(t.rootLink(m))
+		if root == 0 {
+			return nil
+		}
+		var walk func(n txn.Addr, lo, hi []byte) error
+		walk = func(n txn.Addr, lo, hi []byte) error {
+			nk := int(m.Load64(n + bptNKeys))
+			if nk > bptOrder {
+				return fmt.Errorf("bptree: node %#x overfull (%d)", n, nk)
+			}
+			var prev []byte
+			for i := 0; i < nk; i++ {
+				k := bptLoadKey(m, n, i)
+				if prev != nil && bytes.Compare(prev, k) >= 0 {
+					return fmt.Errorf("bptree: node %#x keys out of order", n)
+				}
+				if lo != nil && bytes.Compare(k, lo) < 0 {
+					return fmt.Errorf("bptree: node %#x key below bound", n)
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					return fmt.Errorf("bptree: node %#x key above bound", n)
+				}
+				prev = k
+			}
+			if m.Load64(n+bptIsLeaf) == 1 {
+				return nil
+			}
+			for i := 0; i <= nk; i++ {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = bptLoadKey(m, n, i-1)
+				}
+				if i < nk {
+					chi = bptLoadKey(m, n, i)
+				}
+				if err := walk(m.Load64(bptPtrAddr(n, i)), clo, chi); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return walk(root, nil, nil)
+	})
+}

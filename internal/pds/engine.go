@@ -1,0 +1,24 @@
+package pds
+
+import (
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/txn"
+)
+
+// Engine is what structures need from a failure-atomicity engine: the
+// txn.Engine contract plus access to the pool for root-slot anchoring.
+// Every engine in this repository satisfies it.
+type Engine interface {
+	txn.Engine
+	Pool() *nvm.Pool
+}
+
+// fnv1a hashes a key deterministically; structures use it for bucket choice
+// and (skiplist) level choice so re-execution reproduces the same decisions.
+func fnv1a(key []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return h
+}

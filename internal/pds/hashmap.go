@@ -1,0 +1,234 @@
+package pds
+
+import (
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/txn"
+)
+
+// NumLocks is the hashmap's lock count: §5.2 creates 256 HashMap instances,
+// treats each as a partition, and protects each with a reader-writer lock.
+const NumLocks = 256
+
+// NumBuckets is the total chain count across all partitions (each of the
+// 256 paper-level partitions is itself a hash map with its own buckets, so
+// chains stay short as the population grows).
+const NumBuckets = 1 << 16
+
+// HashMap is the persistent chained hash table adapted from the PMDK
+// repository example: 256 lock-protected partitions, each an array of
+// chain buckets.
+//
+// Persistent layout (header block anchored in a pool root slot):
+//
+//	[0:8)  magic
+//	[8:16) bucket count
+//	[16:)  bucket head pointers
+//
+// Chain node: [kv addr][next].
+type HashMap struct {
+	eng      Engine
+	rootSlot int
+	hdr      txn.Addr
+
+	locks [NumLocks]sync.RWMutex
+}
+
+var _ Store = (*HashMap)(nil)
+
+const hashMagic = 0x48415348 // "HASH"
+
+// NewHashMap opens the hashmap anchored at pool root slot rootSlot, creating
+// it if the slot is empty, and registers its txfuncs on the engine.
+func NewHashMap(eng Engine, rootSlot int) (*HashMap, error) {
+	h := &HashMap{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+
+	h.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != hashMagic {
+			return nil, fmt.Errorf("pds: root slot %d does not hold a hashmap", rootSlot)
+		}
+		h.hdr = hdr
+		return h, nil
+	}
+	if err := eng.Run(0, h.fn("init"), txn.NoArgs); err != nil {
+		return nil, err
+	}
+	h.hdr = pool.Load64(slotAddr)
+	return h, nil
+}
+
+func (h *HashMap) fn(op string) string { return instanceName("hashmap", h.rootSlot, op) }
+
+// Name implements Store.
+func (h *HashMap) Name() string { return "hashmap" }
+
+func (h *HashMap) bucketAddr(m txn.Mem, i uint64) txn.Addr {
+	return h.headerAddr(m) + 16 + i*8
+}
+
+// headerAddr resolves the header through the root slot inside the
+// transaction so re-execution sees a consistent anchor.
+func (h *HashMap) headerAddr(m txn.Mem) txn.Addr {
+	return m.Load64(h.eng.Pool().RootSlot(h.rootSlot))
+}
+
+func (h *HashMap) register() {
+	slotAddr := h.eng.Pool().RootSlot(h.rootSlot)
+
+	h.eng.Register(h.fn("init"), func(m txn.Mem, _ *txn.Args) error {
+		hdr, err := m.Alloc(16 + NumBuckets*8)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, hashMagic)
+		m.Store64(hdr+8, NumBuckets)
+		zero := make([]byte, NumBuckets*8)
+		m.Store(hdr+16, zero)
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	h.eng.Register(h.fn("ins"), func(m txn.Mem, args *txn.Args) error {
+		key, val := args.Bytes(0), args.Bytes(1)
+		b := h.bucketAddr(m, fnv1a(key)%NumBuckets)
+		// Walk the chain looking for the key.
+		for node := m.Load64(b); node != 0; node = m.Load64(node + 8) {
+			kv := m.Load64(node)
+			if kvKeyEqual(m, kv, key) {
+				nkv, err := kvWrite(m, key, val)
+				if err != nil {
+					return err
+				}
+				m.Store64(node, nkv) // clobbers the node's kv pointer
+				return m.Free(kv)
+			}
+		}
+		// Not found: push a fresh node at the bucket head.
+		kv, err := kvWrite(m, key, val)
+		if err != nil {
+			return err
+		}
+		node, err := m.Alloc(16)
+		if err != nil {
+			return err
+		}
+		m.Store64(node, kv)
+		m.Store64(node+8, m.Load64(b))
+		m.Store64(b, node) // the bucket head is the clobbered input
+		return nil
+	})
+
+	h.eng.Register(h.fn("del"), func(m txn.Mem, args *txn.Args) error {
+		key := args.Bytes(0)
+		b := h.bucketAddr(m, fnv1a(key)%NumBuckets)
+		prev := b
+		for node := m.Load64(b); node != 0; node = m.Load64(prev + h.nextOff(prev, b)) {
+			kv := m.Load64(node)
+			next := m.Load64(node + 8)
+			if kvKeyEqual(m, kv, key) {
+				m.Store64(h.linkAddr(prev, b), next) // unlink: clobber
+				if err := m.Free(kv); err != nil {
+					return err
+				}
+				return m.Free(node)
+			}
+			prev = node
+		}
+		return nil // absent: deletion of a missing key is a no-op
+	})
+}
+
+// linkAddr returns the address of the pointer that links to the current
+// node: the bucket head itself, or prev->next.
+func (h *HashMap) linkAddr(prev, bucket txn.Addr) txn.Addr {
+	if prev == bucket {
+		return bucket
+	}
+	return prev + 8
+}
+
+func (h *HashMap) nextOff(prev, bucket txn.Addr) uint64 {
+	if prev == bucket {
+		return 0
+	}
+	return 8
+}
+
+// Insert implements Store.
+func (h *HashMap) Insert(slot int, key, value []byte) error {
+	b := fnv1a(key) % NumBuckets
+	h.locks[b%NumLocks].Lock()
+	defer h.locks[b%NumLocks].Unlock()
+	return h.eng.Run(slot, h.fn("ins"), txn.NewArgs().PutBytes(key).PutBytes(value))
+}
+
+// Get implements Store.
+func (h *HashMap) Get(slot int, key []byte) ([]byte, bool, error) {
+	b := fnv1a(key) % NumBuckets
+	h.locks[b%NumLocks].RLock()
+	defer h.locks[b%NumLocks].RUnlock()
+	var out []byte
+	found := false
+	err := h.eng.RunRO(slot, func(m txn.Mem) error {
+		ba := h.bucketAddr(m, b)
+		for node := m.Load64(ba); node != 0; node = m.Load64(node + 8) {
+			kv := m.Load64(node)
+			if kvKeyEqual(m, kv, key) {
+				out = kvValue(m, kv)
+				found = true
+				return nil
+			}
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete implements Store.
+func (h *HashMap) Delete(slot int, key []byte) (bool, error) {
+	b := fnv1a(key) % NumBuckets
+	h.locks[b%NumLocks].Lock()
+	defer h.locks[b%NumLocks].Unlock()
+	// Presence check first (under the bucket lock) so the caller learns
+	// whether the key existed; the txfunc itself is a deterministic no-op
+	// for absent keys.
+	exists := false
+	if err := h.eng.RunRO(slot, func(m txn.Mem) error {
+		ba := h.bucketAddr(m, b)
+		for node := m.Load64(ba); node != 0; node = m.Load64(node + 8) {
+			if kvKeyEqual(m, m.Load64(node), key) {
+				exists = true
+				return nil
+			}
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if !exists {
+		return false, nil
+	}
+	return true, h.eng.Run(slot, h.fn("del"), txn.NewArgs().PutBytes(key))
+}
+
+// Len implements Store.
+func (h *HashMap) Len(slot int) (int, error) {
+	for i := range h.locks {
+		h.locks[i].RLock()
+		defer h.locks[i].RUnlock()
+	}
+	n := 0
+	err := h.eng.RunRO(slot, func(m txn.Mem) error {
+		for i := uint64(0); i < NumBuckets; i++ {
+			for node := m.Load64(h.bucketAddr(m, i)); node != 0; node = m.Load64(node + 8) {
+				n++
+			}
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,181 @@
+package pds
+
+import (
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/txn"
+)
+
+// List is the persistent singly-linked list of the paper's running example
+// (Figure 2): insertion reads the head pointer, links the new node to it,
+// and then clobbers it — the one clobber_log entry per insert that the paper
+// walks through. Protected by one global reader-writer lock.
+//
+// Persistent layout: header [magic][head]; node [kv addr][next].
+type List struct {
+	eng      Engine
+	rootSlot int
+
+	mu sync.RWMutex
+}
+
+var _ Store = (*List)(nil)
+
+const listMagic = 0x504c4953 // "PLIS"
+
+// NewList opens the list anchored at rootSlot, creating it if needed.
+func NewList(eng Engine, rootSlot int) (*List, error) {
+	l := &List{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	l.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != listMagic {
+			return nil, fmt.Errorf("pds: root slot %d does not hold a list", rootSlot)
+		}
+		return l, nil
+	}
+	if err := eng.Run(0, l.fn("init"), txn.NoArgs); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *List) fn(op string) string { return instanceName("list", l.rootSlot, op) }
+
+// Name implements Store.
+func (l *List) Name() string { return "list" }
+
+func (l *List) headAddr(m txn.Mem) txn.Addr {
+	return m.Load64(l.eng.Pool().RootSlot(l.rootSlot)) + 8
+}
+
+func (l *List) register() {
+	slotAddr := l.eng.Pool().RootSlot(l.rootSlot)
+
+	l.eng.Register(l.fn("init"), func(m txn.Mem, _ *txn.Args) error {
+		hdr, err := m.Alloc(16)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, listMagic)
+		m.Store64(hdr+8, 0)
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	// ins is Figure 2(a) verbatim: allocate the node, copy the value,
+	// link to the current head, clobber the head.
+	l.eng.Register(l.fn("ins"), func(m txn.Mem, args *txn.Args) error {
+		key, val := args.Bytes(0), args.Bytes(1)
+		head := l.headAddr(m)
+		// Update in place if the key exists (walk first).
+		for node := m.Load64(head); node != 0; node = m.Load64(node + 8) {
+			kv := m.Load64(node)
+			if kvKeyEqual(m, kv, key) {
+				nkv, err := kvWrite(m, key, val)
+				if err != nil {
+					return err
+				}
+				m.Store64(node, nkv)
+				return m.Free(kv)
+			}
+		}
+		kv, err := kvWrite(m, key, val)
+		if err != nil {
+			return err
+		}
+		node, err := m.Alloc(16)
+		if err != nil {
+			return err
+		}
+		m.Store64(node, kv)
+		m.Store64(node+8, m.Load64(head)) // n->nxt = lst->hd
+		m.Store64(head, node)             // lst->hd = n  ← the clobber write
+		return nil
+	})
+
+	l.eng.Register(l.fn("del"), func(m txn.Mem, args *txn.Args) error {
+		key := args.Bytes(0)
+		head := l.headAddr(m)
+		link := head
+		for node := m.Load64(head); node != 0; {
+			kv := m.Load64(node)
+			next := m.Load64(node + 8)
+			if kvKeyEqual(m, kv, key) {
+				m.Store64(link, next) // unlink: clobber
+				if err := m.Free(kv); err != nil {
+					return err
+				}
+				return m.Free(node)
+			}
+			link = node + 8
+			node = next
+		}
+		return nil
+	})
+}
+
+// Insert implements Store.
+func (l *List) Insert(slot int, key, value []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Run(slot, l.fn("ins"), txn.NewArgs().PutBytes(key).PutBytes(value))
+}
+
+// Get implements Store.
+func (l *List) Get(slot int, key []byte) ([]byte, bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []byte
+	found := false
+	err := l.eng.RunRO(slot, func(m txn.Mem) error {
+		for node := m.Load64(l.headAddr(m)); node != 0; node = m.Load64(node + 8) {
+			kv := m.Load64(node)
+			if kvKeyEqual(m, kv, key) {
+				out = kvValue(m, kv)
+				found = true
+				return nil
+			}
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete implements Store.
+func (l *List) Delete(slot int, key []byte) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	exists := false
+	if err := l.eng.RunRO(slot, func(m txn.Mem) error {
+		for node := m.Load64(l.headAddr(m)); node != 0; node = m.Load64(node + 8) {
+			if kvKeyEqual(m, m.Load64(node), key) {
+				exists = true
+				return nil
+			}
+		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if !exists {
+		return false, nil
+	}
+	return true, l.eng.Run(slot, l.fn("del"), txn.NewArgs().PutBytes(key))
+}
+
+// Len implements Store.
+func (l *List) Len(slot int) (int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	err := l.eng.RunRO(slot, func(m txn.Mem) error {
+		for node := m.Load64(l.headAddr(m)); node != 0; node = m.Load64(node + 8) {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

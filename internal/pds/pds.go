@@ -1,0 +1,111 @@
+// Package pds implements the paper's four persistent data-structure
+// benchmarks — B+tree, hashmap, skiplist and red-black tree (§5.2) — plus
+// the AVL tree used by the vacation application (§5.7) and a linked list.
+//
+// Every structure is written once against the engine-neutral txn interfaces
+// and runs unmodified over every failure-atomicity engine, mirroring the
+// paper's methodology of compiling identical C sources against each library.
+// All mutation happens inside registered txfuncs (full traversal included,
+// so re-execution is deterministic from the persistent pre-state plus the
+// v_log'ed arguments), and locking follows the paper's concurrency choices:
+//
+//   - hashmap: 256 buckets, one reader-writer lock per bucket;
+//   - skiplist: 32 levels, one global lock;
+//   - red-black tree: one global reader-writer lock;
+//   - B+tree: tree-level reader-writer lock taken shared for non-splitting
+//     inserts plus striped leaf locks (fine-grained, the scalable one);
+//   - AVL tree, list: one global reader-writer lock.
+package pds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"clobbernvm/internal/txn"
+)
+
+// Store is the common key-value interface the benchmarks drive.
+type Store interface {
+	// Name identifies the structure ("hashmap", "bptree", ...).
+	Name() string
+	// Insert adds or updates a key.
+	Insert(slot int, key, value []byte) error
+	// Get returns the value for key (copy) and whether it was found.
+	Get(slot int, key []byte) ([]byte, bool, error)
+	// Delete removes a key, reporting whether it existed.
+	Delete(slot int, key []byte) (bool, error)
+	// Len returns the number of stored keys (diagnostic; may take locks).
+	Len(slot int) (int, error)
+}
+
+// ErrKeyTooLarge reports a key over a structure's fixed key capacity.
+var ErrKeyTooLarge = errors.New("pds: key too large")
+
+// --- kv blocks --------------------------------------------------------------
+
+// kv blocks hold one key/value pair in a single allocation:
+// [klen u32][vlen u32][key][value].
+
+func kvWrite(m txn.Mem, key, val []byte) (txn.Addr, error) {
+	addr, err := m.Alloc(8 + uint64(len(key)) + uint64(len(val)))
+	if err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(val)))
+	m.Store(addr, hdr[:])
+	if len(key) > 0 {
+		m.Store(addr+8, key)
+	}
+	if len(val) > 0 {
+		m.Store(addr+8+uint64(len(key)), val)
+	}
+	return addr, nil
+}
+
+func kvLens(m txn.Mem, addr txn.Addr) (klen, vlen uint32) {
+	var hdr [8]byte
+	m.Load(addr, hdr[:])
+	return binary.LittleEndian.Uint32(hdr[0:]), binary.LittleEndian.Uint32(hdr[4:])
+}
+
+func kvKey(m txn.Mem, addr txn.Addr) []byte {
+	klen, _ := kvLens(m, addr)
+	key := make([]byte, klen)
+	if klen > 0 {
+		m.Load(addr+8, key)
+	}
+	return key
+}
+
+func kvValue(m txn.Mem, addr txn.Addr) []byte {
+	klen, vlen := kvLens(m, addr)
+	val := make([]byte, vlen)
+	if vlen > 0 {
+		m.Load(addr+8+uint64(klen), val)
+	}
+	return val
+}
+
+// kvKeyEqual avoids materializing the key when lengths differ.
+func kvKeyEqual(m txn.Mem, addr txn.Addr, key []byte) bool {
+	klen, _ := kvLens(m, addr)
+	if int(klen) != len(key) {
+		return false
+	}
+	return bytes.Equal(kvKey(m, addr), key)
+}
+
+// kvKeyCompare compares the stored key with key.
+func kvKeyCompare(m txn.Mem, addr txn.Addr, key []byte) int {
+	return bytes.Compare(kvKey(m, addr), key)
+}
+
+// instanceName builds the per-instance txfunc name, tying registrations to
+// the structure's root slot so multiple instances coexist in one engine.
+func instanceName(kind string, rootSlot int, op string) string {
+	return fmt.Sprintf("%s%d:%s", kind, rootSlot, op)
+}

@@ -1,0 +1,554 @@
+package pds
+
+import (
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/txn"
+)
+
+// RBTree is the persistent red-black tree benchmark, "implemented in
+// accordance with the version in the Linux kernel" (§5.2) — i.e. the
+// classic CLRS algorithm with parent pointers — and protected by one global
+// reader-writer lock.
+//
+// Persistent layout: header [magic][root]; node
+// [kv addr][left][right][parent][color] with 0 as the (black) nil.
+//
+// The tree logic lives in link-level functions (RBInsertAt, RBGetAt,
+// RBDeleteAt) that operate on any root-pointer cell within any transaction,
+// so applications like vacation can compose several trees into one
+// failure-atomic transaction. The RBTree type wraps them in single-tree
+// txfuncs for the Store interface.
+type RBTree struct {
+	eng      Engine
+	rootSlot int
+
+	mu sync.RWMutex
+}
+
+var _ Store = (*RBTree)(nil)
+
+const (
+	rbMagic = 0x52425452 // "RBTR"
+
+	red   = 0
+	black = 1
+
+	rbKV     = 0
+	rbLeft   = 8
+	rbRight  = 16
+	rbParent = 24
+	rbColor  = 32
+	rbSize   = 40
+)
+
+// NewRBTree opens the tree anchored at rootSlot, creating it if needed.
+func NewRBTree(eng Engine, rootSlot int) (*RBTree, error) {
+	t := &RBTree{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	t.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != rbMagic {
+			return nil, fmt.Errorf("pds: root slot %d does not hold an rbtree", rootSlot)
+		}
+		return t, nil
+	}
+	if err := eng.Run(0, t.fn("init"), txn.NoArgs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *RBTree) fn(op string) string { return instanceName("rbtree", t.rootSlot, op) }
+
+// Name implements Store.
+func (t *RBTree) Name() string { return "rbtree" }
+
+// rootLink returns the address of the root pointer.
+func (t *RBTree) rootLink(m txn.Mem) txn.Addr {
+	return m.Load64(t.eng.Pool().RootSlot(t.rootSlot)) + 8
+}
+
+// --- link-level tree operations ----------------------------------------------
+
+// rbCtx bundles the transactional memory view with the tree's root-pointer
+// cell so the CLRS routines can re-point the root.
+type rbCtx struct {
+	m    txn.Mem
+	link txn.Addr
+}
+
+// Field helpers. A nil node (0) reads as black with no children.
+func (c rbCtx) get(n txn.Addr, off uint64) uint64 {
+	if n == 0 {
+		if off == rbColor {
+			return black
+		}
+		return 0
+	}
+	return c.m.Load64(n + off)
+}
+
+func (c rbCtx) set(n txn.Addr, off, v uint64) { c.m.Store64(n+off, v) }
+
+func (c rbCtx) root() txn.Addr { return c.m.Load64(c.link) }
+
+// replaceChild repoints whichever link holds old under parent (or the root
+// cell) to newN.
+func (c rbCtx) replaceChild(parent, old, newN txn.Addr) {
+	if parent == 0 {
+		c.m.Store64(c.link, newN)
+		return
+	}
+	if c.get(parent, rbLeft) == old {
+		c.set(parent, rbLeft, newN)
+	} else {
+		c.set(parent, rbRight, newN)
+	}
+}
+
+// rotate performs a rotation around x; dirUp is the child offset that moves
+// up (rbRight → left rotation, rbLeft → right rotation).
+func (c rbCtx) rotate(x txn.Addr, dirUp uint64) {
+	dirDown := uint64(rbLeft)
+	if dirUp == rbLeft {
+		dirDown = rbRight
+	}
+	y := c.get(x, dirUp)
+	p := c.get(x, rbParent)
+	beta := c.get(y, dirDown)
+
+	c.set(x, dirUp, beta)
+	if beta != 0 {
+		c.set(beta, rbParent, x)
+	}
+	c.set(y, dirDown, x)
+	c.set(x, rbParent, y)
+	c.set(y, rbParent, p)
+	c.replaceChild(p, x, y)
+}
+
+// RBGetAt looks key up in the tree rooted at the pointer cell link.
+func RBGetAt(m txn.Mem, link txn.Addr, key []byte) ([]byte, bool) {
+	c := rbCtx{m, link}
+	cur := c.root()
+	for cur != 0 {
+		cmp := kvKeyCompare(m, c.get(cur, rbKV), key)
+		if cmp == 0 {
+			return kvValue(m, c.get(cur, rbKV)), true
+		}
+		if cmp > 0 {
+			cur = c.get(cur, rbLeft)
+		} else {
+			cur = c.get(cur, rbRight)
+		}
+	}
+	return nil, false
+}
+
+// RBInsertAt inserts or updates key in the tree rooted at link.
+func RBInsertAt(m txn.Mem, link txn.Addr, key, val []byte) error {
+	c := rbCtx{m, link}
+	var parent txn.Addr
+	cur := c.root()
+	for cur != 0 {
+		cmp := kvKeyCompare(m, c.get(cur, rbKV), key)
+		if cmp == 0 {
+			old := c.get(cur, rbKV)
+			nkv, err := kvWrite(m, key, val)
+			if err != nil {
+				return err
+			}
+			c.set(cur, rbKV, nkv) // clobber
+			return m.Free(old)
+		}
+		parent = cur
+		if cmp > 0 {
+			cur = c.get(cur, rbLeft)
+		} else {
+			cur = c.get(cur, rbRight)
+		}
+	}
+	kv, err := kvWrite(m, key, val)
+	if err != nil {
+		return err
+	}
+	z, err := m.Alloc(rbSize)
+	if err != nil {
+		return err
+	}
+	c.set(z, rbKV, kv)
+	c.set(z, rbLeft, 0)
+	c.set(z, rbRight, 0)
+	c.set(z, rbParent, parent)
+	c.set(z, rbColor, red)
+	if parent == 0 {
+		m.Store64(link, z)
+	} else if kvKeyCompare(m, c.get(parent, rbKV), key) > 0 {
+		c.set(parent, rbLeft, z)
+	} else {
+		c.set(parent, rbRight, z)
+	}
+	c.insertFixup(z)
+	return nil
+}
+
+func (c rbCtx) insertFixup(z txn.Addr) {
+	for {
+		p := c.get(z, rbParent)
+		if p == 0 || c.get(p, rbColor) == black {
+			break
+		}
+		g := c.get(p, rbParent)
+		if g == 0 {
+			break
+		}
+		var uncleOff, dirUp uint64
+		if c.get(g, rbLeft) == p {
+			uncleOff, dirUp = rbRight, rbRight
+		} else {
+			uncleOff, dirUp = rbLeft, rbLeft
+		}
+		u := c.get(g, uncleOff)
+		if c.get(u, rbColor) == red {
+			c.set(p, rbColor, black)
+			c.set(u, rbColor, black)
+			c.set(g, rbColor, red)
+			z = g
+			continue
+		}
+		// Uncle black: rotations.
+		if dirUp == rbRight { // parent is left child
+			if c.get(p, rbRight) == z {
+				c.rotate(p, rbRight)
+				z, p = p, z
+			}
+			c.set(p, rbColor, black)
+			c.set(g, rbColor, red)
+			c.rotate(g, rbLeft)
+		} else {
+			if c.get(p, rbLeft) == z {
+				c.rotate(p, rbLeft)
+				z, p = p, z
+			}
+			c.set(p, rbColor, black)
+			c.set(g, rbColor, red)
+			c.rotate(g, rbRight)
+		}
+		break
+	}
+	if root := c.root(); root != 0 {
+		c.set(root, rbColor, black)
+	}
+}
+
+// RBDeleteAt removes key from the tree rooted at link, reporting whether it
+// was present.
+func RBDeleteAt(m txn.Mem, link txn.Addr, key []byte) (bool, error) {
+	c := rbCtx{m, link}
+	z := c.root()
+	for z != 0 {
+		cmp := kvKeyCompare(m, c.get(z, rbKV), key)
+		if cmp == 0 {
+			break
+		}
+		if cmp > 0 {
+			z = c.get(z, rbLeft)
+		} else {
+			z = c.get(z, rbRight)
+		}
+	}
+	if z == 0 {
+		return false, nil
+	}
+	return true, c.deleteNode(z)
+}
+
+// deleteNode removes z per CLRS, tracking the fixup node's parent explicitly
+// because nil is represented by 0 rather than a sentinel.
+func (c rbCtx) deleteNode(z txn.Addr) error {
+	m := c.m
+	var x, xParent txn.Addr
+	y := z
+	yColor := c.get(y, rbColor)
+
+	switch {
+	case c.get(z, rbLeft) == 0:
+		x = c.get(z, rbRight)
+		xParent = c.get(z, rbParent)
+		c.transplant(z, x)
+	case c.get(z, rbRight) == 0:
+		x = c.get(z, rbLeft)
+		xParent = c.get(z, rbParent)
+		c.transplant(z, x)
+	default:
+		y = c.get(z, rbRight)
+		for c.get(y, rbLeft) != 0 {
+			y = c.get(y, rbLeft)
+		}
+		yColor = c.get(y, rbColor)
+		x = c.get(y, rbRight)
+		if c.get(y, rbParent) == z {
+			xParent = y
+		} else {
+			xParent = c.get(y, rbParent)
+			c.transplant(y, x)
+			c.set(y, rbRight, c.get(z, rbRight))
+			c.set(c.get(y, rbRight), rbParent, y)
+		}
+		c.transplant(z, y)
+		c.set(y, rbLeft, c.get(z, rbLeft))
+		c.set(c.get(y, rbLeft), rbParent, y)
+		c.set(y, rbColor, c.get(z, rbColor))
+	}
+
+	if yColor == black {
+		c.deleteFixup(x, xParent)
+	}
+	if err := m.Free(c.get(z, rbKV)); err != nil {
+		return err
+	}
+	return m.Free(z)
+}
+
+// transplant replaces subtree u with subtree v.
+func (c rbCtx) transplant(u, v txn.Addr) {
+	p := c.get(u, rbParent)
+	c.replaceChild(p, u, v)
+	if v != 0 {
+		c.set(v, rbParent, p)
+	}
+}
+
+func (c rbCtx) deleteFixup(x, xParent txn.Addr) {
+	for x != c.root() && c.get(x, rbColor) == black {
+		if xParent == 0 {
+			break
+		}
+		if c.get(xParent, rbLeft) == x {
+			w := c.get(xParent, rbRight)
+			if c.get(w, rbColor) == red {
+				c.set(w, rbColor, black)
+				c.set(xParent, rbColor, red)
+				c.rotate(xParent, rbRight)
+				w = c.get(xParent, rbRight)
+			}
+			if c.get(c.get(w, rbLeft), rbColor) == black &&
+				c.get(c.get(w, rbRight), rbColor) == black {
+				if w != 0 {
+					c.set(w, rbColor, red)
+				}
+				x = xParent
+				xParent = c.get(x, rbParent)
+				continue
+			}
+			if c.get(c.get(w, rbRight), rbColor) == black {
+				if lw := c.get(w, rbLeft); lw != 0 {
+					c.set(lw, rbColor, black)
+				}
+				c.set(w, rbColor, red)
+				c.rotate(w, rbLeft)
+				w = c.get(xParent, rbRight)
+			}
+			c.set(w, rbColor, c.get(xParent, rbColor))
+			c.set(xParent, rbColor, black)
+			if rw := c.get(w, rbRight); rw != 0 {
+				c.set(rw, rbColor, black)
+			}
+			c.rotate(xParent, rbRight)
+			x = c.root()
+			break
+		}
+		// Mirror image.
+		w := c.get(xParent, rbLeft)
+		if c.get(w, rbColor) == red {
+			c.set(w, rbColor, black)
+			c.set(xParent, rbColor, red)
+			c.rotate(xParent, rbLeft)
+			w = c.get(xParent, rbLeft)
+		}
+		if c.get(c.get(w, rbLeft), rbColor) == black &&
+			c.get(c.get(w, rbRight), rbColor) == black {
+			if w != 0 {
+				c.set(w, rbColor, red)
+			}
+			x = xParent
+			xParent = c.get(x, rbParent)
+			continue
+		}
+		if c.get(c.get(w, rbLeft), rbColor) == black {
+			if rw := c.get(w, rbRight); rw != 0 {
+				c.set(rw, rbColor, black)
+			}
+			c.set(w, rbColor, red)
+			c.rotate(w, rbRight)
+			w = c.get(xParent, rbLeft)
+		}
+		c.set(w, rbColor, c.get(xParent, rbColor))
+		c.set(xParent, rbColor, black)
+		if lw := c.get(w, rbLeft); lw != 0 {
+			c.set(lw, rbColor, black)
+		}
+		c.rotate(xParent, rbLeft)
+		x = c.root()
+		break
+	}
+	if x != 0 {
+		c.set(x, rbColor, black)
+	}
+}
+
+// RBWalkAt calls fn for every key/value in order. fn returning false stops.
+func RBWalkAt(m txn.Mem, link txn.Addr, fn func(key, val []byte) bool) {
+	c := rbCtx{m, link}
+	var walk func(n txn.Addr) bool
+	walk = func(n txn.Addr) bool {
+		if n == 0 {
+			return true
+		}
+		if !walk(c.get(n, rbLeft)) {
+			return false
+		}
+		kv := c.get(n, rbKV)
+		if !fn(kvKey(m, kv), kvValue(m, kv)) {
+			return false
+		}
+		return walk(c.get(n, rbRight))
+	}
+	walk(c.root())
+}
+
+// --- Store wrapper ------------------------------------------------------------
+
+func (t *RBTree) register() {
+	slotAddr := t.eng.Pool().RootSlot(t.rootSlot)
+
+	t.eng.Register(t.fn("init"), func(m txn.Mem, _ *txn.Args) error {
+		hdr, err := m.Alloc(16)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, rbMagic)
+		m.Store64(hdr+8, 0)
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	t.eng.Register(t.fn("ins"), func(m txn.Mem, args *txn.Args) error {
+		return RBInsertAt(m, t.rootLink(m), args.Bytes(0), args.Bytes(1))
+	})
+
+	t.eng.Register(t.fn("del"), func(m txn.Mem, args *txn.Args) error {
+		_, err := RBDeleteAt(m, t.rootLink(m), args.Bytes(0))
+		return err
+	})
+}
+
+// Insert implements Store.
+func (t *RBTree) Insert(slot int, key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eng.Run(slot, t.fn("ins"), txn.NewArgs().PutBytes(key).PutBytes(value))
+}
+
+// Get implements Store.
+func (t *RBTree) Get(slot int, key []byte) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []byte
+	found := false
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		out, found = RBGetAt(m, t.rootLink(m), key)
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete implements Store.
+func (t *RBTree) Delete(slot int, key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	exists := false
+	if err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		_, exists = RBGetAt(m, t.rootLink(m), key)
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if !exists {
+		return false, nil
+	}
+	return true, t.eng.Run(slot, t.fn("del"), txn.NewArgs().PutBytes(key))
+}
+
+// Len implements Store.
+func (t *RBTree) Len(slot int) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	err := t.eng.RunRO(slot, func(m txn.Mem) error {
+		RBWalkAt(m, t.rootLink(m), func(_, _ []byte) bool { n++; return true })
+		return nil
+	})
+	return n, err
+}
+
+// CheckInvariants verifies the red-black properties (for tests): root black,
+// no red-red parent/child, equal black heights, BST ordering.
+func (t *RBTree) CheckInvariants(slot int) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.RunRO(slot, func(m txn.Mem) error {
+		c := rbCtx{m, t.rootLink(m)}
+		root := c.root()
+		if root != 0 && c.get(root, rbColor) != black {
+			return fmt.Errorf("rbtree: red root")
+		}
+		var check func(n txn.Addr) (int, []byte, []byte, error)
+		check = func(n txn.Addr) (blackHeight int, min, max []byte, err error) {
+			if n == 0 {
+				return 1, nil, nil, nil
+			}
+			key := kvKey(m, c.get(n, rbKV))
+			l, r := c.get(n, rbLeft), c.get(n, rbRight)
+			if c.get(n, rbColor) == red {
+				if c.get(l, rbColor) == red || c.get(r, rbColor) == red {
+					return 0, nil, nil, fmt.Errorf("rbtree: red-red violation")
+				}
+			}
+			lh, lmin, lmax, err := check(l)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			rh, rmin, rmax, err := check(r)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if lh != rh {
+				return 0, nil, nil, fmt.Errorf("rbtree: black height mismatch %d vs %d", lh, rh)
+			}
+			if lmax != nil && string(lmax) >= string(key) {
+				return 0, nil, nil, fmt.Errorf("rbtree: BST order violation (left)")
+			}
+			if rmin != nil && string(rmin) <= string(key) {
+				return 0, nil, nil, fmt.Errorf("rbtree: BST order violation (right)")
+			}
+			h := lh
+			if c.get(n, rbColor) == black {
+				h++
+			}
+			min, max = key, key
+			if lmin != nil {
+				min = lmin
+			}
+			if rmax != nil {
+				max = rmax
+			}
+			return h, min, max, nil
+		}
+		_, _, _, err := check(root)
+		return err
+	})
+}

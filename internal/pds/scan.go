@@ -1,0 +1,182 @@
+package pds
+
+import (
+	"bytes"
+
+	"clobbernvm/internal/txn"
+)
+
+// Ranger is implemented by the ordered structures (B+tree, red-black tree,
+// AVL tree, skiplist): Scan visits keys in [from, to) in ascending order,
+// stopping early when fn returns false. Nil bounds are open.
+type Ranger interface {
+	Scan(slot int, from, to []byte, fn func(key, val []byte) bool) error
+}
+
+// inRange applies the [from, to) bounds.
+func inRange(key, from, to []byte) (below, above bool) {
+	if from != nil && bytes.Compare(key, from) < 0 {
+		below = true
+	}
+	if to != nil && bytes.Compare(key, to) >= 0 {
+		above = true
+	}
+	return
+}
+
+// --- B+tree: leaf-chain scan -------------------------------------------------
+
+var _ Ranger = (*BPTree)(nil)
+
+// Scan implements Ranger via the leaf chain.
+func (t *BPTree) Scan(slot int, from, to []byte, fn func(key, val []byte) bool) error {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	return t.eng.RunRO(slot, func(m txn.Mem) error {
+		var leaf txn.Addr
+		if from == nil {
+			// Leftmost leaf.
+			n := m.Load64(t.rootLink(m))
+			if n == 0 {
+				return nil
+			}
+			for m.Load64(n+bptIsLeaf) == 0 {
+				n = m.Load64(bptPtrAddr(n, 0))
+			}
+			leaf = n
+		} else {
+			leaf = t.findLeaf(m, from)
+		}
+		for leaf != 0 {
+			nk := int(m.Load64(leaf + bptNKeys))
+			for i := 0; i < nk; i++ {
+				key := bptLoadKey(m, leaf, i)
+				below, aboveHi := inRange(key, from, to)
+				if below {
+					continue
+				}
+				if aboveHi {
+					return nil
+				}
+				val := kvValue(m, m.Load64(bptPtrAddr(leaf, i)))
+				if !fn(key, val) {
+					return nil
+				}
+			}
+			leaf = m.Load64(leaf + bptNext)
+		}
+		return nil
+	})
+}
+
+// --- red-black tree: bounded in-order walk ------------------------------------
+
+var _ Ranger = (*RBTree)(nil)
+
+// Scan implements Ranger with a bounds-pruned in-order traversal.
+func (t *RBTree) Scan(slot int, from, to []byte, fn func(key, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.RunRO(slot, func(m txn.Mem) error {
+		c := rbCtx{m, t.rootLink(m)}
+		var walk func(n txn.Addr) bool
+		walk = func(n txn.Addr) bool {
+			if n == 0 {
+				return true
+			}
+			kv := c.get(n, rbKV)
+			key := kvKey(m, kv)
+			below, above := inRange(key, from, to)
+			if !below { // left subtree can contain in-range keys
+				if !walk(c.get(n, rbLeft)) {
+					return false
+				}
+			}
+			if !below && !above {
+				if !fn(key, kvValue(m, kv)) {
+					return false
+				}
+			}
+			if !above { // right subtree can contain in-range keys
+				return walk(c.get(n, rbRight))
+			}
+			return true
+		}
+		walk(c.root())
+		return nil
+	})
+}
+
+// --- AVL tree: bounded in-order walk -------------------------------------------
+
+var _ Ranger = (*AVLTree)(nil)
+
+// Scan implements Ranger with a bounds-pruned in-order traversal.
+func (t *AVLTree) Scan(slot int, from, to []byte, fn func(key, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.RunRO(slot, func(m txn.Mem) error {
+		var walk func(n txn.Addr) bool
+		walk = func(n txn.Addr) bool {
+			if n == 0 {
+				return true
+			}
+			kv := m.Load64(n + avlKV)
+			key := kvKey(m, kv)
+			below, above := inRange(key, from, to)
+			if !below {
+				if !walk(m.Load64(n + avlLeft)) {
+					return false
+				}
+			}
+			if !below && !above {
+				if !fn(key, kvValue(m, kv)) {
+					return false
+				}
+			}
+			if !above {
+				return walk(m.Load64(n + avlRight))
+			}
+			return true
+		}
+		walk(m.Load64(t.rootLink(m)))
+		return nil
+	})
+}
+
+// --- skiplist: level-0 walk ----------------------------------------------------
+
+var _ Ranger = (*SkipList)(nil)
+
+// Scan implements Ranger: position with the skip levels, then follow the
+// level-0 chain.
+func (s *SkipList) Scan(slot int, from, to []byte, fn func(key, val []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := s.headerAddr(m)
+		var node txn.Addr
+		if from == nil {
+			node = m.Load64(headNext(hdr, 0))
+		} else {
+			preds, hit := s.findPreds(m, from)
+			if hit != 0 {
+				node = hit
+			} else {
+				node = m.Load64(preds[0])
+			}
+		}
+		for node != 0 {
+			kv := nodeKV(m, node)
+			key := kvKey(m, kv)
+			if _, above := inRange(key, from, to); above {
+				return nil
+			}
+			if !fn(key, kvValue(m, kv)) {
+				return nil
+			}
+			node = m.Load64(nodeNext(node, 0))
+		}
+		return nil
+	})
+}

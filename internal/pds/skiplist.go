@@ -1,0 +1,225 @@
+package pds
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"clobbernvm/internal/txn"
+)
+
+// SkipLevels is the skiplist's level count, as in §5.2 ("a skiplist with 32
+// levels. We use a single global lock for the entire data structure").
+const SkipLevels = 32
+
+// SkipList is the persistent skiplist benchmark.
+//
+// Persistent layout: a header [magic][next pointers x 32] acting as the
+// sentinel head; node layout [level][kv addr][next x level].
+//
+// Node levels are derived deterministically from the key hash rather than a
+// random generator: re-execution after a crash must make the same level
+// choice, per the deterministic-transaction contract of §2.3.
+type SkipList struct {
+	eng      Engine
+	rootSlot int
+
+	mu sync.Mutex // single global lock (paper's choice for this structure)
+}
+
+var _ Store = (*SkipList)(nil)
+
+const skipMagic = 0x534b4950 // "SKIP"
+
+// NewSkipList opens the skiplist anchored at rootSlot, creating it if
+// needed, and registers its txfuncs.
+func NewSkipList(eng Engine, rootSlot int) (*SkipList, error) {
+	s := &SkipList{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	s.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != skipMagic {
+			return nil, fmt.Errorf("pds: root slot %d does not hold a skiplist", rootSlot)
+		}
+		return s, nil
+	}
+	if err := eng.Run(0, s.fn("init"), txn.NoArgs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *SkipList) fn(op string) string { return instanceName("skiplist", s.rootSlot, op) }
+
+// Name implements Store.
+func (s *SkipList) Name() string { return "skiplist" }
+
+func (s *SkipList) headerAddr(m txn.Mem) txn.Addr {
+	return m.Load64(s.eng.Pool().RootSlot(s.rootSlot))
+}
+
+// levelFor derives a deterministic geometric level (p = 1/2) from the key.
+func levelFor(key []byte) int {
+	h := fnv1a(key)
+	lvl := 1 + bits.TrailingZeros64(h|1<<(SkipLevels-1))
+	if lvl > SkipLevels {
+		lvl = SkipLevels
+	}
+	return lvl
+}
+
+// headNext returns the address of the sentinel's level-i next pointer.
+func headNext(hdr txn.Addr, i int) txn.Addr { return hdr + 8 + uint64(i)*8 }
+
+// nodeLevel, nodeKV and nodeNext decode the node layout.
+func nodeLevel(m txn.Mem, n txn.Addr) int   { return int(m.Load64(n)) }
+func nodeKV(m txn.Mem, n txn.Addr) txn.Addr { return m.Load64(n + 8) }
+func nodeNext(n txn.Addr, i int) txn.Addr   { return n + 16 + uint64(i)*8 }
+
+// findPreds locates, for each level, the address of the link that precedes
+// the first node with key >= key. Returns the candidate node (or 0).
+func (s *SkipList) findPreds(m txn.Mem, key []byte) (preds [SkipLevels]txn.Addr, candidate txn.Addr) {
+	hdr := s.headerAddr(m)
+	linkOf := func(node txn.Addr, i int) txn.Addr {
+		if node == hdr {
+			return headNext(hdr, i)
+		}
+		return nodeNext(node, i)
+	}
+	cur := hdr // sentinel
+	for i := SkipLevels - 1; i >= 0; i-- {
+		for {
+			next := m.Load64(linkOf(cur, i))
+			if next == 0 || kvKeyCompare(m, nodeKV(m, next), key) >= 0 {
+				break
+			}
+			cur = next
+		}
+		preds[i] = linkOf(cur, i)
+	}
+	if next := m.Load64(preds[0]); next != 0 && kvKeyEqual(m, nodeKV(m, next), key) {
+		candidate = next
+	}
+	return preds, candidate
+}
+
+func (s *SkipList) register() {
+	slotAddr := s.eng.Pool().RootSlot(s.rootSlot)
+
+	s.eng.Register(s.fn("init"), func(m txn.Mem, _ *txn.Args) error {
+		hdr, err := m.Alloc(8 + SkipLevels*8)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, skipMagic)
+		m.Store(hdr+8, make([]byte, SkipLevels*8))
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	s.eng.Register(s.fn("ins"), func(m txn.Mem, args *txn.Args) error {
+		key, val := args.Bytes(0), args.Bytes(1)
+		preds, hit := s.findPreds(m, key)
+		if hit != 0 {
+			old := nodeKV(m, hit)
+			nkv, err := kvWrite(m, key, val)
+			if err != nil {
+				return err
+			}
+			m.Store64(hit+8, nkv) // clobber the node's kv pointer
+			return m.Free(old)
+		}
+		lvl := levelFor(key)
+		kv, err := kvWrite(m, key, val)
+		if err != nil {
+			return err
+		}
+		node, err := m.Alloc(16 + uint64(lvl)*8)
+		if err != nil {
+			return err
+		}
+		m.Store64(node, uint64(lvl))
+		m.Store64(node+8, kv)
+		for i := 0; i < lvl; i++ {
+			m.Store64(nodeNext(node, i), m.Load64(preds[i]))
+			m.Store64(preds[i], node) // splice: preds are the clobbered inputs
+		}
+		return nil
+	})
+
+	s.eng.Register(s.fn("del"), func(m txn.Mem, args *txn.Args) error {
+		key := args.Bytes(0)
+		preds, hit := s.findPreds(m, key)
+		if hit == 0 {
+			return nil
+		}
+		lvl := nodeLevel(m, hit)
+		for i := 0; i < lvl && i < SkipLevels; i++ {
+			if m.Load64(preds[i]) == hit {
+				m.Store64(preds[i], m.Load64(nodeNext(hit, i))) // clobber
+			}
+		}
+		if err := m.Free(nodeKV(m, hit)); err != nil {
+			return err
+		}
+		return m.Free(hit)
+	})
+}
+
+// Insert implements Store.
+func (s *SkipList) Insert(slot int, key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Run(slot, s.fn("ins"), txn.NewArgs().PutBytes(key).PutBytes(value))
+}
+
+// Get implements Store.
+func (s *SkipList) Get(slot int, key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []byte
+	found := false
+	err := s.eng.RunRO(slot, func(m txn.Mem) error {
+		_, hit := s.findPreds(m, key)
+		if hit != 0 {
+			out = kvValue(m, nodeKV(m, hit))
+			found = true
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete implements Store.
+func (s *SkipList) Delete(slot int, key []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exists := false
+	if err := s.eng.RunRO(slot, func(m txn.Mem) error {
+		_, hit := s.findPreds(m, key)
+		exists = hit != 0
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if !exists {
+		return false, nil
+	}
+	return true, s.eng.Run(slot, s.fn("del"), txn.NewArgs().PutBytes(key))
+}
+
+// Len implements Store.
+func (s *SkipList) Len(slot int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	err := s.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := s.headerAddr(m)
+		for node := m.Load64(headNext(hdr, 0)); node != 0; node = m.Load64(nodeNext(node, 0)) {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

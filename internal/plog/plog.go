@@ -1,0 +1,306 @@
+// Package plog provides the persistent log primitives shared by the
+// failure-atomicity engines: a variable-size-entry data log (used as PMDK's
+// undo log, Clobber-NVM's clobber_log, and Mnemosyne's redo log) and a
+// fixed-size address log (used to track transactional allocations and
+// deferred frees for post-crash reclamation).
+//
+// The paper builds clobber_log over PMDK's undo-log API on purpose ("this
+// design choice leaves Clobber-NVM's clobber_log very simple"); sharing one
+// log subsystem across engines reproduces that structure and guarantees the
+// engines differ only in *what* they log, never in how efficiently they log
+// it.
+//
+// Entries are validated by sequence number and checksum rather than by a
+// persistent count, so appending an entry costs exactly one flush set plus
+// one fence (or zero fences for best-effort logs). A scan stops at the first
+// entry whose checksum or sequence number does not match, which makes torn
+// tail entries invisible — the same trick PMDK's ulog uses.
+package plog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"clobbernvm/internal/nvm"
+)
+
+// Pool is the pool interface the logs require.
+type Pool interface {
+	Load(addr uint64, buf []byte)
+	Load64(addr uint64) uint64
+	Store(addr uint64, data []byte)
+	Store64(addr uint64, v uint64)
+	Flush(addr, n uint64)
+	Fence()
+	Persist(addr, n uint64)
+}
+
+// ErrLogFull reports that a transaction outgrew its log area.
+var ErrLogFull = errors.New("plog: log capacity exceeded")
+
+const (
+	dataLogMagic = 0x444c4f47 // "DLOG"
+
+	entryHeaderSize  = 24 // seq(8) addr(8) len(4) pad(4)
+	entryTrailerSize = 8  // checksum
+)
+
+// checksum mixes the entry header, payload and slot identity.
+func checksum(seq, addr uint64, slot uint32, payload []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 31
+	}
+	mix(seq)
+	mix(addr)
+	mix(uint64(slot))
+	mix(uint64(len(payload)))
+	for i := 0; i+8 <= len(payload); i += 8 {
+		mix(binary.LittleEndian.Uint64(payload[i:]))
+	}
+	var tail [8]byte
+	if r := len(payload) % 8; r != 0 {
+		copy(tail[:], payload[len(payload)-r:])
+		mix(binary.LittleEndian.Uint64(tail[:]))
+	}
+	return h
+}
+
+// DataLog is an append-only persistent log of (address, old/new bytes)
+// entries belonging to one worker slot.
+type DataLog struct {
+	pool Pool
+	slot uint32
+	base uint64 // first entry byte
+	cap  uint64 // entry area capacity in bytes
+
+	off uint64 // volatile append offset relative to base
+	n   int    // volatile entry count for the current sequence
+}
+
+// DataLogSize returns the pool bytes needed for a data log with the given
+// entry-area capacity.
+func DataLogSize(capacity uint64) uint64 { return 16 + capacity }
+
+// FormatDataLog initializes a data log at base (pool space obtained by the
+// caller, DataLogSize(capacity) bytes).
+func FormatDataLog(p Pool, slot int, base, capacity uint64) *DataLog {
+	p.Store64(base, dataLogMagic)
+	p.Store64(base+8, capacity)
+	p.Persist(base, 16)
+	return &DataLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}
+}
+
+// AttachDataLog opens a previously formatted data log.
+func AttachDataLog(p Pool, slot int, base uint64) (*DataLog, error) {
+	if p.Load64(base) != dataLogMagic {
+		return nil, fmt.Errorf("plog: no data log at %#x", base)
+	}
+	capacity := p.Load64(base + 8)
+	return &DataLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}, nil
+}
+
+// Reset prepares the log for a new transaction sequence. Old entries are
+// implicitly invalidated by the sequence-number check.
+func (l *DataLog) Reset() {
+	l.off = 0
+	l.n = 0
+}
+
+// EntryCount returns the number of entries appended since Reset.
+func (l *DataLog) EntryCount() int { return l.n }
+
+// AppendOptions controls durability of an append.
+type AppendOptions struct {
+	// NoFence skips the trailing fence (redo logs fence once at commit
+	// instead of per entry).
+	NoFence bool
+}
+
+// Append logs payload for persistent address addr under sequence seq.
+// The entry is flushed; unless opts.NoFence, a fence orders it before any
+// subsequent store (undo discipline: log must be durable before the data
+// write it protects). Returns the number of log bytes consumed.
+func (l *DataLog) Append(seq, addr uint64, payload []byte, opts AppendOptions) (int, error) {
+	need := uint64(entryHeaderSize + len(payload) + entryTrailerSize)
+	need = (need + 7) &^ 7 // 8-byte alignment for the next header
+	if l.off+need > l.cap {
+		return 0, fmt.Errorf("%w: need %d, %d free", ErrLogFull, need, l.cap-l.off)
+	}
+	at := l.base + l.off
+	p := l.pool
+	var hdr [entryHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], seq)
+	binary.LittleEndian.PutUint64(hdr[8:], addr)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(payload)))
+	p.Store(at, hdr[:])
+	if len(payload) > 0 {
+		p.Store(at+entryHeaderSize, payload)
+	}
+	var crc [8]byte
+	binary.LittleEndian.PutUint64(crc[:], checksum(seq, addr, l.slot, payload))
+	p.Store(at+entryHeaderSize+uint64(len(payload)), crc[:])
+	p.Flush(at, uint64(entryHeaderSize+len(payload)+entryTrailerSize))
+	if !opts.NoFence {
+		p.Fence()
+	}
+	l.off += need
+	l.n++
+	return entryHeaderSize + len(payload) + entryTrailerSize, nil
+}
+
+// Invalidate durably destroys the log's first entry so no sequence scans
+// anything until the next Reset+Append cycle. Engines whose sequence numbers
+// can be reused across crashed attempts (redo logs, which do not persist a
+// begin record) call this during recovery.
+func (l *DataLog) Invalidate() {
+	var zero [entryHeaderSize]byte
+	l.pool.Store(l.base, zero[:])
+	l.pool.Persist(l.base, entryHeaderSize)
+	l.off = 0
+	l.n = 0
+}
+
+// Entry is a decoded log record.
+type Entry struct {
+	Addr uint64
+	Data []byte
+}
+
+// Scan returns, in append order, all valid entries carrying sequence seq,
+// stopping at the first invalid or mismatching entry. Scan reads the
+// persistent image, so it works after a crash and reopen.
+func (l *DataLog) Scan(seq uint64) []Entry {
+	var out []Entry
+	p := l.pool
+	off := uint64(0)
+	var hdr [entryHeaderSize]byte
+	for off+entryHeaderSize+entryTrailerSize <= l.cap {
+		at := l.base + off
+		p.Load(at, hdr[:])
+		eseq := binary.LittleEndian.Uint64(hdr[0:])
+		addr := binary.LittleEndian.Uint64(hdr[8:])
+		plen := uint64(binary.LittleEndian.Uint32(hdr[16:]))
+		if eseq != seq || off+entryHeaderSize+plen+entryTrailerSize > l.cap {
+			break
+		}
+		payload := make([]byte, plen)
+		p.Load(at+entryHeaderSize, payload)
+		want := p.Load64(at + entryHeaderSize + plen)
+		if want != checksum(eseq, addr, l.slot, payload) {
+			break
+		}
+		out = append(out, Entry{Addr: addr, Data: payload})
+		off += (entryHeaderSize + plen + entryTrailerSize + 7) &^ 7
+	}
+	return out
+}
+
+// --- AddrLog ----------------------------------------------------------------
+
+const addrLogMagic = 0x414c4f47 // "ALOG"
+
+// AddrLog is a fixed-capacity persistent list of addresses tagged with a
+// sequence number, used for transactional allocation and deferred-free
+// tracking.
+type AddrLog struct {
+	pool Pool
+	slot uint32
+	base uint64
+	cap  int // max entries
+
+	n int // volatile count for current sequence
+}
+
+const addrEntrySize = 24 // seq(8) addr(8) crc(8)
+
+// AddrLogSize returns pool bytes needed for capacity entries.
+func AddrLogSize(capacity int) uint64 { return 16 + uint64(capacity)*addrEntrySize }
+
+// FormatAddrLog initializes an address log at base.
+func FormatAddrLog(p Pool, slot int, base uint64, capacity int) *AddrLog {
+	p.Store64(base, addrLogMagic)
+	p.Store64(base+8, uint64(capacity))
+	p.Persist(base, 16)
+	return &AddrLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}
+}
+
+// AttachAddrLog opens a previously formatted address log.
+func AttachAddrLog(p Pool, slot int, base uint64) (*AddrLog, error) {
+	if p.Load64(base) != addrLogMagic {
+		return nil, fmt.Errorf("plog: no addr log at %#x", base)
+	}
+	capacity := int(p.Load64(base + 8))
+	return &AddrLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}, nil
+}
+
+// Reset prepares for a new sequence.
+func (l *AddrLog) Reset() { l.n = 0 }
+
+// Count returns entries appended since Reset.
+func (l *AddrLog) Count() int { return l.n }
+
+// Append records addr under seq. If fence is false the entry is flushed but
+// not fenced (best-effort logs, e.g. allocation-leak tracking, accept a
+// bounded loss window; deferred-free logs must fence).
+func (l *AddrLog) Append(seq, addr uint64, fence bool) error {
+	if l.n >= l.cap {
+		return fmt.Errorf("%w: addr log (%d entries)", ErrLogFull, l.cap)
+	}
+	at := l.base + uint64(l.n)*addrEntrySize
+	p := l.pool
+	p.Store64(at, seq)
+	p.Store64(at+8, addr)
+	p.Store64(at+16, checksum(seq, addr, l.slot, nil))
+	p.Flush(at, addrEntrySize)
+	if fence {
+		p.Fence()
+	}
+	l.n++
+	return nil
+}
+
+// Invalidate durably destroys the log's first entry so that no sequence
+// scans anything until the next Append. Engines call this after reclaiming
+// the addresses of a dead transaction whose sequence number might be reused
+// by a later attempt.
+func (l *AddrLog) Invalidate() {
+	var zero [addrEntrySize]byte
+	l.pool.Store(l.base, zero[:])
+	l.pool.Persist(l.base, addrEntrySize)
+	l.n = 0
+}
+
+// Scan returns all valid addresses for seq in append order.
+func (l *AddrLog) Scan(seq uint64) []uint64 {
+	var out []uint64
+	p := l.pool
+	for i := 0; i < l.cap; i++ {
+		at := l.base + uint64(i)*addrEntrySize
+		eseq := p.Load64(at)
+		addr := p.Load64(at + 8)
+		if eseq != seq || p.Load64(at+16) != checksum(eseq, addr, l.slot, nil) {
+			break
+		}
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Alignment sanity: headers stay 8-byte aligned so torn-write detection at
+// word granularity holds.
+var _ = func() struct{} {
+	if entryHeaderSize%8 != 0 || addrEntrySize%8 != 0 {
+		panic("plog: misaligned entry layout")
+	}
+	if DataLogSize(0)%8 != 0 {
+		panic("plog: misaligned log header")
+	}
+	return struct{}{}
+}()
+
+// LineSize re-exports the simulated cache-line size for capacity planning.
+const LineSize = nvm.LineSize

@@ -1,0 +1,520 @@
+// Package pmem implements a crash-consistent persistent-heap allocator over a
+// simulated NVM pool. It plays the role PMDK's libpmemobj allocator plays for
+// Clobber-NVM: transactions allocate persistent objects from it (pmalloc),
+// and its metadata updates are themselves failure-atomic.
+//
+// # Design
+//
+// The heap is divided among a fixed number of arenas so that worker threads
+// allocate without contending (PMDK has per-thread allocation classes for the
+// same reason). Each arena owns
+//
+//   - segregated free lists, one per size class,
+//   - a bump region refilled in large chunks from a central region allocator,
+//   - a one-entry persistent journal.
+//
+// Every metadata mutation (pop, push, bump, refill) is made failure-atomic
+// with a write-ahead journal entry: the entry records the exact stores the
+// operation will perform, is checksummed, and is persisted before the stores
+// are applied. Recovery re-applies the most recent journal entry of every
+// arena; re-application is idempotent because the entry stores absolute
+// values, and at most one operation per arena can be in flight. Torn journal
+// entries fail their checksum and are ignored (the operation never logically
+// began).
+//
+// Allocation ownership across crashes is the engines' concern: each engine
+// records the allocations/frees of an ongoing transaction in its own log and
+// reclaims leaked blocks during recovery (see the clobber and undolog
+// packages), mirroring PMDK's redo-logged transactional allocation.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/nvm"
+)
+
+// NumArenas is the number of independent allocation arenas.
+const NumArenas = 64
+
+const (
+	headerSize = 8 // per-block header preceding user data
+
+	blockMagic = 0xA110 // "alloc"
+
+	hugeClass = 0xFF
+
+	// chunkSize is the refill granularity from the central region.
+	chunkSize = 1 << 16 // 64 KiB
+
+	kindNone   = 0
+	kindPop    = 1 // pop free-list head: heads[class] = aux1
+	kindPush   = 2 // push onto free list: block.next = aux1 (old head), heads[class] = addr
+	kindBump   = 3 // bump alloc: arena.bump = aux1, arena.limit unchanged
+	kindRefill = 4 // refill: arena.bump = aux1, arena.limit = aux2
+)
+
+// classSizes are the block sizes (including the 8-byte header) of the
+// segregated size classes.
+var classSizes = buildClassSizes()
+
+func buildClassSizes() []uint64 {
+	var s []uint64
+	for sz := uint64(32); sz <= 1024; sz += 32 {
+		s = append(s, sz)
+	}
+	for sz := uint64(2048); sz <= 65536; sz *= 2 {
+		s = append(s, sz)
+	}
+	return s
+}
+
+func classFor(userSize uint64) (int, bool) {
+	need := userSize + headerSize
+	for i, sz := range classSizes {
+		if sz >= need {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Persistent layout of the allocator metadata block (allocated at HeapBase):
+//
+//	[0:8)    magic
+//	[8:16)   centralBump
+//	[16:24)  centralLimit (= pool size)
+//	[24:32)  hugeListHead
+//	[32:...] NumArenas arena records
+//
+// Arena record layout (arenaStride bytes):
+//
+//	[0:8)                 bump
+//	[8:16)                limit
+//	[16:16+8*numClasses)  free-list heads
+//	[...:+journalSize)    journal entry
+const (
+	metaMagic = 0x504d454d414c4c4f // "PMEMALLO"
+
+	journalSize = 64
+)
+
+var (
+	numClasses  = len(classSizes)
+	arenaFixed  = uint64(16 + 8*numClasses)
+	arenaStride = roundUp(arenaFixed+journalSize, nvm.LineSize)
+	// Arena records start at a cache-line boundary (arenasOffset) and are a
+	// line multiple long, so no two arenas — nor the central header — ever
+	// share a line: a line flush by one arena can then never carry a
+	// neighbour's in-flight metadata to the media.
+	arenasOffset = uint64(nvm.LineSize)
+	metaSize     = roundUp(arenasOffset+uint64(NumArenas)*arenaStride, nvm.LineSize)
+)
+
+func roundUp(x, to uint64) uint64 { return (x + to - 1) / to * to }
+
+// ErrOutOfMemory reports heap exhaustion.
+var ErrOutOfMemory = errors.New("pmem: out of persistent memory")
+
+// ErrBadFree reports a Free of an address that is not a live allocation.
+var ErrBadFree = errors.New("pmem: free of invalid address")
+
+// Allocator is a persistent-heap allocator bound to a pool. The zero value
+// is not usable; obtain one with Create or Attach.
+type Allocator struct {
+	pool Pool
+
+	metaBase uint64
+
+	centralMu sync.Mutex
+	arenaMu   [NumArenas]sync.Mutex
+
+	stats AllocStats
+}
+
+// Pool is the subset of *nvm.Pool the allocator needs. It is an interface so
+// tests can interpose fault injection.
+type Pool interface {
+	Load(addr uint64, buf []byte)
+	Load64(addr uint64) uint64
+	Store(addr uint64, data []byte)
+	Store64(addr uint64, v uint64)
+	Flush(addr, n uint64)
+	Fence()
+	Persist(addr, n uint64)
+	Size() uint64
+	HeapBase() uint64
+	RootSlot(i int) uint64
+}
+
+// AllocStats counts allocator activity (volatile).
+type AllocStats struct {
+	mu         sync.Mutex
+	Allocs     int64
+	Frees      int64
+	BytesAlloc int64
+	Refills    int64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *AllocStats) Snapshot() (allocs, frees, bytes, refills int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Allocs, s.Frees, s.BytesAlloc, s.Refills
+}
+
+// rootSlotAllocator is the pool root slot holding the metadata base address.
+const rootSlotAllocator = 0
+
+// Create formats a fresh allocator on the pool. Any previous heap content is
+// ignored. The metadata base address is stored in pool root slot 0.
+func Create(p Pool) (*Allocator, error) {
+	a := &Allocator{pool: p, metaBase: p.HeapBase()}
+	if a.metaBase+metaSize+chunkSize > p.Size() {
+		return nil, fmt.Errorf("%w: pool too small (%d bytes)", ErrOutOfMemory, p.Size())
+	}
+	zero := make([]byte, metaSize)
+	p.Store(a.metaBase, zero)
+	p.Store64(a.metaBase, metaMagic)
+	p.Store64(a.metaBase+8, a.metaBase+metaSize) // centralBump
+	p.Store64(a.metaBase+16, p.Size())           // centralLimit
+	p.Store64(a.metaBase+24, 0)                  // hugeListHead
+	p.Persist(a.metaBase, metaSize)
+	p.Store64(p.RootSlot(rootSlotAllocator), a.metaBase)
+	p.Persist(p.RootSlot(rootSlotAllocator), 8)
+	return a, nil
+}
+
+// Attach opens the allocator already formatted on the pool (after a restart
+// or crash) and completes any interrupted metadata operation.
+func Attach(p Pool) (*Allocator, error) {
+	base := p.Load64(p.RootSlot(rootSlotAllocator))
+	if base == 0 {
+		return nil, errors.New("pmem: pool has no allocator (root slot 0 empty)")
+	}
+	if p.Load64(base) != metaMagic {
+		return nil, errors.New("pmem: allocator metadata corrupt (bad magic)")
+	}
+	a := &Allocator{pool: p, metaBase: base}
+	a.recover()
+	return a, nil
+}
+
+func (a *Allocator) arenaBase(ar int) uint64 {
+	return a.metaBase + arenasOffset + uint64(ar)*arenaStride
+}
+func (a *Allocator) bumpAddr(ar int) uint64  { return a.arenaBase(ar) }
+func (a *Allocator) limitAddr(ar int) uint64 { return a.arenaBase(ar) + 8 }
+func (a *Allocator) headAddr(ar, class int) uint64 {
+	return a.arenaBase(ar) + 16 + uint64(class)*8
+}
+func (a *Allocator) journalAddr(ar int) uint64 { return a.arenaBase(ar) + arenaFixed }
+
+// --- journal ---------------------------------------------------------------
+
+// journal entry layout (journalSize bytes):
+//
+//	[0:8)   seq (monotonic per arena, 0 = empty)
+//	[8:16)  kind
+//	[16:24) class
+//	[24:32) addr
+//	[32:40) aux1
+//	[40:48) aux2
+//	[48:56) checksum
+type jentry struct {
+	seq, kind, class, addr, aux1, aux2 uint64
+}
+
+func (e *jentry) checksum() uint64 {
+	// Simple mixing checksum; detects torn 8-byte-granularity writes.
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range [...]uint64{e.seq, e.kind, e.class, e.addr, e.aux1, e.aux2} {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	return h
+}
+
+func (a *Allocator) writeJournal(ar int, e jentry) {
+	j := a.journalAddr(ar)
+	p := a.pool
+	p.Store64(j, e.seq)
+	p.Store64(j+8, e.kind)
+	p.Store64(j+16, e.class)
+	p.Store64(j+24, e.addr)
+	p.Store64(j+32, e.aux1)
+	p.Store64(j+40, e.aux2)
+	p.Store64(j+48, e.checksum())
+	p.Persist(j, 56)
+}
+
+func (a *Allocator) readJournal(ar int) (jentry, bool) {
+	j := a.journalAddr(ar)
+	p := a.pool
+	e := jentry{
+		seq:   p.Load64(j),
+		kind:  p.Load64(j + 8),
+		class: p.Load64(j + 16),
+		addr:  p.Load64(j + 24),
+		aux1:  p.Load64(j + 32),
+		aux2:  p.Load64(j + 40),
+	}
+	if e.seq == 0 || p.Load64(j+48) != e.checksum() {
+		return jentry{}, false
+	}
+	return e, true
+}
+
+// apply performs the stores described by a journal entry. It is idempotent:
+// all stored values are absolute.
+func (a *Allocator) apply(ar int, e jentry) {
+	p := a.pool
+	switch e.kind {
+	case kindPop:
+		p.Store64(a.headAddr(ar, int(e.class)), e.aux1)
+		p.Persist(a.headAddr(ar, int(e.class)), 8)
+	case kindPush:
+		p.Store64(e.addr, e.aux1) // freed block's next pointer = old head
+		p.Flush(e.addr, 8)
+		p.Store64(a.headAddr(ar, int(e.class)), e.addr)
+		p.Flush(a.headAddr(ar, int(e.class)), 8)
+		p.Fence()
+	case kindBump:
+		p.Store64(a.bumpAddr(ar), e.aux1)
+		p.Persist(a.bumpAddr(ar), 8)
+	case kindRefill:
+		p.Store64(a.bumpAddr(ar), e.aux1)
+		p.Store64(a.limitAddr(ar), e.aux2)
+		p.Flush(a.bumpAddr(ar), 16)
+		p.Fence()
+	}
+}
+
+func (a *Allocator) recover() {
+	for ar := 0; ar < NumArenas; ar++ {
+		if e, ok := a.readJournal(ar); ok {
+			a.apply(ar, e)
+		}
+	}
+	// Central region operations are journaled through arena journals
+	// (kindRefill carries absolute values for the arena; the central bump
+	// is advanced before the journal entry is written, see refill).
+}
+
+// --- allocation ------------------------------------------------------------
+
+// Alloc allocates size bytes of persistent memory, using the arena selected
+// by hint (callers pass a per-thread slot id; any int works). The returned
+// address is the first usable byte. The new block's header is durable before
+// Alloc returns; its contents are NOT zeroed durable — callers initialize and
+// persist content themselves (engines do this inside transactions).
+func (a *Allocator) Alloc(hint int, size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	class, ok := classFor(size)
+	if !ok {
+		return a.allocHuge(size)
+	}
+	ar := hint % NumArenas
+	if ar < 0 {
+		ar = -ar
+	}
+	a.arenaMu[ar].Lock()
+	defer a.arenaMu[ar].Unlock()
+
+	p := a.pool
+	blockSize := classSizes[class]
+
+	// Fast path: pop from the free list.
+	headA := a.headAddr(ar, class)
+	if head := p.Load64(headA); head != 0 {
+		next := p.Load64(head) // free block's first word is its next pointer
+		e := jentry{seq: a.nextSeq(ar), kind: kindPop, class: uint64(class), addr: head, aux1: next}
+		a.writeJournal(ar, e)
+		a.apply(ar, e)
+		a.noteAlloc(size)
+		a.writeHeader(head, ar, class, 0)
+		return head + headerSize, nil
+	}
+
+	// Bump path.
+	bump := p.Load64(a.bumpAddr(ar))
+	limit := p.Load64(a.limitAddr(ar))
+	if bump+blockSize > limit {
+		nb, nl, err := a.refill(ar, blockSize)
+		if err != nil {
+			return 0, err
+		}
+		bump, limit = nb, nl
+	}
+	e := jentry{seq: a.nextSeq(ar), kind: kindBump, class: uint64(class), addr: bump, aux1: bump + blockSize}
+	a.writeJournal(ar, e)
+	a.apply(ar, e)
+	a.noteAlloc(size)
+	a.writeHeader(bump, ar, class, 0)
+	return bump + headerSize, nil
+}
+
+func (a *Allocator) nextSeq(ar int) uint64 {
+	j := a.journalAddr(ar)
+	return a.pool.Load64(j) + 1
+}
+
+// writeHeader persists a block header: magic(16) | arena(8) | class(8) |
+// hugeUnits(32) packed into one uint64.
+func (a *Allocator) writeHeader(block uint64, ar, class int, hugeUnits uint32) {
+	h := uint64(blockMagic)<<48 | uint64(ar&0xFF)<<40 | uint64(class&0xFF)<<32 | uint64(hugeUnits)
+	a.pool.Store64(block, h)
+	a.pool.Persist(block, 8)
+}
+
+func (a *Allocator) readHeader(block uint64) (ar, class int, hugeUnits uint32, ok bool) {
+	h := a.pool.Load64(block)
+	if h>>48 != blockMagic {
+		return 0, 0, 0, false
+	}
+	return int(h >> 40 & 0xFF), int(h >> 32 & 0xFF), uint32(h), true
+}
+
+func (a *Allocator) noteAlloc(size uint64) {
+	a.stats.mu.Lock()
+	a.stats.Allocs++
+	a.stats.BytesAlloc += int64(size)
+	a.stats.mu.Unlock()
+}
+
+// refill grabs a chunk from the central region for arena ar. Caller holds
+// the arena lock. Returns the new bump and limit.
+func (a *Allocator) refill(ar int, need uint64) (uint64, uint64, error) {
+	sz := chunkSize
+	for uint64(sz) < need {
+		sz *= 2
+	}
+	a.centralMu.Lock()
+	p := a.pool
+	cb := p.Load64(a.metaBase + 8)
+	cl := p.Load64(a.metaBase + 16)
+	if cb+uint64(sz) > cl {
+		a.centralMu.Unlock()
+		return 0, 0, fmt.Errorf("%w: central region exhausted (bump %#x limit %#x need %#x)", ErrOutOfMemory, cb, cl, sz)
+	}
+	// Advance the central bump first and persist it. If we crash after this
+	// but before the arena journal entry, the chunk is leaked (bounded by
+	// one chunk per crash), never double-owned. PMDK makes the same
+	// trade-off for zone metadata.
+	p.Store64(a.metaBase+8, cb+uint64(sz))
+	p.Persist(a.metaBase+8, 8)
+	a.centralMu.Unlock()
+
+	a.stats.mu.Lock()
+	a.stats.Refills++
+	a.stats.mu.Unlock()
+
+	e := jentry{seq: a.nextSeq(ar), kind: kindRefill, addr: cb, aux1: cb, aux2: cb + uint64(sz)}
+	a.writeJournal(ar, e)
+	a.apply(ar, e)
+	return cb, cb + uint64(sz), nil
+}
+
+// allocHuge serves allocations larger than the biggest size class with a
+// dedicated central-region grab. Huge blocks are pushed onto a global huge
+// free list on Free and reused first-fit.
+func (a *Allocator) allocHuge(size uint64) (uint64, error) {
+	need := roundUp(size+headerSize, nvm.LineSize)
+	p := a.pool
+	a.centralMu.Lock()
+	defer a.centralMu.Unlock()
+
+	// First-fit scan of the huge free list. The list is short in practice
+	// (huge allocations are rare in every workload of the paper).
+	prevA := a.metaBase + 24
+	cur := p.Load64(prevA)
+	for cur != 0 {
+		units := uint64(uint32(p.Load64(cur)))
+		csize := units * 16
+		next := p.Load64(cur + 8)
+		if csize >= need {
+			// Unlink: single 8-byte store, atomic w.r.t. crash.
+			p.Store64(prevA, next)
+			p.Persist(prevA, 8)
+			a.noteAlloc(size)
+			a.writeHeader(cur, 0, hugeClass, uint32(csize/16))
+			return cur + headerSize, nil
+		}
+		prevA = cur + 8
+		cur = next
+	}
+
+	cb := p.Load64(a.metaBase + 8)
+	cl := p.Load64(a.metaBase + 16)
+	if cb+need > cl {
+		return 0, fmt.Errorf("%w: huge alloc of %d bytes", ErrOutOfMemory, size)
+	}
+	p.Store64(a.metaBase+8, cb+need)
+	p.Persist(a.metaBase+8, 8)
+	a.noteAlloc(size)
+	a.writeHeader(cb, 0, hugeClass, uint32(need/16))
+	return cb + headerSize, nil
+}
+
+// Free returns the block containing addr (an address returned by Alloc) to
+// its free list. Free is failure-atomic via the owning arena's journal.
+func (a *Allocator) Free(addr uint64) error {
+	if addr < headerSize {
+		return ErrBadFree
+	}
+	block := addr - headerSize
+	ar, class, hugeUnits, ok := a.readHeader(block)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	a.stats.mu.Lock()
+	a.stats.Frees++
+	a.stats.mu.Unlock()
+
+	if class == hugeClass {
+		p := a.pool
+		a.centralMu.Lock()
+		defer a.centralMu.Unlock()
+		head := p.Load64(a.metaBase + 24)
+		p.Store64(block, uint64(hugeUnits)) // size units in first word
+		p.Store64(block+8, head)            // next pointer
+		p.Flush(block, 16)
+		p.Fence()
+		p.Store64(a.metaBase+24, block)
+		p.Persist(a.metaBase+24, 8)
+		return nil
+	}
+
+	if class < 0 || class >= numClasses || ar < 0 || ar >= NumArenas {
+		return fmt.Errorf("%w: %#x (corrupt header)", ErrBadFree, addr)
+	}
+	a.arenaMu[ar].Lock()
+	defer a.arenaMu[ar].Unlock()
+	p := a.pool
+	head := p.Load64(a.headAddr(ar, class))
+	e := jentry{seq: a.nextSeq(ar), kind: kindPush, class: uint64(class), addr: block, aux1: head}
+	a.writeJournal(ar, e)
+	a.apply(ar, e)
+	return nil
+}
+
+// UsableSize returns the usable byte count of the allocation at addr.
+func (a *Allocator) UsableSize(addr uint64) (uint64, error) {
+	block := addr - headerSize
+	_, class, hugeUnits, ok := a.readHeader(block)
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	if class == hugeClass {
+		return uint64(hugeUnits)*16 - headerSize, nil
+	}
+	return classSizes[class] - headerSize, nil
+}
+
+// Stats exposes the allocator counters.
+func (a *Allocator) Stats() *AllocStats { return &a.stats }

@@ -1,0 +1,287 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clobbernvm/internal/nvm"
+)
+
+func newAlloc(t *testing.T, size uint64) (*nvm.Pool, *Allocator) {
+	t.Helper()
+	p := nvm.New(size, nvm.WithEvictProbability(0))
+	a, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a
+}
+
+func TestAllocBasic(t *testing.T) {
+	p, a := newAlloc(t, 1<<22)
+	addr, err := a.Alloc(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == 0 || addr%8 != 0 {
+		t.Fatalf("bad address %#x", addr)
+	}
+	us, err := a.UsableSize(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us < 100 {
+		t.Fatalf("usable size %d < requested 100", us)
+	}
+	p.Store64(addr, 7) // block is writable
+}
+
+func TestAllocDistinct(t *testing.T) {
+	_, a := newAlloc(t, 1<<22)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		addr, err := a.Alloc(i%3, uint64(8+i%300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[addr] {
+			t.Fatalf("address %#x returned twice", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	_, a := newAlloc(t, 1<<22)
+	a1, _ := a.Alloc(0, 64)
+	if err := a.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := a.Alloc(0, 64)
+	if a1 != a2 {
+		t.Fatalf("free list not reused: %#x then %#x", a1, a2)
+	}
+}
+
+func TestFreeBadAddress(t *testing.T) {
+	p, a := newAlloc(t, 1<<22)
+	if err := a.Free(p.HeapBase() + 1<<20); err == nil {
+		t.Fatal("Free of never-allocated address succeeded")
+	}
+	if err := a.Free(4); err == nil {
+		t.Fatal("Free of tiny address succeeded")
+	}
+}
+
+func TestHugeAlloc(t *testing.T) {
+	p, a := newAlloc(t, 1<<24)
+	addr, err := a.Alloc(0, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := a.UsableSize(addr)
+	if us < 200_000 {
+		t.Fatalf("huge usable = %d", us)
+	}
+	p.Store64(addr+199_992, 1)
+	if err := a.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse through the huge free list.
+	addr2, err := a.Alloc(0, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr2 != addr {
+		t.Fatalf("huge block not reused: %#x vs %#x", addr2, addr)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	_, a := newAlloc(t, 1<<20) // 1 MiB pool
+	var err error
+	for i := 0; i < 100_000; i++ {
+		if _, err = a.Alloc(0, 1024); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("allocator never ran out of a 1 MiB pool")
+	}
+}
+
+func TestAttachAfterCleanShutdown(t *testing.T) {
+	p, a := newAlloc(t, 1<<22)
+	addr, _ := a.Alloc(0, 64)
+	p.Store64(addr, 0x1234)
+	p.Persist(addr, 8)
+
+	b, err := Attach(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Load64(addr); got != 0x1234 {
+		t.Fatalf("data lost across attach: %#x", got)
+	}
+	// New allocations must not overlap the old one.
+	for i := 0; i < 100; i++ {
+		na, err := b.Alloc(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if na == addr {
+			t.Fatal("Attach reissued a live block")
+		}
+	}
+}
+
+func TestAttachRequiresCreate(t *testing.T) {
+	p := nvm.New(1 << 20)
+	if _, err := Attach(p); err == nil {
+		t.Fatal("Attach succeeded on unformatted pool")
+	}
+}
+
+// TestCrashDuringAllocMetadata sweeps crash points through a sequence of
+// alloc/free operations and verifies that after crash + Attach the allocator
+// metadata is consistent: it can keep allocating, never double-allocates
+// against blocks persisted as live by the pre-crash run, and free lists are
+// not corrupt.
+func TestCrashDuringAllocMetadata(t *testing.T) {
+	for crashAt := int64(1); crashAt <= 120; crashAt += 4 {
+		func() {
+			p := nvm.New(1<<22, nvm.WithEvictProbability(0.5), nvm.WithSeed(crashAt))
+			a, err := Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Allocate some long-lived blocks and persist their addresses in
+			// root slot 1 region so the post-crash run can check them.
+			live := make([]uint64, 0, 8)
+			for i := 0; i < 8; i++ {
+				addr, err := a.Alloc(0, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Store64(addr, uint64(1000+i))
+				p.Persist(addr, 8)
+				live = append(live, addr)
+			}
+
+			p.ScheduleCrash(crashAt)
+			func() {
+				defer func() { recover() }()
+				for i := 0; i < 40; i++ {
+					addr, err := a.Alloc(i, 48)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if i%2 == 0 {
+						if err := a.Free(addr); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}()
+			p.Crash()
+
+			b, err := Attach(p)
+			if err != nil {
+				t.Fatalf("crashAt=%d: %v", crashAt, err)
+			}
+			seen := map[uint64]bool{}
+			for _, l := range live {
+				seen[l] = true
+				if got := p.Load64(l); got < 1000 || got > 1007 {
+					t.Fatalf("crashAt=%d: live block %#x corrupted: %d", crashAt, l, got)
+				}
+			}
+			for i := 0; i < 200; i++ {
+				addr, err := b.Alloc(i%5, 48)
+				if err != nil {
+					t.Fatalf("crashAt=%d: post-crash alloc: %v", crashAt, err)
+				}
+				if seen[addr] {
+					t.Fatalf("crashAt=%d: post-crash alloc reissued %#x", crashAt, addr)
+				}
+				seen[addr] = true
+			}
+		}()
+	}
+}
+
+// Property: random alloc/free interleavings never hand out overlapping live
+// blocks.
+func TestQuickNoOverlap(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint16
+		Hint  uint8
+	}
+	f := func(ops []op) bool {
+		_, a := func() (*nvm.Pool, *Allocator) {
+			p := nvm.New(1 << 22)
+			al, _ := Create(p)
+			return p, al
+		}()
+		type blk struct{ addr, size uint64 }
+		var liveList []blk
+		for _, o := range ops {
+			if o.Alloc || len(liveList) == 0 {
+				size := uint64(o.Size%2048) + 1
+				addr, err := a.Alloc(int(o.Hint), size)
+				if err != nil {
+					return true // OOM acceptable
+				}
+				for _, l := range liveList {
+					if addr < l.addr+l.size && l.addr < addr+size {
+						return false // overlap!
+					}
+				}
+				liveList = append(liveList, blk{addr, size})
+			} else {
+				i := int(o.Size) % len(liveList)
+				if err := a.Free(liveList[i].addr); err != nil {
+					return false
+				}
+				liveList = append(liveList[:i], liveList[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	_, a := newAlloc(t, 1<<24)
+	const workers = 8
+	results := make(chan map[uint64]bool, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			mine := map[uint64]bool{}
+			for i := 0; i < 500; i++ {
+				addr, err := a.Alloc(w, uint64(16+rng.Intn(256)))
+				if err != nil {
+					break
+				}
+				mine[addr] = true
+			}
+			results <- mine
+		}(w)
+	}
+	all := map[uint64]bool{}
+	for w := 0; w < workers; w++ {
+		for addr := range <-results {
+			if all[addr] {
+				t.Fatalf("address %#x allocated by two workers", addr)
+			}
+			all[addr] = true
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package pmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckReport summarizes a heap audit.
+type CheckReport struct {
+	// FreeBlocks is the total count of blocks on the segregated free lists.
+	FreeBlocks int
+	// FreeBytes is the byte total of those blocks.
+	FreeBytes uint64
+	// HugeFreeBlocks / HugeFreeBytes cover the huge free list.
+	HugeFreeBlocks int
+	HugeFreeBytes  uint64
+	// BumpReserve is the unbumped capacity across all arenas.
+	BumpReserve uint64
+	// CentralReserve is the ungranted central region.
+	CentralReserve uint64
+}
+
+// ErrHeapCorrupt reports a failed heap audit.
+var ErrHeapCorrupt = errors.New("pmem: heap corruption detected")
+
+// Check audits the allocator's persistent metadata: free-list links must
+// stay inside the heap, never cycle, never overlap each other or the
+// unbumped regions, and arena bump/limit pairs must be sane. It is intended
+// for tests and post-recovery verification (a PM allocator that cannot
+// audit itself is a debugging nightmare — PMDK ships pmempool check for the
+// same reason).
+//
+// Check takes all arena locks, so it must not run concurrently with
+// allocation on the same arena from the same goroutine.
+func (a *Allocator) Check() (*CheckReport, error) {
+	for i := 0; i < NumArenas; i++ {
+		a.arenaMu[i].Lock()
+		defer a.arenaMu[i].Unlock()
+	}
+	a.centralMu.Lock()
+	defer a.centralMu.Unlock()
+
+	p := a.pool
+	rep := &CheckReport{}
+	heapEnd := p.Size()
+	type span struct{ lo, hi uint64 }
+	var spans []span
+
+	cb := p.Load64(a.metaBase + 8)
+	cl := p.Load64(a.metaBase + 16)
+	if cb > cl || cl > heapEnd {
+		return nil, fmt.Errorf("%w: central bump %#x / limit %#x", ErrHeapCorrupt, cb, cl)
+	}
+	rep.CentralReserve = cl - cb
+
+	for ar := 0; ar < NumArenas; ar++ {
+		bump := p.Load64(a.bumpAddr(ar))
+		limit := p.Load64(a.limitAddr(ar))
+		if bump > limit || limit > heapEnd {
+			return nil, fmt.Errorf("%w: arena %d bump %#x / limit %#x", ErrHeapCorrupt, ar, bump, limit)
+		}
+		rep.BumpReserve += limit - bump
+		if limit > bump {
+			spans = append(spans, span{bump, limit})
+		}
+		for class := 0; class < numClasses; class++ {
+			size := classSizes[class]
+			seen := map[uint64]bool{}
+			for blk := p.Load64(a.headAddr(ar, class)); blk != 0; blk = p.Load64(blk) {
+				if seen[blk] {
+					return nil, fmt.Errorf("%w: arena %d class %d free-list cycle at %#x",
+						ErrHeapCorrupt, ar, class, blk)
+				}
+				seen[blk] = true
+				if blk < a.metaBase+metaSize || blk+size > heapEnd {
+					return nil, fmt.Errorf("%w: arena %d class %d free block %#x out of heap",
+						ErrHeapCorrupt, ar, class, blk)
+				}
+				rep.FreeBlocks++
+				rep.FreeBytes += size
+				spans = append(spans, span{blk, blk + size})
+			}
+		}
+	}
+
+	// Huge free list.
+	seen := map[uint64]bool{}
+	for blk := p.Load64(a.metaBase + 24); blk != 0; blk = p.Load64(blk + 8) {
+		if seen[blk] {
+			return nil, fmt.Errorf("%w: huge free-list cycle at %#x", ErrHeapCorrupt, blk)
+		}
+		seen[blk] = true
+		size := uint64(uint32(p.Load64(blk))) * 16
+		if size == 0 || blk+size > heapEnd {
+			return nil, fmt.Errorf("%w: huge free block %#x size %d", ErrHeapCorrupt, blk, size)
+		}
+		rep.HugeFreeBlocks++
+		rep.HugeFreeBytes += size
+		spans = append(spans, span{blk, blk + size})
+	}
+
+	// No two free/unbumped spans may overlap (a double free or journal bug
+	// would surface here).
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				return nil, fmt.Errorf("%w: spans [%#x,%#x) and [%#x,%#x) overlap",
+					ErrHeapCorrupt, spans[i].lo, spans[i].hi, spans[j].lo, spans[j].hi)
+			}
+		}
+	}
+	return rep, nil
+}

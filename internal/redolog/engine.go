@@ -1,0 +1,493 @@
+// Package redolog implements a Mnemosyne-style redo-logging engine.
+//
+// Writes inside a transaction are buffered in a volatile write set; at commit
+// the write set is serialized to a persistent redo log (flushes but only one
+// fence for the whole batch), a commit marker is persisted, and then the
+// buffered writes are applied in place. The defining trade-offs the paper
+// measures both appear naturally:
+//
+//   - few ordering fences regardless of transaction size (redo wins on
+//     long transactions — the B+tree observation in §5.2), and
+//   - every transactional load must consult the write set first, the
+//     "longer read path" that costs Mnemosyne on search-heavy workloads
+//     (§5.6) — counted in Stats.ReadChecks.
+//
+// Mnemosyne parallelizes with transactional memory rather than locks; as in
+// the paper's comparison, what matters here is the logging strategy, so this
+// engine uses the same slot/locking discipline as the others.
+package redolog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/plog"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+const (
+	phaseIdle     = 0
+	phaseApplying = 1 // commit marker: log is complete, apply in progress
+	phaseFreeing  = 2
+
+	anchorMagic = 0x5245444f // "REDO"
+
+	offStatus         = 0
+	offFreeApplied    = 8
+	offReclaimApplied = 16
+	hdrSize           = 64
+)
+
+// rootSlot is the pool root slot anchoring this engine.
+const rootSlot = 4
+
+// Options configures engine creation.
+type Options struct {
+	Slots       int
+	DataLogCap  uint64
+	AllocLogCap int
+	FreeLogCap  int
+}
+
+func (o *Options) fill() {
+	if o.Slots <= 0 || o.Slots > txn.MaxSlots {
+		o.Slots = txn.MaxSlots
+	}
+	if o.DataLogCap == 0 {
+		o.DataLogCap = 1 << 20
+	}
+	if o.AllocLogCap == 0 {
+		o.AllocLogCap = 4096
+	}
+	if o.FreeLogCap == 0 {
+		o.FreeLogCap = 4096
+	}
+}
+
+// ErrTxTooLarge reports per-transaction log exhaustion.
+var ErrTxTooLarge = errors.New("redolog: transaction exceeds log capacity")
+
+// Engine is the Mnemosyne-style redo-logging engine.
+type Engine struct {
+	pool  *nvm.Pool
+	alloc *pmem.Allocator
+	reg   txn.Registry
+	stats txn.Stats
+	opts  Options
+	slots []*slot
+}
+
+var _ txn.Engine = (*Engine)(nil)
+
+type slot struct {
+	mu   sync.Mutex
+	id   int
+	hdr  uint64
+	dlog *plog.DataLog
+	alog *plog.AddrLog
+	flog *plog.AddrLog
+	seq  uint64
+}
+
+// Create formats a fresh engine on the pool (anchor in root slot 4).
+func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
+	opts.fill()
+	e := &Engine{pool: p, alloc: a, opts: opts}
+
+	anchorSize := uint64(16 + opts.Slots*8)
+	anchor, err := a.Alloc(0, anchorSize)
+	if err != nil {
+		return nil, fmt.Errorf("redolog: create anchor: %w", err)
+	}
+	p.Store64(anchor, anchorMagic)
+	p.Store64(anchor+8, uint64(opts.Slots))
+
+	dlogOff := uint64(hdrSize)
+	alogOff := dlogOff + plog.DataLogSize(opts.DataLogCap)
+	flogOff := alogOff + plog.AddrLogSize(opts.AllocLogCap)
+	slotSize := flogOff + plog.AddrLogSize(opts.FreeLogCap)
+
+	for i := 0; i < opts.Slots; i++ {
+		base, err := a.Alloc(i, slotSize)
+		if err != nil {
+			return nil, fmt.Errorf("redolog: create slot %d: %w", i, err)
+		}
+		p.Store(base, make([]byte, hdrSize))
+		p.Persist(base, hdrSize)
+		e.slots = append(e.slots, &slot{
+			id:   i,
+			hdr:  base,
+			dlog: plog.FormatDataLog(p, i, base+dlogOff, opts.DataLogCap),
+			alog: plog.FormatAddrLog(p, i, base+alogOff, opts.AllocLogCap),
+			flog: plog.FormatAddrLog(p, i, base+flogOff, opts.FreeLogCap),
+		})
+		p.Store64(anchor+16+uint64(i)*8, base)
+	}
+	p.Persist(anchor, anchorSize)
+	p.Store64(p.RootSlot(rootSlot), anchor)
+	p.Persist(p.RootSlot(rootSlot), 8)
+	return e, nil
+}
+
+// Attach opens a previously created engine.
+func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
+	opts.fill()
+	anchor := p.Load64(p.RootSlot(rootSlot))
+	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+		return nil, errors.New("redolog: pool has no redo engine")
+	}
+	n := int(p.Load64(anchor + 8))
+	if n <= 0 || n > txn.MaxSlots {
+		return nil, fmt.Errorf("redolog: corrupt anchor: %d slots", n)
+	}
+	opts.Slots = n
+	e := &Engine{pool: p, alloc: a, opts: opts}
+	for i := 0; i < n; i++ {
+		base := p.Load64(anchor + 16 + uint64(i)*8)
+		dlog, err := plog.AttachDataLog(p, i, base+hdrSize)
+		if err != nil {
+			return nil, fmt.Errorf("redolog: slot %d: %w", i, err)
+		}
+		dcap := p.Load64(base + hdrSize + 8)
+		alogOff := uint64(hdrSize) + plog.DataLogSize(dcap)
+		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
+		if err != nil {
+			return nil, fmt.Errorf("redolog: slot %d: %w", i, err)
+		}
+		acap := int(p.Load64(base + alogOff + 8))
+		flog, err := plog.AttachAddrLog(p, i, base+alogOff+plog.AddrLogSize(acap))
+		if err != nil {
+			return nil, fmt.Errorf("redolog: slot %d: %w", i, err)
+		}
+		status := p.Load64(base + offStatus)
+		e.slots = append(e.slots, &slot{id: i, hdr: base, dlog: dlog, alog: alog, flog: flog, seq: status >> 2})
+	}
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string { return "mnemosyne" }
+
+// Register implements txn.Engine.
+func (e *Engine) Register(name string, fn txn.TxFunc) { e.reg.Register(name, fn) }
+
+// Stats implements txn.Engine.
+func (e *Engine) Stats() *txn.Stats { return &e.stats }
+
+// Pool returns the engine's pool.
+func (e *Engine) Pool() *nvm.Pool { return e.pool }
+
+// Allocator returns the engine's allocator.
+func (e *Engine) Allocator() *pmem.Allocator { return e.alloc }
+
+// Run implements txn.Engine.
+func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
+	fn, err := e.reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := txn.CheckSlot(slotID); err != nil || slotID >= len(e.slots) {
+		return fmt.Errorf("%w: %d", txn.ErrBadSlot, slotID)
+	}
+	s := e.slots[slotID]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if args == nil {
+		args = txn.NoArgs
+	}
+	seq := s.seq + 1
+	s.seq = seq
+	s.dlog.Reset()
+	s.alog.Reset()
+	s.flog.Reset()
+	p := e.pool
+	p.Store64(s.hdr+offFreeApplied, 0)
+	p.Store64(s.hdr+offReclaimApplied, 0)
+	p.Flush(s.hdr, 24)
+
+	m := &mem{e: e, s: s, seq: seq, ws: make(map[uint64]wsEntry)}
+	if err := fn(m, args); err != nil {
+		// Aborting a redo transaction is trivial: discard the write set.
+		// Eager allocations must be reclaimed, and the alloc log durably
+		// invalidated so a crash cannot replay these frees.
+		for _, addr := range s.alog.Scan(seq) {
+			_ = e.alloc.Free(addr)
+		}
+		s.alog.Invalidate()
+		return err
+	}
+	e.commit(s, seq, m)
+	e.stats.Committed.Add(1)
+	return nil
+}
+
+// commit serializes the write set to the redo log (one fence for the whole
+// batch), persists the commit marker, applies the writes in place, and
+// invalidates the log.
+func (e *Engine) commit(s *slot, seq uint64, m *mem) {
+	p := e.pool
+	ranges := m.coalesce()
+	for _, r := range ranges {
+		nbytes, err := s.dlog.Append(seq, r.addr, r.data, plog.AppendOptions{NoFence: true})
+		if err != nil {
+			panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
+		}
+		e.stats.LogEntries.Add(1)
+		e.stats.LogBytes.Add(int64(nbytes))
+	}
+	p.Fence() // all redo entries durable
+
+	// Commit point: once this marker is durable the transaction wins.
+	p.Store64(s.hdr+offStatus, seq<<2|phaseApplying)
+	p.Persist(s.hdr+offStatus, 8)
+
+	// Apply in place and persist the home locations.
+	for _, r := range ranges {
+		p.Store(r.addr, r.data)
+		p.Flush(r.addr, uint64(len(r.data)))
+	}
+	p.Fence()
+
+	if m.frees > 0 {
+		p.Store64(s.hdr+offStatus, seq<<2|phaseFreeing)
+		p.Persist(s.hdr+offStatus, 8)
+		e.applyFrees(s, seq, 0)
+	}
+	p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
+	p.Persist(s.hdr+offStatus, 8)
+}
+
+func (e *Engine) applyFrees(s *slot, seq, from uint64) {
+	p := e.pool
+	addrs := s.flog.Scan(seq)
+	for i := from; i < uint64(len(addrs)); i++ {
+		p.Store64(s.hdr+offFreeApplied, i+1)
+		p.Persist(s.hdr+offFreeApplied, 8)
+		if err := e.alloc.Free(addrs[i]); err != nil {
+			continue
+		}
+	}
+}
+
+// RunRO implements txn.Engine. Mnemosyne interposes on every transactional
+// load, even in read-only transactions — the read path checks the (empty)
+// write set, which is precisely the overhead the paper attributes to
+// redo-log systems on search-intensive workloads.
+func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
+	if err := txn.CheckSlot(slotID); err != nil || slotID >= len(e.slots) {
+		return fmt.Errorf("%w: %d", txn.ErrBadSlot, slotID)
+	}
+	m := &mem{e: e, s: e.slots[slotID], ro: true, ws: make(map[uint64]wsEntry)}
+	return fn(m)
+}
+
+// Recover implements txn.Engine: committed-but-unapplied logs are replayed
+// (roll forward); uncommitted transactions left no persistent trace beyond
+// eagerly allocated blocks, which are reclaimed.
+func (e *Engine) Recover() (int, error) {
+	n := 0
+	p := e.pool
+	for _, s := range e.slots {
+		status := p.Load64(s.hdr + offStatus)
+		seq, phase := status>>2, status&3
+		s.seq = seq
+		switch phase {
+		case phaseApplying:
+			for _, en := range s.dlog.Scan(seq) {
+				p.Store(en.Addr, en.Data)
+				p.Flush(en.Addr, uint64(len(en.Data)))
+			}
+			p.Fence()
+			e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
+			p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
+			p.Persist(s.hdr+offStatus, 8)
+			e.stats.Recovered.Add(1)
+			n++
+		case phaseFreeing:
+			e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
+			p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
+			p.Persist(s.hdr+offStatus, 8)
+		default:
+			// Idle. A transaction that started after the last commit but
+			// never reached its commit point ran under seq+1 (the status
+			// word only advances at commit); its eager allocations are
+			// leaked blocks to reclaim. Allocations recorded under seq
+			// belong to the committed transaction and are live.
+			allocs := s.alog.Scan(seq + 1)
+			for i := p.Load64(s.hdr + offReclaimApplied); i < uint64(len(allocs)); i++ {
+				p.Store64(s.hdr+offReclaimApplied, i+1)
+				p.Persist(s.hdr+offReclaimApplied, 8)
+				_ = e.alloc.Free(allocs[i])
+			}
+			if len(allocs) > 0 {
+				s.alog.Invalidate()
+			}
+			// A crashed attempt may have written redo entries under seq+1
+			// without reaching its commit marker; destroy them so a future
+			// attempt reusing that sequence cannot replay them.
+			s.dlog.Invalidate()
+		}
+	}
+	return n, nil
+}
+
+// wsEntry buffers one word of the write set: val holds the bytes, mask marks
+// which of the eight bytes were written.
+type wsEntry struct {
+	val  [8]byte
+	mask uint8
+}
+
+// mem is the redo transactional memory view: writes buffer, reads overlay.
+type mem struct {
+	e   *Engine
+	s   *slot
+	seq uint64
+	ro  bool
+
+	ws    map[uint64]wsEntry
+	frees int
+}
+
+var _ txn.Mem = (*mem)(nil)
+
+// Load implements txn.Mem with write-set overlay — the redo read path.
+func (m *mem) Load(addr uint64, buf []byte) {
+	m.e.pool.Load(addr, buf)
+	n := uint64(len(buf))
+	if n == 0 {
+		return
+	}
+	for w := addr >> 3; w <= (addr+n-1)>>3; w++ {
+		m.e.stats.ReadChecks.Add(1)
+		en, ok := m.ws[w]
+		if !ok {
+			continue
+		}
+		base := w << 3
+		for b := 0; b < 8; b++ {
+			if en.mask&(1<<b) == 0 {
+				continue
+			}
+			off := base + uint64(b)
+			if off >= addr && off < addr+n {
+				buf[off-addr] = en.val[b]
+			}
+		}
+	}
+}
+
+// Load64 implements txn.Mem.
+func (m *mem) Load64(addr uint64) uint64 {
+	var buf [8]byte
+	m.Load(addr, buf[:])
+	return uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+		uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+}
+
+// Store implements txn.Mem: buffered until commit.
+func (m *mem) Store(addr uint64, data []byte) {
+	if m.ro {
+		panic("redolog: store in read-only op")
+	}
+	for i, b := range data {
+		off := addr + uint64(i)
+		w := off >> 3
+		en := m.ws[w]
+		en.val[off&7] = b
+		en.mask |= 1 << (off & 7)
+		m.ws[w] = en
+	}
+}
+
+// Store64 implements txn.Mem.
+func (m *mem) Store64(addr uint64, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	m.Store(addr, buf[:])
+}
+
+// Alloc implements txn.Mem: allocation is eager (journaled by the
+// allocator) and recorded for reclamation if the transaction aborts.
+func (m *mem) Alloc(size uint64) (txn.Addr, error) {
+	if m.ro {
+		return 0, errors.New("redolog: alloc in read-only op")
+	}
+	addr, err := m.e.alloc.Alloc(m.s.id, size)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.s.alog.Append(m.seq, addr, false); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrTxTooLarge, err)
+	}
+	return addr, nil
+}
+
+// Free implements txn.Mem: deferred to commit.
+func (m *mem) Free(addr txn.Addr) error {
+	if m.ro {
+		return errors.New("redolog: free in read-only op")
+	}
+	if err := m.s.flog.Append(m.seq, addr, false); err != nil {
+		return fmt.Errorf("%w: %v", ErrTxTooLarge, err)
+	}
+	m.frees++
+	return nil
+}
+
+type wrange struct {
+	addr uint64
+	data []byte
+}
+
+// coalesce converts the word-granular write set into maximal contiguous
+// ranges, the unit Mnemosyne writes to its redo log.
+func (m *mem) coalesce() []wrange {
+	if len(m.ws) == 0 {
+		return nil
+	}
+	words := make([]uint64, 0, len(m.ws))
+	for w := range m.ws {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+
+	var out []wrange
+	var cur *wrange
+	flushByte := func(off uint64, b byte) {
+		if cur != nil && off == cur.addr+uint64(len(cur.data)) {
+			cur.data = append(cur.data, b)
+			return
+		}
+		out = append(out, wrange{addr: off})
+		cur = &out[len(out)-1]
+		cur.data = append(cur.data, b)
+	}
+	for _, w := range words {
+		en := m.ws[w]
+		// Unwritten bytes inside a written word must keep their current
+		// contents: fill them from the pool so the range apply is exact.
+		var cache [8]byte
+		if en.mask != 0xFF {
+			m.e.pool.Load(w<<3, cache[:])
+		}
+		for b := uint64(0); b < 8; b++ {
+			if en.mask&(1<<b) != 0 {
+				flushByte(w<<3+b, en.val[b])
+			} else if en.mask != 0 && cur != nil && w<<3+b == cur.addr+uint64(len(cur.data)) &&
+				en.mask>>(b+1) != 0 {
+				// Bridge an interior gap within the word with cached bytes
+				// to keep ranges contiguous (fewer log entries).
+				flushByte(w<<3+b, cache[b])
+			}
+		}
+	}
+	return out
+}

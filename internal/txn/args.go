@@ -1,0 +1,158 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Args carries a transaction's inputs: the txfunc arguments plus any
+// volatile (DRAM-resident) byte ranges the transaction will read. Engines
+// that recover by re-execution persist the encoded form in their v_log so
+// the exact inputs are available after a crash — the role of the paper's
+// vlog_preserve macro and argument-collection callback.
+//
+// Args values are append-only and positional: the i-th Put on the producing
+// side corresponds to the i-th accessor on the consuming side.
+type Args struct {
+	items []argItem
+}
+
+type argItem struct {
+	isU64 bool
+	u64   uint64
+	bytes []byte
+}
+
+// A reusable empty Args for transactions with no inputs.
+var NoArgs = &Args{}
+
+// NewArgs returns an empty argument list.
+func NewArgs() *Args { return &Args{} }
+
+// PutUint64 appends an integer argument and returns a for chaining.
+func (a *Args) PutUint64(v uint64) *Args {
+	a.items = append(a.items, argItem{isU64: true, u64: v})
+	return a
+}
+
+// PutBytes appends a byte-slice argument, copying it (the caller's buffer is
+// volatile and may be reused — this copy is the vlog_preserve semantics).
+func (a *Args) PutBytes(b []byte) *Args {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	a.items = append(a.items, argItem{bytes: cp})
+	return a
+}
+
+// Len returns the number of arguments.
+func (a *Args) Len() int { return len(a.items) }
+
+// Uint64 returns argument i as an integer. It panics on a type or index
+// mismatch: that is a programming error in a txfunc, which the deterministic
+// re-execution contract cannot tolerate silently.
+func (a *Args) Uint64(i int) uint64 {
+	it := a.item(i)
+	if !it.isU64 {
+		panic(fmt.Sprintf("txn: argument %d is bytes, not uint64", i))
+	}
+	return it.u64
+}
+
+// Bytes returns argument i as a byte slice. The returned slice must not be
+// modified.
+func (a *Args) Bytes(i int) []byte {
+	it := a.item(i)
+	if it.isU64 {
+		panic(fmt.Sprintf("txn: argument %d is uint64, not bytes", i))
+	}
+	return it.bytes
+}
+
+func (a *Args) item(i int) argItem {
+	if i < 0 || i >= len(a.items) {
+		panic(fmt.Sprintf("txn: argument index %d out of range (%d args)", i, len(a.items)))
+	}
+	return a.items[i]
+}
+
+const (
+	tagU64   = 0
+	tagBytes = 1
+)
+
+// EncodedSize returns the number of bytes Encode will produce.
+func (a *Args) EncodedSize() int {
+	n := 4
+	for _, it := range a.items {
+		if it.isU64 {
+			n += 1 + 8
+		} else {
+			n += 1 + 4 + len(it.bytes)
+		}
+	}
+	return n
+}
+
+// Encode serializes the arguments for v_log storage.
+func (a *Args) Encode() []byte {
+	buf := make([]byte, 0, a.EncodedSize())
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(a.items)))
+	buf = append(buf, tmp[:4]...)
+	for _, it := range a.items {
+		if it.isU64 {
+			buf = append(buf, tagU64)
+			binary.LittleEndian.PutUint64(tmp[:], it.u64)
+			buf = append(buf, tmp[:]...)
+		} else {
+			buf = append(buf, tagBytes)
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(it.bytes)))
+			buf = append(buf, tmp[:4]...)
+			buf = append(buf, it.bytes...)
+		}
+	}
+	return buf
+}
+
+// ErrBadArgs reports a corrupt encoded argument blob.
+var ErrBadArgs = errors.New("txn: corrupt encoded args")
+
+// DecodeArgs parses a blob produced by Encode.
+func DecodeArgs(data []byte) (*Args, error) {
+	if len(data) < 4 {
+		return nil, ErrBadArgs
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	a := NewArgs()
+	for i := 0; i < n; i++ {
+		if len(data) < 1 {
+			return nil, ErrBadArgs
+		}
+		tag := data[0]
+		data = data[1:]
+		switch tag {
+		case tagU64:
+			if len(data) < 8 {
+				return nil, ErrBadArgs
+			}
+			a.PutUint64(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		case tagBytes:
+			if len(data) < 4 {
+				return nil, ErrBadArgs
+			}
+			l := int(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+			if len(data) < l {
+				return nil, ErrBadArgs
+			}
+			a.PutBytes(data[:l])
+			data = data[l:]
+		default:
+			return nil, fmt.Errorf("%w: tag %d", ErrBadArgs, tag)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,146 @@
+package txn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestArgsRoundTrip(t *testing.T) {
+	a := NewArgs().PutUint64(42).PutBytes([]byte("hello")).PutUint64(0).PutBytes(nil)
+	enc := a.Encode()
+	if len(enc) != a.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, len(Encode) = %d", a.EncodedSize(), len(enc))
+	}
+	b, err := DecodeArgs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Uint64(0) != 42 || !bytes.Equal(b.Bytes(1), []byte("hello")) ||
+		b.Uint64(2) != 0 || len(b.Bytes(3)) != 0 {
+		t.Fatal("decoded args mismatch")
+	}
+}
+
+func TestArgsCopySemantics(t *testing.T) {
+	buf := []byte("mutable")
+	a := NewArgs().PutBytes(buf)
+	buf[0] = 'X'
+	if string(a.Bytes(0)) != "mutable" {
+		t.Fatal("PutBytes did not copy the caller's buffer")
+	}
+}
+
+func TestArgsPanicsOnTypeMismatch(t *testing.T) {
+	a := NewArgs().PutUint64(1)
+	assertPanics(t, func() { a.Bytes(0) })
+	assertPanics(t, func() { a.Uint64(1) })
+	assertPanics(t, func() { a.Uint64(-1) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestDecodeArgsRejectsCorrupt(t *testing.T) {
+	good := NewArgs().PutUint64(7).PutBytes([]byte("xyz")).Encode()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeArgs(good[:cut]); err == nil && cut < len(good) {
+			// Truncations that still decode must decode to a prefix-valid
+			// blob; a clean error is the normal case. Either way no panic.
+			_ = err
+		}
+	}
+	bad := append([]byte{}, good...)
+	bad[4] = 99 // invalid tag
+	if _, err := DecodeArgs(bad); err == nil {
+		t.Fatal("DecodeArgs accepted an invalid tag")
+	}
+}
+
+func TestQuickArgsRoundTrip(t *testing.T) {
+	f := func(ints []uint64, blobs [][]byte) bool {
+		a := NewArgs()
+		for _, v := range ints {
+			a.PutUint64(v)
+		}
+		for _, b := range blobs {
+			a.PutBytes(b)
+		}
+		dec, err := DecodeArgs(a.Encode())
+		if err != nil || dec.Len() != len(ints)+len(blobs) {
+			return false
+		}
+		for i, v := range ints {
+			if dec.Uint64(i) != v {
+				return false
+			}
+		}
+		for i, b := range blobs {
+			if !bytes.Equal(dec.Bytes(len(ints)+i), b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Fatal("Lookup on empty registry succeeded")
+	}
+	called := false
+	r.Register("f", func(Mem, *Args) error { called = true; return nil })
+	fn, err := r.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(nil, nil); err != nil || !called {
+		t.Fatal("registered func not invoked")
+	}
+}
+
+func TestCheckSlot(t *testing.T) {
+	if err := CheckSlot(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSlot(MaxSlots - 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSlot(-1); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if err := CheckSlot(MaxSlots); err == nil {
+		t.Fatal("overflow slot accepted")
+	}
+}
+
+func TestStatsSnapshotSub(t *testing.T) {
+	var s Stats
+	s.Committed.Add(5)
+	s.LogEntries.Add(10)
+	s.LogBytes.Add(100)
+	a := s.Snapshot()
+	s.Committed.Add(2)
+	s.VLogEntries.Add(3)
+	d := s.Snapshot().Sub(a)
+	if d.Committed != 2 || d.VLogEntries != 3 || d.LogEntries != 0 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d.TotalLogEntries() != 3 {
+		t.Fatalf("TotalLogEntries = %d", d.TotalLogEntries())
+	}
+}

@@ -1,0 +1,80 @@
+package txn
+
+import "sync/atomic"
+
+// Stats accumulates an engine's logging activity. The figures of §5.3 and
+// §5.4 are ratios of these counters between engines.
+type Stats struct {
+	// Committed counts committed transactions.
+	Committed atomic.Int64
+	// Recovered counts transactions completed during Recover.
+	Recovered atomic.Int64
+
+	// LogEntries counts data-log entries: undo entries (PMDK/Atlas), redo
+	// entries (Mnemosyne) or clobber_log entries (Clobber-NVM).
+	LogEntries atomic.Int64
+	// LogBytes counts payload bytes written to the data log.
+	LogBytes atomic.Int64
+
+	// VLogEntries / VLogBytes count v_log traffic (clobber engine only).
+	VLogEntries atomic.Int64
+	VLogBytes   atomic.Int64
+
+	// ReadChecks counts read-path interpositions (redo engines: write-set
+	// lookups on Load).
+	ReadChecks atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of engine statistics.
+type StatsSnapshot struct {
+	Committed   int64
+	Recovered   int64
+	LogEntries  int64
+	LogBytes    int64
+	VLogEntries int64
+	VLogBytes   int64
+	ReadChecks  int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Committed:   s.Committed.Load(),
+		Recovered:   s.Recovered.Load(),
+		LogEntries:  s.LogEntries.Load(),
+		LogBytes:    s.LogBytes.Load(),
+		VLogEntries: s.VLogEntries.Load(),
+		VLogBytes:   s.VLogBytes.Load(),
+		ReadChecks:  s.ReadChecks.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.Committed.Store(0)
+	s.Recovered.Store(0)
+	s.LogEntries.Store(0)
+	s.LogBytes.Store(0)
+	s.VLogEntries.Store(0)
+	s.VLogBytes.Store(0)
+	s.ReadChecks.Store(0)
+}
+
+// Sub returns a-b.
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Committed:   a.Committed - b.Committed,
+		Recovered:   a.Recovered - b.Recovered,
+		LogEntries:  a.LogEntries - b.LogEntries,
+		LogBytes:    a.LogBytes - b.LogBytes,
+		VLogEntries: a.VLogEntries - b.VLogEntries,
+		VLogBytes:   a.VLogBytes - b.VLogBytes,
+		ReadChecks:  a.ReadChecks - b.ReadChecks,
+	}
+}
+
+// TotalLogEntries is data-log plus v_log entries.
+func (s StatsSnapshot) TotalLogEntries() int64 { return s.LogEntries + s.VLogEntries }
+
+// TotalLogBytes is data-log plus v_log bytes.
+func (s StatsSnapshot) TotalLogBytes() int64 { return s.LogBytes + s.VLogBytes }

@@ -1,0 +1,392 @@
+// Package undolog implements a PMDK-v1.6-style failure-atomicity engine:
+// hybrid undo logging for data (every first store to a location snapshots the
+// old value, with a flush+fence per log entry) and journaled/redo-style
+// allocation, mirroring libpmemobj's hybrid transactions (PMDK PR #2716).
+// It is the primary industrial baseline of the paper ("PMDK" in every
+// figure).
+//
+// The engine shares the log subsystem (package plog) with the clobber
+// engine, exactly as the paper's clobber_log is built over PMDK's undo-log
+// API — so measured differences between the two come only from *what* they
+// log and how they recover, not from implementation quality.
+//
+// What gets logged: every store to a not-yet-logged location, including
+// stores that initialize freshly allocated objects. This matches the PMDK
+// programming idiom the paper benchmarks against (Figure 2(b) TX_ADDs the
+// fields of the brand-new node before writing them), and is what makes PMDK
+// log 1.1x–42.6x more bytes than clobber logging.
+package undolog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/plog"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+const (
+	phaseIdle    = 0
+	phaseOngoing = 1
+	phaseFreeing = 2
+
+	anchorMagic = 0x554e444f // "UNDO"
+
+	offStatus         = 0
+	offFreeApplied    = 8
+	offReclaimApplied = 16
+	hdrSize           = 64
+)
+
+// rootSlot is the pool root slot anchoring this engine.
+const rootSlot = 3
+
+// Options configures engine creation.
+type Options struct {
+	Slots       int
+	DataLogCap  uint64
+	AllocLogCap int
+	FreeLogCap  int
+}
+
+func (o *Options) fill() {
+	if o.Slots <= 0 || o.Slots > txn.MaxSlots {
+		o.Slots = txn.MaxSlots
+	}
+	if o.DataLogCap == 0 {
+		o.DataLogCap = 1 << 20
+	}
+	if o.AllocLogCap == 0 {
+		o.AllocLogCap = 4096
+	}
+	if o.FreeLogCap == 0 {
+		o.FreeLogCap = 4096
+	}
+}
+
+// ErrTxTooLarge reports per-transaction log exhaustion.
+var ErrTxTooLarge = errors.New("undolog: transaction exceeds log capacity")
+
+// Engine is the PMDK-style undo-logging engine.
+type Engine struct {
+	pool  *nvm.Pool
+	alloc *pmem.Allocator
+	reg   txn.Registry
+	stats txn.Stats
+	opts  Options
+	slots []*slot
+}
+
+var _ txn.Engine = (*Engine)(nil)
+
+type slot struct {
+	mu   sync.Mutex
+	id   int
+	hdr  uint64
+	dlog *plog.DataLog
+	alog *plog.AddrLog
+	flog *plog.AddrLog
+	seq  uint64
+}
+
+// Create formats a fresh engine on the pool (anchor in root slot 3).
+func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
+	opts.fill()
+	e := &Engine{pool: p, alloc: a, opts: opts}
+
+	anchorSize := uint64(16 + opts.Slots*8)
+	anchor, err := a.Alloc(0, anchorSize)
+	if err != nil {
+		return nil, fmt.Errorf("undolog: create anchor: %w", err)
+	}
+	p.Store64(anchor, anchorMagic)
+	p.Store64(anchor+8, uint64(opts.Slots))
+
+	dlogOff := uint64(hdrSize)
+	alogOff := dlogOff + plog.DataLogSize(opts.DataLogCap)
+	flogOff := alogOff + plog.AddrLogSize(opts.AllocLogCap)
+	slotSize := flogOff + plog.AddrLogSize(opts.FreeLogCap)
+
+	for i := 0; i < opts.Slots; i++ {
+		base, err := a.Alloc(i, slotSize)
+		if err != nil {
+			return nil, fmt.Errorf("undolog: create slot %d: %w", i, err)
+		}
+		p.Store(base, make([]byte, hdrSize))
+		p.Persist(base, hdrSize)
+		e.slots = append(e.slots, &slot{
+			id:   i,
+			hdr:  base,
+			dlog: plog.FormatDataLog(p, i, base+dlogOff, opts.DataLogCap),
+			alog: plog.FormatAddrLog(p, i, base+alogOff, opts.AllocLogCap),
+			flog: plog.FormatAddrLog(p, i, base+flogOff, opts.FreeLogCap),
+		})
+		p.Store64(anchor+16+uint64(i)*8, base)
+	}
+	p.Persist(anchor, anchorSize)
+	p.Store64(p.RootSlot(rootSlot), anchor)
+	p.Persist(p.RootSlot(rootSlot), 8)
+	return e, nil
+}
+
+// Attach opens a previously created engine.
+func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
+	opts.fill()
+	anchor := p.Load64(p.RootSlot(rootSlot))
+	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+		return nil, errors.New("undolog: pool has no undo engine")
+	}
+	n := int(p.Load64(anchor + 8))
+	if n <= 0 || n > txn.MaxSlots {
+		return nil, fmt.Errorf("undolog: corrupt anchor: %d slots", n)
+	}
+	opts.Slots = n
+	e := &Engine{pool: p, alloc: a, opts: opts}
+	for i := 0; i < n; i++ {
+		base := p.Load64(anchor + 16 + uint64(i)*8)
+		dlog, err := plog.AttachDataLog(p, i, base+hdrSize)
+		if err != nil {
+			return nil, fmt.Errorf("undolog: slot %d: %w", i, err)
+		}
+		dcap := p.Load64(base + hdrSize + 8)
+		alogOff := uint64(hdrSize) + plog.DataLogSize(dcap)
+		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
+		if err != nil {
+			return nil, fmt.Errorf("undolog: slot %d: %w", i, err)
+		}
+		acap := int(p.Load64(base + alogOff + 8))
+		flog, err := plog.AttachAddrLog(p, i, base+alogOff+plog.AddrLogSize(acap))
+		if err != nil {
+			return nil, fmt.Errorf("undolog: slot %d: %w", i, err)
+		}
+		status := p.Load64(base + offStatus)
+		e.slots = append(e.slots, &slot{id: i, hdr: base, dlog: dlog, alog: alog, flog: flog, seq: status >> 2})
+	}
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string { return "pmdk" }
+
+// Register implements txn.Engine.
+func (e *Engine) Register(name string, fn txn.TxFunc) { e.reg.Register(name, fn) }
+
+// Stats implements txn.Engine.
+func (e *Engine) Stats() *txn.Stats { return &e.stats }
+
+// Pool returns the engine's pool.
+func (e *Engine) Pool() *nvm.Pool { return e.pool }
+
+// Allocator returns the engine's allocator.
+func (e *Engine) Allocator() *pmem.Allocator { return e.alloc }
+
+// Run implements txn.Engine.
+func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
+	fn, err := e.reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := txn.CheckSlot(slotID); err != nil || slotID >= len(e.slots) {
+		return fmt.Errorf("%w: %d", txn.ErrBadSlot, slotID)
+	}
+	s := e.slots[slotID]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if args == nil {
+		args = txn.NoArgs
+	}
+	seq := s.seq + 1
+	p := e.pool
+
+	// Begin: persist the ongoing marker so recovery knows to roll back.
+	p.Store64(s.hdr+offFreeApplied, 0)
+	p.Store64(s.hdr+offReclaimApplied, 0)
+	p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
+	p.Persist(s.hdr+offStatus, 8) // freeApplied shares the line
+	s.seq = seq
+	s.dlog.Reset()
+	s.alog.Reset()
+	s.flog.Reset()
+
+	m := &mem{e: e, s: s, seq: seq, logged: make(map[uint64]struct{}), dirty: make(map[uint64]struct{})}
+	if err := fn(m, args); err != nil {
+		// Undo logging supports true aborts: roll back in place.
+		e.rollback(s, seq)
+		return err
+	}
+
+	// Commit: outputs durable, then invalidate the log, then frees.
+	for line := range m.dirty {
+		p.Flush(line*nvm.LineSize, nvm.LineSize)
+	}
+	p.Fence()
+	if m.frees > 0 {
+		e.setStatus(s, seq, phaseFreeing)
+		e.applyFrees(s, seq, 0)
+	}
+	e.setStatus(s, seq, phaseIdle)
+	e.stats.Committed.Add(1)
+	return nil
+}
+
+func (e *Engine) setStatus(s *slot, seq, phase uint64) {
+	e.pool.Store64(s.hdr+offStatus, seq<<2|phase)
+	e.pool.Persist(s.hdr+offStatus, 8)
+}
+
+func (e *Engine) applyFrees(s *slot, seq, from uint64) {
+	p := e.pool
+	addrs := s.flog.Scan(seq)
+	for i := from; i < uint64(len(addrs)); i++ {
+		p.Store64(s.hdr+offFreeApplied, i+1)
+		p.Persist(s.hdr+offFreeApplied, 8)
+		if err := e.alloc.Free(addrs[i]); err != nil {
+			continue
+		}
+	}
+}
+
+// rollback restores all undo-logged values in reverse order, reclaims the
+// transaction's allocations, and marks the slot idle.
+func (e *Engine) rollback(s *slot, seq uint64) {
+	p := e.pool
+	entries := s.dlog.Scan(seq)
+	for i := len(entries) - 1; i >= 0; i-- {
+		p.Store(entries[i].Addr, entries[i].Data)
+		p.Flush(entries[i].Addr, uint64(len(entries[i].Data)))
+	}
+	if len(entries) > 0 {
+		p.Fence()
+	}
+	allocs := s.alog.Scan(seq)
+	for i := p.Load64(s.hdr + offReclaimApplied); i < uint64(len(allocs)); i++ {
+		p.Store64(s.hdr+offReclaimApplied, i+1)
+		p.Persist(s.hdr+offReclaimApplied, 8)
+		if err := e.alloc.Free(allocs[i]); err != nil {
+			continue
+		}
+	}
+	e.setStatus(s, seq, phaseIdle)
+}
+
+// RunRO implements txn.Engine: undo systems read directly (no interposition).
+func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
+	if err := txn.CheckSlot(slotID); err != nil {
+		return err
+	}
+	return fn(roMem{e.pool})
+}
+
+// Recover implements txn.Engine: interrupted transactions roll back (the
+// traditional undo recovery, in contrast to clobber's re-execution).
+func (e *Engine) Recover() (int, error) {
+	n := 0
+	for _, s := range e.slots {
+		status := e.pool.Load64(s.hdr + offStatus)
+		seq, phase := status>>2, status&3
+		s.seq = seq
+		switch phase {
+		case phaseOngoing:
+			e.rollback(s, seq)
+			e.stats.Recovered.Add(1)
+			n++
+		case phaseFreeing:
+			e.applyFrees(s, seq, e.pool.Load64(s.hdr+offFreeApplied))
+			e.setStatus(s, seq, phaseIdle)
+		}
+	}
+	return n, nil
+}
+
+// mem is the undo-logging transactional memory view.
+type mem struct {
+	e   *Engine
+	s   *slot
+	seq uint64
+
+	logged map[uint64]struct{} // words already undo-logged
+	dirty  map[uint64]struct{} // lines to flush at commit
+	frees  int
+}
+
+var _ txn.Mem = (*mem)(nil)
+
+func (m *mem) Load(addr uint64, buf []byte) { m.e.pool.Load(addr, buf) }
+func (m *mem) Load64(addr uint64) uint64    { return m.e.pool.Load64(addr) }
+
+func (m *mem) Store(addr uint64, data []byte) {
+	m.preStore(addr, uint64(len(data)))
+	m.e.pool.Store(addr, data)
+}
+
+func (m *mem) Store64(addr uint64, v uint64) {
+	m.preStore(addr, 8)
+	m.e.pool.Store64(addr, v)
+}
+
+// preStore undo-logs the old value of any not-yet-logged word the store
+// covers — the classic "log before write" discipline with its per-entry
+// flush+fence, applied to every store (not only clobber writes).
+func (m *mem) preStore(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	need := false
+	for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
+		if _, ok := m.logged[u]; !ok {
+			need = true
+		}
+	}
+	if need {
+		old := make([]byte, n)
+		m.e.pool.Load(addr, old)
+		nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{})
+		if err != nil {
+			panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
+		}
+		m.e.stats.LogEntries.Add(1)
+		m.e.stats.LogBytes.Add(int64(nbytes))
+		for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
+			m.logged[u] = struct{}{}
+		}
+	}
+	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
+		m.dirty[l] = struct{}{}
+	}
+}
+
+func (m *mem) Alloc(size uint64) (txn.Addr, error) {
+	addr, err := m.e.alloc.Alloc(m.s.id, size)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.s.alog.Append(m.seq, addr, false); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrTxTooLarge, err)
+	}
+	return addr, nil
+}
+
+func (m *mem) Free(addr txn.Addr) error {
+	if err := m.s.flog.Append(m.seq, addr, false); err != nil {
+		return fmt.Errorf("%w: %v", ErrTxTooLarge, err)
+	}
+	m.frees++
+	return nil
+}
+
+type roMem struct{ pool *nvm.Pool }
+
+var _ txn.Mem = roMem{}
+
+func (r roMem) Load(addr uint64, buf []byte)   { r.pool.Load(addr, buf) }
+func (r roMem) Load64(addr uint64) uint64      { return r.pool.Load64(addr) }
+func (r roMem) Store(addr uint64, data []byte) { panic("undolog: store in read-only op") }
+func (r roMem) Store64(addr uint64, v uint64)  { panic("undolog: store in read-only op") }
+func (r roMem) Alloc(size uint64) (txn.Addr, error) {
+	return 0, errors.New("undolog: alloc in read-only op")
+}
+func (r roMem) Free(addr txn.Addr) error { return errors.New("undolog: free in read-only op") }

@@ -1,0 +1,157 @@
+package undolog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/txn"
+)
+
+func newEngine(t *testing.T) (*nvm.Pool, *Engine) {
+	t.Helper()
+	p := nvm.New(1<<24, nvm.WithEvictProbability(0))
+	a, err := pmem.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Create(p, a, Options{Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func TestAbortRestoresExactBytes(t *testing.T) {
+	p, e := newEngine(t)
+	cell := p.RootSlot(8)
+	orig := []byte("original-sixteen")
+	p.Store(cell, orig[:8])
+	p.Store(cell+8, orig[8:])
+	p.Persist(cell, 16)
+
+	boom := errors.New("abort")
+	e.Register("scribble", func(m txn.Mem, args *txn.Args) error {
+		m.Store(cell, []byte("clobbered-bytes!"))
+		m.Store64(cell+64, 12345)
+		return boom
+	})
+	if err := e.Run(0, "scribble", txn.NoArgs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got := make([]byte, 16)
+	p.Load(cell, got)
+	if !bytes.Equal(got, orig) {
+		t.Fatalf("rollback produced %q, want %q", got, orig)
+	}
+	if v := p.Load64(cell + 64); v != 0 {
+		t.Fatalf("side store not rolled back: %d", v)
+	}
+}
+
+func TestAbortReclaimsAllocations(t *testing.T) {
+	_, e := newEngine(t)
+	boom := errors.New("abort")
+	var leaked txn.Addr
+	e.Register("alloc-abort", func(m txn.Mem, args *txn.Args) error {
+		a, err := m.Alloc(64)
+		if err != nil {
+			return err
+		}
+		leaked = a
+		m.Store64(a, 1)
+		return boom
+	})
+	if err := e.Run(0, "alloc-abort", txn.NoArgs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The aborted allocation must be back on the free list: the next
+	// same-size alloc reuses it.
+	got, err := e.Allocator().Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != leaked {
+		t.Fatalf("aborted alloc not reclaimed: got %#x want %#x", got, leaked)
+	}
+}
+
+func TestEveryFirstStoreLogged(t *testing.T) {
+	p, e := newEngine(t)
+	base := p.RootSlot(8)
+	e.Register("writes", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(base, 1)   // word A: logged
+		m.Store64(base, 2)   // word A again: deduplicated
+		m.Store64(base+8, 3) // word B: logged
+		m.Store64(base+8, 4) // word B again: deduplicated
+		return nil
+	})
+	if err := e.Run(0, "writes", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().LogEntries.Load(); n != 2 {
+		t.Fatalf("undo entries = %d, want 2 (first store per word)", n)
+	}
+}
+
+func TestWriteOnlyTxStillLogs(t *testing.T) {
+	// The defining contrast with clobber logging: a store to a location the
+	// transaction never read still produces an undo entry.
+	p, e := newEngine(t)
+	cell := p.RootSlot(9)
+	e.Register("blindwrite", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(cell, 7)
+		return nil
+	})
+	if err := e.Run(0, "blindwrite", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().LogEntries.Load(); n != 1 {
+		t.Fatalf("undo entries = %d, want 1 for a blind write", n)
+	}
+}
+
+func TestPerEntryFenceDiscipline(t *testing.T) {
+	p, e := newEngine(t)
+	base := p.RootSlot(8)
+	e.Register("three", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(base, 1)
+		m.Store64(base+64, 2)
+		m.Store64(base+128, 3)
+		return nil
+	})
+	if err := e.Run(0, "three", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	s0 := p.Stats()
+	if err := e.Run(0, "three", txn.NoArgs); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Stats().Sub(s0)
+	// begin(1) + 3 undo entries(3) + output flush(1) + commit(1) = 6
+	if d.Fences != 6 {
+		t.Fatalf("fences = %d, want 6", d.Fences)
+	}
+}
+
+func TestRollbackAppliesInReverse(t *testing.T) {
+	// Two overlapping stores to the same word: the undo log holds only the
+	// first (pre-tx) value because of dedup, but an abort after both must
+	// restore the pre-tx value, not the intermediate.
+	p, e := newEngine(t)
+	cell := p.RootSlot(8)
+	p.Store64(cell, 100)
+	p.Persist(cell, 8)
+	boom := errors.New("x")
+	e.Register("twice", func(m txn.Mem, args *txn.Args) error {
+		m.Store64(cell, 200)
+		m.Store64(cell, 300)
+		return boom
+	})
+	_ = e.Run(0, "twice", txn.NoArgs)
+	if got := p.Load64(cell); got != 100 {
+		t.Fatalf("cell = %d, want 100", got)
+	}
+}

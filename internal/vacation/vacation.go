@@ -1,0 +1,568 @@
+// Package vacation ports the STAMP suite's vacation benchmark (§5.7): a
+// travel-agency database with four tables — cars, flights, rooms and
+// customers — where each client task is one failure-atomic transaction
+// spanning several tables.
+//
+// As in the paper's port, the reservation tables live in persistent memory
+// (on red-black or AVL trees — the underlying structure is the Figure 11
+// variable) while client threads remain volatile. A task queries q items
+// (the queries-per-task knob of Figure 11), then reserves the
+// highest-priced available item of each queried type for the customer,
+// decrementing the item's free count and appending to the customer's
+// reservation list — all in one transaction.
+package vacation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/txn"
+)
+
+// ReservationType enumerates the three bookable tables.
+type ReservationType int
+
+// Bookable tables.
+const (
+	Car ReservationType = iota
+	Flight
+	Room
+	numTypes
+)
+
+func (r ReservationType) String() string {
+	switch r {
+	case Car:
+		return "car"
+	case Flight:
+		return "flight"
+	default:
+		return "room"
+	}
+}
+
+// TreeKind selects the table implementation (Figure 11's variable).
+type TreeKind int
+
+// Table tree kinds.
+const (
+	RBTreeTables TreeKind = iota
+	AVLTreeTables
+)
+
+func (k TreeKind) String() string {
+	if k == AVLTreeTables {
+		return "avltree"
+	}
+	return "rbtree"
+}
+
+// Record is a reservation-table row: [free][total][price], 24 bytes encoded.
+type Record struct {
+	Free  uint64
+	Total uint64
+	Price uint64
+}
+
+func encodeRecord(r Record) []byte {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf[0:], r.Free)
+	binary.LittleEndian.PutUint64(buf[8:], r.Total)
+	binary.LittleEndian.PutUint64(buf[16:], r.Price)
+	return buf
+}
+
+func decodeRecord(b []byte) Record {
+	return Record{
+		Free:  binary.LittleEndian.Uint64(b[0:]),
+		Total: binary.LittleEndian.Uint64(b[8:]),
+		Price: binary.LittleEndian.Uint64(b[16:]),
+	}
+}
+
+// Customer rows encode the bill plus the reservation list:
+// [bill][n][(type,id,price) x n].
+type customer struct {
+	bill uint64
+	res  []reservation
+}
+
+type reservation struct {
+	typ   uint64
+	id    uint64
+	price uint64
+}
+
+func encodeCustomer(c customer) []byte {
+	buf := make([]byte, 16+24*len(c.res))
+	binary.LittleEndian.PutUint64(buf[0:], c.bill)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(c.res)))
+	for i, r := range c.res {
+		off := 16 + 24*i
+		binary.LittleEndian.PutUint64(buf[off:], r.typ)
+		binary.LittleEndian.PutUint64(buf[off+8:], r.id)
+		binary.LittleEndian.PutUint64(buf[off+16:], r.price)
+	}
+	return buf
+}
+
+func decodeCustomer(b []byte) customer {
+	c := customer{bill: binary.LittleEndian.Uint64(b[0:])}
+	n := int(binary.LittleEndian.Uint64(b[8:]))
+	for i := 0; i < n; i++ {
+		off := 16 + 24*i
+		c.res = append(c.res, reservation{
+			typ:   binary.LittleEndian.Uint64(b[off:]),
+			id:    binary.LittleEndian.Uint64(b[off+8:]),
+			price: binary.LittleEndian.Uint64(b[off+16:]),
+		})
+	}
+	return c
+}
+
+func idKey(id uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], id)
+	return k[:]
+}
+
+// Manager is the vacation database.
+//
+// Persistent layout (header anchored at a root slot):
+//
+//	[magic][kind][carRoot][flightRoot][roomRoot][custRoot]
+//
+// where each *Root field is a tree root-pointer cell operated on by the
+// link-level tree functions of package pds.
+type Manager struct {
+	eng      pds.Engine
+	rootSlot int
+	kind     TreeKind
+
+	// One global lock: every vacation transaction may touch every table,
+	// so the lock set (all tables) is acquired wholesale, satisfying the
+	// strong strict 2PL contract.
+	mu sync.RWMutex
+}
+
+const vacMagic = 0x56414341 // "VACA"
+
+// New opens the vacation database anchored at rootSlot, creating it with
+// the given tree kind if needed.
+func New(eng pds.Engine, rootSlot int, kind TreeKind) (*Manager, error) {
+	v := &Manager{eng: eng, rootSlot: rootSlot, kind: kind}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	v.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != vacMagic {
+			return nil, fmt.Errorf("vacation: root slot %d does not hold a database", rootSlot)
+		}
+		v.kind = TreeKind(pool.Load64(hdr + 8))
+		return v, nil
+	}
+	if err := eng.Run(0, v.fn("init"), txn.NewArgs().PutUint64(uint64(kind))); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (v *Manager) fn(op string) string { return fmt.Sprintf("vacation%d:%s", v.rootSlot, op) }
+
+func (v *Manager) hdr(m txn.Mem) txn.Addr {
+	return m.Load64(v.eng.Pool().RootSlot(v.rootSlot))
+}
+
+// tableLink returns the root-pointer cell of a reservation table
+// (0..2 = car/flight/room, 3 = customers).
+func (v *Manager) tableLink(m txn.Mem, table uint64) txn.Addr {
+	return v.hdr(m) + 16 + table*8
+}
+
+// Tree-kind dispatch: the same transaction code drives either structure.
+func (v *Manager) treeGet(m txn.Mem, link txn.Addr, key []byte) ([]byte, bool) {
+	if v.kind == AVLTreeTables {
+		return pds.AVLGetAt(m, link, key)
+	}
+	return pds.RBGetAt(m, link, key)
+}
+
+func (v *Manager) treeInsert(m txn.Mem, link txn.Addr, key, val []byte) error {
+	if v.kind == AVLTreeTables {
+		return pds.AVLInsertAt(m, link, key, val)
+	}
+	return pds.RBInsertAt(m, link, key, val)
+}
+
+func (v *Manager) treeDelete(m txn.Mem, link txn.Addr, key []byte) (bool, error) {
+	if v.kind == AVLTreeTables {
+		return pds.AVLDeleteAt(m, link, key)
+	}
+	return pds.RBDeleteAt(m, link, key)
+}
+
+func (v *Manager) treeWalk(m txn.Mem, link txn.Addr, fn func(k, val []byte) bool) {
+	if v.kind == AVLTreeTables {
+		pds.AVLWalkAt(m, link, fn)
+	} else {
+		pds.RBWalkAt(m, link, fn)
+	}
+}
+
+func (v *Manager) register() {
+	slotAddr := v.eng.Pool().RootSlot(v.rootSlot)
+
+	v.eng.Register(v.fn("init"), func(m txn.Mem, args *txn.Args) error {
+		hdr, err := m.Alloc(16 + 4*8)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, vacMagic)
+		m.Store64(hdr+8, args.Uint64(0)) // tree kind
+		for i := uint64(0); i < 4; i++ {
+			m.Store64(hdr+16+i*8, 0)
+		}
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	// additem: upsert a reservation record (also the populate path).
+	// args: table, id, num, price
+	v.eng.Register(v.fn("additem"), func(m txn.Mem, args *txn.Args) error {
+		table, id := args.Uint64(0), args.Uint64(1)
+		num, price := args.Uint64(2), args.Uint64(3)
+		link := v.tableLink(m, table)
+		rec := Record{Free: num, Total: num, Price: price}
+		if old, ok := v.treeGet(m, link, idKey(id)); ok {
+			prev := decodeRecord(old)
+			rec.Free += prev.Free
+			rec.Total += prev.Total
+		}
+		return v.treeInsert(m, link, idKey(id), encodeRecord(rec))
+	})
+
+	// delitem: remove a reservation record if it has no active bookings.
+	// args: table, id
+	v.eng.Register(v.fn("delitem"), func(m txn.Mem, args *txn.Args) error {
+		table, id := args.Uint64(0), args.Uint64(1)
+		link := v.tableLink(m, table)
+		old, ok := v.treeGet(m, link, idKey(id))
+		if !ok {
+			return nil
+		}
+		if r := decodeRecord(old); r.Free != r.Total {
+			return nil // active bookings: leave it (STAMP retries elsewhere)
+		}
+		_, err := v.treeDelete(m, link, idKey(id))
+		return err
+	})
+
+	// addcustomer: args: custID
+	v.eng.Register(v.fn("addcustomer"), func(m txn.Mem, args *txn.Args) error {
+		id := args.Uint64(0)
+		link := v.tableLink(m, 3)
+		if _, ok := v.treeGet(m, link, idKey(id)); ok {
+			return nil
+		}
+		return v.treeInsert(m, link, idKey(id), encodeCustomer(customer{}))
+	})
+
+	// reserve: the MAKE_RESERVATION task. args: custID, q, then q pairs of
+	// (table, id). Queries all items; for each table type reserves the
+	// highest-priced available queried item.
+	v.eng.Register(v.fn("reserve"), func(m txn.Mem, args *txn.Args) error {
+		custID := args.Uint64(0)
+		q := int(args.Uint64(1))
+		type best struct {
+			id    uint64
+			price uint64
+			found bool
+		}
+		var bests [numTypes]best
+		for i := 0; i < q; i++ {
+			table := args.Uint64(2 + 2*i)
+			id := args.Uint64(3 + 2*i)
+			val, ok := v.treeGet(m, v.tableLink(m, table), idKey(id))
+			if !ok {
+				continue
+			}
+			rec := decodeRecord(val)
+			if rec.Free == 0 {
+				continue
+			}
+			b := &bests[table]
+			if !b.found || rec.Price > b.price {
+				*b = best{id: id, price: rec.Price, found: true}
+			}
+		}
+		custLink := v.tableLink(m, 3)
+		cval, ok := v.treeGet(m, custLink, idKey(custID))
+		if !ok {
+			return nil // customer vanished: task becomes a no-op
+		}
+		cust := decodeCustomer(cval)
+		changed := false
+		for typ := uint64(0); typ < uint64(numTypes); typ++ {
+			b := bests[typ]
+			if !b.found {
+				continue
+			}
+			link := v.tableLink(m, typ)
+			val, ok := v.treeGet(m, link, idKey(b.id))
+			if !ok {
+				continue
+			}
+			rec := decodeRecord(val)
+			if rec.Free == 0 {
+				continue
+			}
+			rec.Free--
+			if err := v.treeInsert(m, link, idKey(b.id), encodeRecord(rec)); err != nil {
+				return err
+			}
+			cust.res = append(cust.res, reservation{typ: typ, id: b.id, price: b.price})
+			cust.bill += b.price
+			changed = true
+		}
+		if !changed {
+			return nil
+		}
+		return v.treeInsert(m, custLink, idKey(custID), encodeCustomer(cust))
+	})
+
+	// delcustomer: the DELETE_CUSTOMER task — release all reservations and
+	// remove the customer. args: custID
+	v.eng.Register(v.fn("delcustomer"), func(m txn.Mem, args *txn.Args) error {
+		custID := args.Uint64(0)
+		custLink := v.tableLink(m, 3)
+		cval, ok := v.treeGet(m, custLink, idKey(custID))
+		if !ok {
+			return nil
+		}
+		cust := decodeCustomer(cval)
+		for _, r := range cust.res {
+			link := v.tableLink(m, r.typ)
+			val, ok := v.treeGet(m, link, idKey(r.id))
+			if !ok {
+				continue
+			}
+			rec := decodeRecord(val)
+			rec.Free++
+			if err := v.treeInsert(m, link, idKey(r.id), encodeRecord(rec)); err != nil {
+				return err
+			}
+		}
+		_, err := v.treeDelete(m, custLink, idKey(custID))
+		return err
+	})
+}
+
+// Populate fills each reservation table with n records (ids 0..n-1) and
+// creates n customers, mirroring STAMP's manager initialization.
+func (v *Manager) Populate(slot int, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for table := uint64(0); table < uint64(numTypes); table++ {
+		for id := 0; id < n; id++ {
+			num := uint64(100 + rng.Intn(100))
+			price := uint64(50 + rng.Intn(450))
+			if err := v.AddItem(slot, ReservationType(table), uint64(id), num, price); err != nil {
+				return err
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if err := v.AddCustomer(slot, uint64(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddItem upserts a reservation record.
+func (v *Manager) AddItem(slot int, typ ReservationType, id, num, price uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.eng.Run(slot, v.fn("additem"),
+		txn.NewArgs().PutUint64(uint64(typ)).PutUint64(id).PutUint64(num).PutUint64(price))
+}
+
+// DeleteItem removes a fully free reservation record.
+func (v *Manager) DeleteItem(slot int, typ ReservationType, id uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.eng.Run(slot, v.fn("delitem"),
+		txn.NewArgs().PutUint64(uint64(typ)).PutUint64(id))
+}
+
+// AddCustomer creates a customer if absent.
+func (v *Manager) AddCustomer(slot int, id uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.eng.Run(slot, v.fn("addcustomer"), txn.NewArgs().PutUint64(id))
+}
+
+// QueryItem is one (table, id) probe of a reservation task.
+type QueryItem struct {
+	Type ReservationType
+	ID   uint64
+}
+
+// MakeReservation runs one reservation task: query the given items, then
+// book the best available item per type for the customer. One transaction.
+func (v *Manager) MakeReservation(slot int, custID uint64, items []QueryItem) error {
+	args := txn.NewArgs().PutUint64(custID).PutUint64(uint64(len(items)))
+	for _, it := range items {
+		args.PutUint64(uint64(it.Type)).PutUint64(it.ID)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.eng.Run(slot, v.fn("reserve"), args)
+}
+
+// DeleteCustomer releases a customer's reservations and removes the row.
+func (v *Manager) DeleteCustomer(slot int, custID uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.eng.Run(slot, v.fn("delcustomer"), txn.NewArgs().PutUint64(custID))
+}
+
+// CustomerBill returns the customer's current bill.
+func (v *Manager) CustomerBill(slot int, custID uint64) (uint64, bool, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var bill uint64
+	found := false
+	err := v.eng.RunRO(slot, func(m txn.Mem) error {
+		if val, ok := v.treeGet(m, v.tableLink(m, 3), idKey(custID)); ok {
+			bill = decodeCustomer(val).bill
+			found = true
+		}
+		return nil
+	})
+	return bill, found, err
+}
+
+// CheckConsistency verifies the books balance: for every table, booked
+// seats (total - free) equal the reservations customers hold, and each
+// customer's bill equals the sum of their reservation prices.
+func (v *Manager) CheckConsistency(slot int) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.eng.RunRO(slot, func(m txn.Mem) error {
+		booked := map[[2]uint64]int64{} // (type,id) → customer-held count
+		var badBill error
+		v.treeWalk(m, v.tableLink(m, 3), func(k, val []byte) bool {
+			cust := decodeCustomer(val)
+			var sum uint64
+			for _, r := range cust.res {
+				booked[[2]uint64{r.typ, r.id}]++
+				sum += r.price
+			}
+			if sum != cust.bill {
+				badBill = fmt.Errorf("vacation: customer %d bill %d != reservation sum %d",
+					binary.BigEndian.Uint64(k), cust.bill, sum)
+				return false
+			}
+			return true
+		})
+		if badBill != nil {
+			return badBill
+		}
+		for typ := uint64(0); typ < uint64(numTypes); typ++ {
+			var bad error
+			v.treeWalk(m, v.tableLink(m, typ), func(k, val []byte) bool {
+				rec := decodeRecord(val)
+				id := binary.BigEndian.Uint64(k)
+				used := int64(rec.Total - rec.Free)
+				if held := booked[[2]uint64{typ, id}]; held != used {
+					bad = fmt.Errorf("vacation: %s %d used=%d but customers hold %d",
+						ReservationType(typ), id, used, held)
+					return false
+				}
+				delete(booked, [2]uint64{typ, id})
+				return true
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+		for key, n := range booked {
+			if n != 0 {
+				return fmt.Errorf("vacation: customers hold %d of missing item %v", n, key)
+			}
+		}
+		return nil
+	})
+}
+
+// Task is a generated client task.
+type Task struct {
+	Kind   TaskKind
+	Cust   uint64
+	Items  []QueryItem
+	Table  ReservationType
+	ItemID uint64
+}
+
+// TaskKind enumerates vacation task types.
+type TaskKind int
+
+// Task kinds, with the §5.7 mix: 99% reservations/cancellations, the rest
+// create/destroy items.
+const (
+	TaskReserve TaskKind = iota
+	TaskDeleteCustomer
+	TaskAddItem
+	TaskDeleteItem
+)
+
+// GenTasks builds a deterministic task stream. q is queries-per-task
+// (Figure 11's x-axis), n the table population.
+func GenTasks(count, q, n int, seed int64) []Task {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]Task, 0, count)
+	for i := 0; i < count; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.98:
+			items := make([]QueryItem, q)
+			for j := range items {
+				items[j] = QueryItem{
+					Type: ReservationType(rng.Intn(int(numTypes))),
+					ID:   uint64(rng.Intn(n)),
+				}
+			}
+			tasks = append(tasks, Task{Kind: TaskReserve, Cust: uint64(rng.Intn(n)), Items: items})
+		case r < 0.99:
+			tasks = append(tasks, Task{Kind: TaskDeleteCustomer, Cust: uint64(rng.Intn(n))})
+		case r < 0.995:
+			tasks = append(tasks, Task{
+				Kind: TaskAddItem, Table: ReservationType(rng.Intn(int(numTypes))),
+				ItemID: uint64(n + rng.Intn(n)),
+			})
+		default:
+			tasks = append(tasks, Task{
+				Kind: TaskDeleteItem, Table: ReservationType(rng.Intn(int(numTypes))),
+				ItemID: uint64(rng.Intn(2 * n)),
+			})
+		}
+	}
+	return tasks
+}
+
+// RunTask executes one task.
+func (v *Manager) RunTask(slot int, t Task) error {
+	switch t.Kind {
+	case TaskReserve:
+		return v.MakeReservation(slot, t.Cust, t.Items)
+	case TaskDeleteCustomer:
+		return v.DeleteCustomer(slot, t.Cust)
+	case TaskAddItem:
+		return v.AddItem(slot, t.Table, t.ItemID, 100, 100)
+	default:
+		return v.DeleteItem(slot, t.Table, t.ItemID)
+	}
+}

@@ -1,0 +1,105 @@
+// Package yada ports the STAMP suite's yada benchmark (§5.8): Ruppert's
+// algorithm for Delaunay mesh refinement. The input mesh is refined until
+// every triangle's minimum angle exceeds a constraint (the Figure 12 sweep,
+// 15°–30°).
+//
+// The persistent objects match the paper's port: the triangle graph, the
+// boundary-segment set, and the task queue of triangles awaiting
+// refinement. One refinement step — pop a bad triangle, insert its
+// circumcenter (or split an encroached boundary segment) via a
+// Bowyer–Watson cavity, requeue new bad triangles — is one failure-atomic
+// transaction.
+//
+// The STAMP input file (ttimeu10000.2) is replaced by a seeded synthetic
+// input: random interior points in a square plus the square boundary as
+// segments (see DESIGN.md's substitution table).
+package yada
+
+import "math"
+
+// Point is a 2-D point.
+type Point struct {
+	X, Y float64
+}
+
+// sub returns a - b.
+func sub(a, b Point) Point { return Point{a.X - b.X, a.Y - b.Y} }
+
+func dot(a, b Point) float64   { return a.X*b.X + a.Y*b.Y }
+func cross(a, b Point) float64 { return a.X*b.Y - a.Y*b.X }
+
+func dist2(a, b Point) float64 {
+	d := sub(a, b)
+	return dot(d, d)
+}
+
+// orient2d returns twice the signed area of triangle abc (> 0 if counter-
+// clockwise).
+func orient2d(a, b, c Point) float64 {
+	return cross(sub(b, a), sub(c, a))
+}
+
+// circumcenter returns the circumcenter of triangle abc and whether it is
+// well defined (non-degenerate triangle).
+func circumcenter(a, b, c Point) (Point, bool) {
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if math.Abs(d) < 1e-12 {
+		return Point{}, false
+	}
+	a2 := dot(a, a)
+	b2 := dot(b, b)
+	c2 := dot(c, c)
+	ux := (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+	uy := (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+	return Point{ux, uy}, true
+}
+
+// inCircumcircle reports whether p lies strictly inside the circumcircle of
+// counter-clockwise triangle abc.
+func inCircumcircle(a, b, c, p Point) bool {
+	ax, ay := a.X-p.X, a.Y-p.Y
+	bx, by := b.X-p.X, b.Y-p.Y
+	cx, cy := c.X-p.X, c.Y-p.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 1e-12
+}
+
+// minAngleDeg returns the smallest interior angle of triangle abc in
+// degrees (0 for degenerate triangles).
+func minAngleDeg(a, b, c Point) float64 {
+	la := dist2(b, c) // edge opposite a
+	lb := dist2(a, c)
+	lc := dist2(a, b)
+	if la == 0 || lb == 0 || lc == 0 {
+		return 0
+	}
+	angle := func(opp2, s1, s2 float64) float64 {
+		v := (s1 + s2 - opp2) / (2 * math.Sqrt(s1*s2))
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		return math.Acos(v) * 180 / math.Pi
+	}
+	aA := angle(la, lb, lc)
+	aB := angle(lb, la, lc)
+	aC := angle(lc, la, lb)
+	return math.Min(aA, math.Min(aB, aC))
+}
+
+// encroaches reports whether p lies strictly inside the diametral circle of
+// segment (s1, s2).
+func encroaches(s1, s2, p Point) bool {
+	mid := Point{(s1.X + s2.X) / 2, (s1.Y + s2.Y) / 2}
+	r2 := dist2(s1, s2) / 4
+	return dist2(mid, p) < r2-1e-12
+}
+
+// shortestEdge2 returns the squared length of the shortest edge of abc.
+func shortestEdge2(a, b, c Point) float64 {
+	return math.Min(dist2(a, b), math.Min(dist2(b, c), dist2(a, c)))
+}

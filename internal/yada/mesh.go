@@ -1,0 +1,456 @@
+package yada
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/txn"
+)
+
+// Persistent layout.
+//
+// Header (anchored at a pool root slot):
+//
+//	[0:8)   magic
+//	[8:16)  numPoints
+//	[16:24) points array address
+//	[24:32) points capacity
+//	[32:40) triangle list head (doubly linked)
+//	[40:48) segment list head (singly linked)
+//	[48:56) work queue head (stack of triangle refs)
+//	[56:64) alive triangle count
+//	[64:72) refinement steps processed
+//
+// Triangle record: [v0][v1][v2][prev][next][alive].
+// Segment record:  [p1][p2][next].
+// Queue node:      [tri][next].
+const (
+	yadaMagic = 0x59414441 // "YADA"
+
+	hNumPoints = 8
+	hPoints    = 16
+	hPointsCap = 24
+	hTriHead   = 32
+	hSegHead   = 40
+	hQueueHead = 48
+	hAlive     = 56
+	hSteps     = 64
+	hdrSize    = 72
+
+	tV0    = 0
+	tV1    = 8
+	tV2    = 16
+	tPrev  = 24
+	tNext  = 32
+	tAlive = 40
+	tSize  = 48
+
+	sP1   = 0
+	sP2   = 8
+	sNext = 16
+	sSize = 24
+
+	qTri  = 0
+	qNext = 8
+	qSize = 16
+)
+
+// minEdge2Floor is the termination guard: triangles whose shortest edge is
+// already below this squared length are not refined further. Ruppert's
+// algorithm is only guaranteed to terminate below ~20.7°; the paper sweeps
+// the constraint to 30°, which requires exactly this kind of floor.
+const minEdge2Floor = 1e-6
+
+// Mesh is the persistent refinement mesh.
+type Mesh struct {
+	eng      pds.Engine
+	rootSlot int
+
+	// One global lock: every refinement step may touch the whole mesh.
+	mu sync.Mutex
+}
+
+// NewMesh opens (or creates) the mesh anchored at rootSlot. maxPoints bounds
+// the point array (only used at creation).
+func NewMesh(eng pds.Engine, rootSlot int, maxPoints int) (*Mesh, error) {
+	ms := &Mesh{eng: eng, rootSlot: rootSlot}
+	pool := eng.Pool()
+	slotAddr := pool.RootSlot(rootSlot)
+	ms.register()
+	if hdr := pool.Load64(slotAddr); hdr != 0 {
+		if pool.Load64(hdr) != yadaMagic {
+			return nil, fmt.Errorf("yada: root slot %d does not hold a mesh", rootSlot)
+		}
+		return ms, nil
+	}
+	if err := eng.Run(0, ms.fn("init"), txn.NewArgs().PutUint64(uint64(maxPoints))); err != nil {
+		return nil, err
+	}
+	return ms, nil
+}
+
+func (ms *Mesh) fn(op string) string { return fmt.Sprintf("yada%d:%s", ms.rootSlot, op) }
+
+func (ms *Mesh) hdr(m txn.Mem) txn.Addr {
+	return m.Load64(ms.eng.Pool().RootSlot(ms.rootSlot))
+}
+
+// point reads point id's coordinates.
+func point(m txn.Mem, hdr txn.Addr, id uint64) Point {
+	arr := m.Load64(hdr + hPoints)
+	return Point{
+		X: math.Float64frombits(m.Load64(arr + id*16)),
+		Y: math.Float64frombits(m.Load64(arr + id*16 + 8)),
+	}
+}
+
+// addPoint appends a point and returns its id.
+func addPoint(m txn.Mem, hdr txn.Addr, p Point) (uint64, error) {
+	n := m.Load64(hdr + hNumPoints)
+	if n >= m.Load64(hdr+hPointsCap) {
+		return 0, fmt.Errorf("yada: point capacity exhausted (%d)", n)
+	}
+	arr := m.Load64(hdr + hPoints)
+	m.Store64(arr+n*16, math.Float64bits(p.X))
+	m.Store64(arr+n*16+8, math.Float64bits(p.Y))
+	m.Store64(hdr+hNumPoints, n+1)
+	return n, nil
+}
+
+// triPoints loads a triangle's three vertices.
+func triPoints(m txn.Mem, hdr, t txn.Addr) (a, b, c Point) {
+	return point(m, hdr, m.Load64(t+tV0)),
+		point(m, hdr, m.Load64(t+tV1)),
+		point(m, hdr, m.Load64(t+tV2))
+}
+
+// addTriangle links a new CCW triangle into the mesh and returns it.
+func addTriangle(m txn.Mem, hdr txn.Addr, v0, v1, v2 uint64) (txn.Addr, error) {
+	// Normalize to counter-clockwise orientation.
+	a := point(m, hdr, v0)
+	b := point(m, hdr, v1)
+	c := point(m, hdr, v2)
+	if orient2d(a, b, c) < 0 {
+		v1, v2 = v2, v1
+	}
+	t, err := m.Alloc(tSize)
+	if err != nil {
+		return 0, err
+	}
+	head := m.Load64(hdr + hTriHead)
+	m.Store64(t+tV0, v0)
+	m.Store64(t+tV1, v1)
+	m.Store64(t+tV2, v2)
+	m.Store64(t+tPrev, 0)
+	m.Store64(t+tNext, head)
+	m.Store64(t+tAlive, 1)
+	if head != 0 {
+		m.Store64(head+tPrev, t)
+	}
+	m.Store64(hdr+hTriHead, t)
+	m.Store64(hdr+hAlive, m.Load64(hdr+hAlive)+1)
+	return t, nil
+}
+
+// removeTriangle unlinks and frees a triangle.
+func removeTriangle(m txn.Mem, hdr, t txn.Addr) error {
+	prev, next := m.Load64(t+tPrev), m.Load64(t+tNext)
+	if prev != 0 {
+		m.Store64(prev+tNext, next)
+	} else {
+		m.Store64(hdr+hTriHead, next)
+	}
+	if next != 0 {
+		m.Store64(next+tPrev, prev)
+	}
+	m.Store64(t+tAlive, 0)
+	m.Store64(hdr+hAlive, m.Load64(hdr+hAlive)-1)
+	return m.Free(t)
+}
+
+// pushWork queues a triangle for refinement.
+func pushWork(m txn.Mem, hdr, t txn.Addr) error {
+	q, err := m.Alloc(qSize)
+	if err != nil {
+		return err
+	}
+	m.Store64(q+qTri, t)
+	m.Store64(q+qNext, m.Load64(hdr+hQueueHead))
+	m.Store64(hdr+hQueueHead, q)
+	return nil
+}
+
+// queueIfBad queues t when its quality violates the constraint.
+func queueIfBad(m txn.Mem, hdr, t txn.Addr, angle float64) error {
+	a, b, c := triPoints(m, hdr, t)
+	if minAngleDeg(a, b, c) < angle && shortestEdge2(a, b, c) > minEdge2Floor {
+		return pushWork(m, hdr, t)
+	}
+	return nil
+}
+
+// cavityInsert performs a Bowyer–Watson insertion of point pid: remove every
+// triangle whose circumcircle contains the point, retriangulate the cavity
+// boundary against pid, and queue bad new triangles. Reports whether a
+// cavity was found.
+func (ms *Mesh) cavityInsert(m txn.Mem, hdr txn.Addr, pid uint64, angle float64) (bool, error) {
+	p := point(m, hdr, pid)
+
+	// Collect the cavity by scanning the triangle list.
+	var cavity []txn.Addr
+	for t := m.Load64(hdr + hTriHead); t != 0; t = m.Load64(t + tNext) {
+		a, b, c := triPoints(m, hdr, t)
+		if inCircumcircle(a, b, c, p) {
+			cavity = append(cavity, t)
+		}
+	}
+	if len(cavity) == 0 {
+		return false, nil
+	}
+
+	// Boundary edges of the cavity appear exactly once.
+	type edge struct{ u, v uint64 }
+	edgeCount := map[edge]int{}
+	orient := map[edge][2]uint64{}
+	for _, t := range cavity {
+		vs := [3]uint64{m.Load64(t + tV0), m.Load64(t + tV1), m.Load64(t + tV2)}
+		for i := 0; i < 3; i++ {
+			u, v := vs[i], vs[(i+1)%3]
+			key := edge{u, v}
+			if u > v {
+				key = edge{v, u}
+			}
+			edgeCount[key]++
+			orient[key] = [2]uint64{u, v}
+		}
+	}
+	for _, t := range cavity {
+		if err := removeTriangle(m, hdr, t); err != nil {
+			return false, err
+		}
+	}
+	// Deterministic retriangulation order: transactions must be
+	// deterministic for re-execution (§2.3), and Go map iteration is not.
+	keys := make([]edge, 0, len(edgeCount))
+	for key, n := range edgeCount {
+		if n == 1 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+	for _, key := range keys {
+		o := orient[key]
+		// Skip edges collinear with the inserted point: they would form a
+		// zero-area triangle (this happens when a boundary-segment midpoint
+		// is inserted — the old segment is a cavity edge through the point).
+		ea, eb := point(m, hdr, o[0]), point(m, hdr, o[1])
+		if math.Abs(orient2d(ea, eb, p)) < 1e-12 {
+			continue
+		}
+		nt, err := addTriangle(m, hdr, o[0], o[1], pid)
+		if err != nil {
+			return false, err
+		}
+		if err := queueIfBad(m, hdr, nt, angle); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// splitSegment replaces segment seg with its two halves, inserting the
+// midpoint into the mesh.
+func (ms *Mesh) splitSegment(m txn.Mem, hdr, seg, prev txn.Addr, angle float64) error {
+	p1, p2 := m.Load64(seg+sP1), m.Load64(seg+sP2)
+	a, b := point(m, hdr, p1), point(m, hdr, p2)
+	if dist2(a, b) < minEdge2Floor {
+		return nil // segment already tiny: leave it
+	}
+	mid := Point{(a.X + b.X) / 2, (a.Y + b.Y) / 2}
+	midID, err := addPoint(m, hdr, mid)
+	if err != nil {
+		return err
+	}
+	// Unlink seg, push the two halves.
+	next := m.Load64(seg + sNext)
+	if prev == 0 {
+		m.Store64(hdr+hSegHead, next)
+	} else {
+		m.Store64(prev+sNext, next)
+	}
+	if err := m.Free(seg); err != nil {
+		return err
+	}
+	for _, half := range [2][2]uint64{{p1, midID}, {midID, p2}} {
+		s, err := m.Alloc(sSize)
+		if err != nil {
+			return err
+		}
+		m.Store64(s+sP1, half[0])
+		m.Store64(s+sP2, half[1])
+		m.Store64(s+sNext, m.Load64(hdr+hSegHead))
+		m.Store64(hdr+hSegHead, s)
+	}
+	_, err = ms.cavityInsert(m, hdr, midID, angle)
+	return err
+}
+
+func (ms *Mesh) register() {
+	slotAddr := ms.eng.Pool().RootSlot(ms.rootSlot)
+
+	ms.eng.Register(ms.fn("init"), func(m txn.Mem, args *txn.Args) error {
+		capPts := args.Uint64(0)
+		hdr, err := m.Alloc(hdrSize)
+		if err != nil {
+			return err
+		}
+		arr, err := m.Alloc(capPts * 16)
+		if err != nil {
+			return err
+		}
+		m.Store64(hdr, yadaMagic)
+		m.Store64(hdr+hNumPoints, 0)
+		m.Store64(hdr+hPoints, arr)
+		m.Store64(hdr+hPointsCap, capPts)
+		m.Store64(hdr+hTriHead, 0)
+		m.Store64(hdr+hSegHead, 0)
+		m.Store64(hdr+hQueueHead, 0)
+		m.Store64(hdr+hAlive, 0)
+		m.Store64(hdr+hSteps, 0)
+		m.Store64(slotAddr, hdr)
+		return nil
+	})
+
+	// addpoint: args xbits, ybits (population only; no triangulation).
+	ms.eng.Register(ms.fn("addpoint"), func(m txn.Mem, args *txn.Args) error {
+		hdr := ms.hdr(m)
+		_, err := addPoint(m, hdr, Point{
+			X: math.Float64frombits(args.Uint64(0)),
+			Y: math.Float64frombits(args.Uint64(1)),
+		})
+		return err
+	})
+
+	// addtri: args v0, v1, v2 (bootstrap triangles).
+	ms.eng.Register(ms.fn("addtri"), func(m txn.Mem, args *txn.Args) error {
+		hdr := ms.hdr(m)
+		_, err := addTriangle(m, hdr, args.Uint64(0), args.Uint64(1), args.Uint64(2))
+		return err
+	})
+
+	// addseg: args p1, p2 (boundary bootstrap).
+	ms.eng.Register(ms.fn("addseg"), func(m txn.Mem, args *txn.Args) error {
+		hdr := ms.hdr(m)
+		s, err := m.Alloc(sSize)
+		if err != nil {
+			return err
+		}
+		m.Store64(s+sP1, args.Uint64(0))
+		m.Store64(s+sP2, args.Uint64(1))
+		m.Store64(s+sNext, m.Load64(hdr+hSegHead))
+		m.Store64(hdr+hSegHead, s)
+		return nil
+	})
+
+	// insertpt: args xbits, ybits — Bowyer–Watson insertion of one interior
+	// point (initial triangulation).
+	ms.eng.Register(ms.fn("insertpt"), func(m txn.Mem, args *txn.Args) error {
+		hdr := ms.hdr(m)
+		pid, err := addPoint(m, hdr, Point{
+			X: math.Float64frombits(args.Uint64(0)),
+			Y: math.Float64frombits(args.Uint64(1)),
+		})
+		if err != nil {
+			return err
+		}
+		_, err = ms.cavityInsert(m, hdr, pid, 0) // no quality queueing yet
+		return err
+	})
+
+	// seedqueue: args anglebits — queue every bad triangle.
+	ms.eng.Register(ms.fn("seedqueue"), func(m txn.Mem, args *txn.Args) error {
+		hdr := ms.hdr(m)
+		angle := math.Float64frombits(args.Uint64(0))
+		for t := m.Load64(hdr + hTriHead); t != 0; t = m.Load64(t + tNext) {
+			if err := queueIfBad(m, hdr, t, angle); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// refine: args anglebits — one Ruppert refinement step.
+	ms.eng.Register(ms.fn("refine"), func(m txn.Mem, args *txn.Args) error {
+		hdr := ms.hdr(m)
+		angle := math.Float64frombits(args.Uint64(0))
+
+		// Pop until an alive, still-bad triangle surfaces.
+		var tri txn.Addr
+		for {
+			q := m.Load64(hdr + hQueueHead)
+			if q == 0 {
+				return nil // queue drained: nothing to refine
+			}
+			t := m.Load64(q + qTri)
+			m.Store64(hdr+hQueueHead, m.Load64(q+qNext)) // clobber: queue head
+			if err := m.Free(q); err != nil {
+				return err
+			}
+			if m.Load64(t+tAlive) == 1 {
+				a, b, c := triPoints(m, hdr, t)
+				if minAngleDeg(a, b, c) < angle && shortestEdge2(a, b, c) > minEdge2Floor {
+					tri = t
+					break
+				}
+			}
+		}
+
+		a, b, c := triPoints(m, hdr, tri)
+		cc, ok := circumcenter(a, b, c)
+		if !ok {
+			return nil // degenerate: drop
+		}
+
+		// Ruppert: if the circumcenter encroaches a boundary segment, split
+		// that segment instead of inserting the circumcenter.
+		var prev txn.Addr
+		for s := m.Load64(hdr + hSegHead); s != 0; s = m.Load64(s + sNext) {
+			s1 := point(m, hdr, m.Load64(s+sP1))
+			s2 := point(m, hdr, m.Load64(s+sP2))
+			if encroaches(s1, s2, cc) {
+				if err := ms.splitSegment(m, hdr, s, prev, angle); err != nil {
+					return err
+				}
+				// The bad triangle survives; requeue it for another pass.
+				if m.Load64(tri+tAlive) == 1 {
+					if err := queueIfBad(m, hdr, tri, angle); err != nil {
+						return err
+					}
+				}
+				m.Store64(hdr+hSteps, m.Load64(hdr+hSteps)+1)
+				return nil
+			}
+			prev = s
+		}
+
+		ccID, err := addPoint(m, hdr, cc)
+		if err != nil {
+			return err
+		}
+		inserted, err := ms.cavityInsert(m, hdr, ccID, angle)
+		if err != nil {
+			return err
+		}
+		_ = inserted // empty cavity (circumcenter outside the hull): drop
+		m.Store64(hdr+hSteps, m.Load64(hdr+hSteps)+1)
+		return nil
+	})
+}

@@ -1,0 +1,213 @@
+package yada
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clobbernvm/internal/txn"
+)
+
+// GenInput generates n pseudo-random interior points of the unit square —
+// the synthetic stand-in for STAMP's ttimeu10000.2 input file. Seeded, so
+// every engine refines the identical mesh.
+func GenInput(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: 0.05 + 0.9*rng.Float64(),
+			Y: 0.05 + 0.9*rng.Float64(),
+		}
+	}
+	return pts
+}
+
+// Bootstrap builds the initial constrained triangulation: the unit square's
+// corners and boundary segments, two covering triangles, then a Bowyer–
+// Watson insertion per interior point. Each step is one transaction.
+func (ms *Mesh) Bootstrap(slot int, interior []Point) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	corners := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	for _, p := range corners {
+		if err := ms.eng.Run(slot, ms.fn("addpoint"),
+			txn.NewArgs().PutUint64(math.Float64bits(p.X)).PutUint64(math.Float64bits(p.Y))); err != nil {
+			return err
+		}
+	}
+	for _, tri := range [][3]uint64{{0, 1, 2}, {0, 2, 3}} {
+		if err := ms.eng.Run(slot, ms.fn("addtri"),
+			txn.NewArgs().PutUint64(tri[0]).PutUint64(tri[1]).PutUint64(tri[2])); err != nil {
+			return err
+		}
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := ms.eng.Run(slot, ms.fn("addseg"),
+			txn.NewArgs().PutUint64(i).PutUint64((i+1)%4)); err != nil {
+			return err
+		}
+	}
+	for _, p := range interior {
+		if err := ms.eng.Run(slot, ms.fn("insertpt"),
+			txn.NewArgs().PutUint64(math.Float64bits(p.X)).PutUint64(math.Float64bits(p.Y))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedQueue queues every triangle violating the angle constraint.
+func (ms *Mesh) SeedQueue(slot int, angleDeg float64) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.eng.Run(slot, ms.fn("seedqueue"),
+		txn.NewArgs().PutUint64(math.Float64bits(angleDeg)))
+}
+
+// RefineStep runs one refinement transaction. It returns false when the
+// work queue is empty.
+func (ms *Mesh) RefineStep(slot int, angleDeg float64) (bool, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	empty := false
+	if err := ms.eng.RunRO(slot, func(m txn.Mem) error {
+		empty = m.Load64(ms.hdr(m)+hQueueHead) == 0
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if empty {
+		return false, nil
+	}
+	return true, ms.eng.Run(slot, ms.fn("refine"),
+		txn.NewArgs().PutUint64(math.Float64bits(angleDeg)))
+}
+
+// RefineAll drains the work queue (bounded by maxSteps as a safety valve)
+// and returns the number of refinement transactions executed.
+func (ms *Mesh) RefineAll(slot int, angleDeg float64, maxSteps int) (int, error) {
+	steps := 0
+	for steps < maxSteps {
+		more, err := ms.RefineStep(slot, angleDeg)
+		if err != nil {
+			return steps, err
+		}
+		if !more {
+			return steps, nil
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// Stats summarizes the mesh.
+type Stats struct {
+	Points    int
+	Triangles int
+	Segments  int
+	QueueLen  int
+	Steps     int
+	MinAngle  float64
+}
+
+// MeshStats reads the mesh summary.
+func (ms *Mesh) MeshStats(slot int) (Stats, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var st Stats
+	err := ms.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := ms.hdr(m)
+		st.Points = int(m.Load64(hdr + hNumPoints))
+		st.Triangles = int(m.Load64(hdr + hAlive))
+		st.Steps = int(m.Load64(hdr + hSteps))
+		for s := m.Load64(hdr + hSegHead); s != 0; s = m.Load64(s + sNext) {
+			st.Segments++
+		}
+		for q := m.Load64(hdr + hQueueHead); q != 0; q = m.Load64(q + qNext) {
+			st.QueueLen++
+		}
+		st.MinAngle = 180
+		for t := m.Load64(hdr + hTriHead); t != 0; t = m.Load64(t + tNext) {
+			a, b, c := triPoints(m, hdr, t)
+			if ang := minAngleDeg(a, b, c); ang < st.MinAngle {
+				st.MinAngle = ang
+			}
+		}
+		return nil
+	})
+	return st, err
+}
+
+// BadCount returns how many alive triangles violate the constraint and are
+// above the refinement floor.
+func (ms *Mesh) BadCount(slot int, angleDeg float64) (int, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	n := 0
+	err := ms.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := ms.hdr(m)
+		for t := m.Load64(hdr + hTriHead); t != 0; t = m.Load64(t + tNext) {
+			a, b, c := triPoints(m, hdr, t)
+			if minAngleDeg(a, b, c) < angleDeg && shortestEdge2(a, b, c) > minEdge2Floor {
+				n++
+			}
+		}
+		return nil
+	})
+	return n, err
+}
+
+// CheckMesh verifies structural validity: the alive counter matches the
+// list, every triangle is counter-clockwise with three distinct in-range
+// vertices, and no edge is shared by more than two triangles.
+func (ms *Mesh) CheckMesh(slot int) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := ms.hdr(m)
+		nPts := m.Load64(hdr + hNumPoints)
+		alive := m.Load64(hdr + hAlive)
+		type edge struct{ u, v uint64 }
+		edges := map[edge]int{}
+		count := uint64(0)
+		for t := m.Load64(hdr + hTriHead); t != 0; t = m.Load64(t + tNext) {
+			count++
+			if count > alive {
+				return fmt.Errorf("yada: triangle list longer than alive count %d", alive)
+			}
+			if m.Load64(t+tAlive) != 1 {
+				return fmt.Errorf("yada: dead triangle %#x still linked", t)
+			}
+			vs := [3]uint64{m.Load64(t + tV0), m.Load64(t + tV1), m.Load64(t + tV2)}
+			if vs[0] == vs[1] || vs[1] == vs[2] || vs[0] == vs[2] {
+				return fmt.Errorf("yada: degenerate triangle %#x", t)
+			}
+			for _, v := range vs {
+				if v >= nPts {
+					return fmt.Errorf("yada: triangle %#x references point %d/%d", t, v, nPts)
+				}
+			}
+			a, b, c := triPoints(m, hdr, t)
+			if orient2d(a, b, c) <= 0 {
+				return fmt.Errorf("yada: triangle %#x not counter-clockwise", t)
+			}
+			for i := 0; i < 3; i++ {
+				u, v := vs[i], vs[(i+1)%3]
+				if u > v {
+					u, v = v, u
+				}
+				edges[edge{u, v}]++
+			}
+		}
+		if count != alive {
+			return fmt.Errorf("yada: alive count %d but %d triangles linked", alive, count)
+		}
+		for e, n := range edges {
+			if n > 2 {
+				return fmt.Errorf("yada: edge %v shared by %d triangles", e, n)
+			}
+		}
+		return nil
+	})
+}

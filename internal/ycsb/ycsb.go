@@ -1,0 +1,192 @@
+// Package ycsb generates YCSB-style workloads (Cooper et al., SoCC '10) for
+// the data-structure benchmarks, standing in for the YCSB traces the paper's
+// artifact ships. The Load phase (100% inserts over a fresh key space) is
+// what §5.2 measures; workloads A/B/C are provided for wider coverage.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpKind is a workload operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpRead
+	OpUpdate
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpRead:
+		return "read"
+	default:
+		return "update"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+}
+
+// Workload describes an operation mix.
+type Workload struct {
+	Name         string
+	InsertFrac   float64
+	ReadFrac     float64
+	UpdateFrac   float64
+	Distribution string // "uniform" or "zipfian" (request distribution)
+}
+
+// Standard workloads.
+var (
+	// WorkloadLoad is the YCSB load phase: pure inserts (the paper's §5.2
+	// benchmark workload).
+	WorkloadLoad = Workload{Name: "load", InsertFrac: 1, Distribution: "uniform"}
+	// WorkloadA is 50% reads / 50% updates, zipfian.
+	WorkloadA = Workload{Name: "a", ReadFrac: 0.5, UpdateFrac: 0.5, Distribution: "zipfian"}
+	// WorkloadB is 95% reads / 5% updates, zipfian.
+	WorkloadB = Workload{Name: "b", ReadFrac: 0.95, UpdateFrac: 0.05, Distribution: "zipfian"}
+	// WorkloadC is read-only, zipfian.
+	WorkloadC = Workload{Name: "c", ReadFrac: 1, Distribution: "zipfian"}
+)
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	w        Workload
+	rng      *rand.Rand
+	zipf     *zipfian
+	keySize  int
+	valSize  int
+	loaded   int // keys inserted so far (insert key space grows)
+	keySpace int // operation key space for reads/updates
+	valBuf   []byte
+}
+
+// NewGenerator creates a generator. keySpace is the number of distinct keys
+// reads/updates draw from (the loaded population); keySize/valSize fix the
+// record shape (the paper uses 8 B keys — 32 B for B+tree — and 256 B
+// values).
+func NewGenerator(w Workload, keySpace, keySize, valSize int, seed int64) *Generator {
+	g := &Generator{
+		w:        w,
+		rng:      rand.New(rand.NewSource(seed)),
+		keySize:  keySize,
+		valSize:  valSize,
+		keySpace: keySpace,
+		valBuf:   make([]byte, valSize),
+	}
+	if w.Distribution == "zipfian" {
+		g.zipf = newZipfian(g.rng, keySpace, 0.99)
+	}
+	return g
+}
+
+// Key formats the i-th key at the generator's key size. Keys are hashed so
+// sequential load does not produce sorted inserts (matching YCSB's hashed
+// insert order). The first 8 bytes come from a bijective 64-bit mix, so keys
+// of size >= 8 are guaranteed collision-free.
+func (g *Generator) Key(i int) []byte {
+	h := splitmix64(uint64(i))
+	key := make([]byte, g.keySize)
+	for b := 0; b < g.keySize; b++ {
+		if b > 0 && b%8 == 0 {
+			h = splitmix64(h)
+		}
+		key[b] = byte(h >> (8 * (uint(b) % 8)))
+	}
+	return key
+}
+
+// splitmix64 is a bijective mixing function on uint64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.w.InsertFrac:
+		i := g.loaded
+		g.loaded++
+		return Op{Kind: OpInsert, Key: g.Key(i), Value: g.value()}
+	case r < g.w.InsertFrac+g.w.ReadFrac:
+		return Op{Kind: OpRead, Key: g.Key(g.pick())}
+	default:
+		return Op{Kind: OpUpdate, Key: g.Key(g.pick()), Value: g.value()}
+	}
+}
+
+func (g *Generator) pick() int {
+	if g.zipf != nil {
+		return g.zipf.next()
+	}
+	if g.keySpace == 0 {
+		return 0
+	}
+	return g.rng.Intn(g.keySpace)
+}
+
+func (g *Generator) value() []byte {
+	g.rng.Read(g.valBuf)
+	out := make([]byte, g.valSize)
+	copy(out, g.valBuf)
+	return out
+}
+
+// zipfian implements the Gray et al. quick zipfian generator used by YCSB.
+type zipfian struct {
+	rng          *rand.Rand
+	n            int
+	theta        float64
+	alpha        float64
+	zetan, zeta2 float64
+	eta          float64
+}
+
+func newZipfian(rng *rand.Rand, n int, theta float64) *zipfian {
+	if n < 1 {
+		n = 1
+	}
+	z := &zipfian{rng: rng, n: n, theta: theta}
+	z.alpha = 1 / (1 - theta)
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

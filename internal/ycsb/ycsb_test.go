@@ -1,0 +1,101 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLoadWorkloadIsAllInserts(t *testing.T) {
+	g := NewGenerator(WorkloadLoad, 1000, 8, 32, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("op %d kind = %v", i, op.Kind)
+		}
+		if len(op.Key) != 8 || len(op.Value) != 32 {
+			t.Fatalf("op %d sizes: key %d val %d", i, len(op.Key), len(op.Value))
+		}
+		if seen[string(op.Key)] {
+			t.Fatalf("duplicate insert key %q", op.Key)
+		}
+		seen[string(op.Key)] = true
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	g := NewGenerator(WorkloadB, 1000, 8, 32, 2)
+	reads, updates := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("insert in workload B")
+		}
+	}
+	if reads < 9200 || reads > 9800 {
+		t.Fatalf("workload B reads = %d / 10000", reads)
+	}
+	if updates == 0 {
+		t.Fatal("workload B produced no updates")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGenerator(WorkloadA, 500, 8, 16, 42)
+	g2 := NewGenerator(WorkloadA, 500, 8, 16, 42)
+	for i := 0; i < 200; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || string(a.Key) != string(b.Key) || string(a.Value) != string(b.Value) {
+			t.Fatalf("op %d diverged", i)
+		}
+	}
+}
+
+func TestKeysWithinSpace(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100, 8, 16, 3)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		found := false
+		for k := 0; k < 100; k++ {
+			if string(g.Key(k)) == string(op.Key) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("read key %q outside loaded space", op.Key)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z := newZipfian(rng, 1000, 0.99)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		v := z.next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The hottest item must be dramatically hotter than the median.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("zipfian not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestKeyStableAndSized(t *testing.T) {
+	g := NewGenerator(WorkloadLoad, 10, 32, 8, 5)
+	k1, k2 := g.Key(7), g.Key(7)
+	if string(k1) != string(k2) {
+		t.Fatal("Key not stable")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key size %d", len(k1))
+	}
+}
