@@ -68,6 +68,8 @@ type (
 	Latency = nvm.Latency
 	// Store is the persistent key-value structure interface.
 	Store = pds.Store
+	// RecoveryReport itemises what RecoverReport did per category.
+	RecoveryReport = txn.RecoveryReport
 )
 
 // NewArgs returns an empty argument list.
@@ -78,6 +80,13 @@ var NoArgs = txn.NoArgs
 
 // ErrCrash is the panic value raised at a scheduled simulated crash point.
 var ErrCrash = nvm.ErrCrash
+
+// ErrCorruptLog marks a slot whose persistent log failed validation during
+// recovery; the slot is quarantined rather than partially restored.
+var ErrCorruptLog = txn.ErrCorruptLog
+
+// ErrSlotQuarantined is returned by Run on a slot that recovery quarantined.
+var ErrSlotQuarantined = txn.ErrSlotQuarantined
 
 // DefaultLatency is the calibrated simulated cost model.
 var DefaultLatency = nvm.DefaultLatency
@@ -199,6 +208,12 @@ func (db *DB) RunRO(slot int, fn func(Mem) error) error {
 // Recover completes interrupted transactions by re-execution. Call it after
 // Open/Attach (and after Register), before any new Run.
 func (db *DB) Recover() (int, error) { return db.engine.Recover() }
+
+// RecoverReport is Recover with a full accounting: how many slots were
+// recovered, re-executed or quarantined, and the per-slot corruption
+// errors. Corrupt logs quarantine their slot (Run returns
+// ErrSlotQuarantined there) instead of failing recovery outright.
+func (db *DB) RecoverReport() (RecoveryReport, error) { return db.engine.RecoverReport() }
 
 // SaveImage persists the pool's durable view to a file, to be reopened with
 // Open.

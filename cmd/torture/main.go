@@ -1,11 +1,17 @@
-// Command torture is a randomized crash-recovery stress tool: it runs
-// random operation streams against a chosen structure and engine, injects a
-// simulated power failure at a random store, recovers, audits the structure
-// against a model, and repeats — reporting a summary at the end. It exists
-// to give the failure-atomicity guarantees adversarial mileage beyond the
-// deterministic unit-test sweeps.
+// Command torture drives the crash-consistency fault injector from the
+// command line in two modes:
 //
-//	torture -engine clobber -structure rbtree -rounds 200
+//   - sweep: exhaustive persist-point fault injection (internal/crashsweep) —
+//     run the workload once to count persist points, then crash at every
+//     single one, recover, and audit all-or-nothing against a model;
+//   - random: randomized long-haul stress — random operation streams with a
+//     crash at a random persist point each round, recovery, and a full-model
+//     audit, for adversarial mileage beyond the deterministic sweep.
+//
+// Exit status is non-zero on any consistency mismatch.
+//
+//	torture -mode sweep -engine clobber -structure rbtree -crash-at any
+//	torture -mode random -engine pmdk -structure hashmap -rounds 200 -evict torn
 package main
 
 import (
@@ -16,42 +22,86 @@ import (
 	"math/rand"
 	"os"
 
-	"clobbernvm/internal/atlas"
-	"clobbernvm/internal/clobber"
+	"clobbernvm/internal/crashsweep"
 	"clobbernvm/internal/nvm"
-	"clobbernvm/internal/pds"
 	"clobbernvm/internal/pmem"
-	"clobbernvm/internal/redolog"
-	"clobbernvm/internal/undolog"
+	"clobbernvm/internal/txn"
 )
 
 const rootSlot = 16
 
 func main() {
-	engine := flag.String("engine", "clobber", "engine: clobber, pmdk, mnemosyne, atlas")
+	mode := flag.String("mode", "random", "mode: sweep (exhaustive persist-point injection) or random")
+	engine := flag.String("engine", "clobber", "engine: clobber, pmdk, mnemosyne, atlas, ido, justdo")
 	structure := flag.String("structure", "rbtree", "structure: hashmap, skiplist, rbtree, bptree, avltree, list")
-	rounds := flag.Int("rounds", 100, "crash/recover rounds")
-	opsPerRound := flag.Int("ops", 50, "operations between crashes")
+	crashAt := flag.String("crash-at", "any", "persist-point class to crash at: store, flush, fence, any")
+	evict := flag.String("evict", "random", "cache eviction adversary at crash: random, none, all, torn")
+	rounds := flag.Int("rounds", 100, "random mode: crash/recover rounds")
+	opsPerRound := flag.Int("ops", 50, "random mode: operations between crashes")
+	liveOps := flag.Int("live-ops", 3, "sweep mode: operations in the swept window")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	crashes, recoveries, completions := 0, 0, 0
+	kind, err := nvm.ParseCrashKind(*crashAt)
+	check(err)
+	policy, err := nvm.ParseEvictPolicy(*evict)
+	check(err)
 
-	pool := nvm.New(1<<27, nvm.WithEvictProbability(0.5), nvm.WithSeed(*seed))
+	switch *mode {
+	case "sweep":
+		runSweep(*engine, *structure, kind, policy, *seed, *liveOps)
+	case "random":
+		runRandom(*engine, *structure, kind, policy, *seed, *rounds, *opsPerRound)
+	default:
+		check(fmt.Errorf("unknown mode %q (want sweep|random)", *mode))
+	}
+}
+
+// runSweep crashes at every persist point of a deterministic workload.
+func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, liveOps int) {
+	res, err := crashsweep.Run(crashsweep.Config{
+		Engine:    engine,
+		Structure: structure,
+		Kind:      kind,
+		Policy:    policy,
+		Seed:      seed,
+		LiveOps:   liveOps,
+	})
+	check(err)
+	fmt.Printf("torture sweep: %s/%s crash-at=%s evict=%s: %d persist points, %d crashes, %d recovered (%d re-executed, %d rolled back, %d rolled forward), %d quarantined\n",
+		res.Engine, res.Structure, res.Kind, res.Policy, res.PersistPoints, res.Crashes,
+		res.Recovered, res.Reexecuted, res.RolledBack, res.RolledForward, res.Quarantined)
+	if !res.Ok() {
+		for _, m := range res.Mismatches {
+			fmt.Fprintf(os.Stderr, "torture sweep: MISMATCH %v\n", m)
+		}
+		os.Exit(1)
+	}
+}
+
+// runRandom is the randomized long-haul stress loop.
+func runRandom(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, rounds, opsPerRound int) {
+	spec, err := crashsweep.EngineByName(engine)
+	check(err)
+
+	rng := rand.New(rand.NewSource(seed))
+	crashes, recoveries, quarantines, completions := 0, 0, 0, 0
+
+	pool := nvm.New(1<<27, nvm.WithEvictProbability(0.5), nvm.WithSeed(seed), nvm.WithEviction(policy))
 	alloc, err := pmem.Create(pool)
 	check(err)
-	eng, err := createEngine(*engine, pool, alloc)
+	eng, err := spec.Create(pool, alloc)
 	check(err)
-	store, err := openStructure(*structure, eng)
+	store, err := crashsweep.OpenStructure(structure, eng, rootSlot)
 	check(err)
+	meter := spec.Style == crashsweep.StyleMeter
 
 	model := map[string][]byte{}
 	key := func() []byte { return []byte(fmt.Sprintf("key-%05d", rng.Intn(300))) }
 
-	for round := 0; round < *rounds; round++ {
+	for round := 0; round < rounds; round++ {
 		// A burst of committed operations, mirrored into the model.
-		for i := 0; i < *opsPerRound; i++ {
+		for i := 0; i < opsPerRound; i++ {
 			k := key()
 			if rng.Intn(4) == 0 {
 				if _, err := store.Delete(0, k); err != nil {
@@ -67,10 +117,11 @@ func main() {
 			}
 		}
 
-		// Crash during one more insert.
+		// Crash during one more insert, at a random persist point of the
+		// chosen class (ordinal ranges scaled to each class's density).
 		crashKey := key()
 		crashVal := []byte(fmt.Sprintf("crash-%d", round))
-		pool.ScheduleCrash(int64(1 + rng.Intn(150)))
+		pool.ScheduleCrashAt(kind, 1+int64(rng.Intn(pointRange(kind))))
 		fired := false
 		func() {
 			defer func() {
@@ -84,7 +135,7 @@ func main() {
 			}()
 			_ = store.Insert(0, crashKey, crashVal)
 		}()
-		pool.ScheduleCrash(0)
+		pool.ScheduleCrashAt(kind, 0)
 		if !fired {
 			completions++
 			model[string(crashKey)] = crashVal
@@ -92,25 +143,50 @@ func main() {
 		}
 		crashes++
 
+		if meter {
+			// Meters are not failure-atomic; audit the simulator itself
+			// (full eviction must reproduce the coherent state), then
+			// resync the durable view and carry on.
+			coh := pool.CoherentSnapshot()
+			pool.SetEviction(nvm.EvictAll)
+			pool.Crash()
+			pool.SetEviction(policy)
+			if !bytes.Equal(coh, pool.Snapshot()) {
+				fatal(round, "audit", errors.New("full eviction did not reproduce coherent state"))
+			}
+			model[string(crashKey)] = crashVal
+			continue
+		}
+
 		// Power loss; reopen everything.
 		pool.Crash()
 		alloc, err = pmem.Attach(pool)
 		if err != nil {
 			fatal(round, "attach allocator", err)
 		}
-		eng, err = attachEngine(*engine, pool, alloc)
+		eng, err = spec.Attach(pool, alloc)
 		if err != nil {
 			fatal(round, "attach engine", err)
 		}
-		store, err = openStructure(*structure, eng)
+		store, err = crashsweep.OpenStructure(structure, eng, rootSlot)
 		if err != nil {
 			fatal(round, "open structure", err)
 		}
-		n, err := eng.Recover()
+		var rep txn.RecoveryReport
+		if rr, ok := eng.(txn.RecoveryReporter); ok {
+			rep, err = rr.RecoverReport()
+		} else {
+			rep.Recovered, err = eng.Recover()
+		}
 		if err != nil {
 			fatal(round, "recover", err)
 		}
-		recoveries += n
+		recoveries += rep.Recovered
+		quarantines += rep.Quarantined
+		if rep.Quarantined > 0 {
+			fatal(round, "recover", fmt.Errorf("pure power failure quarantined %d slot(s): %v",
+				rep.Quarantined, errors.Join(rep.Errors...)))
+		}
 
 		// All-or-nothing audit for the crashed key.
 		got, found, err := store.Get(0, crashKey)
@@ -139,55 +215,27 @@ func main() {
 				fatal(round, "audit", fmt.Errorf("committed key %q lost or corrupt (found=%v err=%v)", k, found, err))
 			}
 		}
+		fmt.Printf("torture: round %d: crash-at=%s point fired, %d recovered, %d keys intact\n",
+			round, kind, rep.Recovered, len(model))
 	}
-	fmt.Printf("torture: %s/%s survived %d rounds (%d crashes, %d re-executions/rollbacks, %d uninterrupted)\n",
-		*engine, *structure, *rounds, crashes, recoveries, completions)
+	fmt.Printf("torture: %s/%s survived %d rounds (%d crashes, %d re-executions/rollbacks, %d quarantines, %d uninterrupted)\n",
+		engine, structure, rounds, crashes, recoveries, quarantines, completions)
 }
 
-func createEngine(kind string, p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+// pointRange bounds the random crash ordinal per persist-point class: one
+// structure operation issues roughly this many events of each kind, so the
+// crash usually lands inside the victim transaction.
+func pointRange(kind nvm.CrashKind) int {
 	switch kind {
-	case "clobber":
-		return clobber.Create(p, a, clobber.Options{Slots: 4})
-	case "pmdk":
-		return undolog.Create(p, a, undolog.Options{Slots: 4})
-	case "mnemosyne":
-		return redolog.Create(p, a, redolog.Options{Slots: 4})
-	case "atlas":
-		return atlas.Create(p, a, atlas.Options{Slots: 4})
+	case nvm.CrashAtStore:
+		return 150
+	case nvm.CrashAtFlush:
+		return 40
+	case nvm.CrashAtFence:
+		return 12
+	default:
+		return 200
 	}
-	return nil, fmt.Errorf("unknown engine %q", kind)
-}
-
-func attachEngine(kind string, p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
-	switch kind {
-	case "clobber":
-		return clobber.Attach(p, a, clobber.Options{})
-	case "pmdk":
-		return undolog.Attach(p, a, undolog.Options{})
-	case "mnemosyne":
-		return redolog.Attach(p, a, redolog.Options{})
-	case "atlas":
-		return atlas.Attach(p, a, atlas.Options{})
-	}
-	return nil, fmt.Errorf("unknown engine %q", kind)
-}
-
-func openStructure(kind string, eng pds.Engine) (pds.Store, error) {
-	switch kind {
-	case "hashmap":
-		return pds.NewHashMap(eng, rootSlot)
-	case "skiplist":
-		return pds.NewSkipList(eng, rootSlot)
-	case "rbtree":
-		return pds.NewRBTree(eng, rootSlot)
-	case "bptree":
-		return pds.NewBPTree(eng, rootSlot)
-	case "avltree":
-		return pds.NewAVLTree(eng, rootSlot)
-	case "list":
-		return pds.NewList(eng, rootSlot)
-	}
-	return nil, fmt.Errorf("unknown structure %q", kind)
 }
 
 func fatal(round int, what string, err error) {

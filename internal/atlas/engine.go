@@ -97,7 +97,10 @@ type Engine struct {
 	commits  uint64
 }
 
-var _ txn.Engine = (*Engine)(nil)
+var (
+	_ txn.Engine           = (*Engine)(nil)
+	_ txn.RecoveryReporter = (*Engine)(nil)
+)
 
 type slot struct {
 	mu   sync.Mutex
@@ -107,6 +110,10 @@ type slot struct {
 	alog *plog.AddrLog
 	flog *plog.AddrLog
 	seq  uint64
+
+	// quarantined is set (volatile) when recovery found this slot's logs
+	// corrupt; the slot refuses transactions until recreated.
+	quarantined error
 }
 
 // Create formats a fresh engine on the pool (anchor in root slot 5).
@@ -155,40 +162,68 @@ func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Attach opens a previously created engine.
+// Attach opens a previously created engine. A slot whose logs fail
+// validation is quarantined (it refuses transactions, and recovery reports
+// it) rather than failing the whole attach; only anchor corruption is fatal.
 func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	anchor := p.Load64(p.RootSlot(rootSlot))
-	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+	if anchor == 0 || anchor+24 > p.Size() || p.Load64(anchor) != anchorMagic {
 		return nil, errors.New("atlas: pool has no atlas engine")
 	}
 	n := int(p.Load64(anchor + 8))
 	if n <= 0 || n > txn.MaxSlots {
 		return nil, fmt.Errorf("atlas: corrupt anchor: %d slots", n)
 	}
+	if anchor+24+uint64(n)*8 > p.Size() {
+		return nil, fmt.Errorf("atlas: corrupt anchor: slot table out of bounds")
+	}
 	opts.Slots = n
 	e := &Engine{pool: p, alloc: a, opts: opts, ringBase: p.Load64(anchor + 16)}
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 24 + uint64(i)*8)
-		dlog, err := plog.AttachDataLog(p, i, base+hdrSize)
+		s, err := attachSlot(p, i, base)
 		if err != nil {
-			return nil, fmt.Errorf("atlas: slot %d: %w", i, err)
+			s = &slot{id: i, hdr: base}
+			s.quarantined = fmt.Errorf("atlas: slot %d: %w", i, err)
+			e.stats.Quarantined.Add(1)
 		}
-		dcap := p.Load64(base + hdrSize + 8)
-		alogOff := uint64(hdrSize) + plog.DataLogSize(dcap)
-		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
-		if err != nil {
-			return nil, fmt.Errorf("atlas: slot %d: %w", i, err)
-		}
-		acap := int(p.Load64(base + alogOff + 8))
-		flog, err := plog.AttachAddrLog(p, i, base+alogOff+plog.AddrLogSize(acap))
-		if err != nil {
-			return nil, fmt.Errorf("atlas: slot %d: %w", i, err)
-		}
-		status := p.Load64(base + offStatus)
-		e.slots = append(e.slots, &slot{id: i, hdr: base, dlog: dlog, alog: alog, flog: flog, seq: status >> 2})
+		e.slots = append(e.slots, s)
 	}
 	return e, nil
+}
+
+func attachSlot(p *nvm.Pool, i int, base uint64) (*slot, error) {
+	if base+hdrSize > p.Size() || base+hdrSize < base {
+		return nil, fmt.Errorf("%w: slot base %#x outside pool", txn.ErrCorruptLog, base)
+	}
+	dlog, err := plog.AttachDataLog(p, i, base+hdrSize)
+	if err != nil {
+		return nil, err
+	}
+	dcap := p.Load64(base + hdrSize + 8)
+	alogOff := uint64(hdrSize) + plog.DataLogSize(dcap)
+	alog, err := plog.AttachAddrLog(p, i, base+alogOff)
+	if err != nil {
+		return nil, err
+	}
+	acap := int(p.Load64(base + alogOff + 8))
+	flog, err := plog.AttachAddrLog(p, i, base+alogOff+plog.AddrLogSize(acap))
+	if err != nil {
+		return nil, err
+	}
+	status := p.Load64(base + offStatus)
+	return &slot{id: i, hdr: base, dlog: dlog, alog: alog, flog: flog, seq: status >> 2}, nil
+}
+
+// quarantine marks a slot unusable after recovery found corrupt logs. The
+// first cause wins; persistent state is left untouched for forensics.
+func (e *Engine) quarantine(s *slot, err error) {
+	if s.quarantined != nil {
+		return
+	}
+	s.quarantined = err
+	e.stats.Quarantined.Add(1)
 }
 
 // Name implements txn.Engine.
@@ -218,6 +253,9 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s := e.slots[slotID]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.quarantined != nil {
+		return fmt.Errorf("%w: atlas slot %d: %v", txn.ErrSlotQuarantined, s.id, s.quarantined)
+	}
 
 	if args == nil {
 		args = txn.NoArgs
@@ -240,7 +278,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	}
 
 	for line := range m.dirty {
-		p.Flush(line*nvm.LineSize, nvm.LineSize)
+		p.FlushOpt(line*nvm.LineSize, nvm.LineSize)
 	}
 	p.Fence()
 	if m.frees > 0 {
@@ -297,8 +335,11 @@ func (e *Engine) setStatus(s *slot, seq, phase uint64) {
 }
 
 func (e *Engine) applyFrees(s *slot, seq, from uint64) {
+	e.applyFreeList(s, s.flog.Scan(seq), from)
+}
+
+func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
-	addrs := s.flog.Scan(seq)
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
 		p.Persist(s.hdr+offFreeApplied, 8)
@@ -309,11 +350,14 @@ func (e *Engine) applyFrees(s *slot, seq, from uint64) {
 }
 
 func (e *Engine) rollback(s *slot, seq uint64) {
+	e.rollbackEntries(s, seq, s.dlog.Scan(seq))
+}
+
+func (e *Engine) rollbackEntries(s *slot, seq uint64, entries []plog.Entry) {
 	p := e.pool
-	entries := s.dlog.Scan(seq)
 	for i := len(entries) - 1; i >= 0; i-- {
 		p.Store(entries[i].Addr, entries[i].Data)
-		p.Flush(entries[i].Addr, uint64(len(entries[i].Data)))
+		p.FlushOpt(entries[i].Addr, uint64(len(entries[i].Data)))
 	}
 	if len(entries) > 0 {
 		p.Fence()
@@ -339,22 +383,78 @@ func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
 
 // Recover implements txn.Engine: uncommitted FASEs roll back.
 func (e *Engine) Recover() (int, error) {
-	n := 0
+	rep, err := e.RecoverReport()
+	return rep.Recovered, err
+}
+
+// RecoverReport implements txn.RecoveryReporter. Atlas fences every undo
+// append before the corresponding store, so the log is fence-ordered at
+// recovery and the strict scan's valid-after-invalid corruption test is
+// sound. A corrupt log quarantines the slot before ANY entry is restored —
+// a partial rollback would itself tear the data it claims to repair.
+func (e *Engine) RecoverReport() (txn.RecoveryReport, error) {
+	var rep txn.RecoveryReport
+	rep.Slots = len(e.slots)
 	for _, s := range e.slots {
-		status := e.pool.Load64(s.hdr + offStatus)
-		seq, phase := status>>2, status&3
-		s.seq = seq
-		switch phase {
-		case phaseOngoing:
-			e.rollback(s, seq)
-			e.stats.Recovered.Add(1)
-			n++
-		case phaseFreeing:
-			e.applyFrees(s, seq, e.pool.Load64(s.hdr+offFreeApplied))
-			e.setStatus(s, seq, phaseIdle)
+		e.recoverSlot(s, &rep)
+	}
+	for _, s := range e.slots {
+		if s.quarantined != nil {
+			rep.Quarantined++
+			rep.Errors = append(rep.Errors, s.quarantined)
 		}
 	}
-	return n, nil
+	return rep, nil
+}
+
+func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, nvm.ErrCrash) {
+				panic(r)
+			}
+			e.quarantine(s, fmt.Errorf("%w: atlas slot %d: recovery panic: %v", txn.ErrCorruptLog, s.id, r))
+		}
+	}()
+	if s.quarantined != nil {
+		return
+	}
+	p := e.pool
+	status := p.Load64(s.hdr + offStatus)
+	seq, phase := status>>2, status&3
+	s.seq = seq
+	switch phase {
+	case phaseOngoing:
+		entries, err := s.dlog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("atlas: slot %d: undo log: %w", s.id, err))
+			return
+		}
+		for _, en := range entries {
+			if end := en.Addr + uint64(len(en.Data)); end > p.Size() || end < en.Addr {
+				e.quarantine(s, fmt.Errorf("%w: atlas slot %d: log entry addresses [%#x,%#x) outside pool",
+					txn.ErrCorruptLog, s.id, en.Addr, end))
+				return
+			}
+		}
+		e.rollbackEntries(s, seq, entries)
+		e.stats.Recovered.Add(1)
+		rep.Recovered++
+		rep.RolledBack++
+	case phaseFreeing:
+		addrs, err := s.flog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("atlas: slot %d: free log: %w", s.id, err))
+			return
+		}
+		e.applyFreeList(s, addrs, p.Load64(s.hdr+offFreeApplied))
+		e.setStatus(s, seq, phaseIdle)
+		rep.FreesResumed++
+	case phaseIdle:
+		// Nothing to do.
+	default:
+		e.quarantine(s, fmt.Errorf("%w: atlas slot %d: undefined phase %d", txn.ErrCorruptLog, s.id, phase))
+	}
 }
 
 // mem is Atlas's transactional view: per-store undo logging without elision.

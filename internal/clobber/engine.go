@@ -137,7 +137,10 @@ type Engine struct {
 	slots []*slot
 }
 
-var _ txn.Engine = (*Engine)(nil)
+var (
+	_ txn.Engine           = (*Engine)(nil)
+	_ txn.RecoveryReporter = (*Engine)(nil)
+)
 
 type slot struct {
 	mu   sync.Mutex
@@ -147,6 +150,11 @@ type slot struct {
 	alog *plog.AddrLog
 	flog *plog.AddrLog
 	seq  uint64 // volatile cache of the last used sequence number
+
+	// quarantined, when non-nil, records why attach or recovery set this
+	// slot aside (log corruption). The slot's persistent state is left
+	// untouched for forensics; Run returns txn.ErrSlotQuarantined.
+	quarantined error
 }
 
 // Create formats a fresh engine on the pool. The allocator must already be
@@ -195,46 +203,65 @@ func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 }
 
 // Attach opens an engine previously created on the pool (after restart or
-// crash). Register all txfuncs, then call Recover.
+// crash). Register all txfuncs, then call Recover. Anchor corruption fails
+// the whole Attach (there is no engine to speak of without it); per-slot log
+// corruption quarantines just that slot, so one damaged thread cannot take
+// the whole pool down.
 func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	anchor := p.Load64(p.RootSlot(rootSlot))
-	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+	if anchor == 0 || anchor+24 > p.Size() || p.Load64(anchor) != anchorMagic {
 		return nil, errors.New("clobber: pool has no clobber engine")
 	}
 	n := int(p.Load64(anchor + 8))
 	if n <= 0 || n > txn.MaxSlots {
 		return nil, fmt.Errorf("clobber: corrupt anchor: %d slots", n)
 	}
+	if anchor+24+uint64(n)*8 > p.Size() {
+		return nil, errors.New("clobber: corrupt anchor: slot table outside pool")
+	}
 	opts.Slots = n
 	opts.ArgsCap = p.Load64(anchor + 16)
+	if opts.ArgsCap > p.Size() {
+		return nil, fmt.Errorf("clobber: corrupt anchor: args cap %#x", opts.ArgsCap)
+	}
 	e := &Engine{pool: p, alloc: a, opts: opts}
 
 	hdrSize := uint64(offArgs) + opts.ArgsCap
 	dlogOff := align8(hdrSize)
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 24 + uint64(i)*8)
+		s := &slot{id: i, hdr: base}
+		e.slots = append(e.slots, s)
 		dlog, err := plog.AttachDataLog(p, i, base+dlogOff)
 		if err != nil {
-			return nil, fmt.Errorf("clobber: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("clobber: slot %d: %w", i, err))
+			continue
 		}
 		alogOff := dlogOff + plog.DataLogSize(dlogCapOf(p, base+dlogOff))
 		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
 		if err != nil {
-			return nil, fmt.Errorf("clobber: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("clobber: slot %d: %w", i, err))
+			continue
 		}
 		flogOff := alogOff + plog.AddrLogSize(int(alogCapOf(p, base+alogOff)))
 		flog, err := plog.AttachAddrLog(p, i, base+flogOff)
 		if err != nil {
-			return nil, fmt.Errorf("clobber: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("clobber: slot %d: %w", i, err))
+			continue
 		}
-		status := p.Load64(base + offStatus)
-		e.slots = append(e.slots, &slot{
-			id: i, hdr: base, dlog: dlog, alog: alog, flog: flog,
-			seq: status >> 2,
-		})
+		s.dlog, s.alog, s.flog = dlog, alog, flog
+		s.seq = p.Load64(base+offStatus) >> 2
 	}
 	return e, nil
+}
+
+// quarantine sets a slot aside with the given cause (first cause wins).
+func (e *Engine) quarantine(s *slot, err error) {
+	if s.quarantined == nil {
+		s.quarantined = err
+		e.stats.Quarantined.Add(1)
+	}
 }
 
 func dlogCapOf(p *nvm.Pool, base uint64) uint64 { return p.Load64(base + 8) }
@@ -275,6 +302,9 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s := e.slots[slotID]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.quarantined != nil {
+		return fmt.Errorf("%w: clobber slot %d: %v", txn.ErrSlotQuarantined, s.id, s.quarantined)
+	}
 	return e.runLocked(s, name, args, fn, false)
 }
 
@@ -333,7 +363,7 @@ func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args) error {
 		p.Store64(s.hdr+offFreeApplied, 0)
 		p.Store64(s.hdr+offReclaimApplied, 0)
 		p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
-		p.Flush(s.hdr, uint64(offArgs)+uint64(len(enc)))
+		p.FlushOpt(s.hdr, uint64(offArgs)+uint64(len(enc)))
 		p.Fence()
 		e.stats.VLogEntries.Add(1)
 		e.stats.VLogBytes.Add(int64(len(name) + len(enc)))
@@ -358,7 +388,7 @@ func vlogChecksum(seq uint64, name string, enc []byte) uint64 {
 func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 	p := e.pool
 	for _, line := range m.t.dirty {
-		p.Flush(line*nvm.LineSize, nvm.LineSize)
+		p.FlushOpt(line*nvm.LineSize, nvm.LineSize)
 	}
 	p.Fence()
 
@@ -382,8 +412,11 @@ func (e *Engine) setStatus(s *slot, seq uint64, phase uint64) {
 // persistent progress counter *before* each free so a crash can only leak,
 // never double-free.
 func (e *Engine) applyFrees(s *slot, seq uint64, from uint64) {
+	e.applyFreeList(s, s.flog.Scan(seq), from)
+}
+
+func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
-	addrs := s.flog.Scan(seq)
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
 		p.Persist(s.hdr+offFreeApplied, 8)
@@ -405,44 +438,82 @@ func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
 	return fn(roMem{e.pool})
 }
 
-// Recover implements txn.Engine (§4.3). For every slot with an ongoing
-// transaction it (1) restores clobbered inputs from the clobber_log,
-// (2) reclaims the interrupted execution's allocations, (3) re-executes the
-// transaction via the registered txfunc with the arguments restored from the
-// v_log. Slots interrupted while applying deferred frees resume them.
+// Recover implements txn.Engine; see RecoverReport for the full outcome.
+func (e *Engine) Recover() (int, error) {
+	rep, err := e.RecoverReport()
+	return rep.Recovered, err
+}
+
+// slotOutcome classifies what recoverSlot did with one slot.
+type slotOutcome int
+
+const (
+	outcomeIdle slotOutcome = iota
+	outcomeReexecuted
+	outcomeFreesResumed
+	outcomeQuarantined
+)
+
+// RecoverReport implements txn.RecoveryReporter (§4.3, hardened). For every
+// slot with an ongoing transaction it (1) restores clobbered inputs from the
+// clobber_log, (2) reclaims the interrupted execution's allocations,
+// (3) re-executes the transaction via the registered txfunc with the
+// arguments restored from the v_log. Slots interrupted while applying
+// deferred frees resume them.
+//
+// Corrupt logs never panic: a slot whose v_log or clobber_log fails
+// validation is quarantined — its persistent state is left untouched and
+// Run on it returns txn.ErrSlotQuarantined — and recovery of the remaining
+// slots proceeds. The returned error is reserved for conditions that make
+// the engine unusable (a missing txfunc registration, a failing
+// re-execution); a simulated-crash panic (nvm.ErrCrash) still propagates so
+// crash-during-recovery harnesses keep working.
 //
 // Slots recover concurrently: the paper notes this is valid because the
 // strong strict 2PL contract makes ongoing transactions' lock sets — and
 // hence their footprints — disjoint ("Clobber-NVM recovers each thread
 // independently").
-func (e *Engine) Recover() (int, error) {
+func (e *Engine) RecoverReport() (txn.RecoveryReport, error) {
 	var (
 		mu         sync.Mutex
-		recovered  int
+		rep        txn.RecoveryReport
 		firstErr   error
 		firstPanic any
 		wg         sync.WaitGroup
 	)
+	rep.Slots = len(e.slots)
 	for _, s := range e.slots {
 		wg.Add(1)
 		go func(s *slot) {
 			defer wg.Done()
 			defer func() {
-				// Re-raise panics (notably simulated-crash injections) on
-				// the calling goroutine so harnesses can catch them.
 				if r := recover(); r != nil {
-					mu.Lock()
-					if firstPanic == nil {
-						firstPanic = r
+					// Re-raise simulated crash injections on the calling
+					// goroutine so harnesses can catch them; convert any
+					// other panic (out-of-range address from a damaged log,
+					// codec panic on garbage bytes) into a quarantine.
+					if err, ok := r.(error); ok && errors.Is(err, nvm.ErrCrash) {
+						mu.Lock()
+						if firstPanic == nil {
+							firstPanic = r
+						}
+						mu.Unlock()
+						return
 					}
-					mu.Unlock()
+					e.quarantine(s, fmt.Errorf("%w: clobber slot %d: recovery panic: %v", txn.ErrCorruptLog, s.id, r))
 				}
 			}()
-			n, err := e.recoverSlot(s)
+			out, err := e.recoverSlot(s)
 			mu.Lock()
 			defer mu.Unlock()
-			recovered += n
-			if err != nil && firstErr == nil {
+			switch out {
+			case outcomeReexecuted:
+				rep.Recovered++
+				rep.Reexecuted++
+			case outcomeFreesResumed:
+				rep.FreesResumed++
+			}
+			if err != nil && out != outcomeQuarantined && firstErr == nil {
 				firstErr = err
 			}
 		}(s)
@@ -451,49 +522,104 @@ func (e *Engine) Recover() (int, error) {
 	if firstPanic != nil {
 		panic(firstPanic)
 	}
-	return recovered, firstErr
+	for _, s := range e.slots {
+		if s.quarantined != nil {
+			rep.Quarantined++
+			rep.Errors = append(rep.Errors, s.quarantined)
+		}
+	}
+	return rep, firstErr
 }
 
-func (e *Engine) recoverSlot(s *slot) (int, error) {
+func (e *Engine) recoverSlot(s *slot) (slotOutcome, error) {
+	if s.quarantined != nil {
+		return outcomeQuarantined, s.quarantined
+	}
 	p := e.pool
 	status := p.Load64(s.hdr + offStatus)
 	seq, phase := status>>2, status&3
 	s.seq = seq
 	switch phase {
 	case phaseIdle:
-		return 0, nil
+		return outcomeIdle, nil
 	case phaseFreeing:
 		// The transaction had committed; only its deferred frees remain.
-		e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
+		// The commit fence ordered every free-log entry before the freeing
+		// status, so the strict scan's valid-after-invalid test is sound.
+		addrs, err := s.flog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("clobber: slot %d: free log: %w", s.id, err))
+			return outcomeQuarantined, s.quarantined
+		}
+		e.applyFreeList(s, addrs, p.Load64(s.hdr+offFreeApplied))
 		e.setStatus(s, seq, phaseIdle)
-		return 0, nil
+		return outcomeFreesResumed, nil
+	case phaseOngoing:
+		// Handled below.
+	default:
+		// The status word persists atomically (one aligned 8-byte store),
+		// so an undefined phase cannot come from a torn write.
+		e.quarantine(s, fmt.Errorf("%w: clobber slot %d: undefined phase %d", txn.ErrCorruptLog, s.id, phase))
+		return outcomeQuarantined, s.quarantined
 	}
 
 	// Ongoing: validate the v_log entry.
+	var (
+		vlogOK  bool
+		nameBuf []byte
+		enc     []byte
+	)
 	nameLen := p.Load64(s.hdr + offNameLen)
 	argsLen := p.Load64(s.hdr + offArgsLen)
-	if nameLen > maxNameLen || argsLen > e.opts.ArgsCap {
-		e.setStatus(s, seq, phaseIdle)
-		return 0, nil
+	if nameLen <= maxNameLen && argsLen <= e.opts.ArgsCap {
+		nameBuf = make([]byte, nameLen)
+		p.Load(s.hdr+offName, nameBuf)
+		enc = make([]byte, argsLen)
+		if argsLen > 0 {
+			p.Load(s.hdr+offArgs, enc)
+		}
+		vlogOK = p.Load64(s.hdr+offVLogChecksum) == vlogChecksum(seq, string(nameBuf), enc)
 	}
-	nameBuf := make([]byte, nameLen)
-	p.Load(s.hdr+offName, nameBuf)
-	enc := make([]byte, argsLen)
-	if argsLen > 0 {
-		p.Load(s.hdr+offArgs, enc)
-	}
-	if p.Load64(s.hdr+offVLogChecksum) != vlogChecksum(seq, string(nameBuf), enc) {
-		// The begin fence never completed: the transaction performed no
-		// persistent writes. Clear and move on.
+
+	// Clobber appends are fenced per entry, so the strict scan is sound.
+	entries, scanErr := s.dlog.ScanStrict(seq)
+	if !vlogOK {
+		if scanErr != nil || len(entries) > 0 {
+			// Clobber entries exist for this sequence (or the log shows
+			// post-hoc damage). Sequence numbers are never reused across
+			// attempts, and logClobber only runs after begin's fence — so
+			// a valid v_log entry WAS durable and has since been damaged.
+			e.quarantine(s, fmt.Errorf("%w: clobber slot %d: v_log checksum mismatch for seq %d with %d clobber entries",
+				txn.ErrCorruptLog, s.id, seq, len(entries)))
+			return outcomeQuarantined, s.quarantined
+		}
+		// Torn begin: the fence never completed, the transaction performed
+		// no persistent writes. Clear and move on. (A corrupted v_log of a
+		// transaction with zero clobber entries is indistinguishable from
+		// this case; the slot state stays consistent either way, only the
+		// re-execution is lost.)
 		e.setStatus(s, seq, phaseIdle)
-		return 0, nil
+		return outcomeIdle, nil
+	}
+	if scanErr != nil {
+		e.quarantine(s, fmt.Errorf("clobber: slot %d: clobber log: %w", s.id, scanErr))
+		return outcomeQuarantined, s.quarantined
+	}
+	// Checksummed entries carry the addresses they were logged with, but
+	// verify bounds before touching memory all the same.
+	for _, en := range entries {
+		end := en.Addr + uint64(len(en.Data))
+		if end > p.Size() || end < en.Addr {
+			e.quarantine(s, fmt.Errorf("%w: clobber slot %d: log entry addresses [%#x,%#x) outside pool",
+				txn.ErrCorruptLog, s.id, en.Addr, end))
+			return outcomeQuarantined, s.quarantined
+		}
 	}
 
 	// 1. Restore clobbered inputs (reverse order, then one fence).
-	entries := s.dlog.Scan(seq)
 	for i := len(entries) - 1; i >= 0; i-- {
 		p.Store(entries[i].Addr, entries[i].Data)
-		p.Flush(entries[i].Addr, uint64(len(entries[i].Data)))
+		p.FlushOpt(entries[i].Addr, uint64(len(entries[i].Data)))
 	}
 	if len(entries) > 0 {
 		p.Fence()
@@ -501,7 +627,8 @@ func (e *Engine) recoverSlot(s *slot) (int, error) {
 
 	// 2. Reclaim the interrupted execution's allocations so re-execution
 	// does not leak. Progress counter first: crash here leaks, never
-	// double-frees.
+	// double-frees. (Plain scan: the alloc log is best-effort/unfenced, so
+	// the strict scan's soundness argument does not apply to it.)
 	allocs := s.alog.Scan(seq)
 	for i := p.Load64(s.hdr + offReclaimApplied); i < uint64(len(allocs)); i++ {
 		p.Store64(s.hdr+offReclaimApplied, i+1)
@@ -514,16 +641,17 @@ func (e *Engine) recoverSlot(s *slot) (int, error) {
 	// 3. Re-execute.
 	args, err := txn.DecodeArgs(enc)
 	if err != nil {
-		return 0, fmt.Errorf("clobber: slot %d: corrupt v_log args: %w", s.id, err)
+		e.quarantine(s, fmt.Errorf("%w: clobber slot %d: undecodable v_log args: %v", txn.ErrCorruptLog, s.id, err))
+		return outcomeQuarantined, s.quarantined
 	}
 	fn, err := e.reg.Lookup(string(nameBuf))
 	if err != nil {
-		return 0, fmt.Errorf("clobber: slot %d: recovery needs txfunc %q: %w", s.id, nameBuf, err)
+		return outcomeIdle, fmt.Errorf("clobber: slot %d: recovery needs txfunc %q: %w", s.id, nameBuf, err)
 	}
 	if err := e.runLocked(s, string(nameBuf), args, fn, true); err != nil {
-		return 0, fmt.Errorf("clobber: slot %d: re-execution of %q failed: %w", s.id, nameBuf, err)
+		return outcomeIdle, fmt.Errorf("clobber: slot %d: re-execution of %q failed: %w", s.id, nameBuf, err)
 	}
-	return 1, nil
+	return outcomeReexecuted, nil
 }
 
 // SlotStatus describes one worker slot's persistent recovery state, for
@@ -549,6 +677,10 @@ func (e *Engine) SlotStatuses() []SlotStatus {
 	p := e.pool
 	out := make([]SlotStatus, 0, len(e.slots))
 	for _, s := range e.slots {
+		if s.quarantined != nil {
+			out = append(out, SlotStatus{Slot: s.id, Phase: "quarantined"})
+			continue
+		}
 		status := p.Load64(s.hdr + offStatus)
 		seq, phase := status>>2, status&3
 		st := SlotStatus{Slot: s.id, Seq: seq}

@@ -1,0 +1,155 @@
+// Package crashsweep implements exhaustive persist-point fault injection:
+// run a workload once to count persist points (stores, flushes, fences),
+// then re-run it once per point with a crash scheduled exactly there,
+// recover, and audit the surviving structure against a volatile model. A
+// sweep that passes proves every single persistence-ordering window in the
+// workload is crash-consistent — the strongest form of the paper's §5.6
+// recovery validation this simulator can express.
+package crashsweep
+
+import (
+	"fmt"
+
+	"clobbernvm/internal/atlas"
+	"clobbernvm/internal/clobber"
+	"clobbernvm/internal/ido"
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/redolog"
+	"clobbernvm/internal/undolog"
+)
+
+// Style classifies what a sweep can audit about an engine.
+type Style int
+
+const (
+	// StyleAtomic engines promise failure atomicity: the sweep audits
+	// all-or-nothing structure state after recovery.
+	StyleAtomic Style = iota
+	// StyleMeter engines (ido, justdo) are measurement artifacts with no
+	// recovery machinery; the sweep audits only the crash simulator itself
+	// (forced full eviction must reproduce the coherent state).
+	StyleMeter
+)
+
+// EngineSpec describes how the sweeper creates and reopens one engine.
+type EngineSpec struct {
+	Name   string
+	Style  Style
+	Create func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error)
+	Attach func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error)
+}
+
+// sweepSlots keeps per-slot log footprints small: sweeps restore the whole
+// pool image per persist point, so pool (and therefore slot) size is the
+// dominant per-point cost.
+const sweepSlots = 2
+
+// Specs returns the engine roster the sweep covers: the four
+// failure-atomicity engines plus the iDO and JUSTDO meters.
+func Specs() []EngineSpec {
+	return []EngineSpec{
+		{
+			Name: "clobber", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return clobber.Create(p, a, clobber.Options{
+					Slots: sweepSlots, DataLogCap: 1 << 20, ArgsCap: 1024,
+					AllocLogCap: 128, FreeLogCap: 128,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return clobber.Attach(p, a, clobber.Options{})
+			},
+		},
+		{
+			Name: "pmdk", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return undolog.Create(p, a, undolog.Options{
+					Slots: sweepSlots, DataLogCap: 1 << 20,
+					AllocLogCap: 128, FreeLogCap: 128,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return undolog.Attach(p, a, undolog.Options{})
+			},
+		},
+		{
+			Name: "mnemosyne", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return redolog.Create(p, a, redolog.Options{
+					Slots: sweepSlots, DataLogCap: 1 << 20,
+					AllocLogCap: 128, FreeLogCap: 128,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return redolog.Attach(p, a, redolog.Options{})
+			},
+		},
+		{
+			Name: "atlas", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return atlas.Create(p, a, atlas.Options{
+					Slots: sweepSlots, DataLogCap: 1 << 20,
+					AllocLogCap: 128, FreeLogCap: 128,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return atlas.Attach(p, a, atlas.Options{})
+			},
+		},
+		{
+			Name: "ido", Style: StyleMeter,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return ido.New(p, a), nil
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return ido.New(p, a), nil
+			},
+		},
+		{
+			Name: "justdo", Style: StyleMeter,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return ido.NewJustDo(p, a), nil
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return ido.NewJustDo(p, a), nil
+			},
+		},
+	}
+}
+
+// EngineByName returns the spec for name, or an error listing the roster.
+func EngineByName(name string) (EngineSpec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return EngineSpec{}, fmt.Errorf("crashsweep: unknown engine %q (want clobber|pmdk|mnemosyne|atlas|ido|justdo)", name)
+}
+
+// StructureKinds lists the structures OpenStructure accepts.
+func StructureKinds() []string {
+	return []string{"hashmap", "skiplist", "rbtree", "bptree", "avltree", "list"}
+}
+
+// OpenStructure opens (creating if absent) the named structure anchored at
+// rootSlot.
+func OpenStructure(kind string, eng pds.Engine, rootSlot int) (pds.Store, error) {
+	switch kind {
+	case "hashmap":
+		return pds.NewHashMap(eng, rootSlot)
+	case "skiplist":
+		return pds.NewSkipList(eng, rootSlot)
+	case "rbtree":
+		return pds.NewRBTree(eng, rootSlot)
+	case "bptree":
+		return pds.NewBPTree(eng, rootSlot)
+	case "avltree":
+		return pds.NewAVLTree(eng, rootSlot)
+	case "list":
+		return pds.NewList(eng, rootSlot)
+	}
+	return nil, fmt.Errorf("crashsweep: unknown structure %q (want %v)", kind, StructureKinds())
+}

@@ -1,0 +1,66 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"clobbernvm/internal/crashsweep"
+	"clobbernvm/internal/nvm"
+)
+
+// TestExhaustiveCrashSweep crashes every engine at every single persist
+// point (store, flush and fence) of a mixed insert/update/delete workload
+// over three structures, under both the random-eviction and torn-line
+// adversaries, and requires all-or-nothing recovery with zero quarantines
+// at every point. This is the acceptance gate for the fault-injection
+// model: if any persistence-ordering window is wrong anywhere, some point
+// of some cell fails.
+func TestExhaustiveCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	engines := []string{"clobber", "pmdk", "mnemosyne", "atlas", "ido"}
+	structures := []string{"list", "hashmap", "skiplist"}
+	policies := []nvm.EvictPolicy{nvm.EvictRandom, nvm.EvictTorn}
+
+	for _, engine := range engines {
+		for _, structure := range structures {
+			for _, policy := range policies {
+				engine, structure, policy := engine, structure, policy
+				name := fmt.Sprintf("%s/%s/%s", engine, structure, policy)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					res, err := crashsweep.Run(crashsweep.Config{
+						Engine:    engine,
+						Structure: structure,
+						Kind:      nvm.CrashAtAny,
+						Policy:    policy,
+						Seed:      42,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.PersistPoints == 0 {
+						t.Fatal("no persist points found")
+					}
+					if res.Crashes != int(res.PersistPoints) {
+						t.Fatalf("crashes = %d, want one per persist point (%d)",
+							res.Crashes, res.PersistPoints)
+					}
+					if res.Quarantined != 0 {
+						t.Errorf("pure power failures quarantined %d slots", res.Quarantined)
+					}
+					for i, m := range res.Mismatches {
+						if i == 5 {
+							t.Errorf("... %d more mismatches", len(res.Mismatches)-5)
+							break
+						}
+						t.Errorf("mismatch: %v", m)
+					}
+					t.Logf("%d persist points, %d recovered (%d re-executed, %d rolled back, %d rolled forward)",
+						res.PersistPoints, res.Recovered, res.Reexecuted, res.RolledBack, res.RolledForward)
+				})
+			}
+		}
+	}
+}

@@ -53,7 +53,10 @@ type Meter struct {
 	stats txn.Stats
 }
 
-var _ txn.Engine = (*Meter)(nil)
+var (
+	_ txn.Engine           = (*Meter)(nil)
+	_ txn.RecoveryReporter = (*Meter)(nil)
+)
 
 // New creates an iDO meter over the pool and allocator.
 func New(p *nvm.Pool, a *pmem.Allocator) *Meter {
@@ -69,6 +72,9 @@ func (m *Meter) Register(name string, fn txn.TxFunc) { m.reg.Register(name, fn) 
 // Stats implements txn.Engine. LogEntries counts region boundaries (iDO's
 // logging points); LogBytes counts boundary-record bytes.
 func (m *Meter) Stats() *txn.Stats { return &m.stats }
+
+// Pool returns the meter's pool.
+func (m *Meter) Pool() *nvm.Pool { return m.pool }
 
 // Run implements txn.Engine: execute with idempotent-region accounting.
 func (m *Meter) Run(slot int, name string, args *txn.Args) error {
@@ -107,6 +113,12 @@ func (m *Meter) RunRO(slot int, fn txn.ROFunc) error {
 // Recover implements txn.Engine. The meter does not implement iDO's
 // resumption machinery — it exists to measure logging traffic.
 func (m *Meter) Recover() (int, error) { return 0, nil }
+
+// RecoverReport implements txn.RecoveryReporter: meters keep no persistent
+// logs, so there is never anything to recover or quarantine.
+func (m *Meter) RecoverReport() (txn.RecoveryReport, error) {
+	return txn.RecoveryReport{}, nil
+}
 
 // tracer is the region-tracking memory view.
 type tracer struct {

@@ -26,7 +26,10 @@ type JustDoMeter struct {
 	stats txn.Stats
 }
 
-var _ txn.Engine = (*JustDoMeter)(nil)
+var (
+	_ txn.Engine           = (*JustDoMeter)(nil)
+	_ txn.RecoveryReporter = (*JustDoMeter)(nil)
+)
 
 // JustDoRecordBytes is one JUSTDO log record: program counter, target
 // address, value (8 bytes each).
@@ -79,6 +82,12 @@ func (m *JustDoMeter) RunRO(slot int, fn txn.ROFunc) error {
 
 // Recover implements txn.Engine (accounting instrument: no-op).
 func (m *JustDoMeter) Recover() (int, error) { return 0, nil }
+
+// RecoverReport implements txn.RecoveryReporter: meters keep no persistent
+// logs, so there is never anything to recover or quarantine.
+func (m *JustDoMeter) RecoverReport() (txn.RecoveryReport, error) {
+	return txn.RecoveryReport{}, nil
+}
 
 // justdoMem charges one persisted record — flush + fence — per store.
 type justdoMem struct{ m *JustDoMeter }

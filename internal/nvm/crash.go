@@ -1,0 +1,112 @@
+package nvm
+
+import "fmt"
+
+// CrashKind selects which persistence event a scheduled crash fires at.
+// Logging bugs cluster at different boundaries: a missing flush only shows
+// up when the crash lands between the store and the flush, a missing fence
+// only when it lands between the flush and the fence. Sweeping all three
+// (or CrashAtAny for every persist point) covers the full space.
+type CrashKind uint8
+
+const (
+	// CrashAtStore fires on the n-th Store/Store64 (the historical
+	// ScheduleCrash behaviour).
+	CrashAtStore CrashKind = iota
+	// CrashAtFlush fires on the n-th cache-line flush issue (Flush or
+	// FlushOpt, counted per line).
+	CrashAtFlush
+	// CrashAtFence fires on the n-th Fence, before pending optimized
+	// flushes drain to the media.
+	CrashAtFence
+	// CrashAtAny fires on the n-th persistence event of any kind, in
+	// program order. This is what an exhaustive persist-point sweep uses.
+	CrashAtAny
+)
+
+// String implements fmt.Stringer.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashAtStore:
+		return "store"
+	case CrashAtFlush:
+		return "flush"
+	case CrashAtFence:
+		return "fence"
+	case CrashAtAny:
+		return "any"
+	default:
+		return fmt.Sprintf("CrashKind(%d)", uint8(k))
+	}
+}
+
+// ParseCrashKind converts a flag-style name ("store", "flush", "fence",
+// "any") to a CrashKind.
+func ParseCrashKind(s string) (CrashKind, error) {
+	switch s {
+	case "store":
+		return CrashAtStore, nil
+	case "flush":
+		return CrashAtFlush, nil
+	case "fence":
+		return CrashAtFence, nil
+	case "any":
+		return CrashAtAny, nil
+	default:
+		return 0, fmt.Errorf("nvm: unknown crash kind %q (want store|flush|fence|any)", s)
+	}
+}
+
+// EvictPolicy selects what happens to dirty (unflushed or un-fenced) cache
+// lines when the power fails. Real hardware gives no whole-line atomicity
+// guarantee: only aligned 8-byte stores persist atomically, so a line caught
+// mid-eviction can reach the media as an arbitrary prefix of its words.
+type EvictPolicy uint8
+
+const (
+	// EvictRandom loses or persists each dirty line whole, independently
+	// with the pool's eviction probability (the historical behaviour).
+	EvictRandom EvictPolicy = iota
+	// EvictNone drops every dirty line: nothing unfenced survives. The
+	// most pessimistic crash for code that forgot a flush.
+	EvictNone
+	// EvictAll persists every dirty line whole: everything survives, as
+	// on a machine with persistent caches (the JUSTDO/iDO assumption).
+	EvictAll
+	// EvictTorn persists a random prefix of 8-byte words of each dirty
+	// line, modelling 8-byte (not 64-byte) persistence atomicity.
+	EvictTorn
+)
+
+// String implements fmt.Stringer.
+func (e EvictPolicy) String() string {
+	switch e {
+	case EvictRandom:
+		return "random"
+	case EvictNone:
+		return "none"
+	case EvictAll:
+		return "all"
+	case EvictTorn:
+		return "torn"
+	default:
+		return fmt.Sprintf("EvictPolicy(%d)", uint8(e))
+	}
+}
+
+// ParseEvictPolicy converts a flag-style name ("random", "none", "all",
+// "torn") to an EvictPolicy.
+func ParseEvictPolicy(s string) (EvictPolicy, error) {
+	switch s {
+	case "random":
+		return EvictRandom, nil
+	case "none":
+		return EvictNone, nil
+	case "all":
+		return EvictAll, nil
+	case "torn":
+		return EvictTorn, nil
+	default:
+		return 0, fmt.Errorf("nvm: unknown evict policy %q (want random|none|all|torn)", s)
+	}
+}

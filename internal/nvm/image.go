@@ -16,6 +16,71 @@ func (p *Pool) SaveImage(path string) error {
 	return nil
 }
 
+// validateImage checks that data is a plausible pool image.
+func validateImage(data []byte) error {
+	if len(data) < HeaderSize || uint64(len(data))%LineSize != 0 {
+		return fmt.Errorf("nvm: truncated pool image (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint64(data[magicOffset:]) != poolMagic {
+		return fmt.Errorf("nvm: bad pool image magic")
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the durable (media) view — the image a crash
+// sweep restores between fault injections. The caller must quiesce the pool.
+func (p *Pool) Snapshot() []byte {
+	img := make([]byte, len(p.media))
+	copy(img, p.media)
+	return img
+}
+
+// CoherentSnapshot returns a copy of the coherent (mem) view, i.e. what the
+// CPU sees including not-yet-durable cache contents. Useful for asserting
+// the persistent-cache contract (EvictAll must make Crash preserve exactly
+// this image).
+func (p *Pool) CoherentSnapshot() []byte {
+	img := make([]byte, len(p.mem))
+	copy(img, p.mem)
+	return img
+}
+
+// Restore resets the pool in place to a previously captured Snapshot: both
+// views become the image (as after a reboot), the cache is clean, any armed
+// crash is disarmed and the persist-point counters are zeroed. Cumulative
+// stats are preserved. The image size must match the pool size. The caller
+// must quiesce the pool.
+func (p *Pool) Restore(img []byte) error {
+	if err := validateImage(img); err != nil {
+		return fmt.Errorf("nvm: restore: %w", err)
+	}
+	if uint64(len(img)) != p.Size() {
+		return fmt.Errorf("nvm: restore: image is %d bytes, pool is %d", len(img), p.Size())
+	}
+	copy(p.media, img)
+	copy(p.mem, img)
+	for i := range p.dirty {
+		p.dirty[i] = make(map[uint64]struct{})
+		p.pending[i] = make(map[uint64]struct{})
+	}
+	p.pendingCount.Store(0)
+	p.crashAt.Store(0)
+	p.ResetPersistPoints()
+	return nil
+}
+
+// NewFromImage creates a pool whose coherent and durable views both equal
+// the given image, as after a reboot.
+func NewFromImage(data []byte, opts ...Option) (*Pool, error) {
+	if err := validateImage(data); err != nil {
+		return nil, err
+	}
+	p := New(uint64(len(data)), opts...)
+	copy(p.media, data)
+	copy(p.mem, data)
+	return p, nil
+}
+
 // OpenImage loads a pool image previously written by SaveImage. The
 // resulting pool's coherent and durable views both equal the saved durable
 // view, as after a reboot.
@@ -24,14 +89,9 @@ func OpenImage(path string, opts ...Option) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nvm: open image: %w", err)
 	}
-	if len(data) < HeaderSize || uint64(len(data))%LineSize != 0 {
-		return nil, fmt.Errorf("nvm: open image: truncated pool image (%d bytes)", len(data))
+	p, err := NewFromImage(data, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: open image: %w", err)
 	}
-	if binary.LittleEndian.Uint64(data[magicOffset:]) != poolMagic {
-		return nil, fmt.Errorf("nvm: open image: bad magic")
-	}
-	p := New(uint64(len(data)), opts...)
-	copy(p.media, data)
-	copy(p.mem, data)
 	return p, nil
 }

@@ -4,19 +4,23 @@
 // The simulation mirrors the machine model of Clobber-NVM (ASPLOS '21):
 // a pool of persistent memory is accessed with loads and stores through a
 // write-back cache of 64-byte lines. Stores land in the cache and are NOT
-// durable until the line has been explicitly flushed (Flush/FlushOpt) and a
-// subsequent Fence has completed. A simulated power failure (Crash) discards
-// the cache: each dirty line independently either reaches the media (the
-// hardware happened to evict it) or is lost, modelling the uncontrolled
-// eviction order of real caches.
+// durable until the line has been explicitly flushed (Flush, or FlushOpt
+// followed by Fence) and a subsequent Fence has completed. A simulated power
+// failure (Crash) discards the cache: each dirty line independently either
+// reaches the media (the hardware happened to evict it) or is lost — whole,
+// or as a torn prefix of 8-byte words under EvictTorn — modelling the
+// uncontrolled eviction order and 8-byte persistence atomicity of real
+// caches.
 //
 // The pool keeps two images:
 //
 //   - mem:   the coherent view every CPU sees (cache ∪ media),
 //   - media: the durable view that survives Crash.
 //
-// Flush copies lines from mem to media. Crash copies a random subset of the
-// remaining dirty lines (eviction luck) and then resets mem to media.
+// Flush copies lines from mem to media immediately. FlushOpt only marks
+// lines flush-pending; they reach the media at the next Fence. Crash applies
+// the configured EvictPolicy to the remaining dirty lines and then resets
+// mem to media.
 //
 // The pool also carries the cost model: Flush and Fence spin for a
 // configurable simulated latency so that benchmark wall-clock times reflect
@@ -29,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -62,28 +67,43 @@ const dirtyShards = 64
 
 // Pool is a simulated NVM region plus its cache model.
 //
-// Concurrent use: Load/Store/Flush/Fence are safe for concurrent use by
-// multiple goroutines provided the application serializes conflicting
+// Concurrent use: Load/Store/Flush/FlushOpt/Fence are safe for concurrent
+// use by multiple goroutines provided the application serializes conflicting
 // accesses to the same addresses (the locking discipline every engine in
 // this repository requires anyway, mirroring the paper's strong strict
-// two-phase locking model). Crash and SaveImage require external quiescence.
+// two-phase locking model). Crash, Snapshot, Restore and SaveImage require
+// external quiescence.
 type Pool struct {
 	mem   []byte // coherent CPU view
 	media []byte // durable view
 
 	dirtyMu [dirtyShards]sync.Mutex
 	dirty   []map[uint64]struct{} // per-shard set of dirty line indexes
+	// pending is the per-shard set of lines issued via FlushOpt but not
+	// yet ordered by a Fence. A pending line is still dirty: it persists
+	// only when a Fence drains it (or by eviction luck in a crash).
+	pending      []map[uint64]struct{}
+	pendingCount atomic.Int64
 
 	lat   Latency
 	stats Stats
 
-	// crashAt, when > 0, is the 1-based store ordinal at which the pool
-	// panics with ErrCrash. 0 disables crash injection.
-	crashAt    atomic.Int64
-	storeCount atomic.Int64
+	// crashAt, when > 0, is the 1-based ordinal of the crashKind event at
+	// which the pool panics with ErrCrash. 0 disables crash injection.
+	crashAt   atomic.Int64
+	crashKind atomic.Int64 // CrashKind the schedule is armed for
 
-	// evictProb is the probability that a dirty line survives a crash
-	// (i.e. the hardware evicted it to media before power was lost).
+	// Persistence-event counters, reset by ScheduleCrashAt and
+	// ResetPersistPoints. anyEvents is the total across kinds and is what
+	// an exhaustive sweep enumerates.
+	storeEvents atomic.Int64
+	flushEvents atomic.Int64
+	fenceEvents atomic.Int64
+	anyEvents   atomic.Int64
+
+	// evict is the crash-time fate of dirty lines; evictProb applies
+	// under EvictRandom only.
+	evict     EvictPolicy
 	evictProb float64
 	rngMu     sync.Mutex
 	rng       *rand.Rand
@@ -98,9 +118,15 @@ func WithLatency(l Latency) Option { return func(p *Pool) { p.lat = l } }
 
 // WithEvictProbability sets the probability that a dirty (unflushed) line
 // nevertheless reaches the media during a crash, modelling background cache
-// eviction. Default 0.5.
+// eviction. Default 0.5. Applies under EvictRandom.
 func WithEvictProbability(q float64) Option {
 	return func(p *Pool) { p.evictProb = q }
+}
+
+// WithEviction selects the crash-time eviction policy for dirty lines.
+// Default EvictRandom.
+func WithEviction(e EvictPolicy) Option {
+	return func(p *Pool) { p.evict = e }
 }
 
 // WithSeed seeds the pool's private RNG (used only for crash eviction luck).
@@ -123,9 +149,11 @@ func New(size uint64, opts ...Option) *Pool {
 		evictProb: 0.5,
 		rng:       rand.New(rand.NewSource(1)),
 		dirty:     make([]map[uint64]struct{}, dirtyShards),
+		pending:   make([]map[uint64]struct{}, dirtyShards),
 	}
 	for i := range p.dirty {
 		p.dirty[i] = make(map[uint64]struct{})
+		p.pending[i] = make(map[uint64]struct{})
 	}
 	for _, o := range opts {
 		o(p)
@@ -213,7 +241,7 @@ func (p *Pool) Store(addr uint64, data []byte) {
 			s.Unlock()
 		}
 	}
-	p.tickCrash()
+	p.tick(CrashAtStore)
 }
 
 // Store64 writes a little-endian uint64 at addr.
@@ -239,34 +267,121 @@ func (p *Pool) Store64(addr uint64, v uint64) {
 		p.dirty[l%dirtyShards][l] = struct{}{}
 		s.Unlock()
 	}
-	p.tickCrash()
+	p.tick(CrashAtStore)
 }
 
-func (p *Pool) tickCrash() {
+// tick records one persistence event of the given kind and fires the
+// scheduled crash if this event reaches the armed ordinal. It must only be
+// called while holding no pool-internal lock: the ErrCrash panic unwinds
+// through the caller and a held shard mutex would wedge the pool for the
+// recovery attempt that follows.
+func (p *Pool) tick(kind CrashKind) {
+	var n int64
+	switch kind {
+	case CrashAtStore:
+		n = p.storeEvents.Add(1)
+	case CrashAtFlush:
+		n = p.flushEvents.Add(1)
+	case CrashAtFence:
+		n = p.fenceEvents.Add(1)
+	}
+	any := p.anyEvents.Add(1)
 	at := p.crashAt.Load()
 	if at <= 0 {
 		return
 	}
-	if p.storeCount.Add(1) == at {
+	armed := CrashKind(p.crashKind.Load())
+	var cmp int64
+	switch {
+	case armed == CrashAtAny:
+		cmp = any
+	case armed == kind:
+		cmp = n
+	default:
+		return
+	}
+	if cmp == at {
+		switch kind {
+		case CrashAtStore:
+			p.stats.CrashesAtStore.Add(1)
+		case CrashAtFlush:
+			p.stats.CrashesAtFlush.Add(1)
+		case CrashAtFence:
+			p.stats.CrashesAtFence.Add(1)
+		}
 		panic(ErrCrash)
 	}
 }
 
 // ScheduleCrash arms crash injection: the pool panics with ErrCrash on the
-// n-th subsequent store (n >= 1). ScheduleCrash(0) disarms.
-func (p *Pool) ScheduleCrash(n int64) {
-	p.storeCount.Store(0)
+// n-th subsequent store (n >= 1). ScheduleCrash(0) disarms. It is the
+// historical API, equivalent to ScheduleCrashAt(CrashAtStore, n).
+func (p *Pool) ScheduleCrash(n int64) { p.ScheduleCrashAt(CrashAtStore, n) }
+
+// ScheduleCrashAt arms crash injection at the n-th subsequent persistence
+// event of the given kind (n >= 1): a store, a per-line flush issue (Flush
+// or FlushOpt), a fence, or — with CrashAtAny — the n-th event of any kind.
+// All persist-point counters are reset, so the ordinal is relative to this
+// call. n == 0 disarms.
+func (p *Pool) ScheduleCrashAt(kind CrashKind, n int64) {
+	p.ResetPersistPoints()
+	p.crashKind.Store(int64(kind))
 	p.crashAt.Store(n)
 }
 
 // CrashScheduled reports whether crash injection is armed and has not fired.
 func (p *Pool) CrashScheduled() bool {
-	return p.crashAt.Load() > 0 && p.storeCount.Load() < p.crashAt.Load()
+	at := p.crashAt.Load()
+	if at <= 0 {
+		return false
+	}
+	switch CrashKind(p.crashKind.Load()) {
+	case CrashAtStore:
+		return p.storeEvents.Load() < at
+	case CrashAtFlush:
+		return p.flushEvents.Load() < at
+	case CrashAtFence:
+		return p.fenceEvents.Load() < at
+	default:
+		return p.anyEvents.Load() < at
+	}
+}
+
+// PersistPointCount returns the number of persistence events (stores,
+// per-line flush issues, fences) observed since the last ScheduleCrashAt or
+// ResetPersistPoints. A harness runs a workload once under this counter to
+// enumerate every crash site, then sweeps ScheduleCrashAt(CrashAtAny, i)
+// for i in [1, PersistPointCount()].
+func (p *Pool) PersistPointCount() int64 { return p.anyEvents.Load() }
+
+// PersistPoints returns the event count for one crash kind since the last
+// reset. PersistPoints(CrashAtAny) equals PersistPointCount.
+func (p *Pool) PersistPoints(kind CrashKind) int64 {
+	switch kind {
+	case CrashAtStore:
+		return p.storeEvents.Load()
+	case CrashAtFlush:
+		return p.flushEvents.Load()
+	case CrashAtFence:
+		return p.fenceEvents.Load()
+	default:
+		return p.anyEvents.Load()
+	}
+}
+
+// ResetPersistPoints zeroes the persist-point counters (and therefore the
+// base that a subsequently scheduled crash ordinal is measured from).
+func (p *Pool) ResetPersistPoints() {
+	p.storeEvents.Store(0)
+	p.flushEvents.Store(0)
+	p.fenceEvents.Store(0)
+	p.anyEvents.Store(0)
 }
 
 // Flush writes every cache line covering [addr, addr+n) to the media and
-// pays the flush latency once per line (modelling clwb/clflushopt issue).
-// Ordering with respect to later stores is only guaranteed after Fence.
+// pays the flush latency once per line (modelling clflush: strongly ordered,
+// durable immediately). Ordering with respect to later stores still requires
+// a Fence.
 func (p *Pool) Flush(addr, n uint64) {
 	if n == 0 {
 		return
@@ -280,24 +395,76 @@ func (p *Pool) Flush(addr, n uint64) {
 
 func (p *Pool) flushLine(l uint64) {
 	p.stats.Flushes.Add(1)
+	// Tick before the media copy: a crash landing on this flush means the
+	// line did NOT reach the media.
+	p.tick(CrashAtFlush)
 	s := &p.dirtyMu[l%dirtyShards]
 	s.Lock()
 	delete(p.dirty[l%dirtyShards], l)
+	if _, ok := p.pending[l%dirtyShards][l]; ok {
+		delete(p.pending[l%dirtyShards], l)
+		p.pendingCount.Add(-1)
+	}
 	off := l * LineSize
 	copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
 	s.Unlock()
 	spin(p.lat.FlushNS)
 }
 
-// FlushOpt is the weakly ordered flush variant (clflushopt/clwb): identical
-// durability semantics in this simulation, kept as a separate entry point so
-// engines express intent and the counters distinguish the two.
-func (p *Pool) FlushOpt(addr, n uint64) { p.Flush(addr, n) }
+// FlushOpt is the weakly ordered flush variant (clflushopt/clwb): it only
+// marks the covered lines flush-pending. They become durable at the next
+// Fence — until then a crash treats them like any other dirty line, so an
+// engine that issues FlushOpt but forgets the fence is actually catchable by
+// the crash adversary. Counted in both Flushes (total flush issues) and
+// FlushOpts (the weak subset).
+func (p *Pool) FlushOpt(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.check(addr, n)
+	first, last := addr/LineSize, (addr+n-1)/LineSize
+	for l := first; l <= last; l++ {
+		p.flushLineOpt(l)
+	}
+}
 
-// Fence orders preceding flushes before subsequent stores (sfence) and pays
-// the fence latency.
+func (p *Pool) flushLineOpt(l uint64) {
+	p.stats.Flushes.Add(1)
+	p.stats.FlushOpts.Add(1)
+	p.tick(CrashAtFlush)
+	s := &p.dirtyMu[l%dirtyShards]
+	s.Lock()
+	if _, ok := p.pending[l%dirtyShards][l]; !ok {
+		p.pending[l%dirtyShards][l] = struct{}{}
+		p.pendingCount.Add(1)
+	}
+	s.Unlock()
+	spin(p.lat.FlushNS)
+}
+
+// Fence orders preceding flushes before subsequent stores (sfence): every
+// line issued via FlushOpt since the previous fence drains to the media, and
+// the fence latency is paid. A crash landing on the fence itself happens
+// before the drain — the pending lines are still at the hardware's mercy.
 func (p *Pool) Fence() {
 	p.stats.Fences.Add(1)
+	p.tick(CrashAtFence)
+	if p.pendingCount.Load() != 0 {
+		for i := 0; i < dirtyShards; i++ {
+			s := &p.dirtyMu[i]
+			s.Lock()
+			if n := len(p.pending[i]); n > 0 {
+				for l := range p.pending[i] {
+					off := l * LineSize
+					copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
+					delete(p.dirty[i], l)
+					delete(p.pending[i], l)
+				}
+				p.pendingCount.Add(int64(-n))
+			}
+			s.Unlock()
+		}
+	}
 	spin(p.lat.FenceNS)
 }
 
@@ -307,23 +474,51 @@ func (p *Pool) Persist(addr, n uint64) {
 	p.Fence()
 }
 
-// Crash simulates a power failure: every dirty line is independently either
-// evicted to media (probability WithEvictProbability, default 0.5) or lost,
-// then the coherent view is reset to the media image. Crash requires that no
-// other goroutine is accessing the pool.
+// Crash simulates a power failure: the configured EvictPolicy decides the
+// fate of each dirty line (pending FlushOpt lines included — an un-fenced
+// optimized flush guarantees nothing), then the coherent view is reset to
+// the media image. Lines are visited in sorted order so a seeded pool's
+// adversary is deterministic regardless of map iteration order. Crash
+// requires that no other goroutine is accessing the pool.
 func (p *Pool) Crash() {
 	p.stats.Crashes.Add(1)
 	p.crashAt.Store(0)
 	p.rngMu.Lock()
+	var lines []uint64
 	for i := range p.dirty {
 		for l := range p.dirty[i] {
+			lines = append(lines, l)
+		}
+	}
+	sort.Slice(lines, func(a, b int) bool { return lines[a] < lines[b] })
+	for _, l := range lines {
+		off := l * LineSize
+		switch p.evict {
+		case EvictNone:
+			// Lost whole.
+		case EvictAll:
+			copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
+		case EvictTorn:
+			// A random prefix of 8-byte words reaches the media:
+			// persistence is word-atomic, not line-atomic.
+			k := p.rng.Intn(LineSize/8 + 1)
+			if k > 0 {
+				copy(p.media[off:off+uint64(k)*8], p.mem[off:off+uint64(k)*8])
+			}
+			if k > 0 && k < LineSize/8 {
+				p.stats.TornLines.Add(1)
+			}
+		default: // EvictRandom
 			if p.rng.Float64() < p.evictProb {
-				off := l * LineSize
 				copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
 			}
 		}
-		p.dirty[i] = make(map[uint64]struct{})
 	}
+	for i := range p.dirty {
+		p.dirty[i] = make(map[uint64]struct{})
+		p.pending[i] = make(map[uint64]struct{})
+	}
+	p.pendingCount.Store(0)
 	p.rngMu.Unlock()
 	copy(p.mem, p.media)
 }
@@ -338,6 +533,17 @@ func (p *Pool) DirtyLines() int {
 	}
 	return total
 }
+
+// PendingLines returns the number of lines issued via FlushOpt and not yet
+// drained by a Fence.
+func (p *Pool) PendingLines() int { return int(p.pendingCount.Load()) }
+
+// Eviction returns the pool's crash-time eviction policy.
+func (p *Pool) Eviction() EvictPolicy { return p.evict }
+
+// SetEviction changes the crash-time eviction policy. Like Crash itself it
+// requires external quiescence.
+func (p *Pool) SetEviction(e EvictPolicy) { p.evict = e }
 
 // Stats returns a snapshot of the pool's counters.
 func (p *Pool) Stats() StatsSnapshot { return p.stats.snapshot() }

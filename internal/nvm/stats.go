@@ -8,31 +8,51 @@ type Stats struct {
 	Stores      atomic.Int64
 	BytesLoaded atomic.Int64
 	BytesStored atomic.Int64
-	Flushes     atomic.Int64
-	Fences      atomic.Int64
-	Crashes     atomic.Int64
+	// Flushes counts every per-line flush issue, strong or optimized;
+	// FlushOpts counts the weakly ordered (FlushOpt) subset.
+	Flushes   atomic.Int64
+	FlushOpts atomic.Int64
+	Fences    atomic.Int64
+	// Crashes counts Crash() calls; CrashesAt* count scheduled crashes by
+	// the kind of persistence event they fired at. TornLines counts dirty
+	// lines that persisted a proper prefix of their words under EvictTorn.
+	Crashes        atomic.Int64
+	CrashesAtStore atomic.Int64
+	CrashesAtFlush atomic.Int64
+	CrashesAtFence atomic.Int64
+	TornLines      atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the pool counters.
 type StatsSnapshot struct {
-	Loads       int64
-	Stores      int64
-	BytesLoaded int64
-	BytesStored int64
-	Flushes     int64
-	Fences      int64
-	Crashes     int64
+	Loads          int64
+	Stores         int64
+	BytesLoaded    int64
+	BytesStored    int64
+	Flushes        int64
+	FlushOpts      int64
+	Fences         int64
+	Crashes        int64
+	CrashesAtStore int64
+	CrashesAtFlush int64
+	CrashesAtFence int64
+	TornLines      int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Loads:       s.Loads.Load(),
-		Stores:      s.Stores.Load(),
-		BytesLoaded: s.BytesLoaded.Load(),
-		BytesStored: s.BytesStored.Load(),
-		Flushes:     s.Flushes.Load(),
-		Fences:      s.Fences.Load(),
-		Crashes:     s.Crashes.Load(),
+		Loads:          s.Loads.Load(),
+		Stores:         s.Stores.Load(),
+		BytesLoaded:    s.BytesLoaded.Load(),
+		BytesStored:    s.BytesStored.Load(),
+		Flushes:        s.Flushes.Load(),
+		FlushOpts:      s.FlushOpts.Load(),
+		Fences:         s.Fences.Load(),
+		Crashes:        s.Crashes.Load(),
+		CrashesAtStore: s.CrashesAtStore.Load(),
+		CrashesAtFlush: s.CrashesAtFlush.Load(),
+		CrashesAtFence: s.CrashesAtFence.Load(),
+		TornLines:      s.TornLines.Load(),
 	}
 }
 
@@ -42,20 +62,30 @@ func (s *Stats) reset() {
 	s.BytesLoaded.Store(0)
 	s.BytesStored.Store(0)
 	s.Flushes.Store(0)
+	s.FlushOpts.Store(0)
 	s.Fences.Store(0)
 	s.Crashes.Store(0)
+	s.CrashesAtStore.Store(0)
+	s.CrashesAtFlush.Store(0)
+	s.CrashesAtFence.Store(0)
+	s.TornLines.Store(0)
 }
 
 // Sub returns the difference a-b, counter by counter. Useful for measuring
 // the traffic of a single operation window.
 func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Loads:       a.Loads - b.Loads,
-		Stores:      a.Stores - b.Stores,
-		BytesLoaded: a.BytesLoaded - b.BytesLoaded,
-		BytesStored: a.BytesStored - b.BytesStored,
-		Flushes:     a.Flushes - b.Flushes,
-		Fences:      a.Fences - b.Fences,
-		Crashes:     a.Crashes - b.Crashes,
+		Loads:          a.Loads - b.Loads,
+		Stores:         a.Stores - b.Stores,
+		BytesLoaded:    a.BytesLoaded - b.BytesLoaded,
+		BytesStored:    a.BytesStored - b.BytesStored,
+		Flushes:        a.Flushes - b.Flushes,
+		FlushOpts:      a.FlushOpts - b.FlushOpts,
+		Fences:         a.Fences - b.Fences,
+		Crashes:        a.Crashes - b.Crashes,
+		CrashesAtStore: a.CrashesAtStore - b.CrashesAtStore,
+		CrashesAtFlush: a.CrashesAtFlush - b.CrashesAtFlush,
+		CrashesAtFence: a.CrashesAtFence - b.CrashesAtFence,
+		TornLines:      a.TornLines - b.TornLines,
 	}
 }

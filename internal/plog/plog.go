@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/txn"
 )
 
 // Pool is the pool interface the logs require.
@@ -32,8 +33,14 @@ type Pool interface {
 	Store(addr uint64, data []byte)
 	Store64(addr uint64, v uint64)
 	Flush(addr, n uint64)
+	// FlushOpt is the weakly ordered flush: durable only after the next
+	// Fence. Log appends use it because a fence always follows — per
+	// entry for undo discipline, at commit for redo discipline.
+	FlushOpt(addr, n uint64)
 	Fence()
 	Persist(addr, n uint64)
+	// Size bounds attach-time validation of persistent offsets.
+	Size() uint64
 }
 
 // ErrLogFull reports that a transaction outgrew its log area.
@@ -94,12 +101,21 @@ func FormatDataLog(p Pool, slot int, base, capacity uint64) *DataLog {
 	return &DataLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}
 }
 
-// AttachDataLog opens a previously formatted data log.
+// AttachDataLog opens a previously formatted data log. The header and the
+// capacity it declares are validated against the pool bounds before any
+// entry is touched: on arbitrary bytes the result is an error wrapping
+// txn.ErrCorruptLog, never a panic.
 func AttachDataLog(p Pool, slot int, base uint64) (*DataLog, error) {
+	if base+16 > p.Size() || base+16 < base {
+		return nil, fmt.Errorf("%w: data log header at %#x outside pool", txn.ErrCorruptLog, base)
+	}
 	if p.Load64(base) != dataLogMagic {
-		return nil, fmt.Errorf("plog: no data log at %#x", base)
+		return nil, fmt.Errorf("%w: no data log at %#x", txn.ErrCorruptLog, base)
 	}
 	capacity := p.Load64(base + 8)
+	if end := base + 16 + capacity; end > p.Size() || end < base {
+		return nil, fmt.Errorf("%w: data log at %#x declares capacity %#x beyond pool", txn.ErrCorruptLog, base, capacity)
+	}
 	return &DataLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}, nil
 }
 
@@ -143,7 +159,7 @@ func (l *DataLog) Append(seq, addr uint64, payload []byte, opts AppendOptions) (
 	var crc [8]byte
 	binary.LittleEndian.PutUint64(crc[:], checksum(seq, addr, l.slot, payload))
 	p.Store(at+entryHeaderSize+uint64(len(payload)), crc[:])
-	p.Flush(at, uint64(entryHeaderSize+len(payload)+entryTrailerSize))
+	p.FlushOpt(at, uint64(entryHeaderSize+len(payload)+entryTrailerSize))
 	if !opts.NoFence {
 		p.Fence()
 	}
@@ -174,6 +190,12 @@ type Entry struct {
 // stopping at the first invalid or mismatching entry. Scan reads the
 // persistent image, so it works after a crash and reopen.
 func (l *DataLog) Scan(seq uint64) []Entry {
+	out, _ := l.scanFrom(seq)
+	return out
+}
+
+// scanFrom is Scan plus the offset the scan stopped at.
+func (l *DataLog) scanFrom(seq uint64) ([]Entry, uint64) {
 	var out []Entry
 	p := l.pool
 	off := uint64(0)
@@ -196,7 +218,44 @@ func (l *DataLog) Scan(seq uint64) []Entry {
 		out = append(out, Entry{Addr: addr, Data: payload})
 		off += (entryHeaderSize + plen + entryTrailerSize + 7) &^ 7
 	}
-	return out
+	return out, off
+}
+
+// ScanStrict is Scan with corruption detection for fence-ordered logs (every
+// entry fenced before the next append starts). Under that discipline the
+// only invalid entry a crash can produce is a torn tail: nothing valid can
+// exist beyond the first invalid entry. ScanStrict probes past the stop
+// point, and if it finds a complete valid entry for the same sequence it
+// reports txn.ErrCorruptLog — the prefix was damaged after being written.
+// It must NOT be used on best-effort logs (unfenced appends), where eviction
+// luck makes a valid-after-invalid pattern legitimate.
+func (l *DataLog) ScanStrict(seq uint64) ([]Entry, error) {
+	out, stop := l.scanFrom(seq)
+	p := l.pool
+	var hdr [entryHeaderSize]byte
+	// Headers are 8-byte aligned; the torn entry's length field may itself
+	// be garbage, so probe every aligned offset beyond the stop point.
+	for off := stop + 8; off+entryHeaderSize+entryTrailerSize <= l.cap; off += 8 {
+		at := l.base + off
+		p.Load(at, hdr[:])
+		eseq := binary.LittleEndian.Uint64(hdr[0:])
+		if eseq != seq {
+			continue
+		}
+		addr := binary.LittleEndian.Uint64(hdr[8:])
+		plen := uint64(binary.LittleEndian.Uint32(hdr[16:]))
+		if off+entryHeaderSize+plen+entryTrailerSize > l.cap {
+			continue
+		}
+		payload := make([]byte, plen)
+		p.Load(at+entryHeaderSize, payload)
+		if p.Load64(at+entryHeaderSize+plen) != checksum(eseq, addr, l.slot, payload) {
+			continue
+		}
+		return out, fmt.Errorf("%w: data log slot %d: valid entry for seq %d at offset %#x beyond torn entry at %#x",
+			txn.ErrCorruptLog, l.slot, seq, off, stop)
+	}
+	return out, nil
 }
 
 // --- AddrLog ----------------------------------------------------------------
@@ -228,13 +287,20 @@ func FormatAddrLog(p Pool, slot int, base uint64, capacity int) *AddrLog {
 	return &AddrLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}
 }
 
-// AttachAddrLog opens a previously formatted address log.
+// AttachAddrLog opens a previously formatted address log, validating header
+// and declared capacity against the pool bounds (see AttachDataLog).
 func AttachAddrLog(p Pool, slot int, base uint64) (*AddrLog, error) {
-	if p.Load64(base) != addrLogMagic {
-		return nil, fmt.Errorf("plog: no addr log at %#x", base)
+	if base+16 > p.Size() || base+16 < base {
+		return nil, fmt.Errorf("%w: addr log header at %#x outside pool", txn.ErrCorruptLog, base)
 	}
-	capacity := int(p.Load64(base + 8))
-	return &AddrLog{pool: p, slot: uint32(slot), base: base + 16, cap: capacity}, nil
+	if p.Load64(base) != addrLogMagic {
+		return nil, fmt.Errorf("%w: no addr log at %#x", txn.ErrCorruptLog, base)
+	}
+	capacity := p.Load64(base + 8)
+	if end := base + 16 + capacity*addrEntrySize; capacity > uint64(p.Size())/addrEntrySize || end > p.Size() {
+		return nil, fmt.Errorf("%w: addr log at %#x declares capacity %d beyond pool", txn.ErrCorruptLog, base, capacity)
+	}
+	return &AddrLog{pool: p, slot: uint32(slot), base: base + 16, cap: int(capacity)}, nil
 }
 
 // Reset prepares for a new sequence.
@@ -255,9 +321,14 @@ func (l *AddrLog) Append(seq, addr uint64, fence bool) error {
 	p.Store64(at, seq)
 	p.Store64(at+8, addr)
 	p.Store64(at+16, checksum(seq, addr, l.slot, nil))
-	p.Flush(at, addrEntrySize)
 	if fence {
+		p.FlushOpt(at, addrEntrySize)
 		p.Fence()
+	} else {
+		// Best-effort logs keep the strong flush: there is no guaranteed
+		// following fence, and losing the entry entirely would widen the
+		// leak window the bounded-loss contract promises.
+		p.Flush(at, addrEntrySize)
 	}
 	l.n++
 	return nil
@@ -276,9 +347,15 @@ func (l *AddrLog) Invalidate() {
 
 // Scan returns all valid addresses for seq in append order.
 func (l *AddrLog) Scan(seq uint64) []uint64 {
+	out, _ := l.scanFrom(seq)
+	return out
+}
+
+func (l *AddrLog) scanFrom(seq uint64) ([]uint64, int) {
 	var out []uint64
 	p := l.pool
-	for i := 0; i < l.cap; i++ {
+	i := 0
+	for ; i < l.cap; i++ {
 		at := l.base + uint64(i)*addrEntrySize
 		eseq := p.Load64(at)
 		addr := p.Load64(at + 8)
@@ -287,7 +364,24 @@ func (l *AddrLog) Scan(seq uint64) []uint64 {
 		}
 		out = append(out, addr)
 	}
-	return out
+	return out, i
+}
+
+// ScanStrict is Scan with corruption detection, valid only for fence-ordered
+// appends (fence=true) — see DataLog.ScanStrict for the soundness argument.
+func (l *AddrLog) ScanStrict(seq uint64) ([]uint64, error) {
+	out, stop := l.scanFrom(seq)
+	p := l.pool
+	for i := stop + 1; i < l.cap; i++ {
+		at := l.base + uint64(i)*addrEntrySize
+		eseq := p.Load64(at)
+		addr := p.Load64(at + 8)
+		if eseq == seq && p.Load64(at+16) == checksum(eseq, addr, l.slot, nil) {
+			return out, fmt.Errorf("%w: addr log slot %d: valid entry for seq %d at index %d beyond torn entry at %d",
+				txn.ErrCorruptLog, l.slot, seq, i, stop)
+		}
+	}
+	return out, nil
 }
 
 // Alignment sanity: headers stay 8-byte aligned so torn-write detection at

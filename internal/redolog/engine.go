@@ -81,7 +81,10 @@ type Engine struct {
 	slots []*slot
 }
 
-var _ txn.Engine = (*Engine)(nil)
+var (
+	_ txn.Engine           = (*Engine)(nil)
+	_ txn.RecoveryReporter = (*Engine)(nil)
+)
 
 type slot struct {
 	mu   sync.Mutex
@@ -91,6 +94,9 @@ type slot struct {
 	alog *plog.AddrLog
 	flog *plog.AddrLog
 	seq  uint64
+
+	// quarantined records why attach/recovery set this slot aside.
+	quarantined error
 }
 
 // Create formats a fresh engine on the pool (anchor in root slot 4).
@@ -133,40 +139,58 @@ func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Attach opens a previously created engine.
+// Attach opens a previously created engine. Per-slot log corruption
+// quarantines the slot instead of failing the attach; only a damaged anchor
+// is fatal.
 func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	anchor := p.Load64(p.RootSlot(rootSlot))
-	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+	if anchor == 0 || anchor+16 > p.Size() || p.Load64(anchor) != anchorMagic {
 		return nil, errors.New("redolog: pool has no redo engine")
 	}
 	n := int(p.Load64(anchor + 8))
 	if n <= 0 || n > txn.MaxSlots {
 		return nil, fmt.Errorf("redolog: corrupt anchor: %d slots", n)
 	}
+	if anchor+16+uint64(n)*8 > p.Size() {
+		return nil, errors.New("redolog: corrupt anchor: slot table outside pool")
+	}
 	opts.Slots = n
 	e := &Engine{pool: p, alloc: a, opts: opts}
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 16 + uint64(i)*8)
+		s := &slot{id: i, hdr: base}
+		e.slots = append(e.slots, s)
 		dlog, err := plog.AttachDataLog(p, i, base+hdrSize)
 		if err != nil {
-			return nil, fmt.Errorf("redolog: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("redolog: slot %d: %w", i, err))
+			continue
 		}
 		dcap := p.Load64(base + hdrSize + 8)
 		alogOff := uint64(hdrSize) + plog.DataLogSize(dcap)
 		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
 		if err != nil {
-			return nil, fmt.Errorf("redolog: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("redolog: slot %d: %w", i, err))
+			continue
 		}
 		acap := int(p.Load64(base + alogOff + 8))
 		flog, err := plog.AttachAddrLog(p, i, base+alogOff+plog.AddrLogSize(acap))
 		if err != nil {
-			return nil, fmt.Errorf("redolog: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("redolog: slot %d: %w", i, err))
+			continue
 		}
-		status := p.Load64(base + offStatus)
-		e.slots = append(e.slots, &slot{id: i, hdr: base, dlog: dlog, alog: alog, flog: flog, seq: status >> 2})
+		s.dlog, s.alog, s.flog = dlog, alog, flog
+		s.seq = p.Load64(base+offStatus) >> 2
 	}
 	return e, nil
+}
+
+// quarantine sets a slot aside with the given cause (first cause wins).
+func (e *Engine) quarantine(s *slot, err error) {
+	if s.quarantined == nil {
+		s.quarantined = err
+		e.stats.Quarantined.Add(1)
+	}
 }
 
 // Name implements txn.Engine.
@@ -196,6 +220,9 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s := e.slots[slotID]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.quarantined != nil {
+		return fmt.Errorf("%w: redolog slot %d: %v", txn.ErrSlotQuarantined, s.id, s.quarantined)
+	}
 
 	if args == nil {
 		args = txn.NoArgs
@@ -249,7 +276,7 @@ func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 	// Apply in place and persist the home locations.
 	for _, r := range ranges {
 		p.Store(r.addr, r.data)
-		p.Flush(r.addr, uint64(len(r.data)))
+		p.FlushOpt(r.addr, uint64(len(r.data)))
 	}
 	p.Fence()
 
@@ -263,8 +290,11 @@ func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 }
 
 func (e *Engine) applyFrees(s *slot, seq, from uint64) {
+	e.applyFreeList(s, s.flog.Scan(seq), from)
+}
+
+func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
-	addrs := s.flog.Scan(seq)
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
 		p.Persist(s.hdr+offFreeApplied, 8)
@@ -290,50 +320,104 @@ func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
 // (roll forward); uncommitted transactions left no persistent trace beyond
 // eagerly allocated blocks, which are reclaimed.
 func (e *Engine) Recover() (int, error) {
-	n := 0
-	p := e.pool
+	rep, err := e.RecoverReport()
+	return rep.Recovered, err
+}
+
+// RecoverReport implements txn.RecoveryReporter. The phaseApplying marker is
+// persisted only after the fence that makes every redo entry durable, so at
+// replay time the log is fence-ordered and the strict scan's
+// valid-after-invalid corruption test is sound. A corrupt log quarantines
+// the slot before ANY entry is applied — a partial redo replay would tear
+// the committed state it claims to complete.
+func (e *Engine) RecoverReport() (txn.RecoveryReport, error) {
+	var rep txn.RecoveryReport
+	rep.Slots = len(e.slots)
 	for _, s := range e.slots {
-		status := p.Load64(s.hdr + offStatus)
-		seq, phase := status>>2, status&3
-		s.seq = seq
-		switch phase {
-		case phaseApplying:
-			for _, en := range s.dlog.Scan(seq) {
-				p.Store(en.Addr, en.Data)
-				p.Flush(en.Addr, uint64(len(en.Data)))
-			}
-			p.Fence()
-			e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
-			p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
-			p.Persist(s.hdr+offStatus, 8)
-			e.stats.Recovered.Add(1)
-			n++
-		case phaseFreeing:
-			e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
-			p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
-			p.Persist(s.hdr+offStatus, 8)
-		default:
-			// Idle. A transaction that started after the last commit but
-			// never reached its commit point ran under seq+1 (the status
-			// word only advances at commit); its eager allocations are
-			// leaked blocks to reclaim. Allocations recorded under seq
-			// belong to the committed transaction and are live.
-			allocs := s.alog.Scan(seq + 1)
-			for i := p.Load64(s.hdr + offReclaimApplied); i < uint64(len(allocs)); i++ {
-				p.Store64(s.hdr+offReclaimApplied, i+1)
-				p.Persist(s.hdr+offReclaimApplied, 8)
-				_ = e.alloc.Free(allocs[i])
-			}
-			if len(allocs) > 0 {
-				s.alog.Invalidate()
-			}
-			// A crashed attempt may have written redo entries under seq+1
-			// without reaching its commit marker; destroy them so a future
-			// attempt reusing that sequence cannot replay them.
-			s.dlog.Invalidate()
+		e.recoverSlot(s, &rep)
+	}
+	for _, s := range e.slots {
+		if s.quarantined != nil {
+			rep.Quarantined++
+			rep.Errors = append(rep.Errors, s.quarantined)
 		}
 	}
-	return n, nil
+	return rep, nil
+}
+
+func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, nvm.ErrCrash) {
+				panic(r)
+			}
+			e.quarantine(s, fmt.Errorf("%w: redolog slot %d: recovery panic: %v", txn.ErrCorruptLog, s.id, r))
+		}
+	}()
+	if s.quarantined != nil {
+		return
+	}
+	p := e.pool
+	status := p.Load64(s.hdr + offStatus)
+	seq, phase := status>>2, status&3
+	s.seq = seq
+	switch phase {
+	case phaseApplying:
+		entries, err := s.dlog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("redolog: slot %d: redo log: %w", s.id, err))
+			return
+		}
+		for _, en := range entries {
+			if end := en.Addr + uint64(len(en.Data)); end > p.Size() || end < en.Addr {
+				e.quarantine(s, fmt.Errorf("%w: redolog slot %d: log entry addresses [%#x,%#x) outside pool",
+					txn.ErrCorruptLog, s.id, en.Addr, end))
+				return
+			}
+		}
+		for _, en := range entries {
+			p.Store(en.Addr, en.Data)
+			p.FlushOpt(en.Addr, uint64(len(en.Data)))
+		}
+		p.Fence()
+		e.applyFrees(s, seq, p.Load64(s.hdr+offFreeApplied))
+		p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
+		p.Persist(s.hdr+offStatus, 8)
+		e.stats.Recovered.Add(1)
+		rep.Recovered++
+		rep.RolledForward++
+	case phaseFreeing:
+		addrs, err := s.flog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("redolog: slot %d: free log: %w", s.id, err))
+			return
+		}
+		e.applyFreeList(s, addrs, p.Load64(s.hdr+offFreeApplied))
+		p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
+		p.Persist(s.hdr+offStatus, 8)
+		rep.FreesResumed++
+	case phaseIdle:
+		// Idle. A transaction that started after the last commit but
+		// never reached its commit point ran under seq+1 (the status
+		// word only advances at commit); its eager allocations are
+		// leaked blocks to reclaim. Allocations recorded under seq
+		// belong to the committed transaction and are live.
+		allocs := s.alog.Scan(seq + 1)
+		for i := p.Load64(s.hdr + offReclaimApplied); i < uint64(len(allocs)); i++ {
+			p.Store64(s.hdr+offReclaimApplied, i+1)
+			p.Persist(s.hdr+offReclaimApplied, 8)
+			_ = e.alloc.Free(allocs[i])
+		}
+		if len(allocs) > 0 {
+			s.alog.Invalidate()
+		}
+		// A crashed attempt may have written redo entries under seq+1
+		// without reaching its commit marker; destroy them so a future
+		// attempt reusing that sequence cannot replay them.
+		s.dlog.Invalidate()
+	default:
+		e.quarantine(s, fmt.Errorf("%w: redolog slot %d: undefined phase %d", txn.ErrCorruptLog, s.id, phase))
+	}
 }
 
 // wsEntry buffers one word of the write set: val holds the bytes, mask marks

@@ -23,6 +23,9 @@ type Stats struct {
 	// ReadChecks counts read-path interpositions (redo engines: write-set
 	// lookups on Load).
 	ReadChecks atomic.Int64
+
+	// Quarantined counts slots recovery set aside on log corruption.
+	Quarantined atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of engine statistics.
@@ -34,6 +37,7 @@ type StatsSnapshot struct {
 	VLogEntries int64
 	VLogBytes   int64
 	ReadChecks  int64
+	Quarantined int64
 }
 
 // Snapshot copies the counters.
@@ -46,6 +50,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		VLogEntries: s.VLogEntries.Load(),
 		VLogBytes:   s.VLogBytes.Load(),
 		ReadChecks:  s.ReadChecks.Load(),
+		Quarantined: s.Quarantined.Load(),
 	}
 }
 
@@ -58,6 +63,7 @@ func (s *Stats) Reset() {
 	s.VLogEntries.Store(0)
 	s.VLogBytes.Store(0)
 	s.ReadChecks.Store(0)
+	s.Quarantined.Store(0)
 }
 
 // Sub returns a-b.
@@ -70,6 +76,7 @@ func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 		VLogEntries: a.VLogEntries - b.VLogEntries,
 		VLogBytes:   a.VLogBytes - b.VLogBytes,
 		ReadChecks:  a.ReadChecks - b.ReadChecks,
+		Quarantined: a.Quarantined - b.Quarantined,
 	}
 }
 

@@ -80,7 +80,10 @@ type Engine struct {
 	slots []*slot
 }
 
-var _ txn.Engine = (*Engine)(nil)
+var (
+	_ txn.Engine           = (*Engine)(nil)
+	_ txn.RecoveryReporter = (*Engine)(nil)
+)
 
 type slot struct {
 	mu   sync.Mutex
@@ -90,6 +93,9 @@ type slot struct {
 	alog *plog.AddrLog
 	flog *plog.AddrLog
 	seq  uint64
+
+	// quarantined records why attach/recovery set this slot aside.
+	quarantined error
 }
 
 // Create formats a fresh engine on the pool (anchor in root slot 3).
@@ -132,40 +138,58 @@ func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Attach opens a previously created engine.
+// Attach opens a previously created engine. Per-slot log corruption
+// quarantines the slot instead of failing the attach; only a damaged anchor
+// is fatal.
 func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	anchor := p.Load64(p.RootSlot(rootSlot))
-	if anchor == 0 || p.Load64(anchor) != anchorMagic {
+	if anchor == 0 || anchor+16 > p.Size() || p.Load64(anchor) != anchorMagic {
 		return nil, errors.New("undolog: pool has no undo engine")
 	}
 	n := int(p.Load64(anchor + 8))
 	if n <= 0 || n > txn.MaxSlots {
 		return nil, fmt.Errorf("undolog: corrupt anchor: %d slots", n)
 	}
+	if anchor+16+uint64(n)*8 > p.Size() {
+		return nil, errors.New("undolog: corrupt anchor: slot table outside pool")
+	}
 	opts.Slots = n
 	e := &Engine{pool: p, alloc: a, opts: opts}
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 16 + uint64(i)*8)
+		s := &slot{id: i, hdr: base}
+		e.slots = append(e.slots, s)
 		dlog, err := plog.AttachDataLog(p, i, base+hdrSize)
 		if err != nil {
-			return nil, fmt.Errorf("undolog: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("undolog: slot %d: %w", i, err))
+			continue
 		}
 		dcap := p.Load64(base + hdrSize + 8)
 		alogOff := uint64(hdrSize) + plog.DataLogSize(dcap)
 		alog, err := plog.AttachAddrLog(p, i, base+alogOff)
 		if err != nil {
-			return nil, fmt.Errorf("undolog: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("undolog: slot %d: %w", i, err))
+			continue
 		}
 		acap := int(p.Load64(base + alogOff + 8))
 		flog, err := plog.AttachAddrLog(p, i, base+alogOff+plog.AddrLogSize(acap))
 		if err != nil {
-			return nil, fmt.Errorf("undolog: slot %d: %w", i, err)
+			e.quarantine(s, fmt.Errorf("undolog: slot %d: %w", i, err))
+			continue
 		}
-		status := p.Load64(base + offStatus)
-		e.slots = append(e.slots, &slot{id: i, hdr: base, dlog: dlog, alog: alog, flog: flog, seq: status >> 2})
+		s.dlog, s.alog, s.flog = dlog, alog, flog
+		s.seq = p.Load64(base+offStatus) >> 2
 	}
 	return e, nil
+}
+
+// quarantine sets a slot aside with the given cause (first cause wins).
+func (e *Engine) quarantine(s *slot, err error) {
+	if s.quarantined == nil {
+		s.quarantined = err
+		e.stats.Quarantined.Add(1)
+	}
 }
 
 // Name implements txn.Engine.
@@ -195,6 +219,9 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s := e.slots[slotID]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.quarantined != nil {
+		return fmt.Errorf("%w: undolog slot %d: %v", txn.ErrSlotQuarantined, s.id, s.quarantined)
+	}
 
 	if args == nil {
 		args = txn.NoArgs
@@ -221,7 +248,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 
 	// Commit: outputs durable, then invalidate the log, then frees.
 	for line := range m.dirty {
-		p.Flush(line*nvm.LineSize, nvm.LineSize)
+		p.FlushOpt(line*nvm.LineSize, nvm.LineSize)
 	}
 	p.Fence()
 	if m.frees > 0 {
@@ -239,8 +266,11 @@ func (e *Engine) setStatus(s *slot, seq, phase uint64) {
 }
 
 func (e *Engine) applyFrees(s *slot, seq, from uint64) {
+	e.applyFreeList(s, s.flog.Scan(seq), from)
+}
+
+func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
-	addrs := s.flog.Scan(seq)
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
 		p.Persist(s.hdr+offFreeApplied, 8)
@@ -253,11 +283,14 @@ func (e *Engine) applyFrees(s *slot, seq, from uint64) {
 // rollback restores all undo-logged values in reverse order, reclaims the
 // transaction's allocations, and marks the slot idle.
 func (e *Engine) rollback(s *slot, seq uint64) {
+	e.rollbackEntries(s, seq, s.dlog.Scan(seq))
+}
+
+func (e *Engine) rollbackEntries(s *slot, seq uint64, entries []plog.Entry) {
 	p := e.pool
-	entries := s.dlog.Scan(seq)
 	for i := len(entries) - 1; i >= 0; i-- {
 		p.Store(entries[i].Addr, entries[i].Data)
-		p.Flush(entries[i].Addr, uint64(len(entries[i].Data)))
+		p.FlushOpt(entries[i].Addr, uint64(len(entries[i].Data)))
 	}
 	if len(entries) > 0 {
 		p.Fence()
@@ -284,22 +317,79 @@ func (e *Engine) RunRO(slotID int, fn txn.ROFunc) error {
 // Recover implements txn.Engine: interrupted transactions roll back (the
 // traditional undo recovery, in contrast to clobber's re-execution).
 func (e *Engine) Recover() (int, error) {
-	n := 0
+	rep, err := e.RecoverReport()
+	return rep.Recovered, err
+}
+
+// RecoverReport implements txn.RecoveryReporter. Undo entries are fenced per
+// append and the free log is ordered by the commit fence, so both are
+// strict-scanned: corruption quarantines the slot (its persistent state kept
+// for forensics, Run returning txn.ErrSlotQuarantined) instead of replaying
+// garbage old values or panicking.
+func (e *Engine) RecoverReport() (txn.RecoveryReport, error) {
+	var rep txn.RecoveryReport
+	rep.Slots = len(e.slots)
 	for _, s := range e.slots {
-		status := e.pool.Load64(s.hdr + offStatus)
-		seq, phase := status>>2, status&3
-		s.seq = seq
-		switch phase {
-		case phaseOngoing:
-			e.rollback(s, seq)
-			e.stats.Recovered.Add(1)
-			n++
-		case phaseFreeing:
-			e.applyFrees(s, seq, e.pool.Load64(s.hdr+offFreeApplied))
-			e.setStatus(s, seq, phaseIdle)
+		e.recoverSlot(s, &rep)
+	}
+	for _, s := range e.slots {
+		if s.quarantined != nil {
+			rep.Quarantined++
+			rep.Errors = append(rep.Errors, s.quarantined)
 		}
 	}
-	return n, nil
+	return rep, nil
+}
+
+func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Simulated crash injections propagate to the harness; any
+			// other panic on a slot's recovery path means damaged state.
+			if err, ok := r.(error); ok && errors.Is(err, nvm.ErrCrash) {
+				panic(r)
+			}
+			e.quarantine(s, fmt.Errorf("%w: undolog slot %d: recovery panic: %v", txn.ErrCorruptLog, s.id, r))
+		}
+	}()
+	if s.quarantined != nil {
+		return
+	}
+	p := e.pool
+	status := p.Load64(s.hdr + offStatus)
+	seq, phase := status>>2, status&3
+	s.seq = seq
+	switch phase {
+	case phaseIdle:
+	case phaseOngoing:
+		entries, err := s.dlog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("undolog: slot %d: undo log: %w", s.id, err))
+			return
+		}
+		for _, en := range entries {
+			if end := en.Addr + uint64(len(en.Data)); end > p.Size() || end < en.Addr {
+				e.quarantine(s, fmt.Errorf("%w: undolog slot %d: log entry addresses [%#x,%#x) outside pool",
+					txn.ErrCorruptLog, s.id, en.Addr, end))
+				return
+			}
+		}
+		e.rollbackEntries(s, seq, entries)
+		e.stats.Recovered.Add(1)
+		rep.Recovered++
+		rep.RolledBack++
+	case phaseFreeing:
+		addrs, err := s.flog.ScanStrict(seq)
+		if err != nil {
+			e.quarantine(s, fmt.Errorf("undolog: slot %d: free log: %w", s.id, err))
+			return
+		}
+		e.applyFreeList(s, addrs, p.Load64(s.hdr+offFreeApplied))
+		e.setStatus(s, seq, phaseIdle)
+		rep.FreesResumed++
+	default:
+		e.quarantine(s, fmt.Errorf("%w: undolog slot %d: undefined phase %d", txn.ErrCorruptLog, s.id, phase))
+	}
 }
 
 // mem is the undo-logging transactional memory view.
