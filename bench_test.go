@@ -8,6 +8,7 @@ package clobbernvm_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	clobbernvm "clobbernvm"
@@ -20,11 +21,12 @@ import (
 	"clobbernvm/internal/ycsb"
 )
 
-// benchScale provisions pools large enough for -benchtime sweeps.
+// benchScale provisions pools large enough for -benchtime sweeps. The thread
+// sweep feeds the scaling benchmarks; single-operation benchmarks ignore it.
 var benchScale = func() harness.Scale {
 	sc := harness.SmallScale
 	sc.PoolBytes = 1 << 27
-	sc.Threads = []int{1}
+	sc.Threads = []int{1, 2, 4, 8}
 	return sc
 }()
 
@@ -39,10 +41,18 @@ type benchState struct {
 	next  int
 }
 
-var benchStates = map[string]*benchState{}
+// benchStates is guarded by benchStatesMu: sub-benchmark bodies normally run
+// one at a time, but the cache must stay correct if a future benchmark calls
+// getBenchState from concurrent goroutines (or under -cpu sweeps).
+var (
+	benchStatesMu sync.Mutex
+	benchStates   = map[string]*benchState{}
+)
 
 func getBenchState(b *testing.B, st harness.StructureKind, ek harness.EngineKind) *benchState {
 	b.Helper()
+	benchStatesMu.Lock()
+	defer benchStatesMu.Unlock()
 	key := string(st) + "/" + string(ek)
 	if s, ok := benchStates[key]; ok {
 		return s
@@ -97,7 +107,82 @@ func BenchmarkFig6Insert(b *testing.B) {
 			})
 			// The sub-benchmark has fully finished probing: release its
 			// pool (two large arrays) before provisioning the next one.
+			benchStatesMu.Lock()
 			delete(benchStates, string(st)+"/"+string(ek))
+			benchStatesMu.Unlock()
+		}
+	}
+}
+
+// BenchmarkYCSBLoadScaling measures multi-thread YCSB-Load insert throughput
+// per engine across the benchScale thread sweep (the Figure 6/7 scaling
+// axis). Each iteration performs one insert; b.N operations are partitioned
+// across the worker goroutines with disjoint key ranges, so ns/op is the
+// wall-clock cost per operation at that concurrency and ops/s scales with
+// the thread count when the engine scales.
+func BenchmarkYCSBLoadScaling(b *testing.B) {
+	engines := []harness.EngineKind{
+		harness.EngineClobber, harness.EnginePMDK,
+		harness.EngineMnemosyne, harness.EngineAtlas,
+	}
+	for _, ek := range engines {
+		for _, threads := range benchScale.Threads {
+			b.Run(fmt.Sprintf("%s/threads=%d", ek, threads), func(b *testing.B) {
+				setup, err := harness.NewSetup(ek, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				store, err := harness.OpenStructure(harness.StructHashMap, setup.Engine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm population outside the timer.
+				gw := ycsb.NewGenerator(ycsb.WorkloadLoad, 0, 8, harness.ValueSize, 1)
+				for i := 0; i < 2000; i++ {
+					if err := store.Insert(0, gw.Key(i), gw.Next().Value); err != nil {
+						b.Fatal(err)
+					}
+				}
+				per := b.N / threads
+				if per == 0 {
+					per = 1
+				}
+				// Pregenerate each worker's keys and values so the timed
+				// region holds only engine work, not workload synthesis.
+				type op struct{ key, value []byte }
+				work := make([][]op, threads)
+				for t := 0; t < threads; t++ {
+					g := ycsb.NewGenerator(ycsb.WorkloadLoad, 0, 8, harness.ValueSize, int64(t)*7919)
+					ops := make([]op, per)
+					base := 2000 + t*per
+					for i := range ops {
+						ops[i] = op{key: g.Key(base + i), value: g.Next().Value}
+					}
+					work[t] = ops
+				}
+				var wg sync.WaitGroup
+				errs := make([]error, threads)
+				b.ResetTimer()
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						for _, o := range work[t] {
+							if err := store.Insert(t, o.key, o.value); err != nil {
+								errs[t] = err
+								return
+							}
+						}
+					}(t)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6..14, 13static, ext-ycsb, ext-fence, or all")
 	scale := flag.String("scale", "small", "experiment scale: small, medium or paper")
 	out := flag.String("out", ".", "output directory for CSV files")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this path instead of CSV figures")
 	flag.Parse()
 
 	sc := harness.SmallScale
@@ -39,6 +41,27 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "benchfigs: unknown scale %q (want small, medium or paper)\n", *scale)
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		start := time.Now()
+		rep, err := harness.RunBenchReport(sc, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report     %4d rows  %8.1fs  -> %s\n",
+			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling), time.Since(start).Seconds(), *jsonOut)
+		return
 	}
 
 	runners := map[string]func() (*harness.Table, error){

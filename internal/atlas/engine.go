@@ -111,6 +111,10 @@ type slot struct {
 	flog *plog.AddrLog
 	seq  uint64
 
+	// lset is the per-slot dirty-line set, reused across transactions (the
+	// slot lock covers the whole Run).
+	lset *lineSet
+
 	// quarantined is set (volatile) when recovery found this slot's logs
 	// corrupt; the slot refuses transactions until recreated.
 	quarantined error
@@ -271,15 +275,18 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s.alog.Reset()
 	s.flog.Reset()
 
-	m := &mem{e: e, s: s, seq: seq, dirty: make(map[uint64]struct{})}
+	if s.lset == nil {
+		s.lset = newLineSet()
+	} else {
+		s.lset.reset()
+	}
+	m := &mem{e: e, s: s, seq: seq, dirty: s.lset}
 	if err := fn(m, args); err != nil {
 		e.rollback(s, seq)
 		return err
 	}
 
-	for line := range m.dirty {
-		p.FlushOpt(line*nvm.LineSize, nvm.LineSize)
-	}
+	p.FlushOptLines(m.dirty.dirty)
 	p.Fence()
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)
@@ -462,7 +469,7 @@ type mem struct {
 	e     *Engine
 	s     *slot
 	seq   uint64
-	dirty map[uint64]struct{}
+	dirty *lineSet
 	frees int
 }
 
@@ -498,7 +505,7 @@ func (m *mem) preStore(addr, n uint64) {
 	m.e.stats.LogEntries.Add(1)
 	m.e.stats.LogBytes.Add(int64(nbytes))
 	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
-		m.dirty[l] = struct{}{}
+		m.dirty.add(l)
 	}
 }
 

@@ -1,0 +1,89 @@
+package atlas
+
+// lineSet is a small open-addressing set of dirty cache-line indexes with an
+// append-order list for the commit-time flush loop. It replaces the Go map
+// the engine used to allocate per transaction. Linear probing, power-of-two
+// capacity, grow at 75% load; keys are stored +1. Sets are reused across a
+// slot's transactions via reset: slots are live only when their generation
+// stamp matches the set's, so reset is O(1) regardless of how large an
+// earlier transaction grew the table.
+type lineSet struct {
+	keys  []uint64
+	gen   []uint32
+	cur   uint32
+	n     int
+	mask  uint64
+	dirty []uint64
+}
+
+const lineSetInitial = 256
+
+func newLineSet() *lineSet {
+	return &lineSet{
+		keys: make([]uint64, lineSetInitial),
+		gen:  make([]uint32, lineSetInitial),
+		cur:  1,
+		mask: lineSetInitial - 1,
+	}
+}
+
+// reset prepares the set for a new transaction, keeping the allocation.
+func (t *lineSet) reset() {
+	t.cur++
+	if t.cur == 0 {
+		clear(t.keys)
+		clear(t.gen)
+		t.cur = 1
+	}
+	t.n = 0
+	t.dirty = t.dirty[:0]
+}
+
+func mixHash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// add inserts line (deduplicated).
+func (t *lineSet) add(line uint64) {
+	k := line + 1
+	i := mixHash(k) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			t.keys[i] = k
+			t.gen[i] = t.cur
+			t.n++
+			t.dirty = append(t.dirty, line)
+			if t.n*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+		if t.keys[i] == k {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *lineSet) grow() {
+	oldKeys, oldGen := t.keys, t.gen
+	t.keys = make([]uint64, len(oldKeys)*2)
+	t.gen = make([]uint32, len(oldKeys)*2)
+	t.mask = uint64(len(t.keys) - 1)
+	t.n = 0
+	for i, k := range oldKeys {
+		if oldGen[i] != t.cur {
+			continue
+		}
+		j := mixHash(k) & t.mask
+		for t.gen[j] == t.cur {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.gen[j] = t.cur
+		t.n++
+	}
+}

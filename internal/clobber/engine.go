@@ -45,6 +45,7 @@
 package clobber
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -150,6 +151,13 @@ type slot struct {
 	alog *plog.AddrLog
 	flog *plog.AddrLog
 	seq  uint64 // volatile cache of the last used sequence number
+
+	// ftab is the per-slot access-map table, reused across transactions so
+	// the tracking structures are allocated once per worker, not per txn.
+	ftab *flagTable
+	// vbuf stages the v_log entry so begin issues one Store for the whole
+	// header+args block instead of one per field.
+	vbuf []byte
 
 	// quarantined, when non-nil, records why attach or recovery set this
 	// slot aside (log corruption). The slot's persistent state is left
@@ -345,25 +353,31 @@ func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args) error {
 	if len(name) > maxNameLen {
 		return fmt.Errorf("clobber: txfunc name %q exceeds %d bytes", name, maxNameLen)
 	}
-	enc := args.Encode()
-	if uint64(len(enc)) > e.opts.ArgsCap {
-		return fmt.Errorf("%w: %d arg bytes (cap %d)", ErrTxTooLarge, len(enc), e.opts.ArgsCap)
+	encLen := args.EncodedSize()
+	if uint64(encLen) > e.opts.ArgsCap {
+		return fmt.Errorf("%w: %d arg bytes (cap %d)", ErrTxTooLarge, encLen, e.opts.ArgsCap)
 	}
 	p := e.pool
 	if !e.opts.DisableVLog {
-		p.Store64(s.hdr+offNameLen, uint64(len(name)))
-		nameBuf := make([]byte, maxNameLen)
-		copy(nameBuf, name)
-		p.Store(s.hdr+offName, nameBuf)
-		p.Store64(s.hdr+offArgsLen, uint64(len(enc)))
-		if len(enc) > 0 {
-			p.Store(s.hdr+offArgs, enc)
+		// Stage the whole v_log entry — status word, name, args and
+		// checksum — and write it with a single Store; one flush set and
+		// one fence order it, preserving §5.3's two-fences-per-transaction
+		// property at a fraction of the old per-field store traffic. The
+		// arguments serialize straight into the staging buffer.
+		total := offArgs + encLen
+		if cap(s.vbuf) < total {
+			s.vbuf = make([]byte, offArgs+int(e.opts.ArgsCap))
 		}
-		p.Store64(s.hdr+offVLogChecksum, vlogChecksum(seq, name, enc))
-		p.Store64(s.hdr+offFreeApplied, 0)
-		p.Store64(s.hdr+offReclaimApplied, 0)
-		p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
-		p.FlushOpt(s.hdr, uint64(offArgs)+uint64(len(enc)))
+		buf := s.vbuf[:total]
+		clear(buf[:offArgs])
+		enc := args.AppendEncoded(buf[offArgs:offArgs])
+		putU64(buf[offStatus:], seq<<2|phaseOngoing)
+		putU64(buf[offNameLen:], uint64(len(name)))
+		copy(buf[offName:offName+maxNameLen], name)
+		putU64(buf[offArgsLen:], uint64(len(enc)))
+		putU64(buf[offVLogChecksum:], vlogChecksum(seq, name, enc))
+		p.Store(s.hdr, buf)
+		p.FlushOpt(s.hdr, uint64(total))
 		p.Fence()
 		e.stats.VLogEntries.Add(1)
 		e.stats.VLogBytes.Add(int64(len(name) + len(enc)))
@@ -371,15 +385,30 @@ func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args) error {
 	return nil
 }
 
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// vlogChecksum binds a v_log entry's name and encoded arguments to its
+// sequence number. The argument blob dominates the input (values run to
+// hundreds of bytes), so it is folded eight bytes per round; the checksum
+// only ever guards entries written and verified by this code, never an
+// external format.
 func vlogChecksum(seq uint64, name string, enc []byte) uint64 {
 	h := uint64(0x9e3779b97f4a7c15) ^ seq
-	for _, c := range []byte(name) {
-		h = (h ^ uint64(c)) * 0x100000001b3
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001b3
 	}
 	h ^= 0xabcd
-	for _, c := range enc {
-		h = (h ^ uint64(c)) * 0x100000001b3
+	for len(enc) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(enc)) * 0x100000001b3
+		h ^= h >> 29
+		enc = enc[8:]
 	}
+	var tail uint64
+	for i := len(enc) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(enc[i])
+	}
+	h = (h ^ tail ^ uint64(len(enc))<<56) * 0x100000001b3
+	h ^= h >> 32
 	return h
 }
 
@@ -387,9 +416,7 @@ func vlogChecksum(seq uint64, name string, enc []byte) uint64 {
 // (one fence), then applies deferred frees.
 func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 	p := e.pool
-	for _, line := range m.t.dirty {
-		p.FlushOpt(line*nvm.LineSize, nvm.LineSize)
-	}
+	p.FlushOptLines(m.t.dirty)
 	p.Fence()
 
 	if m.frees > 0 {

@@ -256,11 +256,9 @@ func TestRecoverReexecutesInterrupted(t *testing.T) {
 
 	// Crash mid-transaction: the txfunc performs several stores; crash on
 	// the last one (the clobbering head update).
-	p.ScheduleCrash(1_000_000) // placeholder, compute below
-	p.ScheduleCrash(0)
 	crashDuring(t, p, func() error {
 		return e.Run(0, "push", txn.NewArgs().PutUint64(4))
-	}, 12)
+	}, pushStores(t, 3)-1)
 
 	e2 := reopen(t, p)
 	registerPush(e2, head)
@@ -279,6 +277,29 @@ func TestRecoverReexecutesInterrupted(t *testing.T) {
 	if r := e2.Stats().Recovered.Load(); r != 1 {
 		t.Fatalf("Recovered = %d", r)
 	}
+}
+
+// pushStores replays prior pushes on a scratch pool and returns the number
+// of Store events the next push performs. Crash-placement tests derive their
+// ordinals from it, so store-batching changes in the engine move the crash
+// point with the layout instead of sliding it past the end of the
+// transaction. The final store of a push is the commit-status write; the one
+// before it is the txfunc's clobbering head update.
+func pushStores(t *testing.T, prior uint64) int64 {
+	t.Helper()
+	p, e := newEngine(t, Options{})
+	head := p.RootSlot(listHeadSlot)
+	registerPush(e, head)
+	for i := uint64(1); i <= prior; i++ {
+		if err := e.Run(0, "push", txn.NewArgs().PutUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.ResetPersistPoints()
+	if err := e.Run(0, "push", txn.NewArgs().PutUint64(prior+1)); err != nil {
+		t.Fatal(err)
+	}
+	return p.PersistPoints(nvm.CrashAtStore)
 }
 
 // crashDuring arms the crash at the nth store and runs f, requiring the

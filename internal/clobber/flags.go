@@ -1,41 +1,67 @@
 package clobber
 
-// flagTable is a small open-addressing hash table from tracking unit
-// (word index) to access-class flags. It replaces a Go map on the
-// transaction's hot path: the real Clobber-NVM identifies clobber writes at
-// compile time and pays nothing per load at run time, so the dynamic
-// detector standing in for the compiler must be as close to free as
-// possible or it would distort the engine comparison.
+// flagTable is a small open-addressing hash table from cache-line index to
+// the packed access-class flags of the line's eight 8-byte words. It replaces
+// a Go map on the transaction's hot path: the real Clobber-NVM identifies
+// clobber writes at compile time and pays nothing per load at run time, so
+// the dynamic detector standing in for the compiler must be as close to free
+// as possible or it would distort the engine comparison.
 //
-// Linear probing, power-of-two capacity, grow at 75% load. Keys are word
-// indexes (addr >> 3), stored +1 so zero means empty.
+// Packing a whole line into one uint32 (bits 0–7 input, 8–15 stored, 16–23
+// logged, one bit per word) turns the former probe-per-word lookups into a
+// single probe per line, and folds the old separate dirty-line set into the
+// same entry: a line joins the dirty list when its stored byte first becomes
+// nonzero.
+//
+// Linear probing, power-of-two capacity, grow at 75% load. Keys are line
+// indexes (addr >> 6) stored +1. Tables are reused
+// across transactions of the same slot via reset: a slot is live only when
+// its generation stamp matches the table's, so reset is O(1) rather than a
+// clear of the whole capacity (one large transaction — a rehash, a bulk
+// populate — would otherwise tax every later transaction of the slot with
+// a multi-KB memclr).
 type flagTable struct {
 	keys  []uint64
-	vals  []uint8
+	vals  []uint32
+	gen   []uint32
+	cur   uint32
 	n     int
 	mask  uint64
 	dirty []uint64 // line indexes touched by stores (deduplicated, unordered)
-	seen  flagTableLines
 }
 
-// flagTableLines tracks dirty cache lines with the same open addressing.
-type flagTableLines struct {
-	keys []uint64
-	n    int
-	mask uint64
-}
+// Packed flag-field shifts: value layout is logged<<16 | stored<<8 | input,
+// each field one bit per word of the line.
+const (
+	flagsInputShift  = 0
+	flagsStoredShift = 8
+	flagsLoggedShift = 16
+)
 
 const flagTableInitial = 256
 
 func newFlagTable() *flagTable {
-	t := &flagTable{
+	return &flagTable{
 		keys: make([]uint64, flagTableInitial),
-		vals: make([]uint8, flagTableInitial),
+		vals: make([]uint32, flagTableInitial),
+		gen:  make([]uint32, flagTableInitial),
+		cur:  1,
 		mask: flagTableInitial - 1,
 	}
-	t.seen.keys = make([]uint64, flagTableInitial)
-	t.seen.mask = flagTableInitial - 1
-	return t
+}
+
+// reset prepares the table for a new transaction, keeping the allocation.
+// Bumping the generation invalidates every slot at once; the rare wraparound
+// falls back to a full clear so stale stamps can never alias.
+func (t *flagTable) reset() {
+	t.cur++
+	if t.cur == 0 {
+		clear(t.keys)
+		clear(t.gen)
+		t.cur = 1
+	}
+	t.n = 0
+	t.dirty = t.dirty[:0]
 }
 
 func mixHash(k uint64) uint64 {
@@ -45,103 +71,78 @@ func mixHash(k uint64) uint64 {
 	return k
 }
 
-// get returns the flags for unit u (0 if untracked).
-func (t *flagTable) get(u uint64) uint8 {
-	k := u + 1
+// slot returns the probe index holding line (creating the entry if absent).
+func (t *flagTable) slot(line uint64) uint64 {
+	k := line + 1
 	i := mixHash(k) & t.mask
 	for {
-		cur := t.keys[i]
-		if cur == k {
-			return t.vals[i]
-		}
-		if cur == 0 {
-			return 0
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// or sets flag bits for unit u and returns the previous flags.
-func (t *flagTable) or(u uint64, bits uint8) uint8 {
-	k := u + 1
-	i := mixHash(k) & t.mask
-	for {
-		cur := t.keys[i]
-		if cur == k {
-			old := t.vals[i]
-			t.vals[i] = old | bits
-			return old
-		}
-		if cur == 0 {
+		if t.gen[i] != t.cur {
 			t.keys[i] = k
-			t.vals[i] = bits
+			t.vals[i] = 0
+			t.gen[i] = t.cur
 			t.n++
 			if t.n*4 > len(t.keys)*3 {
 				t.grow()
+				return t.slot(line)
 			}
-			return 0
+			return i
+		}
+		if t.keys[i] == k {
+			return i
 		}
 		i = (i + 1) & t.mask
 	}
 }
 
+// markInput marks the words of wmask as transaction inputs. In refined mode
+// words already stored by this transaction are skipped (they read a
+// transaction-produced value, not an input).
+func (t *flagTable) markInput(line uint64, wmask uint32, conservative bool) {
+	i := t.slot(line)
+	if conservative {
+		t.vals[i] |= wmask
+		return
+	}
+	t.vals[i] |= wmask &^ (t.vals[i] >> flagsStoredShift)
+}
+
+// markStored marks the words of wmask as stored and returns the entry's
+// previous packed value so the caller can detect clobber writes. The line is
+// appended to the dirty list on its first stored word.
+func (t *flagTable) markStored(line uint64, wmask uint32) uint32 {
+	i := t.slot(line)
+	old := t.vals[i]
+	t.vals[i] = old | wmask<<flagsStoredShift
+	if old&(0xff<<flagsStoredShift) == 0 {
+		t.dirty = append(t.dirty, line)
+	}
+	return old
+}
+
+// markLogged marks the words of wmask as clobber-logged.
+func (t *flagTable) markLogged(line uint64, wmask uint32) {
+	i := t.slot(line)
+	t.vals[i] |= wmask << flagsLoggedShift
+}
+
 func (t *flagTable) grow() {
-	oldKeys, oldVals := t.keys, t.vals
+	oldKeys, oldVals, oldGen := t.keys, t.vals, t.gen
 	t.keys = make([]uint64, len(oldKeys)*2)
-	t.vals = make([]uint8, len(oldVals)*2)
+	t.vals = make([]uint32, len(oldVals)*2)
+	t.gen = make([]uint32, len(oldKeys)*2)
 	t.mask = uint64(len(t.keys) - 1)
 	t.n = 0
 	for i, k := range oldKeys {
-		if k == 0 {
+		if oldGen[i] != t.cur {
 			continue
 		}
 		j := mixHash(k) & t.mask
-		for t.keys[j] != 0 {
+		for t.gen[j] == t.cur {
 			j = (j + 1) & t.mask
 		}
 		t.keys[j] = k
 		t.vals[j] = oldVals[i]
+		t.gen[j] = t.cur
 		t.n++
-	}
-}
-
-// markLine records a dirty cache line (deduplicated).
-func (t *flagTable) markLine(line uint64) {
-	s := &t.seen
-	k := line + 1
-	i := mixHash(k) & s.mask
-	for {
-		cur := s.keys[i]
-		if cur == k {
-			return
-		}
-		if cur == 0 {
-			s.keys[i] = k
-			s.n++
-			t.dirty = append(t.dirty, line)
-			if s.n*4 > len(s.keys)*3 {
-				s.grow()
-			}
-			return
-		}
-		i = (i + 1) & s.mask
-	}
-}
-
-func (s *flagTableLines) grow() {
-	old := s.keys
-	s.keys = make([]uint64, len(old)*2)
-	s.mask = uint64(len(s.keys) - 1)
-	s.n = 0
-	for _, k := range old {
-		if k == 0 {
-			continue
-		}
-		j := mixHash(k) & s.mask
-		for s.keys[j] != 0 {
-			j = (j + 1) & s.mask
-		}
-		s.keys[j] = k
-		s.n++
 	}
 }

@@ -6,31 +6,58 @@ import (
 	"testing/quick"
 )
 
+// val reads a line's packed value without mutating the table.
+func (t *flagTable) val(line uint64) uint32 {
+	k := line + 1
+	i := mixHash(k) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			return 0
+		}
+		if t.keys[i] == k {
+			return t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
 func TestFlagTableBasic(t *testing.T) {
 	ft := newFlagTable()
-	if got := ft.get(42); got != 0 {
-		t.Fatalf("empty get = %d", got)
+	if got := ft.val(42); got != 0 {
+		t.Fatalf("empty val = %#x", got)
 	}
-	if old := ft.or(42, flagInput); old != 0 {
-		t.Fatalf("first or returned %d", old)
+	ft.markInput(42, 0b0001, false)
+	if got := ft.val(42); got != 0b0001 {
+		t.Fatalf("val after markInput = %#x", got)
 	}
-	if got := ft.get(42); got != flagInput {
-		t.Fatalf("get = %d", got)
+	if old := ft.markStored(42, 0b0011); old != 0b0001 {
+		t.Fatalf("markStored returned %#x", old)
 	}
-	if old := ft.or(42, flagStored); old != flagInput {
-		t.Fatalf("second or returned %d", old)
+	if got := ft.val(42); got != 0b0011<<flagsStoredShift|0b0001 {
+		t.Fatalf("val = %#x", got)
 	}
-	if got := ft.get(42); got != flagInput|flagStored {
-		t.Fatalf("get = %d", got)
+	// Refined input marking skips stored words.
+	ft.markInput(42, 0b0110, false)
+	if got := ft.val(42); got != 0b0011<<flagsStoredShift|0b0101 {
+		t.Fatalf("val after refined markInput = %#x", got)
+	}
+	// Conservative marks them anyway.
+	ft.markInput(42, 0b0010, true)
+	if got := ft.val(42); got != 0b0011<<flagsStoredShift|0b0111 {
+		t.Fatalf("val after conservative markInput = %#x", got)
+	}
+	ft.markLogged(42, 0b0100)
+	if got := ft.val(42); got != 0b0100<<flagsLoggedShift|0b0011<<flagsStoredShift|0b0111 {
+		t.Fatalf("val after markLogged = %#x", got)
 	}
 }
 
 func TestFlagTableZeroKey(t *testing.T) {
-	// Word index 0 must be storable (keys are offset by one internally).
+	// Line index 0 must be storable (keys are offset by one internally).
 	ft := newFlagTable()
-	ft.or(0, flagLogged)
-	if got := ft.get(0); got != flagLogged {
-		t.Fatalf("get(0) = %d", got)
+	ft.markLogged(0, 0b1000)
+	if got := ft.val(0); got != 0b1000<<flagsLoggedShift {
+		t.Fatalf("val(0) = %#x", got)
 	}
 }
 
@@ -38,34 +65,54 @@ func TestFlagTableGrowth(t *testing.T) {
 	ft := newFlagTable()
 	const n = 10000
 	for i := uint64(0); i < n; i++ {
-		ft.or(i*3, uint8(1+i%7))
+		ft.markInput(i*3, uint32(1<<(i%8)), true)
 	}
 	for i := uint64(0); i < n; i++ {
-		if got := ft.get(i * 3); got != uint8(1+i%7) {
-			t.Fatalf("after growth get(%d) = %d, want %d", i*3, got, 1+i%7)
+		if got := ft.val(i * 3); got != uint32(1<<(i%8)) {
+			t.Fatalf("after growth val(%d) = %#x, want %#x", i*3, got, 1<<(i%8))
 		}
 	}
-	if got := ft.get(1); got != 0 {
-		t.Fatalf("absent key = %d", got)
+	if got := ft.val(1); got != 0 {
+		t.Fatalf("absent key = %#x", got)
 	}
 }
 
 func TestFlagTableMatchesMapReference(t *testing.T) {
 	f := func(ops []uint16) bool {
 		ft := newFlagTable()
-		ref := map[uint64]uint8{}
-		for _, op := range ops {
-			u := uint64(op >> 3)
-			bits := uint8(1 << (op % 3))
-			wantOld := ref[u]
-			gotOld := ft.or(u, bits)
-			if gotOld != wantOld {
-				return false
+		type ref struct{ input, stored, logged uint32 }
+		refs := map[uint64]*ref{}
+		at := func(l uint64) *ref {
+			r := refs[l]
+			if r == nil {
+				r = &ref{}
+				refs[l] = r
 			}
-			ref[u] |= bits
+			return r
 		}
-		for u, want := range ref {
-			if ft.get(u) != want {
+		for _, op := range ops {
+			l := uint64(op >> 5)
+			wmask := uint32(1 << (op % 8))
+			r := at(l)
+			switch op % 3 {
+			case 0: // refined load
+				ft.markInput(l, wmask, false)
+				r.input |= wmask &^ r.stored
+			case 1: // store
+				old := ft.markStored(l, wmask)
+				want := r.logged<<flagsLoggedShift | r.stored<<flagsStoredShift | r.input
+				if old != want {
+					return false
+				}
+				r.stored |= wmask
+			case 2: // logged
+				ft.markLogged(l, wmask)
+				r.logged |= wmask
+			}
+		}
+		for l, r := range refs {
+			want := r.logged<<flagsLoggedShift | r.stored<<flagsStoredShift | r.input
+			if ft.val(l) != want {
 				return false
 			}
 		}
@@ -82,7 +129,7 @@ func TestFlagTableDirtyLineDedup(t *testing.T) {
 	seen := map[uint64]bool{}
 	for i := 0; i < 5000; i++ {
 		l := uint64(rng.Intn(600))
-		ft.markLine(l)
+		ft.markStored(l, uint32(1<<rng.Intn(8)))
 		seen[l] = true
 	}
 	if len(ft.dirty) != len(seen) {
@@ -97,5 +144,25 @@ func TestFlagTableDirtyLineDedup(t *testing.T) {
 		if !seen[l] {
 			t.Fatalf("phantom line %d", l)
 		}
+	}
+}
+
+func TestFlagTableReset(t *testing.T) {
+	ft := newFlagTable()
+	for i := uint64(0); i < 1000; i++ {
+		ft.markStored(i, 0xff)
+	}
+	ft.reset()
+	if len(ft.dirty) != 0 || ft.n != 0 {
+		t.Fatalf("reset left dirty=%d n=%d", len(ft.dirty), ft.n)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if got := ft.val(i); got != 0 {
+			t.Fatalf("val(%d) = %#x after reset", i, got)
+		}
+	}
+	// Table stays usable after reset.
+	if old := ft.markStored(7, 0b1); old != 0 {
+		t.Fatalf("markStored after reset returned %#x", old)
 	}
 }

@@ -8,17 +8,11 @@ import (
 	"clobbernvm/internal/txn"
 )
 
-// Access-map flag bits. The table is the run-time stand-in for the compiler's
-// dependency analysis: it classifies each tracked word of the transaction's
-// footprint.
-const (
-	flagInput  = 1 << 0 // loaded before any store → transaction input
-	flagStored = 1 << 1 // stored by this transaction
-	flagLogged = 1 << 2 // already clobber-logged
-)
-
 // mem is the in-transaction memory view. Every access runs through it,
 // exactly where the Clobber-NVM compiler would have inserted callbacks.
+// The access map (flagTable) is the run-time stand-in for the compiler's
+// dependency analysis: it classifies each tracked word of the transaction's
+// footprint as input, stored and/or logged.
 type mem struct {
 	e   *Engine
 	s   *slot
@@ -33,7 +27,14 @@ type mem struct {
 var _ txn.Mem = (*mem)(nil)
 
 func newMem(e *Engine, s *slot, seq uint64) *mem {
-	return &mem{e: e, s: s, seq: seq, t: newFlagTable()}
+	// The access-map table is reused across the slot's transactions (the
+	// slot lock is held for the whole Run, so this is race-free).
+	if s.ftab == nil {
+		s.ftab = newFlagTable()
+	} else {
+		s.ftab.reset()
+	}
+	return &mem{e: e, s: s, seq: seq, t: s.ftab}
 }
 
 // Load implements txn.Mem.
@@ -48,6 +49,19 @@ func (m *mem) Load64(addr uint64) uint64 {
 	return m.e.pool.Load64(addr)
 }
 
+// lineWords maps the unit range [u1,u2] restricted to line l onto the
+// packed per-word mask used by flagTable.
+func lineWords(l, u1, u2 uint64) uint32 {
+	lo, hi := uint64(0), uint64(7)
+	if l == u1>>3 {
+		lo = u1 & 7
+	}
+	if l == u2>>3 {
+		hi = u2 & 7
+	}
+	return uint32(0xff) >> (7 - (hi - lo)) << lo
+}
+
 func (m *mem) trackLoad(addr, n uint64) {
 	if n == 0 {
 		return
@@ -57,19 +71,14 @@ func (m *mem) trackLoad(addr, n uint64) {
 	if m.e.opts.DisableClobberLog {
 		return
 	}
-	for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
-		if m.e.opts.Conservative {
-			// Conservative identification cannot prove a read is dominated
-			// by the transaction's own store (the "unexposed" pattern), so
-			// every load marks its units as candidate inputs.
-			m.t.or(u, flagInput)
-			continue
-		}
-		// Refined: a load of a unit this transaction already stored reads a
-		// transaction-produced value, not an input.
-		if m.t.get(u)&flagStored == 0 {
-			m.t.or(u, flagInput)
-		}
+	// Conservative identification cannot prove a read is dominated by the
+	// transaction's own store (the "unexposed" pattern), so every load marks
+	// its units as candidate inputs; refined identification skips units this
+	// transaction already stored.
+	conservative := m.e.opts.Conservative
+	u1, u2 := addr>>3, (addr+n-1)>>3
+	for l := u1 >> 3; l <= u2>>3; l++ {
+		m.t.markInput(l, lineWords(l, u1, u2), conservative)
 	}
 }
 
@@ -91,26 +100,22 @@ func (m *mem) preStore(addr, n uint64) {
 		return
 	}
 	m.stored = true
-	if !m.e.opts.DisableClobberLog {
-		needLog := false
-		for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
-			old := m.t.or(u, flagStored)
-			if old&flagInput != 0 {
-				// Conservative identification lacks the "shadowed"
-				// refinement: it cannot prove an earlier clobber write
-				// already covered this unit, so it logs again (the
-				// in-loops pattern of Figure 5).
-				if m.e.opts.Conservative || old&flagLogged == 0 {
-					needLog = true
-				}
+	needLog := false
+	u1, u2 := addr>>3, (addr+n-1)>>3
+	for l := u1 >> 3; l <= u2>>3; l++ {
+		wmask := lineWords(l, u1, u2)
+		old := m.t.markStored(l, wmask)
+		if clob := old & wmask; clob != 0 {
+			// Conservative identification lacks the "shadowed" refinement:
+			// it cannot prove an earlier clobber write already covered this
+			// unit, so it logs again (the in-loops pattern of Figure 5).
+			if m.e.opts.Conservative || clob&^(old>>flagsLoggedShift) != 0 {
+				needLog = true
 			}
 		}
-		if needLog {
-			m.logClobber(addr, n)
-		}
 	}
-	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
-		m.t.markLine(l)
+	if needLog && !m.e.opts.DisableClobberLog {
+		m.logClobber(addr, n)
 	}
 }
 
@@ -126,8 +131,9 @@ func (m *mem) logClobber(addr, n uint64) {
 	}
 	m.e.stats.LogEntries.Add(1)
 	m.e.stats.LogBytes.Add(int64(nbytes))
-	for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
-		m.t.or(u, flagLogged)
+	u1, u2 := addr>>3, (addr+n-1)>>3
+	for l := u1 >> 3; l <= u2>>3; l++ {
+		m.t.markLogged(l, lineWords(l, u1, u2))
 	}
 }
 

@@ -129,10 +129,14 @@ func (sc Scale) maxSlots() int {
 }
 
 // NewSetup provisions a pool, allocator and engine of the given kind. The
-// pool is prefaulted so OS page faults never land inside measured regions.
+// pool is prefaulted so OS page faults never land inside measured regions,
+// and runs in fast mode: benchmarks never arm crash points, so the pool
+// skips per-event persist-point accounting. Crash experiments re-arm
+// precise mode automatically via ScheduleCrashAt/ResetPersistPoints.
 func NewSetup(kind EngineKind, sc Scale) (*Setup, error) {
 	pool := nvm.New(sc.PoolBytes, nvm.WithLatency(sc.Latency))
 	pool.Prefault()
+	pool.SetFastPath(true)
 	alloc, err := pmem.Create(pool)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"time"
+)
+
+// BaselineFig6Insert is the pre-optimization single-thread insert latency of
+// the clobber engine (ns/op, BenchmarkFig6Insert, -benchtime 300x, captured
+// at commit 4befc7a before the hot-path overhaul). Future reports carry it
+// along so the trajectory is visible from any single BENCH_PR2.json.
+var BaselineFig6Insert = map[string]float64{
+	"bptree":   76362,
+	"hashmap":  25953,
+	"skiplist": 34779,
+	"rbtree":   37738,
+}
+
+// InsertResult is one engine×structure×threads insert measurement.
+type InsertResult struct {
+	Engine    string  `json:"engine"`
+	Structure string  `json:"structure"`
+	Threads   int     `json:"threads"`
+	NSPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ScalingResult is one point of the multi-thread YCSB-Load sweep, with its
+// speedup relative to the same engine's single-thread throughput.
+type ScalingResult struct {
+	Engine    string  `json:"engine"`
+	Threads   int     `json:"threads"`
+	NSPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	SpeedupX  float64 `json:"speedup_vs_1t"`
+}
+
+// BenchReport is the machine-readable benchmark record benchfigs -json
+// emits (BENCH_PR2.json): the frozen pre-optimization baseline plus current
+// single-thread Fig. 6 inserts and the multi-thread YCSB-Load scaling sweep.
+type BenchReport struct {
+	GeneratedAt     string             `json:"generated_at"`
+	Scale           string             `json:"scale"`
+	Entries         int                `json:"entries"`
+	Ops             int                `json:"ops"`
+	Threads         []int              `json:"threads"`
+	BaselineNSPerOp map[string]float64 `json:"baseline_fig6_clobber_ns_per_op"`
+	BaselineCommit  string             `json:"baseline_commit"`
+	Fig6Insert      []InsertResult     `json:"fig6_insert_1t"`
+	YCSBLoadScaling []ScalingResult    `json:"ycsb_load_scaling"`
+}
+
+// reportEngines is the engine set the JSON report sweeps — the four
+// libraries Figures 6 and 7 compare.
+var reportEngines = []EngineKind{EngineClobber, EnginePMDK, EngineMnemosyne, EngineAtlas}
+
+// measureInsert provisions a fresh setup, populates it, and times ops
+// inserts across threads, returning ns/op.
+func measureInsert(ek EngineKind, st StructureKind, sc Scale, threads int) (float64, error) {
+	setup, err := NewSetup(ek, sc)
+	if err != nil {
+		return 0, err
+	}
+	store, err := OpenStructure(st, setup.Engine)
+	if err != nil {
+		return 0, err
+	}
+	if err := populate(store, st, sc.Entries, 1); err != nil {
+		return 0, err
+	}
+	elapsed, err := measureInsertThroughput(store, st, sc.Entries, sc.Ops, threads)
+	if err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(sc.Ops), nil
+}
+
+// RunBenchReport measures the report's two sweeps at the given scale. The
+// single-thread insert sweep covers every structure; the scaling sweep uses
+// the hashmap (the structure with the least inherent contention, so thread
+// scaling reflects the persistence path rather than structural conflicts).
+func RunBenchReport(sc Scale, scaleName string) (*BenchReport, error) {
+	rep := &BenchReport{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Scale:           scaleName,
+		Entries:         sc.Entries,
+		Ops:             sc.Ops,
+		Threads:         sc.Threads,
+		BaselineNSPerOp: BaselineFig6Insert,
+		BaselineCommit:  "4befc7a",
+	}
+	for _, st := range AllStructures {
+		for _, ek := range reportEngines {
+			ns, err := measureInsert(ek, st, sc, 1)
+			if err != nil {
+				return nil, err
+			}
+			rep.Fig6Insert = append(rep.Fig6Insert, InsertResult{
+				Engine: string(ek), Structure: string(st), Threads: 1,
+				NSPerOp: ns, OpsPerSec: 1e9 / ns,
+			})
+		}
+	}
+	for _, ek := range reportEngines {
+		var oneThread float64
+		for _, threads := range sc.Threads {
+			ns, err := measureInsert(ek, StructHashMap, sc, threads)
+			if err != nil {
+				return nil, err
+			}
+			if threads == 1 {
+				oneThread = ns
+			}
+			speedup := 0.0
+			if oneThread > 0 {
+				speedup = oneThread / ns
+			}
+			rep.YCSBLoadScaling = append(rep.YCSBLoadScaling, ScalingResult{
+				Engine: string(ek), Threads: threads,
+				NSPerOp: ns, OpsPerSec: 1e9 / ns, SpeedupX: speedup,
+			})
+		}
+	}
+	return rep, nil
+}

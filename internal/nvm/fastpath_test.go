@@ -1,0 +1,256 @@
+package nvm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// applyOpSequence drives p through a deterministic pseudo-random mix of the
+// pool's persistence primitives and returns the highest address written.
+// Both bookkeeping modes must externally behave identically under it.
+func applyOpSequence(p *Pool, seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	limit := p.Size() - HeaderSize
+	var hi uint64
+	for i := 0; i < 2000; i++ {
+		addr := HeaderSize + uint64(rng.Intn(int(limit-256)))
+		switch rng.Intn(6) {
+		case 0:
+			p.Store64(addr&^7, rng.Uint64())
+			p.FlushOpt(addr&^7, 8)
+		case 1:
+			buf := make([]byte, 1+rng.Intn(200))
+			rng.Read(buf)
+			p.Store(addr, buf)
+			p.FlushOpt(addr, uint64(len(buf)))
+		case 2:
+			p.Fence()
+		case 3:
+			buf := make([]byte, 1+rng.Intn(64))
+			rng.Read(buf)
+			p.Store(addr, buf)
+			p.Persist(addr, uint64(len(buf)))
+		case 4:
+			p.Store64(addr&^7, rng.Uint64())
+			p.Flush(addr&^7, 8)
+		case 5:
+			l := addr / LineSize
+			p.Store64(l*LineSize, rng.Uint64())
+			p.FlushOptLines([]uint64{l})
+		}
+		if addr > hi {
+			hi = addr
+		}
+	}
+	// Settle everything so the durable views are comparable: without this
+	// the precise pool's unfenced tail would (correctly) lag the media.
+	p.Persist(HeaderSize, hi+256-HeaderSize)
+	return hi
+}
+
+// TestFastPreciseEquivalence runs the same operation sequence through a fast
+// and a precise pool and requires identical coherent views, identical
+// durable views (after the closing persist), clean tracking sets, and
+// identical flush/fence/store accounting — the contract that fast mode
+// changes only event enumeration and media-copy timing, never semantics.
+func TestFastPreciseEquivalence(t *testing.T) {
+	const size = 1 << 20
+	fastPool := New(size, WithEvictProbability(0))
+	precPool := New(size, WithEvictProbability(0))
+	fastPool.SetFastPath(true)
+
+	applyOpSequence(fastPool, 42)
+	applyOpSequence(precPool, 42)
+
+	fastPool.SetFastPath(false) // syncs the deferred durable view
+
+	if !bytes.Equal(fastPool.CoherentSnapshot(), precPool.CoherentSnapshot()) {
+		t.Fatal("coherent views diverge between fast and precise mode")
+	}
+	if !bytes.Equal(fastPool.Snapshot(), precPool.Snapshot()) {
+		t.Fatal("durable views diverge between fast and precise mode")
+	}
+	if d := fastPool.DirtyLines(); d != 0 {
+		t.Fatalf("fast pool left %d dirty lines after sync", d)
+	}
+	if pend := fastPool.PendingLines(); pend != 0 {
+		t.Fatalf("fast pool left %d pending lines after sync", pend)
+	}
+
+	fs, ps := fastPool.Stats(), precPool.Stats()
+	if fs.Stores != ps.Stores || fs.Loads != ps.Loads {
+		t.Fatalf("store/load counts diverge: fast %d/%d precise %d/%d",
+			fs.Stores, fs.Loads, ps.Stores, ps.Loads)
+	}
+	if fs.Flushes != ps.Flushes || fs.FlushOpts != ps.FlushOpts || fs.Fences != ps.Fences {
+		t.Fatalf("flush/fence counts diverge: fast %d/%d/%d precise %d/%d/%d",
+			fs.Flushes, fs.FlushOpts, fs.Fences, ps.Flushes, ps.FlushOpts, ps.Fences)
+	}
+}
+
+// TestFastModeDefersMedia pins down the deferred-durability contract: while
+// the pool is in fast mode the media lags the coherent view, and every exit
+// path — SetFastPath(false), ResetPersistPoints, ScheduleCrashAt, Snapshot —
+// settles it.
+func TestFastModeDefersMedia(t *testing.T) {
+	exits := map[string]func(p *Pool){
+		"SetFastPath":        func(p *Pool) { p.SetFastPath(false) },
+		"ResetPersistPoints": func(p *Pool) { p.ResetPersistPoints() },
+		"ScheduleCrashAt":    func(p *Pool) { p.ScheduleCrashAt(CrashAtStore, 1000) },
+		"Snapshot":           func(p *Pool) { p.Snapshot() },
+	}
+	for name, exit := range exits {
+		p := New(1<<16, WithEvictProbability(0))
+		p.SetFastPath(true)
+		addr := uint64(HeaderSize)
+		p.Store64(addr, 0xdeadbeef)
+		p.Persist(addr, 8)
+
+		// Fast mode must still be carrying the line as dirty after the
+		// "persist": durability is deferred to the mode exit.
+		if p.DirtyLines() == 0 {
+			t.Fatalf("%s: fast-mode persist drained the media eagerly", name)
+		}
+		exit(p)
+		p.ScheduleCrash(0)
+		if d := p.DirtyLines(); d != 0 {
+			t.Fatalf("%s: %d dirty lines survive the mode exit", name, d)
+		}
+		img := p.Snapshot()
+		if got := binary.LittleEndian.Uint64(img[addr:]); got != 0xdeadbeef {
+			t.Fatalf("%s: synced media holds %#x, want 0xdeadbeef", name, got)
+		}
+	}
+}
+
+// TestFastThenCrashSweep switches a pool out of fast mode and runs a crash
+// through the precise machinery; the fast-phase writes must be durable and
+// the armed crash must fire at the exact scheduled ordinal, proving the
+// fast phase does not perturb subsequent fault injection.
+func TestFastThenCrashSweep(t *testing.T) {
+	p := New(1<<16, WithEviction(EvictNone))
+	a, b := uint64(HeaderSize), uint64(HeaderSize)+LineSize
+
+	p.SetFastPath(true)
+	p.Store64(a, 111)
+	p.Persist(a, 8)
+
+	p.ScheduleCrashAt(CrashAtStore, 2) // forces precise mode, syncs media
+	p.Store64(b, 222)
+	p.Persist(b, 8)
+
+	fired := false
+	func() {
+		defer func() {
+			if r := recover(); r == ErrCrash {
+				fired = true
+			} else if r != nil {
+				panic(r)
+			}
+		}()
+		p.Store64(b+8, 333) // second store since arming: crashes
+	}()
+	if !fired {
+		t.Fatal("crash scheduled after a fast phase did not fire")
+	}
+	p.Crash()
+	if got := p.Load64(a); got != 111 {
+		t.Fatalf("fast-phase write lost across crash: %d", got)
+	}
+	if got := p.Load64(b); got != 222 {
+		t.Fatalf("persisted precise write lost across crash: %d", got)
+	}
+	if got := p.Load64(b + 8); got != 0 {
+		t.Fatalf("unpersisted write survived an EvictNone crash: %d", got)
+	}
+}
+
+// crashProbe is a compact deterministic persistence sequence used to sweep
+// crash points. It mixes every primitive the precise path ticks.
+func crashProbe(p *Pool) {
+	base := uint64(HeaderSize)
+	for i := uint64(0); i < 4; i++ {
+		addr := base + i*3*LineSize
+		p.Store64(addr, 0x1111*(i+1))
+		p.Store(addr+LineSize, []byte("write-combining probe payload"))
+		p.FlushOpt(addr, 2*LineSize)
+		p.Fence()
+		p.Store64(addr+2*LineSize, 0x2222*(i+1))
+		p.Persist(addr+2*LineSize, 8)
+	}
+}
+
+// TestCrashSweepUnaffectedByFastWarmup runs an identical workload on two
+// pools — one warmed up through the fast (write-combining, deferred-media)
+// path, one precise throughout — then sweeps a crash through every persist
+// point of a probe sequence under the torn-line adversary. Event
+// enumeration and every post-crash media image must match exactly: the fast
+// path drains into the same persist-point event stream once a crash is
+// armed.
+func TestCrashSweepUnaffectedByFastWarmup(t *testing.T) {
+	mk := func(warmFast bool) *Pool {
+		p := New(1<<18, WithEviction(EvictTorn), WithSeed(1234))
+		if warmFast {
+			p.SetFastPath(true)
+		}
+		applyOpSequence(p, 7)
+		p.ResetPersistPoints() // syncs the fast pool, both now precise
+		return p
+	}
+
+	pa, pb := mk(true), mk(false)
+	crashProbe(pa)
+	crashProbe(pb)
+	na, nb := pa.PersistPointCount(), pb.PersistPointCount()
+	if na != nb || na == 0 {
+		t.Fatalf("persist-point enumeration differs after fast warmup: %d vs %d", na, nb)
+	}
+
+	runExpectCrash := func(p *Pool) bool {
+		fired := false
+		func() {
+			defer func() {
+				if r := recover(); r == ErrCrash {
+					fired = true
+				} else if r != nil {
+					panic(r)
+				}
+			}()
+			crashProbe(p)
+		}()
+		return fired
+	}
+	for i := int64(1); i <= na; i++ {
+		a, b := mk(true), mk(false)
+		a.ScheduleCrashAt(CrashAtAny, i)
+		b.ScheduleCrashAt(CrashAtAny, i)
+		fa, fb := runExpectCrash(a), runExpectCrash(b)
+		if !fa || !fb {
+			t.Fatalf("crash at point %d: fired fast-warmed=%v precise=%v", i, fa, fb)
+		}
+		a.Crash()
+		b.Crash()
+		if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("crash at point %d: post-crash media diverges after fast warmup", i)
+		}
+	}
+}
+
+// TestManualCrashInFastMode documents Crash-on-a-fast-pool semantics: the
+// deferred durable view is settled first, so everything written survives
+// even under EvictNone.
+func TestManualCrashInFastMode(t *testing.T) {
+	p := New(1<<16, WithEviction(EvictNone))
+	p.SetFastPath(true)
+	addr := uint64(HeaderSize)
+	p.Store64(addr, 777) // never flushed, never fenced
+	p.Crash()
+	if p.FastPath() {
+		t.Fatal("pool still in fast mode after Crash")
+	}
+	if got := p.Load64(addr); got != 777 {
+		t.Fatalf("fast-mode write lost at manual crash: %d", got)
+	}
+}

@@ -10,6 +10,9 @@ import (
 // flushed-and-fenced data is included, exactly as a DAX-mapped pool file
 // would contain after a power loss. The caller must quiesce the pool first.
 func (p *Pool) SaveImage(path string) error {
+	if p.FastPath() {
+		p.syncMedia()
+	}
 	if err := os.WriteFile(path, p.media, 0o644); err != nil {
 		return fmt.Errorf("nvm: save image: %w", err)
 	}
@@ -30,6 +33,9 @@ func validateImage(data []byte) error {
 // Snapshot returns a copy of the durable (media) view — the image a crash
 // sweep restores between fault injections. The caller must quiesce the pool.
 func (p *Pool) Snapshot() []byte {
+	if p.FastPath() {
+		p.syncMedia()
+	}
 	img := make([]byte, len(p.media))
 	copy(img, p.media)
 	return img
@@ -47,7 +53,8 @@ func (p *Pool) CoherentSnapshot() []byte {
 
 // Restore resets the pool in place to a previously captured Snapshot: both
 // views become the image (as after a reboot), the cache is clean, any armed
-// crash is disarmed and the persist-point counters are zeroed. Cumulative
+// crash is disarmed, the persist-point counters are zeroed and the pool
+// returns to precise bookkeeping mode. Cumulative
 // stats are preserved. The image size must match the pool size. The caller
 // must quiesce the pool.
 func (p *Pool) Restore(img []byte) error {
@@ -59,11 +66,7 @@ func (p *Pool) Restore(img []byte) error {
 	}
 	copy(p.media, img)
 	copy(p.mem, img)
-	for i := range p.dirty {
-		p.dirty[i] = make(map[uint64]struct{})
-		p.pending[i] = make(map[uint64]struct{})
-	}
-	p.pendingCount.Store(0)
+	p.clearTracking()
 	p.crashAt.Store(0)
 	p.ResetPersistPoints()
 	return nil

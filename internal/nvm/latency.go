@@ -1,6 +1,9 @@
 package nvm
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Latency is the simulated cost model for persistence primitives, in
 // nanoseconds. The zero value disables all delays (counters still work),
@@ -35,5 +38,26 @@ func spin(ns int) {
 	deadline := time.Duration(ns)
 	start := time.Now()
 	for time.Since(start) < deadline {
+	}
+}
+
+// yieldWait waits approximately ns nanoseconds while yielding the processor
+// to other runnable goroutines. On real hardware a thread stalled on an
+// sfence occupies no core resources — other threads' flushes and compute
+// proceed underneath it. A plain busy-wait would serialize that overlap on
+// machines with fewer cores than worker threads, so the fast-path latency
+// model waits by yielding: with nothing else runnable it degenerates to the
+// exact busy-wait, and with concurrent workers the wait is overlapped with
+// their compute, matching the per-thread persist pipelines of the machine
+// model. time.Sleep is unusable here: its granularity (one scheduler tick,
+// ~1 ms on stock kernels) is three orders of magnitude above FenceNS.
+func yieldWait(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	deadline := time.Duration(ns)
+	start := time.Now()
+	for time.Since(start) < deadline {
+		runtime.Gosched()
 	}
 }

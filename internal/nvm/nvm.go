@@ -26,14 +26,34 @@
 // configurable simulated latency so that benchmark wall-clock times reflect
 // the ordering-instruction costs the paper measures, and every primitive is
 // counted so log-traffic figures can be derived exactly.
+//
+// # Fast and precise modes
+//
+// The pool runs in one of two bookkeeping modes. In the default precise
+// mode every Store, per-line flush issue and Fence is also a persist-point
+// event: it ticks the crash-injection counters so an exhaustive sweep can
+// enumerate and target every point. In fast mode (SetFastPath(true)) the
+// per-event tick is skipped, multi-line operations batch their counter
+// updates, and — because the durable (media) view can only be observed at a
+// quiescent point — all mem→media copying is deferred: stores update the
+// coherent view lock-free, flushes and fences only accrue latency debt, and
+// the media is brought up to date in one pass when the pool leaves fast
+// mode (or is snapshotted/saved). The deferred sync conservatively treats
+// every written line as having reached the media, which is indistinguishable
+// from a run with no crash in it — exactly the regime fast mode is for.
+// Arming a crash (ScheduleCrashAt), resetting the persist-point counters
+// (ResetPersistPoints) or restoring an image (Restore) forces the pool back
+// to precise mode — syncing the media first — so fault injection can never
+// silently run over the uncounted path. Switching modes requires external
+// quiescence, like Crash and Snapshot.
 package nvm
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -63,27 +83,63 @@ var ErrCrash = errors.New("nvm: simulated power failure")
 // ErrOutOfRange reports an access outside the pool.
 var ErrOutOfRange = errors.New("nvm: address out of range")
 
+// dirtyShards is the number of line-group mutexes serializing mem↔media
+// copies against partial-line stores. The shard granule is one bitmap word
+// (64 lines = 4 KiB), so a multi-line store or flush takes one lock per
+// group rather than one per line.
 const dirtyShards = 64
+
+// shardMutex pads each shard lock to its own cache line so unrelated shards
+// do not false-share under multi-threaded stores.
+type shardMutex struct {
+	mu sync.Mutex
+	_  [64 - 8]byte
+}
 
 // Pool is a simulated NVM region plus its cache model.
 //
-// Concurrent use: Load/Store/Flush/FlushOpt/Fence are safe for concurrent
-// use by multiple goroutines provided the application serializes conflicting
-// accesses to the same addresses (the locking discipline every engine in
-// this repository requires anyway, mirroring the paper's strong strict
-// two-phase locking model). Crash, Snapshot, Restore and SaveImage require
-// external quiescence.
+// Concurrent use: Load/Store/Flush/FlushOpt/FlushOptLines/Fence are safe for
+// concurrent use by multiple goroutines provided the application serializes
+// conflicting accesses to the same addresses (the locking discipline every
+// engine in this repository requires anyway, mirroring the paper's strong
+// strict two-phase locking model). Crash, Snapshot, Restore and SaveImage
+// require external quiescence.
 type Pool struct {
 	mem   []byte // coherent CPU view
 	media []byte // durable view
 
-	dirtyMu [dirtyShards]sync.Mutex
-	dirty   []map[uint64]struct{} // per-shard set of dirty line indexes
-	// pending is the per-shard set of lines issued via FlushOpt but not
-	// yet ordered by a Fence. A pending line is still dirty: it persists
-	// only when a Fence drains it (or by eviction luck in a crash).
-	pending      []map[uint64]struct{}
+	// Dirty/pending line tracking. A set bit in dirtyBits means the line
+	// differs (or may differ) from the media; a set bit in pendingBits
+	// means the line was issued via FlushOpt and becomes durable at the
+	// next Fence. Bit l&63 of word l>>6 covers line l. The word-granular
+	// shard mutexes serialize the byte copies (partial-line stores vs.
+	// whole-line flush reads); set-membership itself is lock-free.
+	dirtyBits    []atomic.Uint64
+	pendingBits  []atomic.Uint64
+	dirtyMu      [dirtyShards]shardMutex
 	pendingCount atomic.Int64
+
+	// pendWords lists bitmap word indexes that (may) hold pending bits, so
+	// Fence drains in time proportional to the lines actually flushed
+	// rather than scanning the whole bitmap. Guarded by pendMu; drainMu
+	// serializes concurrent Fence drains so the spare buffer can be
+	// recycled without an allocation per fence.
+	pendMu    sync.Mutex
+	pendWords []uint32
+	pendSpare []uint32
+	drainMu   sync.Mutex
+
+	// fast selects the fast bookkeeping mode: persist-point ticks are
+	// skipped and stats updates are batched. Forced back to false by
+	// ScheduleCrashAt, ResetPersistPoints and Restore.
+	fast atomic.Bool
+
+	// latDebt accrues simulated flush/fence nanoseconds in fast mode; it is
+	// paid with a yielding wait at fence points once it crosses
+	// latDebtPayNS, so concurrent workers overlap device latency with
+	// compute the way per-thread persist pipelines do on real hardware.
+	// Precise mode pays latency inline and never touches it.
+	latDebt atomic.Int64
 
 	lat   Latency
 	stats Stats
@@ -95,7 +151,7 @@ type Pool struct {
 
 	// Persistence-event counters, reset by ScheduleCrashAt and
 	// ResetPersistPoints. anyEvents is the total across kinds and is what
-	// an exhaustive sweep enumerates.
+	// an exhaustive sweep enumerates. Only maintained in precise mode.
 	storeEvents atomic.Int64
 	flushEvents atomic.Int64
 	fenceEvents atomic.Int64
@@ -135,7 +191,8 @@ func WithSeed(seed int64) Option {
 }
 
 // New creates a pool of the given size in bytes. Size is rounded up to a
-// multiple of LineSize and must exceed HeaderSize.
+// multiple of LineSize and must exceed HeaderSize. The pool starts in
+// precise mode.
 func New(size uint64, opts ...Option) *Pool {
 	if size < HeaderSize+LineSize {
 		size = HeaderSize + LineSize
@@ -143,17 +200,16 @@ func New(size uint64, opts ...Option) *Pool {
 	if r := size % LineSize; r != 0 {
 		size += LineSize - r
 	}
+	words := (size/LineSize + 63) / 64
 	p := &Pool{
-		mem:       make([]byte, size),
-		media:     make([]byte, size),
-		evictProb: 0.5,
-		rng:       rand.New(rand.NewSource(1)),
-		dirty:     make([]map[uint64]struct{}, dirtyShards),
-		pending:   make([]map[uint64]struct{}, dirtyShards),
-	}
-	for i := range p.dirty {
-		p.dirty[i] = make(map[uint64]struct{})
-		p.pending[i] = make(map[uint64]struct{})
+		mem:         make([]byte, size),
+		media:       make([]byte, size),
+		evictProb:   0.5,
+		rng:         rand.New(rand.NewSource(1)),
+		dirtyBits:   make([]atomic.Uint64, words),
+		pendingBits: make([]atomic.Uint64, words),
+		pendWords:   make([]uint32, 0, 256),
+		pendSpare:   make([]uint32, 0, 256),
 	}
 	for _, o := range opts {
 		o(p)
@@ -188,26 +244,50 @@ func (p *Pool) RootSlot(i int) uint64 {
 	return rootsOffset + uint64(8*i)
 }
 
+// SetFastPath switches the pool between fast (true) and precise (false)
+// bookkeeping. See the package comment; benchmark harnesses enable the fast
+// path, fault-injection harnesses rely on the precise default. Arming a
+// crash or resetting the persist-point counters forces precise mode again.
+// Leaving fast mode syncs the deferred durable view. The caller must
+// quiesce the pool around the switch.
+func (p *Pool) SetFastPath(on bool) {
+	if !on && p.fast.Swap(false) {
+		p.syncMedia()
+		return
+	}
+	p.fast.Store(on)
+}
+
+// FastPath reports whether the pool is in fast bookkeeping mode.
+func (p *Pool) FastPath() bool { return p.fast.Load() }
+
 func (p *Pool) check(addr, n uint64) {
 	if addr+n > uint64(len(p.mem)) || addr+n < addr {
 		panic(fmt.Errorf("%w: [%#x,%#x) size %#x", ErrOutOfRange, addr, addr+n, len(p.mem)))
 	}
 }
 
+// onesRange returns a mask with bits [a,b] (inclusive, 0 <= a <= b <= 63) set.
+func onesRange(a, b uint64) uint64 {
+	return (^uint64(0) >> (63 - (b - a))) << a
+}
+
 // Load copies len(buf) bytes starting at addr into buf. Loads always observe
 // the coherent view (cache contents included).
 func (p *Pool) Load(addr uint64, buf []byte) {
 	p.check(addr, uint64(len(buf)))
-	p.stats.Loads.Add(1)
-	p.stats.BytesLoaded.Add(int64(len(buf)))
+	h := &p.stats.hot[stripeOf(addr)]
+	h.loads.Add(1)
+	h.bytesLoaded.Add(int64(len(buf)))
 	copy(buf, p.mem[addr:])
 }
 
 // Load64 reads a little-endian uint64 at addr.
 func (p *Pool) Load64(addr uint64) uint64 {
 	p.check(addr, 8)
-	p.stats.Loads.Add(1)
-	p.stats.BytesLoaded.Add(8)
+	h := &p.stats.hot[stripeOf(addr)]
+	h.loads.Add(1)
+	h.bytesLoaded.Add(8)
 	return binary.LittleEndian.Uint64(p.mem[addr:])
 }
 
@@ -215,66 +295,98 @@ func (p *Pool) Load64(addr uint64) uint64 {
 // fenced). If a crash has been scheduled and this store reaches the crash
 // ordinal, Store panics with ErrCrash after applying the write.
 //
-// The write is applied line by line under each line's shard lock so that a
+// The write is applied under the covering line-group locks so that a
 // concurrent Flush of the same line (by another thread persisting its own
 // neighbouring object) can never copy a torn 8-byte value to the media.
 func (p *Pool) Store(addr uint64, data []byte) {
 	p.check(addr, uint64(len(data)))
-	p.stats.Stores.Add(1)
-	p.stats.BytesStored.Add(int64(len(data)))
-	n := uint64(len(data))
-	if n > 0 {
-		first, last := addr/LineSize, (addr+n-1)/LineSize
-		for l := first; l <= last; l++ {
-			lo := l * LineSize
-			if lo < addr {
-				lo = addr
-			}
-			hi := (l + 1) * LineSize
-			if hi > addr+n {
-				hi = addr + n
-			}
-			s := &p.dirtyMu[l%dirtyShards]
-			s.Lock()
-			copy(p.mem[lo:hi], data[lo-addr:hi-addr])
-			p.dirty[l%dirtyShards][l] = struct{}{}
-			s.Unlock()
-		}
+	h := &p.stats.hot[stripeOf(addr)]
+	h.stores.Add(1)
+	h.bytesStored.Add(int64(len(data)))
+	if len(data) > 0 {
+		p.storeBytes(addr, data)
 	}
-	p.tick(CrashAtStore)
+	if !p.fast.Load() {
+		p.tick(CrashAtStore)
+	}
+}
+
+// storeBytes copies data into the coherent view and marks the covered lines
+// dirty. Lines are handled one bitmap word (64 lines) at a time: a single
+// lock acquisition and a single atomic Or cover every line the write touches
+// within the group — the write-combining that replaces the old per-line
+// mutex-sharded map insert.
+func (p *Pool) storeBytes(addr uint64, data []byte) {
+	n := uint64(len(data))
+	first, last := addr/LineSize, (addr+n-1)/LineSize
+	if p.fast.Load() {
+		// Fast mode defers all mem→media copying to the next sync point, so
+		// no flush or drain can read these bytes concurrently and the copy
+		// needs no lock. Dirty bits still accumulate so the sync knows what
+		// to write back.
+		copy(p.mem[addr:addr+n], data)
+		for w := first >> 6; w <= last>>6; w++ {
+			loLine, hiLine := max(w<<6, first), min(w<<6|63, last)
+			p.dirtyBits[w].Or(onesRange(loLine&63, hiLine&63))
+		}
+		return
+	}
+	for w := first >> 6; w <= last>>6; w++ {
+		loLine, hiLine := w<<6, w<<6|63
+		if loLine < first {
+			loLine = first
+		}
+		if hiLine > last {
+			hiLine = last
+		}
+		lo, hi := loLine*LineSize, (hiLine+1)*LineSize
+		if lo < addr {
+			lo = addr
+		}
+		if hi > addr+n {
+			hi = addr + n
+		}
+		mu := &p.dirtyMu[w&(dirtyShards-1)].mu
+		mu.Lock()
+		copy(p.mem[lo:hi], data[lo-addr:hi-addr])
+		mu.Unlock()
+		p.dirtyBits[w].Or(onesRange(loLine&63, hiLine&63))
+	}
 }
 
 // Store64 writes a little-endian uint64 at addr.
 func (p *Pool) Store64(addr uint64, v uint64) {
 	p.check(addr, 8)
-	p.stats.Stores.Add(1)
-	p.stats.BytesStored.Add(8)
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	first, last := addr/LineSize, (addr+7)/LineSize
-	for l := first; l <= last; l++ {
-		lo := l * LineSize
-		if lo < addr {
-			lo = addr
+	h := &p.stats.hot[stripeOf(addr)]
+	h.stores.Add(1)
+	h.bytesStored.Add(8)
+	if l := addr / LineSize; (addr+7)/LineSize == l {
+		w := l >> 6
+		if p.fast.Load() {
+			binary.LittleEndian.PutUint64(p.mem[addr:], v)
+			p.dirtyBits[w].Or(uint64(1) << (l & 63))
+			return
 		}
-		hi := (l + 1) * LineSize
-		if hi > addr+8 {
-			hi = addr + 8
-		}
-		s := &p.dirtyMu[l%dirtyShards]
-		s.Lock()
-		copy(p.mem[lo:hi], buf[lo-addr:hi-addr])
-		p.dirty[l%dirtyShards][l] = struct{}{}
-		s.Unlock()
+		mu := &p.dirtyMu[w&(dirtyShards-1)].mu
+		mu.Lock()
+		binary.LittleEndian.PutUint64(p.mem[addr:], v)
+		mu.Unlock()
+		p.dirtyBits[w].Or(uint64(1) << (l & 63))
+	} else {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		p.storeBytes(addr, buf[:])
 	}
-	p.tick(CrashAtStore)
+	if !p.fast.Load() {
+		p.tick(CrashAtStore)
+	}
 }
 
 // tick records one persistence event of the given kind and fires the
 // scheduled crash if this event reaches the armed ordinal. It must only be
 // called while holding no pool-internal lock: the ErrCrash panic unwinds
 // through the caller and a held shard mutex would wedge the pool for the
-// recovery attempt that follows.
+// recovery attempt that follows. Only the precise mode calls tick.
 func (p *Pool) tick(kind CrashKind) {
 	var n int64
 	switch kind {
@@ -322,7 +434,8 @@ func (p *Pool) ScheduleCrash(n int64) { p.ScheduleCrashAt(CrashAtStore, n) }
 // event of the given kind (n >= 1): a store, a per-line flush issue (Flush
 // or FlushOpt), a fence, or — with CrashAtAny — the n-th event of any kind.
 // All persist-point counters are reset, so the ordinal is relative to this
-// call. n == 0 disarms.
+// call, and the pool is forced back to precise mode so every event is
+// counted. n == 0 disarms.
 func (p *Pool) ScheduleCrashAt(kind CrashKind, n int64) {
 	p.ResetPersistPoints()
 	p.crashKind.Store(int64(kind))
@@ -370,8 +483,13 @@ func (p *Pool) PersistPoints(kind CrashKind) int64 {
 }
 
 // ResetPersistPoints zeroes the persist-point counters (and therefore the
-// base that a subsequently scheduled crash ordinal is measured from).
+// base that a subsequently scheduled crash ordinal is measured from) and
+// forces the pool into precise mode so subsequent events are counted.
 func (p *Pool) ResetPersistPoints() {
+	if p.fast.Swap(false) {
+		p.syncMedia()
+	}
+	p.latDebt.Store(0)
 	p.storeEvents.Store(0)
 	p.flushEvents.Store(0)
 	p.fenceEvents.Store(0)
@@ -388,27 +506,37 @@ func (p *Pool) Flush(addr, n uint64) {
 	}
 	p.check(addr, n)
 	first, last := addr/LineSize, (addr+n-1)/LineSize
-	for l := first; l <= last; l++ {
-		p.flushLine(l)
+	k := int64(last - first + 1)
+	h := &p.stats.hot[stripeOf(addr)]
+	if p.fast.Load() {
+		// Deferred-media mode: the lines stay dirty and reach the media at
+		// the next sync point; only the latency is modelled here.
+		h.flushes.Add(k)
+		p.latDebt.Add(int64(p.lat.FlushNS) * k)
+	} else {
+		for l := first; l <= last; l++ {
+			h.flushes.Add(1)
+			p.flushLinePrecise(l)
+		}
+		spin(p.lat.FlushNS * int(k))
 	}
 }
 
-func (p *Pool) flushLine(l uint64) {
-	p.stats.Flushes.Add(1)
-	// Tick before the media copy: a crash landing on this flush means the
-	// line did NOT reach the media.
+// flushLinePrecise persists one line with exact event accounting: the tick
+// fires before the media copy, so a crash landing on this flush means the
+// line did NOT reach the media.
+func (p *Pool) flushLinePrecise(l uint64) {
 	p.tick(CrashAtFlush)
-	s := &p.dirtyMu[l%dirtyShards]
-	s.Lock()
-	delete(p.dirty[l%dirtyShards], l)
-	if _, ok := p.pending[l%dirtyShards][l]; ok {
-		delete(p.pending[l%dirtyShards], l)
+	w, bit := l>>6, uint64(1)<<(l&63)
+	if old := p.pendingBits[w].And(^bit); old&bit != 0 {
 		p.pendingCount.Add(-1)
 	}
 	off := l * LineSize
+	mu := &p.dirtyMu[w&(dirtyShards-1)].mu
+	mu.Lock()
 	copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
-	s.Unlock()
-	spin(p.lat.FlushNS)
+	mu.Unlock()
+	p.dirtyBits[w].And(^bit)
 }
 
 // FlushOpt is the weakly ordered flush variant (clflushopt/clwb): it only
@@ -423,23 +551,81 @@ func (p *Pool) FlushOpt(addr, n uint64) {
 	}
 	p.check(addr, n)
 	first, last := addr/LineSize, (addr+n-1)/LineSize
-	for l := first; l <= last; l++ {
-		p.flushLineOpt(l)
+	k := int64(last - first + 1)
+	h := &p.stats.hot[stripeOf(addr)]
+	if p.fast.Load() {
+		// Deferred-media mode: weak and strong flushes converge — the lines
+		// stay dirty until the next sync point and only latency is modelled.
+		h.flushes.Add(k)
+		h.flushOpts.Add(k)
+		p.latDebt.Add(int64(p.lat.FlushNS) * k)
+		return
+	}
+	for w := first >> 6; w <= last>>6; w++ {
+		loLine, hiLine := w<<6, w<<6|63
+		if loLine < first {
+			loLine = first
+		}
+		if hiLine > last {
+			hiLine = last
+		}
+		for l := loLine; l <= hiLine; l++ {
+			h.flushes.Add(1)
+			h.flushOpts.Add(1)
+			p.tick(CrashAtFlush)
+			p.markPending(l>>6, uint64(1)<<(l&63))
+		}
+	}
+	spin(p.lat.FlushNS * int(k))
+}
+
+// FlushOptLines issues a weakly ordered flush for each line index in lines
+// (each covering bytes [l*LineSize, (l+1)*LineSize)). It is the batch form
+// engines use to flush a transaction's dirty-line set in one call: one
+// bounds check, one latency spin, and lock-free pending-set insertion.
+func (p *Pool) FlushOptLines(lines []uint64) {
+	if len(lines) == 0 {
+		return
+	}
+	limit := uint64(len(p.mem)) / LineSize
+	fast := p.fast.Load()
+	var h *hotStats
+	for _, l := range lines {
+		if l >= limit {
+			panic(fmt.Errorf("%w: line %#x beyond pool", ErrOutOfRange, l))
+		}
+		if h == nil {
+			h = &p.stats.hot[stripeOf(l*LineSize)]
+		}
+		if !fast {
+			h.flushes.Add(1)
+			h.flushOpts.Add(1)
+			p.tick(CrashAtFlush)
+			p.markPending(l>>6, uint64(1)<<(l&63))
+		}
+	}
+	if fast {
+		h.flushes.Add(int64(len(lines)))
+		h.flushOpts.Add(int64(len(lines)))
+		p.latDebt.Add(int64(p.lat.FlushNS) * int64(len(lines)))
+	} else {
+		spin(p.lat.FlushNS * len(lines))
 	}
 }
 
-func (p *Pool) flushLineOpt(l uint64) {
-	p.stats.Flushes.Add(1)
-	p.stats.FlushOpts.Add(1)
-	p.tick(CrashAtFlush)
-	s := &p.dirtyMu[l%dirtyShards]
-	s.Lock()
-	if _, ok := p.pending[l%dirtyShards][l]; !ok {
-		p.pending[l%dirtyShards][l] = struct{}{}
-		p.pendingCount.Add(1)
+// markPending sets the given pending bits in word w and registers the word
+// for the next Fence drain. Lock-free on the common path: only a word's
+// 0→nonzero transition takes the (short) pendMu critical section.
+func (p *Pool) markPending(w, mask uint64) {
+	old := p.pendingBits[w].Or(mask)
+	if newly := mask &^ old; newly != 0 {
+		p.pendingCount.Add(int64(bits.OnesCount64(newly)))
+		if old == 0 {
+			p.pendMu.Lock()
+			p.pendWords = append(p.pendWords, uint32(w))
+			p.pendMu.Unlock()
+		}
 	}
-	s.Unlock()
-	spin(p.lat.FlushNS)
 }
 
 // Fence orders preceding flushes before subsequent stores (sfence): every
@@ -447,25 +633,100 @@ func (p *Pool) flushLineOpt(l uint64) {
 // the fence latency is paid. A crash landing on the fence itself happens
 // before the drain — the pending lines are still at the hardware's mercy.
 func (p *Pool) Fence() {
-	p.stats.Fences.Add(1)
-	p.tick(CrashAtFence)
-	if p.pendingCount.Load() != 0 {
-		for i := 0; i < dirtyShards; i++ {
-			s := &p.dirtyMu[i]
-			s.Lock()
-			if n := len(p.pending[i]); n > 0 {
-				for l := range p.pending[i] {
-					off := l * LineSize
-					copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
-					delete(p.dirty[i], l)
-					delete(p.pending[i], l)
-				}
-				p.pendingCount.Add(int64(-n))
-			}
-			s.Unlock()
+	p.stats.hot[0].fences.Add(1)
+	if !p.fast.Load() {
+		p.tick(CrashAtFence)
+		if p.pendingCount.Load() != 0 {
+			p.drainPending()
+		}
+		spin(p.lat.FenceNS)
+		return
+	}
+	// Deferred-media mode: durability is settled at the next sync point, so
+	// the fence only pays (possibly accrued) latency.
+	p.latDebt.Add(int64(p.lat.FenceNS))
+	p.payLatency()
+}
+
+// latDebtPayNS is the accrued-latency batch a fence pays at once. Large
+// enough that the yield loop's bookkeeping is noise, small enough that a
+// single-threaded run's op timings stay smooth (a few fences' worth).
+const latDebtPayNS = 4096
+
+// payLatency settles the accrued fast-path latency debt with a yielding
+// wait. Exactly one caller wins the swap, so the total wait time equals the
+// total accrued latency regardless of how many workers fence concurrently.
+func (p *Pool) payLatency() {
+	d := p.latDebt.Load()
+	if d < latDebtPayNS {
+		return
+	}
+	if p.latDebt.CompareAndSwap(d, 0) {
+		yieldWait(d)
+	}
+}
+
+// drainPending copies every pending line to the media. Concurrent drains are
+// serialized by drainMu so the two word-list buffers can be recycled without
+// per-fence allocation.
+func (p *Pool) drainPending() {
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	p.pendMu.Lock()
+	words := p.pendWords
+	p.pendWords = p.pendSpare[:0]
+	p.pendMu.Unlock()
+	for _, w := range words {
+		if p.pendingBits[w].Load() == 0 {
+			continue
+		}
+		mu := &p.dirtyMu[uint64(w)&(dirtyShards-1)].mu
+		mu.Lock()
+		m := p.pendingBits[w].Swap(0)
+		// Copy maximal runs of consecutive pending lines in one go: staged
+		// v_log entries and batched log appends pend contiguous lines, so
+		// runs are the common case.
+		for mm := m; mm != 0; {
+			lo := uint64(bits.TrailingZeros64(mm))
+			run := uint64(bits.TrailingZeros64(^(mm >> lo)))
+			start := (uint64(w)<<6 | lo) * LineSize
+			end := start + run*LineSize
+			copy(p.media[start:end], p.mem[start:end])
+			mm &^= (1<<run - 1) << lo
+		}
+		p.dirtyBits[w].And(^m)
+		mu.Unlock()
+		if c := bits.OnesCount64(m); c > 0 {
+			p.pendingCount.Add(int64(-c))
 		}
 	}
-	spin(p.lat.FenceNS)
+	p.pendSpare = words[:0]
+}
+
+// syncMedia settles the durable view after a fast-mode run: every line the
+// fast path left dirty (or a preceding precise phase left flush-pending) is
+// copied to the media and the tracking sets are cleared. Conservative by
+// construction — a fast run with no crash in it fences everything it leaves
+// behind anyway, so treating the whole residue as durable is exactly the
+// state a quiesced precise pool would reach. Requires external quiescence.
+func (p *Pool) syncMedia() {
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	for w := range p.dirtyBits {
+		m := p.dirtyBits[w].Swap(0) | p.pendingBits[w].Swap(0)
+		for mm := m; mm != 0; {
+			lo := uint64(bits.TrailingZeros64(mm))
+			run := uint64(bits.TrailingZeros64(^(mm >> lo)))
+			start := (uint64(w)<<6 | lo) * LineSize
+			end := start + run*LineSize
+			copy(p.media[start:end], p.mem[start:end])
+			mm &^= (1<<run - 1) << lo
+		}
+	}
+	p.pendingCount.Store(0)
+	p.pendMu.Lock()
+	p.pendWords = p.pendWords[:0]
+	p.pendMu.Unlock()
 }
 
 // Persist is the common flush-then-fence sequence.
@@ -477,59 +738,69 @@ func (p *Pool) Persist(addr, n uint64) {
 // Crash simulates a power failure: the configured EvictPolicy decides the
 // fate of each dirty line (pending FlushOpt lines included — an un-fenced
 // optimized flush guarantees nothing), then the coherent view is reset to
-// the media image. Lines are visited in sorted order so a seeded pool's
-// adversary is deterministic regardless of map iteration order. Crash
-// requires that no other goroutine is accessing the pool.
+// the media image. Lines are visited in ascending order so a seeded pool's
+// adversary is deterministic. Crash requires that no other goroutine is
+// accessing the pool.
 func (p *Pool) Crash() {
+	// A crash cannot be scheduled in fast mode, but a manual Crash on a fast
+	// pool must still be meaningful: the deferred durable view is settled
+	// first (everything written survives — the persistent-cache reading),
+	// then the eviction policy applies to the nothing that remains dirty.
+	if p.fast.Swap(false) {
+		p.syncMedia()
+	}
 	p.stats.Crashes.Add(1)
 	p.crashAt.Store(0)
 	p.rngMu.Lock()
-	var lines []uint64
-	for i := range p.dirty {
-		for l := range p.dirty[i] {
-			lines = append(lines, l)
-		}
-	}
-	sort.Slice(lines, func(a, b int) bool { return lines[a] < lines[b] })
-	for _, l := range lines {
-		off := l * LineSize
-		switch p.evict {
-		case EvictNone:
-			// Lost whole.
-		case EvictAll:
-			copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
-		case EvictTorn:
-			// A random prefix of 8-byte words reaches the media:
-			// persistence is word-atomic, not line-atomic.
-			k := p.rng.Intn(LineSize/8 + 1)
-			if k > 0 {
-				copy(p.media[off:off+uint64(k)*8], p.mem[off:off+uint64(k)*8])
-			}
-			if k > 0 && k < LineSize/8 {
-				p.stats.TornLines.Add(1)
-			}
-		default: // EvictRandom
-			if p.rng.Float64() < p.evictProb {
+	for w := range p.dirtyBits {
+		m := p.dirtyBits[w].Load()
+		for mm := m; mm != 0; mm &= mm - 1 {
+			l := uint64(w)<<6 | uint64(bits.TrailingZeros64(mm))
+			off := l * LineSize
+			switch p.evict {
+			case EvictNone:
+				// Lost whole.
+			case EvictAll:
 				copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
+			case EvictTorn:
+				// A random prefix of 8-byte words reaches the media:
+				// persistence is word-atomic, not line-atomic.
+				k := p.rng.Intn(LineSize/8 + 1)
+				if k > 0 {
+					copy(p.media[off:off+uint64(k)*8], p.mem[off:off+uint64(k)*8])
+				}
+				if k > 0 && k < LineSize/8 {
+					p.stats.TornLines.Add(1)
+				}
+			default: // EvictRandom
+				if p.rng.Float64() < p.evictProb {
+					copy(p.media[off:off+LineSize], p.mem[off:off+LineSize])
+				}
 			}
 		}
 	}
-	for i := range p.dirty {
-		p.dirty[i] = make(map[uint64]struct{})
-		p.pending[i] = make(map[uint64]struct{})
-	}
-	p.pendingCount.Store(0)
+	p.clearTracking()
 	p.rngMu.Unlock()
 	copy(p.mem, p.media)
+}
+
+// clearTracking resets the dirty/pending line sets.
+func (p *Pool) clearTracking() {
+	for w := range p.dirtyBits {
+		p.dirtyBits[w].Store(0)
+		p.pendingBits[w].Store(0)
+	}
+	p.pendingCount.Store(0)
+	p.pendMu.Lock()
+	p.pendWords = p.pendWords[:0]
+	p.pendMu.Unlock()
 }
 
 // DirtyLines returns the number of cache lines currently dirty.
 func (p *Pool) DirtyLines() int {
 	total := 0
-	for i := range p.dirty {
-		p.dirtyMu[i].Lock()
-		total += len(p.dirty[i])
-		p.dirtyMu[i].Unlock()
+	for w := range p.dirtyBits {
+		total += bits.OnesCount64(p.dirtyBits[w].Load())
 	}
 	return total
 }

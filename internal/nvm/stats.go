@@ -2,17 +2,34 @@ package nvm
 
 import "sync/atomic"
 
-// Stats holds the pool's live counters. All fields are updated atomically.
+// statsStripes is the number of counter stripes for the hot-path counters.
+// Stripes are picked by address (line-granular), so threads working in
+// disjoint regions update disjoint cache lines instead of ping-ponging one
+// shared counter line across cores.
+const statsStripes = 16
+
+// stripeOf maps an address to its stats stripe.
+func stripeOf(addr uint64) int { return int((addr >> 6) & (statsStripes - 1)) }
+
+// hotStats is one stripe of the per-operation counters, padded to a cache
+// line. The counters touched together by one operation (count + bytes) share
+// a stripe so a Store costs a single line transfer, not two.
+type hotStats struct {
+	loads       atomic.Int64
+	bytesLoaded atomic.Int64
+	stores      atomic.Int64
+	bytesStored atomic.Int64
+	flushes     atomic.Int64
+	flushOpts   atomic.Int64
+	fences      atomic.Int64
+	_           [64 - 7*8%64]byte
+}
+
+// Stats holds the pool's live counters. Hot-path counters are striped by
+// address; crash accounting is rare and stays unstriped. All updates are
+// atomic; read them through snapshot.
 type Stats struct {
-	Loads       atomic.Int64
-	Stores      atomic.Int64
-	BytesLoaded atomic.Int64
-	BytesStored atomic.Int64
-	// Flushes counts every per-line flush issue, strong or optimized;
-	// FlushOpts counts the weakly ordered (FlushOpt) subset.
-	Flushes   atomic.Int64
-	FlushOpts atomic.Int64
-	Fences    atomic.Int64
+	hot [statsStripes]hotStats
 	// Crashes counts Crash() calls; CrashesAt* count scheduled crashes by
 	// the kind of persistence event they fired at. TornLines counts dirty
 	// lines that persisted a proper prefix of their words under EvictTorn.
@@ -25,10 +42,12 @@ type Stats struct {
 
 // StatsSnapshot is a point-in-time copy of the pool counters.
 type StatsSnapshot struct {
-	Loads          int64
-	Stores         int64
-	BytesLoaded    int64
-	BytesStored    int64
+	Loads       int64
+	Stores      int64
+	BytesLoaded int64
+	BytesStored int64
+	// Flushes counts every per-line flush issue, strong or optimized;
+	// FlushOpts counts the weakly ordered (FlushOpt) subset.
 	Flushes        int64
 	FlushOpts      int64
 	Fences         int64
@@ -40,30 +59,37 @@ type StatsSnapshot struct {
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Loads:          s.Loads.Load(),
-		Stores:         s.Stores.Load(),
-		BytesLoaded:    s.BytesLoaded.Load(),
-		BytesStored:    s.BytesStored.Load(),
-		Flushes:        s.Flushes.Load(),
-		FlushOpts:      s.FlushOpts.Load(),
-		Fences:         s.Fences.Load(),
+	out := StatsSnapshot{
 		Crashes:        s.Crashes.Load(),
 		CrashesAtStore: s.CrashesAtStore.Load(),
 		CrashesAtFlush: s.CrashesAtFlush.Load(),
 		CrashesAtFence: s.CrashesAtFence.Load(),
 		TornLines:      s.TornLines.Load(),
 	}
+	for i := range s.hot {
+		h := &s.hot[i]
+		out.Loads += h.loads.Load()
+		out.Stores += h.stores.Load()
+		out.BytesLoaded += h.bytesLoaded.Load()
+		out.BytesStored += h.bytesStored.Load()
+		out.Flushes += h.flushes.Load()
+		out.FlushOpts += h.flushOpts.Load()
+		out.Fences += h.fences.Load()
+	}
+	return out
 }
 
 func (s *Stats) reset() {
-	s.Loads.Store(0)
-	s.Stores.Store(0)
-	s.BytesLoaded.Store(0)
-	s.BytesStored.Store(0)
-	s.Flushes.Store(0)
-	s.FlushOpts.Store(0)
-	s.Fences.Store(0)
+	for i := range s.hot {
+		h := &s.hot[i]
+		h.loads.Store(0)
+		h.stores.Store(0)
+		h.bytesLoaded.Store(0)
+		h.bytesStored.Store(0)
+		h.flushes.Store(0)
+		h.flushOpts.Store(0)
+		h.fences.Store(0)
+	}
 	s.Crashes.Store(0)
 	s.CrashesAtStore.Store(0)
 	s.CrashesAtFlush.Store(0)

@@ -86,6 +86,11 @@ type DataLog struct {
 
 	off uint64 // volatile append offset relative to base
 	n   int    // volatile entry count for the current sequence
+
+	// scratch stages an entry (or entry group) so the persistent image is
+	// written with a single Store instead of one per field. Reused across
+	// appends; grown on demand.
+	scratch []byte
 }
 
 // DataLogSize returns the pool bytes needed for a data log with the given
@@ -136,36 +141,95 @@ type AppendOptions struct {
 	NoFence bool
 }
 
+// grow returns l.scratch resized to n bytes (reallocating only on growth).
+func (l *DataLog) grow(n int) []byte {
+	if cap(l.scratch) < n {
+		l.scratch = make([]byte, n+n/2)
+	}
+	return l.scratch[:n]
+}
+
+// encode writes one entry image (header, payload, checksum) into buf, which
+// must be entryHeaderSize+len(payload)+entryTrailerSize bytes.
+func (l *DataLog) encode(buf []byte, seq, addr uint64, payload []byte) {
+	binary.LittleEndian.PutUint64(buf[0:], seq)
+	binary.LittleEndian.PutUint64(buf[8:], addr)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:], 0)
+	copy(buf[entryHeaderSize:], payload)
+	binary.LittleEndian.PutUint64(buf[entryHeaderSize+len(payload):], checksum(seq, addr, l.slot, payload))
+}
+
 // Append logs payload for persistent address addr under sequence seq.
-// The entry is flushed; unless opts.NoFence, a fence orders it before any
-// subsequent store (undo discipline: log must be durable before the data
-// write it protects). Returns the number of log bytes consumed.
+// The entry is staged in a volatile buffer and written with a single Store,
+// then flushed; unless opts.NoFence, a fence orders it before any subsequent
+// store (undo discipline: log must be durable before the data write it
+// protects). Returns the number of log bytes consumed.
 func (l *DataLog) Append(seq, addr uint64, payload []byte, opts AppendOptions) (int, error) {
-	need := uint64(entryHeaderSize + len(payload) + entryTrailerSize)
-	need = (need + 7) &^ 7 // 8-byte alignment for the next header
+	raw := entryHeaderSize + len(payload) + entryTrailerSize
+	need := (uint64(raw) + 7) &^ 7 // 8-byte alignment for the next header
 	if l.off+need > l.cap {
 		return 0, fmt.Errorf("%w: need %d, %d free", ErrLogFull, need, l.cap-l.off)
 	}
 	at := l.base + l.off
 	p := l.pool
-	var hdr [entryHeaderSize]byte
-	binary.LittleEndian.PutUint64(hdr[0:], seq)
-	binary.LittleEndian.PutUint64(hdr[8:], addr)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(payload)))
-	p.Store(at, hdr[:])
-	if len(payload) > 0 {
-		p.Store(at+entryHeaderSize, payload)
-	}
-	var crc [8]byte
-	binary.LittleEndian.PutUint64(crc[:], checksum(seq, addr, l.slot, payload))
-	p.Store(at+entryHeaderSize+uint64(len(payload)), crc[:])
-	p.FlushOpt(at, uint64(entryHeaderSize+len(payload)+entryTrailerSize))
+	buf := l.grow(raw)
+	l.encode(buf, seq, addr, payload)
+	p.Store(at, buf)
+	p.FlushOpt(at, uint64(raw))
 	if !opts.NoFence {
 		p.Fence()
 	}
 	l.off += need
 	l.n++
-	return entryHeaderSize + len(payload) + entryTrailerSize, nil
+	return raw, nil
+}
+
+// BatchEntry is one record of a batched append.
+type BatchEntry struct {
+	Addr uint64
+	Data []byte
+}
+
+// AppendBatch logs every entry under sequence seq as one group: a single
+// bounds check, one staged Store covering the whole group, one flush of the
+// covered lines (adjacent entries share line flushes instead of re-issuing
+// them), and — unless opts.NoFence — one trailing fence for the group. This
+// is the commit path for redo-style engines, which need the entire write set
+// durable before applying it but have no per-entry ordering requirement.
+// Returns the number of log bytes consumed.
+func (l *DataLog) AppendBatch(seq uint64, entries []BatchEntry, opts AppendOptions) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	total := uint64(0)
+	for _, e := range entries {
+		total += (uint64(entryHeaderSize+len(e.Data)+entryTrailerSize) + 7) &^ 7
+	}
+	if l.off+total > l.cap {
+		return 0, fmt.Errorf("%w: need %d, %d free", ErrLogFull, total, l.cap-l.off)
+	}
+	at := l.base + l.off
+	buf := l.grow(int(total))
+	pos := 0
+	for _, e := range entries {
+		raw := entryHeaderSize + len(e.Data) + entryTrailerSize
+		l.encode(buf[pos:pos+raw], seq, e.Addr, e.Data)
+		padded := (raw + 7) &^ 7
+		for i := pos + raw; i < pos+padded; i++ {
+			buf[i] = 0
+		}
+		pos += padded
+	}
+	p := l.pool
+	p.Store(at, buf)
+	p.FlushOpt(at, total)
+	if !opts.NoFence {
+		p.Fence()
+	}
+	l.off += total
+	l.n += len(entries)
+	return int(total), nil
 }
 
 // Invalidate durably destroys the log's first entry so no sequence scans
@@ -318,9 +382,11 @@ func (l *AddrLog) Append(seq, addr uint64, fence bool) error {
 	}
 	at := l.base + uint64(l.n)*addrEntrySize
 	p := l.pool
-	p.Store64(at, seq)
-	p.Store64(at+8, addr)
-	p.Store64(at+16, checksum(seq, addr, l.slot, nil))
+	var buf [addrEntrySize]byte
+	binary.LittleEndian.PutUint64(buf[0:], seq)
+	binary.LittleEndian.PutUint64(buf[8:], addr)
+	binary.LittleEndian.PutUint64(buf[16:], checksum(seq, addr, l.slot, nil))
+	p.Store(at, buf[:])
 	if fence {
 		p.FlushOpt(at, addrEntrySize)
 		p.Fence()

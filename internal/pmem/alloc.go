@@ -29,9 +29,11 @@
 package pmem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"clobbernvm/internal/nvm"
 )
@@ -149,20 +151,20 @@ type Pool interface {
 	RootSlot(i int) uint64
 }
 
-// AllocStats counts allocator activity (volatile).
+// AllocStats counts allocator activity (volatile). The counters are atomics
+// so that the hot Alloc/Free paths never serialize on a global stats lock —
+// with per-arena allocation the counters are the only state shared by all
+// worker threads.
 type AllocStats struct {
-	mu         sync.Mutex
-	Allocs     int64
-	Frees      int64
-	BytesAlloc int64
-	Refills    int64
+	Allocs     atomic.Int64
+	Frees      atomic.Int64
+	BytesAlloc atomic.Int64
+	Refills    atomic.Int64
 }
 
 // Snapshot returns a copy of the counters.
 func (s *AllocStats) Snapshot() (allocs, frees, bytes, refills int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Allocs, s.Frees, s.BytesAlloc, s.Refills
+	return s.Allocs.Load(), s.Frees.Load(), s.BytesAlloc.Load(), s.Refills.Load()
 }
 
 // rootSlotAllocator is the pool root slot holding the metadata base address.
@@ -241,13 +243,17 @@ func (e *jentry) checksum() uint64 {
 func (a *Allocator) writeJournal(ar int, e jentry) {
 	j := a.journalAddr(ar)
 	p := a.pool
-	p.Store64(j, e.seq)
-	p.Store64(j+8, e.kind)
-	p.Store64(j+16, e.class)
-	p.Store64(j+24, e.addr)
-	p.Store64(j+32, e.aux1)
-	p.Store64(j+40, e.aux2)
-	p.Store64(j+48, e.checksum())
+	// Stage the whole entry and write it with one Store; the checksum makes
+	// a torn entry detectable regardless of how the stores were issued.
+	var buf [56]byte
+	binary.LittleEndian.PutUint64(buf[0:], e.seq)
+	binary.LittleEndian.PutUint64(buf[8:], e.kind)
+	binary.LittleEndian.PutUint64(buf[16:], e.class)
+	binary.LittleEndian.PutUint64(buf[24:], e.addr)
+	binary.LittleEndian.PutUint64(buf[32:], e.aux1)
+	binary.LittleEndian.PutUint64(buf[40:], e.aux2)
+	binary.LittleEndian.PutUint64(buf[48:], e.checksum())
+	p.Store(j, buf[:])
 	p.Persist(j, 56)
 }
 
@@ -381,10 +387,8 @@ func (a *Allocator) readHeader(block uint64) (ar, class int, hugeUnits uint32, o
 }
 
 func (a *Allocator) noteAlloc(size uint64) {
-	a.stats.mu.Lock()
-	a.stats.Allocs++
-	a.stats.BytesAlloc += int64(size)
-	a.stats.mu.Unlock()
+	a.stats.Allocs.Add(1)
+	a.stats.BytesAlloc.Add(int64(size))
 }
 
 // refill grabs a chunk from the central region for arena ar. Caller holds
@@ -410,9 +414,7 @@ func (a *Allocator) refill(ar int, need uint64) (uint64, uint64, error) {
 	p.Persist(a.metaBase+8, 8)
 	a.centralMu.Unlock()
 
-	a.stats.mu.Lock()
-	a.stats.Refills++
-	a.stats.mu.Unlock()
+	a.stats.Refills.Add(1)
 
 	e := jentry{seq: a.nextSeq(ar), kind: kindRefill, addr: cb, aux1: cb, aux2: cb + uint64(sz)}
 	a.writeJournal(ar, e)
@@ -472,9 +474,7 @@ func (a *Allocator) Free(addr uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
 	}
-	a.stats.mu.Lock()
-	a.stats.Frees++
-	a.stats.mu.Unlock()
+	a.stats.Frees.Add(1)
 
 	if class == hugeClass {
 		p := a.pool

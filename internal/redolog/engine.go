@@ -259,15 +259,18 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 	p := e.pool
 	ranges := m.coalesce()
-	for _, r := range ranges {
-		nbytes, err := s.dlog.Append(seq, r.addr, r.data, plog.AppendOptions{NoFence: true})
-		if err != nil {
-			panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
-		}
-		e.stats.LogEntries.Add(1)
-		e.stats.LogBytes.Add(int64(nbytes))
+	// The whole write set goes to the log as one batch: a single staged
+	// store, one flush issue set, and the one fence redo discipline needs.
+	batch := make([]plog.BatchEntry, len(ranges))
+	for i, r := range ranges {
+		batch[i] = plog.BatchEntry{Addr: r.addr, Data: r.data}
 	}
-	p.Fence() // all redo entries durable
+	nbytes, err := s.dlog.AppendBatch(seq, batch, plog.AppendOptions{})
+	if err != nil {
+		panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
+	}
+	e.stats.LogEntries.Add(int64(len(ranges)))
+	e.stats.LogBytes.Add(int64(nbytes))
 
 	// Commit point: once this marker is durable the transaction wins.
 	p.Store64(s.hdr+offStatus, seq<<2|phaseApplying)

@@ -14,14 +14,22 @@ import (
 //
 // Args values are append-only and positional: the i-th Put on the producing
 // side corresponds to the i-th accessor on the consuming side.
+//
+// Internally the arguments are kept directly in v_log wire format (one flat
+// buffer plus an offset index), so Put copies each input exactly once and
+// engines stage the encoded form into their logs without re-serializing.
 type Args struct {
-	items []argItem
+	// enc is the encoded argument body (everything after the count prefix).
+	enc []byte
+	// idx locates each argument inside enc.
+	idx []argRef
 }
 
-type argItem struct {
+// argRef points at one argument's payload inside Args.enc.
+type argRef struct {
+	off   uint32
+	len   uint32
 	isU64 bool
-	u64   uint64
-	bytes []byte
 }
 
 // A reusable empty Args for transactions with no inputs.
@@ -32,48 +40,55 @@ func NewArgs() *Args { return &Args{} }
 
 // PutUint64 appends an integer argument and returns a for chaining.
 func (a *Args) PutUint64(v uint64) *Args {
-	a.items = append(a.items, argItem{isU64: true, u64: v})
+	var tmp [9]byte
+	tmp[0] = tagU64
+	binary.LittleEndian.PutUint64(tmp[1:], v)
+	a.idx = append(a.idx, argRef{off: uint32(len(a.enc)) + 1, len: 8, isU64: true})
+	a.enc = append(a.enc, tmp[:]...)
 	return a
 }
 
 // PutBytes appends a byte-slice argument, copying it (the caller's buffer is
 // volatile and may be reused — this copy is the vlog_preserve semantics).
 func (a *Args) PutBytes(b []byte) *Args {
-	cp := make([]byte, len(b))
-	copy(cp, b)
-	a.items = append(a.items, argItem{bytes: cp})
+	var hdr [5]byte
+	hdr[0] = tagBytes
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(b)))
+	a.idx = append(a.idx, argRef{off: uint32(len(a.enc)) + 5, len: uint32(len(b))})
+	a.enc = append(a.enc, hdr[:]...)
+	a.enc = append(a.enc, b...)
 	return a
 }
 
 // Len returns the number of arguments.
-func (a *Args) Len() int { return len(a.items) }
+func (a *Args) Len() int { return len(a.idx) }
 
 // Uint64 returns argument i as an integer. It panics on a type or index
 // mismatch: that is a programming error in a txfunc, which the deterministic
 // re-execution contract cannot tolerate silently.
 func (a *Args) Uint64(i int) uint64 {
-	it := a.item(i)
-	if !it.isU64 {
+	r := a.item(i)
+	if !r.isU64 {
 		panic(fmt.Sprintf("txn: argument %d is bytes, not uint64", i))
 	}
-	return it.u64
+	return binary.LittleEndian.Uint64(a.enc[r.off:])
 }
 
 // Bytes returns argument i as a byte slice. The returned slice must not be
 // modified.
 func (a *Args) Bytes(i int) []byte {
-	it := a.item(i)
-	if it.isU64 {
+	r := a.item(i)
+	if r.isU64 {
 		panic(fmt.Sprintf("txn: argument %d is uint64, not bytes", i))
 	}
-	return it.bytes
+	return a.enc[r.off : uint64(r.off)+uint64(r.len)]
 }
 
-func (a *Args) item(i int) argItem {
-	if i < 0 || i >= len(a.items) {
-		panic(fmt.Sprintf("txn: argument index %d out of range (%d args)", i, len(a.items)))
+func (a *Args) item(i int) argRef {
+	if i < 0 || i >= len(a.idx) {
+		panic(fmt.Sprintf("txn: argument index %d out of range (%d args)", i, len(a.idx)))
 	}
-	return a.items[i]
+	return a.idx[i]
 }
 
 const (
@@ -83,36 +98,22 @@ const (
 
 // EncodedSize returns the number of bytes Encode will produce.
 func (a *Args) EncodedSize() int {
-	n := 4
-	for _, it := range a.items {
-		if it.isU64 {
-			n += 1 + 8
-		} else {
-			n += 1 + 4 + len(it.bytes)
-		}
-	}
-	return n
+	return 4 + len(a.enc)
+}
+
+// AppendEncoded appends the serialized arguments to dst and returns the
+// extended slice. Engines use it to stage the v_log form into a buffer they
+// already own, avoiding an intermediate allocation.
+func (a *Args) AppendEncoded(dst []byte) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(a.idx)))
+	dst = append(dst, tmp[:]...)
+	return append(dst, a.enc...)
 }
 
 // Encode serializes the arguments for v_log storage.
 func (a *Args) Encode() []byte {
-	buf := make([]byte, 0, a.EncodedSize())
-	var tmp [8]byte
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(a.items)))
-	buf = append(buf, tmp[:4]...)
-	for _, it := range a.items {
-		if it.isU64 {
-			buf = append(buf, tagU64)
-			binary.LittleEndian.PutUint64(tmp[:], it.u64)
-			buf = append(buf, tmp[:]...)
-		} else {
-			buf = append(buf, tagBytes)
-			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(it.bytes)))
-			buf = append(buf, tmp[:4]...)
-			buf = append(buf, it.bytes...)
-		}
-	}
-	return buf
+	return a.AppendEncoded(make([]byte, 0, a.EncodedSize()))
 }
 
 // ErrBadArgs reports a corrupt encoded argument blob.

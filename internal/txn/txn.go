@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Addr is a persistent-memory address: a byte offset into the pool.
@@ -99,26 +100,33 @@ func CheckSlot(slot int) error {
 }
 
 // Registry is a concurrency-safe name→TxFunc table that engines embed.
+// Lookups are lock-free: the table is published as an immutable snapshot
+// through an atomic.Value and replaced copy-on-write by Register, so the
+// per-transaction Lookup on every Run never contends with other workers.
 type Registry struct {
-	mu    sync.RWMutex
-	funcs map[string]TxFunc
+	mu    sync.Mutex   // serializes writers only
+	funcs atomic.Value // map[string]TxFunc, replaced wholesale
 }
 
 // Register stores fn under name, replacing any previous registration.
+// Registration is expected at startup/attach time; it copies the whole
+// table so concurrent Lookups stay wait-free.
 func (r *Registry) Register(name string, fn TxFunc) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.funcs == nil {
-		r.funcs = make(map[string]TxFunc)
+	old, _ := r.funcs.Load().(map[string]TxFunc)
+	next := make(map[string]TxFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
 	}
-	r.funcs[name] = fn
+	next[name] = fn
+	r.funcs.Store(next)
 }
 
 // Lookup returns the txfunc registered under name.
 func (r *Registry) Lookup(name string) (TxFunc, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	fn, ok := r.funcs[name]
+	funcs, _ := r.funcs.Load().(map[string]TxFunc)
+	fn, ok := funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTxFunc, name)
 	}

@@ -94,6 +94,10 @@ type slot struct {
 	flog *plog.AddrLog
 	seq  uint64
 
+	// ltab is the per-slot undo-log tracking table, reused across
+	// transactions (the slot lock covers the whole Run).
+	ltab *lineTable
+
 	// quarantined records why attach/recovery set this slot aside.
 	quarantined error
 }
@@ -239,7 +243,12 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s.alog.Reset()
 	s.flog.Reset()
 
-	m := &mem{e: e, s: s, seq: seq, logged: make(map[uint64]struct{}), dirty: make(map[uint64]struct{})}
+	if s.ltab == nil {
+		s.ltab = newLineTable()
+	} else {
+		s.ltab.reset()
+	}
+	m := &mem{e: e, s: s, seq: seq, t: s.ltab}
 	if err := fn(m, args); err != nil {
 		// Undo logging supports true aborts: roll back in place.
 		e.rollback(s, seq)
@@ -247,9 +256,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	}
 
 	// Commit: outputs durable, then invalidate the log, then frees.
-	for line := range m.dirty {
-		p.FlushOpt(line*nvm.LineSize, nvm.LineSize)
-	}
+	p.FlushOptLines(m.t.dirty)
 	p.Fence()
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)
@@ -398,9 +405,8 @@ type mem struct {
 	s   *slot
 	seq uint64
 
-	logged map[uint64]struct{} // words already undo-logged
-	dirty  map[uint64]struct{} // lines to flush at commit
-	frees  int
+	t     *lineTable // per-line logged-word + dirty tracking
+	frees int
 }
 
 var _ txn.Mem = (*mem)(nil)
@@ -426,8 +432,9 @@ func (m *mem) preStore(addr, n uint64) {
 		return
 	}
 	need := false
-	for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
-		if _, ok := m.logged[u]; !ok {
+	u1, u2 := addr>>3, (addr+n-1)>>3
+	for l := u1 >> 3; l <= u2>>3; l++ {
+		if lineWords(l, u1, u2)&^m.t.touch(l) != 0 {
 			need = true
 		}
 	}
@@ -440,12 +447,9 @@ func (m *mem) preStore(addr, n uint64) {
 		}
 		m.e.stats.LogEntries.Add(1)
 		m.e.stats.LogBytes.Add(int64(nbytes))
-		for u := addr >> 3; u <= (addr+n-1)>>3; u++ {
-			m.logged[u] = struct{}{}
+		for l := u1 >> 3; l <= u2>>3; l++ {
+			m.t.markLogged(l, lineWords(l, u1, u2))
 		}
-	}
-	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
-		m.dirty[l] = struct{}{}
 	}
 }
 

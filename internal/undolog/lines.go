@@ -1,0 +1,132 @@
+package undolog
+
+// lineTable is a small open-addressing hash table from cache-line index to
+// the transaction's per-line tracking state: which 8-byte words have already
+// been undo-logged (bits 0–7 of the value) and whether the line is on the
+// dirty list (bit 15). It replaces the two Go maps the engine used to
+// allocate per transaction, for the same reason the clobber engine packs its
+// access map: the tracking stand-in must not distort the engine comparison
+// with allocator and hashing overhead.
+//
+// Linear probing, power-of-two capacity, grow at 75% load. Keys are line
+// indexes stored +1. Tables are reused across a slot's transactions via
+// reset: slots are live only when their generation stamp matches the
+// table's, making reset O(1) even after a large transaction grew the table.
+type lineTable struct {
+	keys  []uint64
+	vals  []uint16
+	gen   []uint32
+	cur   uint32
+	n     int
+	mask  uint64
+	dirty []uint64 // line indexes touched by stores (deduplicated, unordered)
+}
+
+const lineDirtied = 1 << 15
+
+const lineTableInitial = 256
+
+func newLineTable() *lineTable {
+	return &lineTable{
+		keys: make([]uint64, lineTableInitial),
+		vals: make([]uint16, lineTableInitial),
+		gen:  make([]uint32, lineTableInitial),
+		cur:  1,
+		mask: lineTableInitial - 1,
+	}
+}
+
+// reset prepares the table for a new transaction, keeping the allocation.
+func (t *lineTable) reset() {
+	t.cur++
+	if t.cur == 0 {
+		clear(t.keys)
+		clear(t.gen)
+		t.cur = 1
+	}
+	t.n = 0
+	t.dirty = t.dirty[:0]
+}
+
+func mixHash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// slot returns the probe index holding line (creating the entry if absent).
+func (t *lineTable) slot(line uint64) uint64 {
+	k := line + 1
+	i := mixHash(k) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			t.keys[i] = k
+			t.vals[i] = 0
+			t.gen[i] = t.cur
+			t.n++
+			if t.n*4 > len(t.keys)*3 {
+				t.grow()
+				return t.slot(line)
+			}
+			return i
+		}
+		if t.keys[i] == k {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// touch marks the line store-dirtied (appending it to the dirty list on
+// first touch) and returns the mask of words already undo-logged.
+func (t *lineTable) touch(line uint64) uint8 {
+	i := t.slot(line)
+	v := t.vals[i]
+	if v&lineDirtied == 0 {
+		t.vals[i] = v | lineDirtied
+		t.dirty = append(t.dirty, line)
+	}
+	return uint8(v)
+}
+
+// markLogged records the words of wmask as undo-logged.
+func (t *lineTable) markLogged(line uint64, wmask uint8) {
+	i := t.slot(line)
+	t.vals[i] |= uint16(wmask)
+}
+
+func (t *lineTable) grow() {
+	oldKeys, oldVals, oldGen := t.keys, t.vals, t.gen
+	t.keys = make([]uint64, len(oldKeys)*2)
+	t.vals = make([]uint16, len(oldVals)*2)
+	t.gen = make([]uint32, len(oldKeys)*2)
+	t.mask = uint64(len(t.keys) - 1)
+	t.n = 0
+	for i, k := range oldKeys {
+		if oldGen[i] != t.cur {
+			continue
+		}
+		j := mixHash(k) & t.mask
+		for t.gen[j] == t.cur {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+		t.gen[j] = t.cur
+		t.n++
+	}
+}
+
+// lineWords maps the unit range [u1,u2] restricted to line l onto a per-word
+// bit mask.
+func lineWords(l, u1, u2 uint64) uint8 {
+	lo, hi := uint64(0), uint64(7)
+	if l == u1>>3 {
+		lo = u1 & 7
+	}
+	if l == u2>>3 {
+		hi = u2 & 7
+	}
+	return uint8(0xff) >> (7 - (hi - lo)) << lo
+}
