@@ -7,6 +7,12 @@
 //
 //	printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
 //
+// A debug HTTP endpoint (-debug-addr) serves /debug/vars (JSON metrics:
+// per-phase txn latency histograms, pool persist traffic, engine log
+// counters, cache hit rates), /debug/pprof/* and /debug/trace (the
+// transaction lifecycle flight recorder). -trace writes every lifecycle
+// event as JSONL to a file.
+//
 // With -selftest the binary instead drives the four §5.6 request mixes
 // against the in-process engine and prints throughput.
 package main
@@ -14,12 +20,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"clobbernvm/internal/harness"
 	"clobbernvm/internal/memcache"
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 )
 
 func main() {
@@ -29,6 +38,9 @@ func main() {
 	capacity := flag.Uint64("capacity", 1<<18, "max items before LRU eviction")
 	poolMB := flag.Uint64("pool-mb", 512, "simulated pool size in MiB")
 	selftest := flag.Bool("selftest", false, "run the 5.6 workload mixes and exit")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:0", "debug HTTP endpoint (vars/pprof/trace); empty disables")
+	tracePath := flag.String("trace", "", "write txn lifecycle trace events as JSONL to this file")
+	traceRing := flag.Int("trace-ring", 4096, "in-memory trace ring capacity served at /debug/trace (0 disables)")
 	flag.Parse()
 
 	sc := harness.SmallScale
@@ -62,6 +74,52 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Observability: metrics on, trace sinks per flags.
+	obs.Enable(true)
+	var ring *obs.RingSink
+	if *traceRing > 0 {
+		ring = obs.NewRingSink(*traceRing)
+	}
+	var traceFile *os.File
+	var sinks []obs.Sink
+	if ring != nil {
+		sinks = append(sinks, ring)
+	}
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
+			os.Exit(1)
+		}
+		sinks = append(sinks, obs.NewJSONLSink(traceFile))
+	}
+	if s := obs.MultiSink(sinks...); s != nil {
+		obs.SetSink(s)
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memcachedsim: debug listen: %v\n", err)
+			os.Exit(1)
+		}
+		pool := setup.Engine.Pool()
+		eng := setup.Engine
+		mux := obs.DebugMux(map[string]func() any{
+			"pool":   func() any { return pool.Stats() },
+			"engine": func() any { return eng.Stats().Snapshot() },
+			"cache": func() any {
+				return map[string]int64{
+					"hits":      cache.Hits.Load(),
+					"misses":    cache.Misses.Load(),
+					"evictions": cache.Evictions.Load(),
+				}
+			},
+		}, ring)
+		go func() { _ = http.Serve(dln, mux) }()
+		fmt.Printf("memcachedsim: debug endpoint on http://%s/debug/vars\n", dln.Addr())
+	}
+
 	if *selftest {
 		for _, mix := range memcache.AllMixes {
 			res, err := memcache.Drive(cache, memcache.DriverConfig{
@@ -89,6 +147,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	_ = srv.Close()
+	if traceFile != nil {
+		obs.SetSink(nil)
+		_ = traceFile.Close()
+	}
 	hits, misses := cache.Hits.Load(), cache.Misses.Load()
 	fmt.Printf("memcachedsim: done (hits=%d misses=%d evictions=%d)\n",
 		hits, misses, cache.Evictions.Load())

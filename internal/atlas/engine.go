@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/plog"
 	"clobbernvm/internal/pmem"
 	"clobbernvm/internal/txn"
@@ -88,6 +89,7 @@ type Engine struct {
 	stats txn.Stats
 	opts  Options
 	slots []*slot
+	probe *obs.Probe
 
 	// Global dependency tracking state.
 	depMu    sync.Mutex
@@ -124,6 +126,7 @@ type slot struct {
 func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 
 	anchorSize := uint64(24 + opts.Slots*8)
 	anchor, err := a.Alloc(0, anchorSize)
@@ -184,6 +187,7 @@ func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	}
 	opts.Slots = n
 	e := &Engine{pool: p, alloc: a, opts: opts, ringBase: p.Load64(anchor + 16)}
+	e.probe = obs.NewProbe(e.Name())
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 24 + uint64(i)*8)
 		s, err := attachSlot(p, i, base)
@@ -264,6 +268,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	if args == nil {
 		args = txn.NoArgs
 	}
+	sp := e.probe.Start(s.id, name)
 	seq := s.seq + 1
 	p := e.pool
 	p.Store64(s.hdr+offFreeApplied, 0)
@@ -274,6 +279,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	s.dlog.Reset()
 	s.alog.Reset()
 	s.flog.Reset()
+	sp.BeginDone(seq)
 
 	if s.lset == nil {
 		s.lset = newLineSet()
@@ -283,11 +289,14 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	m := &mem{e: e, s: s, seq: seq, dirty: s.lset}
 	if err := fn(m, args); err != nil {
 		e.rollback(s, seq)
+		sp.Aborted()
 		return err
 	}
+	sp.ExecDone()
 
 	p.FlushOptLines(m.dirty.dirty)
 	p.Fence()
+	sp.FlushFence(len(m.dirty.dirty))
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)
 		e.applyFrees(s, seq, 0)
@@ -295,6 +304,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	e.setStatus(s, seq, phaseIdle)
 	e.recordDependency(s, seq)
 	e.stats.Committed.Add(1)
+	sp.Committed(false)
 	return nil
 }
 
@@ -446,6 +456,7 @@ func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
 		}
 		e.rollbackEntries(s, seq, entries)
 		e.stats.Recovered.Add(1)
+		e.probe.RecoveryEvent(s.id, seq, "")
 		rep.Recovered++
 		rep.RolledBack++
 	case phaseFreeing:
@@ -504,6 +515,7 @@ func (m *mem) preStore(addr, n uint64) {
 	}
 	m.e.stats.LogEntries.Add(1)
 	m.e.stats.LogBytes.Add(int64(nbytes))
+	m.e.probe.LogAppend(obs.KindLogAppend, m.s.id, m.seq, nbytes)
 	for l := addr / nvm.LineSize; l <= (addr+n-1)/nvm.LineSize; l++ {
 		m.dirty.add(l)
 	}

@@ -51,6 +51,7 @@ import (
 	"sync"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/plog"
 	"clobbernvm/internal/pmem"
 	"clobbernvm/internal/txn"
@@ -136,6 +137,7 @@ type Engine struct {
 	stats txn.Stats
 	opts  Options
 	slots []*slot
+	probe *obs.Probe
 }
 
 var (
@@ -170,6 +172,7 @@ type slot struct {
 func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 
 	anchorSize := uint64(24 + opts.Slots*8)
 	anchor, err := a.Alloc(0, anchorSize)
@@ -234,6 +237,7 @@ func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("clobber: corrupt anchor: args cap %#x", opts.ArgsCap)
 	}
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 
 	hdrSize := uint64(offArgs) + opts.ArgsCap
 	dlogOff := align8(hdrSize)
@@ -320,10 +324,12 @@ func (e *Engine) runLocked(s *slot, name string, args *txn.Args, fn txn.TxFunc, 
 	if args == nil {
 		args = txn.NoArgs
 	}
+	sp := e.probe.Start(s.id, name)
 	seq := s.seq + 1
-	if err := e.begin(s, seq, name, args); err != nil {
+	if err := e.begin(s, seq, name, args, &sp); err != nil {
 		return err
 	}
+	sp.BeginDone(seq)
 	s.seq = seq
 	s.dlog.Reset()
 	s.alog.Reset()
@@ -336,20 +342,23 @@ func (e *Engine) runLocked(s *slot, name string, args *txn.Args, fn txn.TxFunc, 
 		}
 		// No persistent effects yet: the transaction trivially aborts.
 		e.setStatus(s, seq, phaseIdle)
+		sp.Aborted()
 		return err
 	}
-	e.commit(s, seq, m)
+	sp.ExecDone()
+	e.commit(s, seq, m, &sp)
 	e.stats.Committed.Add(1)
 	if recovered {
 		e.stats.Recovered.Add(1)
 	}
+	sp.Committed(recovered)
 	return nil
 }
 
 // begin writes the v_log entry: txfunc name, encoded arguments and a
 // checksum binding them to this sequence, then the ongoing status word —
 // all flushed together and ordered by a single fence.
-func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args) error {
+func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args, sp *obs.Span) error {
 	if len(name) > maxNameLen {
 		return fmt.Errorf("clobber: txfunc name %q exceeds %d bytes", name, maxNameLen)
 	}
@@ -381,6 +390,7 @@ func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args) error {
 		p.Fence()
 		e.stats.VLogEntries.Add(1)
 		e.stats.VLogBytes.Add(int64(len(name) + len(enc)))
+		sp.VLogAppend(len(name) + len(enc))
 	}
 	return nil
 }
@@ -414,10 +424,11 @@ func vlogChecksum(seq uint64, name string, enc []byte) uint64 {
 
 // commit flushes the transaction's outputs, marks the transaction committed
 // (one fence), then applies deferred frees.
-func (e *Engine) commit(s *slot, seq uint64, m *mem) {
+func (e *Engine) commit(s *slot, seq uint64, m *mem, sp *obs.Span) {
 	p := e.pool
 	p.FlushOptLines(m.t.dirty)
 	p.Fence()
+	sp.FlushFence(len(m.t.dirty))
 
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/plog"
 	"clobbernvm/internal/txn"
 )
@@ -131,6 +132,7 @@ func (m *mem) logClobber(addr, n uint64) {
 	}
 	m.e.stats.LogEntries.Add(1)
 	m.e.stats.LogBytes.Add(int64(nbytes))
+	m.e.probe.LogAppend(obs.KindClobberLog, m.s.id, m.seq, nbytes)
 	u1, u2 := addr>>3, (addr+n-1)>>3
 	for l := u1 >> 3; l <= u2>>3; l++ {
 		m.t.markLogged(l, lineWords(l, u1, u2))

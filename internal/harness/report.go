@@ -2,6 +2,8 @@ package harness
 
 import (
 	"time"
+
+	"clobbernvm/internal/obs"
 )
 
 // BaselineFig6Insert is the pre-optimization single-thread insert latency of
@@ -34,9 +36,20 @@ type ScalingResult struct {
 	SpeedupX  float64 `json:"speedup_vs_1t"`
 }
 
+// PhaseLatency is one engine×phase latency histogram summary, collected by
+// the obs layer while the report's sweeps run. Phases mirror the probe's
+// histograms: begin (begin-marker/v_log persist), exec (txfunc body),
+// commit (flush+fence+frees), abort.
+type PhaseLatency struct {
+	Engine string `json:"engine"`
+	Phase  string `json:"phase"`
+	obs.HistogramSummary
+}
+
 // BenchReport is the machine-readable benchmark record benchfigs -json
 // emits (BENCH_PR2.json): the frozen pre-optimization baseline plus current
-// single-thread Fig. 6 inserts and the multi-thread YCSB-Load scaling sweep.
+// single-thread Fig. 6 inserts, the multi-thread YCSB-Load scaling sweep,
+// and per-phase transaction latency percentiles from the obs histograms.
 type BenchReport struct {
 	GeneratedAt     string             `json:"generated_at"`
 	Scale           string             `json:"scale"`
@@ -47,6 +60,7 @@ type BenchReport struct {
 	BaselineCommit  string             `json:"baseline_commit"`
 	Fig6Insert      []InsertResult     `json:"fig6_insert_1t"`
 	YCSBLoadScaling []ScalingResult    `json:"ycsb_load_scaling"`
+	PhaseLatencies  []PhaseLatency     `json:"txn_phase_latency"`
 }
 
 // reportEngines is the engine set the JSON report sweeps — the four
@@ -79,6 +93,13 @@ func measureInsert(ek EngineKind, st StructureKind, sc Scale, threads int) (floa
 // the hashmap (the structure with the least inherent contention, so thread
 // scaling reflects the persistence path rather than structural conflicts).
 func RunBenchReport(sc Scale, scaleName string) (*BenchReport, error) {
+	// Collect per-phase latency histograms across the whole run. The
+	// previous enable state is restored so embedding callers (tests) see
+	// no global side effect.
+	prevOn := obs.Enable(true)
+	defer obs.Enable(prevOn)
+	obs.Default.Reset()
+
 	rep := &BenchReport{
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
 		Scale:           scaleName,
@@ -120,5 +141,24 @@ func RunBenchReport(sc Scale, scaleName string) (*BenchReport, error) {
 			})
 		}
 	}
+	rep.PhaseLatencies = collectPhaseLatencies()
 	return rep, nil
+}
+
+// collectPhaseLatencies condenses the obs histograms the sweeps populated
+// into stable-ordered engine×phase summaries. Empty histograms (a phase an
+// engine never hit, e.g. abort) are omitted.
+func collectPhaseLatencies() []PhaseLatency {
+	snap := obs.Default.Snapshot()
+	var out []PhaseLatency
+	for _, ek := range reportEngines {
+		for _, phase := range []string{"begin", "exec", "commit", "abort"} {
+			s, ok := snap.Histograms["txn."+string(ek)+"."+phase+"_ns"]
+			if !ok || s.Count == 0 {
+				continue
+			}
+			out = append(out, PhaseLatency{Engine: string(ek), Phase: phase, HistogramSummary: s})
+		}
+	}
+	return out
 }

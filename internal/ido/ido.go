@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/pmem"
 	"clobbernvm/internal/txn"
 )
@@ -51,6 +52,7 @@ type Meter struct {
 	alloc *pmem.Allocator
 	reg   txn.Registry
 	stats txn.Stats
+	probe *obs.Probe
 }
 
 var (
@@ -60,7 +62,9 @@ var (
 
 // New creates an iDO meter over the pool and allocator.
 func New(p *nvm.Pool, a *pmem.Allocator) *Meter {
-	return &Meter{pool: p, alloc: a}
+	m := &Meter{pool: p, alloc: a}
+	m.probe = obs.NewProbe(m.Name())
+	return m
 }
 
 // Name implements txn.Engine.
@@ -88,17 +92,22 @@ func (m *Meter) Run(slot int, name string, args *txn.Args) error {
 	if args == nil {
 		args = txn.NoArgs
 	}
+	sp := m.probe.Start(slot, name)
+	sp.BeginDone(0)
 	t := &tracer{m: m, read: make(map[uint64]struct{}), dirty: make(map[uint64]struct{})}
 	// The FASE entry is iDO's first logging point (it must be able to
 	// resume from the transaction's beginning).
 	t.boundary()
 	if err := fn(t, args); err != nil {
+		sp.Aborted()
 		return err
 	}
+	sp.ExecDone()
 	// Closing boundary: the final region's modified locations are flushed
 	// and the resume point advances past the FASE.
 	t.boundary()
 	m.stats.Committed.Add(1)
+	sp.Committed(false)
 	return nil
 }
 
@@ -142,6 +151,7 @@ func (t *tracer) boundary() {
 	p.Fence()
 	t.m.stats.LogEntries.Add(1)
 	t.m.stats.LogBytes.Add(RegisterSnapshotBytes + StackSlotBytes)
+	t.m.probe.LogAppend(obs.KindLogAppend, 0, 0, RegisterSnapshotBytes+StackSlotBytes)
 	t.read = make(map[uint64]struct{})
 	t.dirty = make(map[uint64]struct{})
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/pmem"
 	"clobbernvm/internal/txn"
 )
@@ -24,6 +25,7 @@ type JustDoMeter struct {
 	alloc *pmem.Allocator
 	reg   txn.Registry
 	stats txn.Stats
+	probe *obs.Probe
 }
 
 var (
@@ -37,7 +39,9 @@ const JustDoRecordBytes = 3 * 8
 
 // NewJustDo creates a JUSTDO meter over the pool and allocator.
 func NewJustDo(p *nvm.Pool, a *pmem.Allocator) *JustDoMeter {
-	return &JustDoMeter{pool: p, alloc: a}
+	m := &JustDoMeter{pool: p, alloc: a}
+	m.probe = obs.NewProbe(m.Name())
+	return m
 }
 
 // Name implements txn.Engine.
@@ -64,10 +68,15 @@ func (m *JustDoMeter) Run(slot int, name string, args *txn.Args) error {
 	if args == nil {
 		args = txn.NoArgs
 	}
+	sp := m.probe.Start(slot, name)
+	sp.BeginDone(0)
 	if err := fn(&justdoMem{m: m}, args); err != nil {
+		sp.Aborted()
 		return err
 	}
+	sp.ExecDone()
 	m.stats.Committed.Add(1)
+	sp.Committed(false)
 	return nil
 }
 

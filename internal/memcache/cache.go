@@ -86,8 +86,13 @@ func (l *rwLock) Unlock()  { l.mu.Unlock() }
 func (l *rwLock) RLock()   { l.mu.RLock() }
 func (l *rwLock) RUnlock() { l.mu.RUnlock() }
 
-// Header layout: [magic][count][lruHead][lruTail][capacity][buckets...].
-// Item layout: [kv][hnext][lnext][lprev][flags].
+// Header layout: [magic][count][lruHead][lruTail][capacity][cas][buckets...].
+// Item layout: [kv][hnext][lnext][lprev][flags][cas].
+//
+// The cas counter lives in the persistent header and is bumped inside the
+// set txfunc (a load-then-store clobber write), so re-executed sets assign
+// the same cas value they did before the crash — cas stays deterministic
+// under recovery.
 const (
 	mcMagic = 0x4d454d43 // "MEMC"
 
@@ -96,14 +101,16 @@ const (
 	hdrLRUHead = 16
 	hdrLRUTail = 24
 	hdrCap     = 32
-	hdrBuckets = 40
+	hdrCas     = 40
+	hdrBuckets = 48
 
 	itKV    = 0
 	itHNext = 8
 	itLNext = 16
 	itLPrev = 24
 	itFlags = 32
-	itSize  = 40
+	itCas   = 40
+	itSize  = 48
 )
 
 // Cache is the persistent memcached-style store.
@@ -279,6 +286,7 @@ func (c *Cache) register() {
 		m.Store64(hdr+hdrLRUHead, 0)
 		m.Store64(hdr+hdrLRUTail, 0)
 		m.Store64(hdr+hdrCap, args.Uint64(0))
+		m.Store64(hdr+hdrCas, 0)
 		m.Store(hdr+hdrBuckets, make([]byte, numBuckets*8))
 		m.Store64(slotAddr, hdr)
 		return nil
@@ -289,6 +297,8 @@ func (c *Cache) register() {
 		flags := args.Uint64(2)
 		hdr := c.hdr(m)
 		b := bucketAddr(hdr, hashKey(key))
+		cas := m.Load64(hdr+hdrCas) + 1
+		m.Store64(hdr+hdrCas, cas) // clobber: cas counter
 
 		// Update in place if present.
 		for it := m.Load64(b); it != 0; it = m.Load64(it + itHNext) {
@@ -300,6 +310,7 @@ func (c *Cache) register() {
 				}
 				m.Store64(it+itKV, nkv) // clobber
 				m.Store64(it+itFlags, flags)
+				m.Store64(it+itCas, cas)
 				if err := m.Free(kv); err != nil {
 					return err
 				}
@@ -321,6 +332,7 @@ func (c *Cache) register() {
 		m.Store64(it+itKV, kv)
 		m.Store64(it+itHNext, m.Load64(b))
 		m.Store64(it+itFlags, flags)
+		m.Store64(it+itCas, cas)
 		m.Store64(b, it) // clobber: bucket head
 		lruPushHead(m, hdr, it)
 		count := m.Load64(hdr+hdrCount) + 1
@@ -388,10 +400,18 @@ func (c *Cache) Get(slot int, key []byte) ([]byte, bool, error) {
 
 // GetFlags returns the value and stored flags for key.
 func (c *Cache) GetFlags(slot int, key []byte) ([]byte, uint32, bool, error) {
+	v, flags, _, found, err := c.GetWithCAS(slot, key)
+	return v, flags, found, err
+}
+
+// GetWithCAS returns the value, stored flags and cas id for key (the gets
+// command's 5-token VALUE line).
+func (c *Cache) GetWithCAS(slot int, key []byte) ([]byte, uint32, uint64, bool, error) {
 	c.lock.RLock()
 	defer c.lock.RUnlock()
 	var out []byte
 	var flags uint32
+	var cas uint64
 	found := false
 	err := c.eng.RunRO(slot, func(m txn.Mem) error {
 		hdr := c.hdr(m)
@@ -400,6 +420,7 @@ func (c *Cache) GetFlags(slot int, key []byte) ([]byte, uint32, bool, error) {
 			if kvKeyEqual(m, kv, key) {
 				out = kvVal(m, kv)
 				flags = uint32(m.Load64(it + itFlags))
+				cas = m.Load64(it + itCas)
 				found = true
 				return nil
 			}
@@ -411,8 +432,11 @@ func (c *Cache) GetFlags(slot int, key []byte) ([]byte, uint32, bool, error) {
 	} else {
 		c.Misses.Add(1)
 	}
-	return out, flags, found, err
+	return out, flags, cas, found, err
 }
+
+// Engine returns the cache's persistence engine (for stats reporting).
+func (c *Cache) Engine() pds.Engine { return c.eng }
 
 // Delete removes key, reporting whether it existed.
 func (c *Cache) Delete(slot int, key []byte) (bool, error) {

@@ -8,8 +8,18 @@ import (
 	"strings"
 )
 
+// maxValueBytes is the largest value a set may carry (memcached's classic
+// 1 MB item limit).
+const maxValueBytes = 1 << 20
+
+// maxDiscardBytes bounds how much of a malformed set's payload the server
+// will read and discard to stay in sync with the client before giving up on
+// the connection.
+const maxDiscardBytes = 8 << 20
+
 // Session serves the memcached text protocol (the subset memslap exercises:
-// set, get, delete, quit) over one connection, dispatching to the cache.
+// set, get, gets, delete, stats, quit) over one connection, dispatching to
+// the cache.
 type Session struct {
 	cache *Cache
 	slot  int
@@ -71,57 +81,113 @@ func (s *Session) reply(line string) {
 	s.w.WriteString("\r\n")
 }
 
-// handleSet parses: set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+// noreplyAt reports whether fields carries the optional trailing "noreply"
+// token at index i. A client that sends noreply pipelines the next command
+// immediately and reads no response, so the server must stay silent — even
+// for errors — or every later reply is attributed to the wrong command.
+func noreplyAt(fields []string, i int) bool {
+	return len(fields) > i && fields[i] == "noreply"
+}
+
+// replyUnless emits line unless the command asked for no reply.
+func (s *Session) replyUnless(noreply bool, line string) {
+	if !noreply {
+		s.reply(line)
+	}
+}
+
+// discard consumes n payload bytes plus the trailing CRLF so a rejected set
+// leaves the stream positioned at the next command instead of feeding the
+// payload back through the command parser. A stream that ends mid-payload
+// is a disconnect, not a protocol error: the reply (already queued) still
+// reaches the client via the deferred flush, and Serve sees a clean EOF.
+func (s *Session) discard(n int) error {
+	_, err := io.CopyN(io.Discard, s.r, int64(n)+2)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil
+	}
+	return err
+}
+
+// handleSet parses: set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
 // The flags word is stored and echoed back on get, as real clients expect;
 // exptime is parsed but ignored (eviction here is LRU-only).
+//
+// Error discipline: the payload always follows the command line, so on a bad
+// command line the server still consumes <bytes>+2 bytes (when <bytes> is
+// parseable) before replying CLIENT_ERROR — otherwise the payload would be
+// parsed as commands and the connection would desync.
 func (s *Session) handleSet(fields []string) error {
+	noreply := noreplyAt(fields, 5)
 	if len(fields) < 5 {
-		s.reply("CLIENT_ERROR bad command line format")
+		s.replyUnless(noreply, "CLIENT_ERROR bad command line format")
 		return nil
 	}
+	// Parse <bytes> first: knowing the payload length is what lets every
+	// later error path leave the stream in sync.
+	n, nErr := strconv.Atoi(fields[4])
+	if nErr != nil || n < 0 {
+		// Length unparseable: the payload boundary is unknown, so the best
+		// the server can do is reject the line and hope the client stops.
+		s.replyUnless(noreply, "CLIENT_ERROR bad data chunk")
+		return nil
+	}
+	if n > maxValueBytes {
+		// Oversized but well-formed: swallow the payload (bounded) so the
+		// connection survives, then reject the item.
+		if n+2 > maxDiscardBytes {
+			s.replyUnless(noreply, "SERVER_ERROR object too large for cache")
+			return fmt.Errorf("memcache: set payload %d exceeds discard bound", n)
+		}
+		s.replyUnless(noreply, "SERVER_ERROR object too large for cache")
+		return s.discard(n)
+	}
+
 	key := fields[1]
-	flags, err := strconv.ParseUint(fields[2], 10, 32)
-	if err != nil {
-		s.reply("CLIENT_ERROR bad command line format")
-		return nil
+	flags, flagsErr := strconv.ParseUint(fields[2], 10, 32)
+	_, expErr := strconv.Atoi(fields[3])
+	if flagsErr != nil || expErr != nil {
+		s.replyUnless(noreply, "CLIENT_ERROR bad command line format")
+		return s.discard(n)
 	}
-	if _, err := strconv.Atoi(fields[3]); err != nil {
-		s.reply("CLIENT_ERROR bad command line format")
-		return nil
-	}
-	n, err := strconv.Atoi(fields[4])
-	if err != nil || n < 0 || n > 1<<20 {
-		s.reply("CLIENT_ERROR bad data chunk")
-		return nil
-	}
+
 	data := make([]byte, n+2)
 	if _, err := io.ReadFull(s.r, data); err != nil {
 		return err
 	}
 	if string(data[n:]) != "\r\n" {
-		s.reply("CLIENT_ERROR bad data chunk")
+		s.replyUnless(noreply, "CLIENT_ERROR bad data chunk")
 		return nil
 	}
 	if err := s.cache.SetFlags(s.slot, []byte(key), data[:n], uint32(flags)); err != nil {
-		s.reply("SERVER_ERROR " + err.Error())
+		s.replyUnless(noreply, "SERVER_ERROR "+err.Error())
 		return nil
 	}
-	s.reply("STORED")
+	s.replyUnless(noreply, "STORED")
 	return nil
 }
 
-// handleGet parses: get <key> [<key>...]\r\n
+// handleGet parses: get|gets <key> [<key>...]\r\n
+// gets VALUE lines carry the 5th cas token; get stays 4-token. The response
+// is always END-terminated: a mid-multi-get cache error emits a SERVER_ERROR
+// line for the failing key but still closes the response with END, so
+// clients that frame multi-get replies by END do not stall.
 func (s *Session) handleGet(fields []string) error {
+	withCAS := fields[0] == "gets"
 	for _, key := range fields[1:] {
-		val, flags, found, err := s.cache.GetFlags(s.slot, []byte(key))
+		val, flags, cas, found, err := s.cache.GetWithCAS(s.slot, []byte(key))
 		if err != nil {
 			s.reply("SERVER_ERROR " + err.Error())
-			return nil
+			break
 		}
 		if !found {
 			continue
 		}
-		fmt.Fprintf(s.w, "VALUE %s %d %d\r\n", key, flags, len(val))
+		if withCAS {
+			fmt.Fprintf(s.w, "VALUE %s %d %d %d\r\n", key, flags, len(val), cas)
+		} else {
+			fmt.Fprintf(s.w, "VALUE %s %d %d\r\n", key, flags, len(val))
+		}
 		s.w.Write(val)
 		s.w.WriteString("\r\n")
 	}
@@ -129,7 +195,10 @@ func (s *Session) handleGet(fields []string) error {
 	return nil
 }
 
-// handleStats emits the subset of memcached's stats that this cache tracks.
+// handleStats emits the cache counters plus the persistence engine's
+// txn.Stats and the pool's persist-traffic StatsSnapshot, so the paper's
+// accounting (log entries/bytes, flush/fence counts) is readable through
+// the protocol a memcached operator already speaks.
 func (s *Session) handleStats() error {
 	n, err := s.cache.Len()
 	if err != nil {
@@ -140,25 +209,41 @@ func (s *Session) handleStats() error {
 	fmt.Fprintf(s.w, "STAT get_hits %d\r\n", s.cache.Hits.Load())
 	fmt.Fprintf(s.w, "STAT get_misses %d\r\n", s.cache.Misses.Load())
 	fmt.Fprintf(s.w, "STAT evictions %d\r\n", s.cache.Evictions.Load())
+
+	eng := s.cache.Engine()
+	fmt.Fprintf(s.w, "STAT engine %s\r\n", eng.Name())
+	ts := eng.Stats().Snapshot()
+	fmt.Fprintf(s.w, "STAT txn_committed %d\r\n", ts.Committed)
+	fmt.Fprintf(s.w, "STAT txn_recovered %d\r\n", ts.Recovered)
+	fmt.Fprintf(s.w, "STAT txn_log_entries %d\r\n", ts.LogEntries)
+	fmt.Fprintf(s.w, "STAT txn_log_bytes %d\r\n", ts.LogBytes)
+	fmt.Fprintf(s.w, "STAT txn_vlog_entries %d\r\n", ts.VLogEntries)
+	fmt.Fprintf(s.w, "STAT txn_vlog_bytes %d\r\n", ts.VLogBytes)
+	ps := eng.Pool().Stats()
+	fmt.Fprintf(s.w, "STAT pool_stores %d\r\n", ps.Stores)
+	fmt.Fprintf(s.w, "STAT pool_bytes_stored %d\r\n", ps.BytesStored)
+	fmt.Fprintf(s.w, "STAT pool_flushes %d\r\n", ps.Flushes)
+	fmt.Fprintf(s.w, "STAT pool_fences %d\r\n", ps.Fences)
 	s.reply("END")
 	return nil
 }
 
-// handleDelete parses: delete <key>\r\n
+// handleDelete parses: delete <key> [noreply]\r\n
 func (s *Session) handleDelete(fields []string) error {
 	if len(fields) < 2 {
 		s.reply("CLIENT_ERROR bad command line format")
 		return nil
 	}
+	noreply := noreplyAt(fields, 2)
 	existed, err := s.cache.Delete(s.slot, []byte(fields[1]))
 	if err != nil {
-		s.reply("SERVER_ERROR " + err.Error())
+		s.replyUnless(noreply, "SERVER_ERROR "+err.Error())
 		return nil
 	}
 	if existed {
-		s.reply("DELETED")
+		s.replyUnless(noreply, "DELETED")
 	} else {
-		s.reply("NOT_FOUND")
+		s.replyUnless(noreply, "NOT_FOUND")
 	}
 	return nil
 }

@@ -1,0 +1,162 @@
+package memcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// serve runs one scripted session and returns the full response stream.
+func serve(t *testing.T, c *Cache, input string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := NewSession(c, 0, strings.NewReader(input), &out).Serve(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return out.String()
+}
+
+// TestNoreplySuppressesResponses pipelines noreply sets/deletes followed by
+// a get: the response stream must contain exactly the get's reply — any
+// STORED/DELETED leaking through would be read by a real client as the
+// response to a later command.
+func TestNoreplySuppressesResponses(t *testing.T) {
+	_, c := newCache(t, Options{})
+	got := serve(t, c, strings.Join([]string{
+		"set a 0 0 1 noreply\r\nx\r\n",
+		"set b 0 0 1 noreply\r\ny\r\n",
+		"delete b noreply\r\n",
+		"delete missing noreply\r\n",
+		"get a b\r\n",
+		"quit\r\n",
+	}, ""))
+	want := "VALUE a 0 1\r\nx\r\nEND\r\n"
+	if got != want {
+		t.Fatalf("pipelined noreply response = %q, want %q", got, want)
+	}
+}
+
+// TestNoreplySuppressesErrors checks noreply silences error replies too: a
+// noreply client never reads, so even CLIENT_ERROR would desync it.
+func TestNoreplySuppressesErrors(t *testing.T) {
+	_, c := newCache(t, Options{})
+	got := serve(t, c, strings.Join([]string{
+		"set k badflags 0 5 noreply\r\nhello\r\n",
+		"get k\r\n",
+		"quit\r\n",
+	}, ""))
+	if got != "END\r\n" {
+		t.Fatalf("noreply error leaked a reply: %q", got)
+	}
+}
+
+// TestBadChunkStreamResync rejects a set with a bad flags field but a
+// parseable <bytes>: the payload must be consumed so the commands after it
+// still parse. Before the fix the payload bytes were fed to the command
+// parser and the connection desynced.
+func TestBadChunkStreamResync(t *testing.T) {
+	_, c := newCache(t, Options{})
+	got := serve(t, c, strings.Join([]string{
+		"set k badflags 0 5\r\nhello\r\n", // payload would parse as a command if left on the wire
+		"set good 0 0 2\r\nhi\r\n",
+		"get good\r\n",
+		"quit\r\n",
+	}, ""))
+	wantSeq := []string{
+		"CLIENT_ERROR bad command line format\r\n",
+		"STORED\r\n",
+		"VALUE good 0 2\r\nhi\r\nEND\r\n",
+	}
+	if got != strings.Join(wantSeq, "") {
+		t.Fatalf("stream desynced:\n got %q\nwant %q", got, strings.Join(wantSeq, ""))
+	}
+}
+
+// TestBadExptimeStreamResync covers the other malformed-line variant.
+func TestBadExptimeStreamResync(t *testing.T) {
+	_, c := newCache(t, Options{})
+	got := serve(t, c, "set k 0 never 3\r\nabc\r\nget k\r\nquit\r\n")
+	if !strings.Contains(got, "CLIENT_ERROR") || !strings.HasSuffix(got, "END\r\n") {
+		t.Fatalf("bad exptime handling: %q", got)
+	}
+	if strings.Contains(got, "ERROR\r\nERROR") {
+		t.Fatalf("payload parsed as commands: %q", got)
+	}
+}
+
+// TestOversizedValueStreamResync: a too-large but well-formed set is
+// swallowed and rejected without killing the connection.
+func TestOversizedValueStreamResync(t *testing.T) {
+	_, c := newCache(t, Options{})
+	big := strings.Repeat("x", maxValueBytes+1)
+	got := serve(t, c, "set k 0 0 "+
+		"1048577\r\n"+big+"\r\n"+
+		"set ok 0 0 1\r\nv\r\nquit\r\n")
+	wantSeq := "SERVER_ERROR object too large for cache\r\nSTORED\r\n"
+	if got != wantSeq {
+		t.Fatalf("oversized set handling = %q, want %q", got, wantSeq)
+	}
+}
+
+// TestGetsEmitsCAS checks the gets command's 5-token VALUE line and that
+// the cas id advances on every store while plain get stays 4-token.
+func TestGetsEmitsCAS(t *testing.T) {
+	_, c := newCache(t, Options{})
+	got := serve(t, c, strings.Join([]string{
+		"set k 7 0 2\r\nv1\r\n",
+		"gets k\r\n",
+		"set k 7 0 2\r\nv2\r\n",
+		"gets k\r\n",
+		"get k\r\n",
+		"quit\r\n",
+	}, ""))
+	want := strings.Join([]string{
+		"STORED\r\n",
+		"VALUE k 7 2 1\r\nv1\r\nEND\r\n",
+		"STORED\r\n",
+		"VALUE k 7 2 2\r\nv2\r\nEND\r\n",
+		"VALUE k 7 2\r\nv2\r\nEND\r\n",
+	}, "")
+	if got != want {
+		t.Fatalf("gets cas round-trip:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestCASDistinctAcrossKeys: the cas counter is global, so two keys stored
+// in sequence see distinct, increasing ids.
+func TestCASDistinctAcrossKeys(t *testing.T) {
+	_, c := newCache(t, Options{})
+	if err := c.Set(0, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(0, []byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, casA, _, err := c.GetWithCAS(0, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, casB, _, err := c.GetWithCAS(0, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if casA == 0 || casB == 0 || casA == casB {
+		t.Fatalf("cas ids a=%d b=%d, want distinct non-zero", casA, casB)
+	}
+	if casB <= casA {
+		t.Fatalf("cas not monotone: a=%d b=%d", casA, casB)
+	}
+}
+
+// TestMultiGetAlwaysEndsWithEND: multi-get responses are END-terminated
+// even when some keys miss.
+func TestMultiGetAlwaysEndsWithEND(t *testing.T) {
+	_, c := newCache(t, Options{})
+	serve(t, c, "set here 0 0 1\r\nv\r\nquit\r\n")
+	got := serve(t, c, "get missing1 here missing2\r\nquit\r\n")
+	if !strings.HasSuffix(got, "END\r\n") {
+		t.Fatalf("multi-get not END-terminated: %q", got)
+	}
+	if !strings.Contains(got, "VALUE here 0 1\r\n") {
+		t.Fatalf("hit missing from multi-get: %q", got)
+	}
+}

@@ -4,8 +4,19 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clobbernvm/internal/txn"
+)
+
+// acceptBackoffMin/Max bound the retry delay after a temporary Accept
+// failure (EMFILE, ECONNABORTED, ...). The delay doubles per consecutive
+// failure and resets on the next successful accept — the discipline
+// net/http.Server uses, so a file-descriptor spike degrades service instead
+// of silently killing the listener.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
 )
 
 // Server accepts memcached text-protocol connections and serves them from a
@@ -17,6 +28,9 @@ type Server struct {
 	nextSlot atomic.Int64
 	slots    int
 
+	// AcceptRetries counts temporary Accept errors survived via backoff.
+	AcceptRetries atomic.Int64
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  chan struct{}
@@ -24,22 +38,29 @@ type Server struct {
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0").
 func NewServer(cache *Cache, addr string, slots int) (*Server, error) {
-	if slots <= 0 || slots > txn.MaxSlots {
-		slots = 8
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return NewServerOn(cache, ln, slots), nil
+}
+
+// NewServerOn serves on an existing listener (tests inject failing
+// listeners here). The server owns ln and closes it on Close.
+func NewServerOn(cache *Cache, ln net.Listener, slots int) *Server {
+	if slots <= 0 || slots > txn.MaxSlots {
+		slots = 8
+	}
 	s := &Server{cache: cache, ln: ln, slots: slots, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 func (s *Server) acceptLoop() {
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -47,9 +68,27 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				return
 			}
+			// Temporary errors (EMFILE, ECONNABORTED) clear on their own;
+			// retry with capped exponential backoff. Anything else means
+			// the listener is gone.
+			if ne, ok := err.(interface{ Temporary() bool }); ok && ne.Temporary() {
+				if backoff == 0 {
+					backoff = acceptBackoffMin
+				} else if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				s.AcceptRetries.Add(1)
+				select {
+				case <-s.done:
+					return
+				case <-time.After(backoff):
+				}
+				continue
+			}
+			return
 		}
+		backoff = 0
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()

@@ -1,0 +1,301 @@
+// Package obs is the runtime observability layer: named counters,
+// power-of-two latency histograms, and transaction lifecycle trace events
+// with pluggable sinks. The paper's whole evaluation (§5, Figures 6–12) is
+// an accounting exercise — log entries and bytes, persist traffic, latency
+// per transaction — and this package makes the same accounting available
+// at runtime: engines report per-phase latencies and lifecycle events here,
+// cmd/memcachedsim serves them over HTTP (vars.go), and cmd/benchfigs -json
+// embeds histogram summaries next to its ns/op numbers.
+//
+// Everything in this package is volatile and strictly read-only with
+// respect to persistent memory: instruments never touch an nvm.Pool, so
+// enabling or disabling observability cannot change persistence semantics
+// (crash sweeps and persist-point counts are byte-identical either way).
+//
+// Hot-path cost discipline: metrics are gated by a single package-level
+// atomic (Enabled); tracing by a nil check on the installed sink. A
+// disabled instrument costs one atomic load per transaction, no clock
+// reads and no allocation. Counters and histograms are striped like
+// internal/nvm/stats.go — callers pass their worker-slot id and slots map
+// to disjoint cache lines — so enabled instruments do not serialize
+// concurrent workers either.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stripes is the number of counter/histogram stripes. Worker slots pick
+// stripes by id (slot & (stripes-1)), so up to 16 concurrent workers
+// update disjoint cache lines instead of ping-ponging a shared line.
+const stripes = 16
+
+// metricsOn gates all metric recording. Off by default: benchmarks and
+// tests that predate this package observe identical behaviour.
+var metricsOn atomic.Bool
+
+// Enable turns metric recording on or off, returning the previous state.
+func Enable(on bool) bool { return metricsOn.Swap(on) }
+
+// Enabled reports whether metric recording is on.
+func Enabled() bool { return metricsOn.Load() }
+
+// counterStripe is one padded counter cell.
+type counterStripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a striped monotonic counter.
+type Counter struct {
+	stripes [stripes]counterStripe
+}
+
+// Add increments the counter by d on the stripe for worker slot.
+func (c *Counter) Add(slot int, d int64) {
+	c.stripes[slot&(stripes-1)].v.Add(d)
+}
+
+// Load sums the stripes.
+func (c *Counter) Load() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+func (c *Counter) reset() {
+	for i := range c.stripes {
+		c.stripes[i].v.Store(0)
+	}
+}
+
+// histBuckets is the bucket count of a power-of-two histogram: bucket b
+// holds values v with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b).
+// Bucket 0 holds v <= 0. 63 buckets cover every int64.
+const histBuckets = 64
+
+// histStripe is one stripe of histogram buckets. A stripe is 512 bytes
+// (8 lines); distinct stripes therefore never share a line.
+type histStripe struct {
+	counts [histBuckets]atomic.Int64
+}
+
+// Histogram is a striped power-of-two latency histogram. Values are
+// nanoseconds by convention (the _ns suffix on registered names).
+type Histogram struct {
+	stripes [stripes]histStripe
+}
+
+// bucketOf maps a value to its power-of-two bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1..63 for positive int64
+}
+
+// Observe records v on the stripe for worker slot.
+func (h *Histogram) Observe(slot int, v int64) {
+	h.stripes[slot&(stripes-1)].counts[bucketOf(v)].Add(1)
+}
+
+// Buckets sums the stripes into one bucket array.
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range h.stripes {
+		for b := range out {
+			out[b] += h.stripes[i].counts[b].Load()
+		}
+	}
+	return out
+}
+
+// Summary condenses the histogram for reports.
+func (h *Histogram) Summary() HistogramSummary { return summarize(h.Buckets()) }
+
+func (h *Histogram) reset() {
+	for i := range h.stripes {
+		for b := range h.stripes[i].counts {
+			h.stripes[i].counts[b].Store(0)
+		}
+	}
+}
+
+// HistogramSummary is a point-in-time condensation of a histogram:
+// the total count and percentile estimates. Percentiles are bucket
+// midpoints (1.5·2^(b-1) for bucket b), so they carry power-of-two
+// resolution — good enough to tell a 2µs commit from a 60µs one, which is
+// the granularity the persist-cost characterization needs.
+type HistogramSummary struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P95   int64 `json:"p95_ns"`
+	P99   int64 `json:"p99_ns"`
+	Max   int64 `json:"max_ns"`
+}
+
+// bucketMid estimates the representative value of bucket b.
+func bucketMid(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b == 1 {
+		return 1
+	}
+	return int64(3) << (b - 2) // 1.5 * 2^(b-1)
+}
+
+// bucketHi is the exclusive upper bound of bucket b.
+func bucketHi(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64(1) << b
+}
+
+func summarize(buckets [histBuckets]int64) HistogramSummary {
+	var s HistogramSummary
+	for b, n := range buckets {
+		s.Count += n
+		if n > 0 {
+			s.Max = bucketHi(b) - 1
+		}
+	}
+	if s.Count == 0 {
+		return s
+	}
+	pct := func(p float64) int64 {
+		rank := int64(p * float64(s.Count))
+		if rank >= s.Count {
+			rank = s.Count - 1
+		}
+		var seen int64
+		for b, n := range buckets {
+			seen += n
+			if seen > rank {
+				return bucketMid(b)
+			}
+		}
+		return bucketMid(histBuckets - 1)
+	}
+	s.P50, s.P95, s.P99 = pct(0.50), pct(0.95), pct(0.99)
+	return s
+}
+
+// Registry is a concurrency-safe name→instrument table. Reads are
+// lock-free (copy-on-write snapshots, the same discipline as
+// txn.Registry); registration locks only writers.
+type Registry struct {
+	mu       sync.Mutex
+	counters atomic.Value // map[string]*Counter
+	hists    atomic.Value // map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry engines and servers publish to.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if m, _ := r.counters.Load().(map[string]*Counter); m != nil {
+		if c, ok := m[name]; ok {
+			return c
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, _ := r.counters.Load().(map[string]*Counter)
+	if c, ok := old[name]; ok {
+		return c
+	}
+	next := make(map[string]*Counter, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	c := &Counter{}
+	next[name] = c
+	r.counters.Store(next)
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if m, _ := r.hists.Load().(map[string]*Histogram); m != nil {
+		if h, ok := m[name]; ok {
+			return h
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, _ := r.hists.Load().(map[string]*Histogram)
+	if h, ok := old[name]; ok {
+		return h
+	}
+	next := make(map[string]*Histogram, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	h := &Histogram{}
+	next[name] = h
+	r.hists.Store(next)
+	return h
+}
+
+// MetricsSnapshot is a point-in-time copy of every instrument in a
+// registry, JSON-ready for the debug endpoint and bench reports.
+type MetricsSnapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// Snapshot copies every instrument.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	cm, _ := r.counters.Load().(map[string]*Counter)
+	hm, _ := r.hists.Load().(map[string]*Histogram)
+	out := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(cm)),
+		Histograms: make(map[string]HistogramSummary, len(hm)),
+	}
+	for name, c := range cm {
+		out.Counters[name] = c.Load()
+	}
+	for name, h := range hm {
+		out.Histograms[name] = h.Summary()
+	}
+	return out
+}
+
+// Names returns the registered instrument names, sorted, for stable
+// iteration in reports.
+func (r *Registry) Names() (counters, histograms []string) {
+	cm, _ := r.counters.Load().(map[string]*Counter)
+	hm, _ := r.hists.Load().(map[string]*Histogram)
+	for name := range cm {
+		counters = append(counters, name)
+	}
+	for name := range hm {
+		histograms = append(histograms, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(histograms)
+	return counters, histograms
+}
+
+// Reset zeroes every instrument (instruments stay registered).
+func (r *Registry) Reset() {
+	cm, _ := r.counters.Load().(map[string]*Counter)
+	hm, _ := r.hists.Load().(map[string]*Histogram)
+	for _, c := range cm {
+		c.reset()
+	}
+	for _, h := range hm {
+		h.reset()
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingSinkWraps(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 1; i <= 6; i++ {
+		r.Emit(Event{Seq: uint64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(i + 3); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestJSONLSinkAndKindNames(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Kind: KindCommit, Engine: "clobber", Slot: 2, Seq: 9, TxFunc: "set"})
+	s.Emit(Event{Kind: KindClobberLog, Engine: "clobber", Bytes: 64})
+	sc := bufio.NewScanner(&buf)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"commit"`) {
+		t.Fatalf("kind not named: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kind":"clobber_log"`) {
+		t.Fatalf("kind not named: %s", lines[1])
+	}
+}
+
+func TestGlobalSinkInstallAndEmit(t *testing.T) {
+	ring := NewRingSink(16)
+	prev := SetSink(ring)
+	defer SetSink(prev)
+	if !TraceEnabled() {
+		t.Fatal("sink installed but TraceEnabled false")
+	}
+	EmitEvent(Event{Kind: KindBegin, Engine: "e", Slot: 1, Seq: 5})
+	got := ring.Snapshot()
+	if len(got) != 1 || got[0].Kind != KindBegin || got[0].UnixNanos == 0 {
+		t.Fatalf("events = %+v", got)
+	}
+	SetSink(nil)
+	if TraceEnabled() {
+		t.Fatal("TraceEnabled after uninstall")
+	}
+	EmitEvent(Event{Kind: KindCommit}) // must not panic or deliver
+	if len(ring.Snapshot()) != 1 {
+		t.Fatal("event delivered after uninstall")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewRingSink(4), NewRingSink(4)
+	m := MultiSink(a, nil, b)
+	m.Emit(Event{Seq: 1})
+	if len(a.Snapshot()) != 1 || len(b.Snapshot()) != 1 {
+		t.Fatal("fan-out failed")
+	}
+	if MultiSink() != nil || MultiSink(nil) != nil {
+		t.Fatal("empty MultiSink should be nil")
+	}
+	if MultiSink(a) != Sink(a) {
+		t.Fatal("single MultiSink should unwrap")
+	}
+}
+
+func TestSpanEmitsLifecycle(t *testing.T) {
+	ring := NewRingSink(64)
+	prevSink := SetSink(ring)
+	prevOn := Enable(true)
+	defer func() { SetSink(prevSink); Enable(prevOn) }()
+
+	p := NewProbe("trace-span")
+	sp := p.Start(3, "hashmap:put")
+	sp.BeginDone(7)
+	sp.VLogAppend(40)
+	p.LogAppend(KindClobberLog, 3, 7, 16)
+	sp.ExecDone()
+	sp.FlushFence(5)
+	sp.Committed(false)
+
+	kinds := []Kind{}
+	for _, ev := range ring.Snapshot() {
+		if ev.Engine != "trace-span" {
+			t.Fatalf("engine = %q", ev.Engine)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []Kind{KindBegin, KindVLogAppend, KindClobberLog, KindFlushFence, KindCommit}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestSpanAbortAndRecovery(t *testing.T) {
+	ring := NewRingSink(64)
+	prevSink := SetSink(ring)
+	defer SetSink(prevSink)
+
+	p := NewProbe("trace-ar")
+	sp := p.Start(0, "f")
+	sp.BeginDone(1)
+	sp.Aborted()
+	sp2 := p.Start(1, "g")
+	sp2.BeginDone(2)
+	sp2.ExecDone()
+	sp2.Committed(true)
+
+	var sawAbort, sawRecovery bool
+	for _, ev := range ring.Snapshot() {
+		switch ev.Kind {
+		case KindAbort:
+			sawAbort = true
+		case KindRecovery:
+			sawRecovery = true
+		}
+	}
+	if !sawAbort || !sawRecovery {
+		t.Fatalf("abort=%v recovery=%v", sawAbort, sawRecovery)
+	}
+}

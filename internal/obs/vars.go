@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// VarsHandler serves an expvar-style JSON document: the Default
+// registry's metrics under "metrics", plus one top-level key per extra
+// var (each func is invoked per request, so snapshots are always fresh).
+// It is deliberately expvar-shaped without using package expvar, whose
+// process-global namespace panics on duplicate registration — this repo
+// provisions many engines per process in tests.
+func VarsHandler(extra map[string]func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := make(map[string]any, len(extra)+1)
+		doc["metrics"] = Default.Snapshot()
+		for name, fn := range extra {
+			doc[name] = fn()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}
+
+// TraceHandler serves the ring sink's buffered events as JSONL,
+// oldest first.
+func TraceHandler(ring *RingSink) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		enc := json.NewEncoder(w)
+		for _, ev := range ring.Snapshot() {
+			_ = enc.Encode(ev)
+		}
+	})
+}
+
+// DebugMux assembles the debug endpoint: /debug/vars (metrics + extra
+// vars), /debug/pprof/* (the standard runtime profiles), and — when ring
+// is non-nil — /debug/trace (the lifecycle flight recorder).
+func DebugMux(extra map[string]func() any, ring *RingSink) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", VarsHandler(extra))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if ring != nil {
+		mux.Handle("/debug/trace", TraceHandler(ring))
+	}
+	return mux
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/plog"
 	"clobbernvm/internal/pmem"
 	"clobbernvm/internal/txn"
@@ -79,6 +80,7 @@ type Engine struct {
 	stats txn.Stats
 	opts  Options
 	slots []*slot
+	probe *obs.Probe
 }
 
 var (
@@ -103,6 +105,7 @@ type slot struct {
 func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 
 	anchorSize := uint64(16 + opts.Slots*8)
 	anchor, err := a.Alloc(0, anchorSize)
@@ -157,6 +160,7 @@ func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	}
 	opts.Slots = n
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 16 + uint64(i)*8)
 		s := &slot{id: i, hdr: base}
@@ -227,6 +231,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	if args == nil {
 		args = txn.NoArgs
 	}
+	sp := e.probe.Start(s.id, name)
 	seq := s.seq + 1
 	s.seq = seq
 	s.dlog.Reset()
@@ -236,6 +241,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	p.Store64(s.hdr+offFreeApplied, 0)
 	p.Store64(s.hdr+offReclaimApplied, 0)
 	p.Flush(s.hdr, 24)
+	sp.BeginDone(seq)
 
 	m := &mem{e: e, s: s, seq: seq, ws: make(map[uint64]wsEntry)}
 	if err := fn(m, args); err != nil {
@@ -246,17 +252,20 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 			_ = e.alloc.Free(addr)
 		}
 		s.alog.Invalidate()
+		sp.Aborted()
 		return err
 	}
-	e.commit(s, seq, m)
+	sp.ExecDone()
+	e.commit(s, seq, m, &sp)
 	e.stats.Committed.Add(1)
+	sp.Committed(false)
 	return nil
 }
 
 // commit serializes the write set to the redo log (one fence for the whole
 // batch), persists the commit marker, applies the writes in place, and
 // invalidates the log.
-func (e *Engine) commit(s *slot, seq uint64, m *mem) {
+func (e *Engine) commit(s *slot, seq uint64, m *mem, sp *obs.Span) {
 	p := e.pool
 	ranges := m.coalesce()
 	// The whole write set goes to the log as one batch: a single staged
@@ -271,6 +280,7 @@ func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 	}
 	e.stats.LogEntries.Add(int64(len(ranges)))
 	e.stats.LogBytes.Add(int64(nbytes))
+	e.probe.LogAppend(obs.KindLogAppend, s.id, seq, nbytes)
 
 	// Commit point: once this marker is durable the transaction wins.
 	p.Store64(s.hdr+offStatus, seq<<2|phaseApplying)
@@ -282,6 +292,7 @@ func (e *Engine) commit(s *slot, seq uint64, m *mem) {
 		p.FlushOpt(r.addr, uint64(len(r.data)))
 	}
 	p.Fence()
+	sp.FlushFence(len(ranges))
 
 	if m.frees > 0 {
 		p.Store64(s.hdr+offStatus, seq<<2|phaseFreeing)
@@ -387,6 +398,7 @@ func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
 		p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
 		p.Persist(s.hdr+offStatus, 8)
 		e.stats.Recovered.Add(1)
+		e.probe.RecoveryEvent(s.id, seq, "")
 		rep.Recovered++
 		rep.RolledForward++
 	case phaseFreeing:

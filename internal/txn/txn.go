@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"clobbernvm/internal/obs"
 )
 
 // Addr is a persistent-memory address: a byte offset into the pool.
@@ -128,6 +130,9 @@ func (r *Registry) Lookup(name string) (TxFunc, error) {
 	funcs, _ := r.funcs.Load().(map[string]TxFunc)
 	fn, ok := funcs[name]
 	if !ok {
+		if obs.Enabled() {
+			obs.Default.Counter("txn.registry.lookup_miss").Add(0, 1)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTxFunc, name)
 	}
 	return fn, nil

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
 	"clobbernvm/internal/plog"
 	"clobbernvm/internal/pmem"
 	"clobbernvm/internal/txn"
@@ -78,6 +79,7 @@ type Engine struct {
 	stats txn.Stats
 	opts  Options
 	slots []*slot
+	probe *obs.Probe
 }
 
 var (
@@ -106,6 +108,7 @@ type slot struct {
 func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	opts.fill()
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 
 	anchorSize := uint64(16 + opts.Slots*8)
 	anchor, err := a.Alloc(0, anchorSize)
@@ -160,6 +163,7 @@ func Attach(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 	}
 	opts.Slots = n
 	e := &Engine{pool: p, alloc: a, opts: opts}
+	e.probe = obs.NewProbe(e.Name())
 	for i := 0; i < n; i++ {
 		base := p.Load64(anchor + 16 + uint64(i)*8)
 		s := &slot{id: i, hdr: base}
@@ -230,6 +234,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	if args == nil {
 		args = txn.NoArgs
 	}
+	sp := e.probe.Start(s.id, name)
 	seq := s.seq + 1
 	p := e.pool
 
@@ -238,6 +243,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	p.Store64(s.hdr+offReclaimApplied, 0)
 	p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
 	p.Persist(s.hdr+offStatus, 8) // freeApplied shares the line
+	sp.BeginDone(seq)
 	s.seq = seq
 	s.dlog.Reset()
 	s.alog.Reset()
@@ -252,18 +258,22 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	if err := fn(m, args); err != nil {
 		// Undo logging supports true aborts: roll back in place.
 		e.rollback(s, seq)
+		sp.Aborted()
 		return err
 	}
+	sp.ExecDone()
 
 	// Commit: outputs durable, then invalidate the log, then frees.
 	p.FlushOptLines(m.t.dirty)
 	p.Fence()
+	sp.FlushFence(len(m.t.dirty))
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)
 		e.applyFrees(s, seq, 0)
 	}
 	e.setStatus(s, seq, phaseIdle)
 	e.stats.Committed.Add(1)
+	sp.Committed(false)
 	return nil
 }
 
@@ -383,6 +393,7 @@ func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
 		}
 		e.rollbackEntries(s, seq, entries)
 		e.stats.Recovered.Add(1)
+		e.probe.RecoveryEvent(s.id, seq, "")
 		rep.Recovered++
 		rep.RolledBack++
 	case phaseFreeing:
@@ -447,6 +458,7 @@ func (m *mem) preStore(addr, n uint64) {
 		}
 		m.e.stats.LogEntries.Add(1)
 		m.e.stats.LogBytes.Add(int64(nbytes))
+		m.e.probe.LogAppend(obs.KindLogAppend, m.s.id, m.seq, nbytes)
 		for l := u1 >> 3; l <= u2>>3; l++ {
 			m.t.markLogged(l, lineWords(l, u1, u2))
 		}
