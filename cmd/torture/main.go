@@ -6,12 +6,22 @@
 //     single one, recover, and audit all-or-nothing against a model;
 //   - random: randomized long-haul stress — random operation streams with a
 //     crash at a random persist point each round, recovery, and a full-model
-//     audit, for adversarial mileage beyond the deterministic sweep.
+//     audit, for adversarial mileage beyond the deterministic sweep;
+//   - prop: property-based differential torture (internal/proptest) — seeded
+//     randomized op sequences checked against a reference model through
+//     crash-recover cycles at sampled persist points; failures are shrunk by
+//     delta debugging to a smallest reproducer and printed as a one-line
+//     replay command.
+//
+// Every failure prints the exact command that reproduces it. -replay takes
+// the spec line a prop failure printed and re-runs exactly that scenario.
 //
 // Exit status is non-zero on any consistency mismatch.
 //
 //	torture -mode sweep -engine clobber -structure rbtree -crash-at any
 //	torture -mode random -engine pmdk -structure hashmap -rounds 200 -evict torn
+//	torture -mode prop -engine pmdk -structure rbtree -seqs 50 -samples 3
+//	torture -replay "engine=pmdk structure=rbtree seed=7 ops=30 crash-at=any evict=all point=67 threads=1 keep=28"
 package main
 
 import (
@@ -25,22 +35,32 @@ import (
 	"clobbernvm/internal/crashsweep"
 	"clobbernvm/internal/nvm"
 	"clobbernvm/internal/pmem"
+	"clobbernvm/internal/proptest"
 	"clobbernvm/internal/txn"
 )
 
 const rootSlot = 16
 
 func main() {
-	mode := flag.String("mode", "random", "mode: sweep (exhaustive persist-point injection) or random")
+	mode := flag.String("mode", "random", "mode: sweep (exhaustive persist-point injection), random, or prop (property-based differential torture)")
 	engine := flag.String("engine", "clobber", "engine: clobber, pmdk, mnemosyne, atlas, ido, justdo")
 	structure := flag.String("structure", "rbtree", "structure: hashmap, skiplist, rbtree, bptree, avltree, list")
 	crashAt := flag.String("crash-at", "any", "persist-point class to crash at: store, flush, fence, any")
 	evict := flag.String("evict", "random", "cache eviction adversary at crash: random, none, all, torn")
 	rounds := flag.Int("rounds", 100, "random mode: crash/recover rounds")
-	opsPerRound := flag.Int("ops", 50, "random mode: operations between crashes")
+	opsPerRound := flag.Int("ops", 50, "random/prop mode: operations per round/sequence")
 	liveOps := flag.Int("live-ops", 3, "sweep mode: operations in the swept window")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	seqs := flag.Int("seqs", 30, "prop mode: generated sequences")
+	samples := flag.Int("samples", 3, "prop mode: crash points sampled per sequence")
+	threads := flag.Int("threads", 1, "prop mode: concurrent worker streams (>1 enables concurrent-history checking)")
+	replay := flag.String("replay", "", "replay a proptest spec line exactly (overrides -mode)")
 	flag.Parse()
+
+	if *replay != "" {
+		runReplay(*replay)
+		return
+	}
 
 	kind, err := nvm.ParseCrashKind(*crashAt)
 	check(err)
@@ -52,13 +72,66 @@ func main() {
 		runSweep(*engine, *structure, kind, policy, *seed, *liveOps)
 	case "random":
 		runRandom(*engine, *structure, kind, policy, *seed, *rounds, *opsPerRound)
+	case "prop":
+		runProp(*engine, *structure, kind, policy, *seed, *seqs, *opsPerRound, *samples, *threads)
 	default:
-		check(fmt.Errorf("unknown mode %q (want sweep|random)", *mode))
+		check(fmt.Errorf("unknown mode %q (want sweep|random|prop)", *mode))
 	}
 }
 
+// runReplay re-runs exactly the scenario a torture failure printed.
+func runReplay(line string) {
+	spec, err := proptest.Parse(line)
+	check(err)
+	f, err := proptest.Run(spec)
+	check(err)
+	if f != nil {
+		fmt.Fprintf(os.Stderr, "torture replay: FAIL: %s\n", f.Error())
+		os.Exit(1)
+	}
+	fmt.Printf("torture replay: ok: %s\n", spec)
+}
+
+// runProp generates seeded op sequences, tortures each at sampled crash
+// points, and shrinks the first failure to a smallest reproducer.
+func runProp(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy,
+	seed int64, seqs, ops, samples, threads int) {
+	for s := 0; s < seqs; s++ {
+		spec := proptest.Spec{
+			Engine: engine, Structure: structure,
+			Seed: seed + int64(s), Ops: ops,
+			Kind: kind, Policy: policy, Threads: threads,
+		}
+		f, err := proptest.TortureNamed(spec, samples)
+		check(err)
+		if f == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "torture prop: FAIL: %s\n", f.Error())
+		if threads <= 1 {
+			min, evals, err := proptest.ShrinkNamed(*f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "torture prop: shrink: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "torture prop: shrunk to %d op(s) in %d evaluations\n",
+					len(min.Spec.Keep), evals)
+				fmt.Fprintf(os.Stderr, "torture prop: minimal: %s\n", min.Error())
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("torture prop: %s/%s survived %d sequences x %d sampled crash points (ops=%d threads=%d crash-at=%s evict=%s seed=%d)\n",
+		engine, structure, seqs, samples, ops, threads, kind, policy, seed)
+}
+
+// reproduceCmd is the exact command line that re-runs the current scenario;
+// sweep and random set it on entry so every failure path can print it.
+var reproduceCmd string
+
 // runSweep crashes at every persist point of a deterministic workload.
 func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, liveOps int) {
+	reproduceCmd = fmt.Sprintf("go run ./cmd/torture -mode sweep -engine %s -structure %s -crash-at %s -evict %s -seed %d -live-ops %d",
+		engine, structure, kind, policy, seed, liveOps)
 	res, err := crashsweep.Run(crashsweep.Config{
 		Engine:    engine,
 		Structure: structure,
@@ -75,12 +148,15 @@ func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPoli
 		for _, m := range res.Mismatches {
 			fmt.Fprintf(os.Stderr, "torture sweep: MISMATCH %v\n", m)
 		}
+		fmt.Fprintf(os.Stderr, "torture sweep: reproduce: %s\n", reproduceCmd)
 		os.Exit(1)
 	}
 }
 
 // runRandom is the randomized long-haul stress loop.
 func runRandom(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, rounds, opsPerRound int) {
+	reproduceCmd = fmt.Sprintf("go run ./cmd/torture -mode random -engine %s -structure %s -crash-at %s -evict %s -seed %d -rounds %d -ops %d",
+		engine, structure, kind, policy, seed, rounds, opsPerRound)
 	spec, err := crashsweep.EngineByName(engine)
 	check(err)
 
@@ -240,6 +316,9 @@ func pointRange(kind nvm.CrashKind) int {
 
 func fatal(round int, what string, err error) {
 	fmt.Fprintf(os.Stderr, "torture: round %d: %s: %v\n", round, what, err)
+	if reproduceCmd != "" {
+		fmt.Fprintf(os.Stderr, "torture: reproduce: %s\n", reproduceCmd)
+	}
 	os.Exit(1)
 }
 

@@ -1,0 +1,77 @@
+package crashsweep
+
+import (
+	"fmt"
+
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/txn"
+)
+
+// This file is the audit plumbing shared between the exhaustive sweep and
+// the property-based torture harness (internal/proptest): read back a
+// recovered structure, compare it against the admissible models, and verify
+// its structural invariants. Keeping the comparison in one place means both
+// harnesses flag the exact same states as torn.
+
+// Observe reads every key in universe back from the store and returns the
+// observed key-value state. Missing keys are simply absent from the result.
+func Observe(s pds.Store, universe map[string]struct{}) (map[string]string, error) {
+	obs := make(map[string]string, len(universe))
+	for k := range universe {
+		got, found, err := s.Get(0, []byte(k))
+		if err != nil {
+			return nil, fmt.Errorf("get %q after recovery: %w", k, err)
+		}
+		if found {
+			obs[k] = string(got)
+		}
+	}
+	return obs, nil
+}
+
+// ModelEqual reports whether two key-value states match exactly.
+func ModelEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditRecovered validates a recovered structure against the two admissible
+// models for a crash during one operation: pre (op absent) or post (op
+// complete). It checks the observed state, the structure's Len, and its
+// structural invariants, returning "" when all pass or a human-readable
+// detail of the first violation.
+func AuditRecovered(s pds.Store, obs, pre, post map[string]string) string {
+	var want map[string]string
+	switch {
+	case ModelEqual(obs, pre):
+		want = pre
+	case ModelEqual(obs, post):
+		want = post
+	default:
+		return fmt.Sprintf("torn state: got %v, want %v (op absent) or %v (op complete)", obs, pre, post)
+	}
+	if n, err := s.Len(0); err != nil || n != len(want) {
+		return fmt.Sprintf("Len = %d, %v; want %d", n, err, len(want))
+	}
+	if err := pds.CheckInvariants(s, 0); err != nil {
+		return fmt.Sprintf("structural invariant violated after recovery: %v", err)
+	}
+	return ""
+}
+
+// Recover runs the engine's recovery and returns its report, synthesizing a
+// minimal one for engines that only implement the plain Recover method.
+func Recover(e pds.Engine) (txn.RecoveryReport, error) {
+	if rr, ok := e.(txn.RecoveryReporter); ok {
+		return rr.RecoverReport()
+	}
+	n, err := e.Recover()
+	return txn.RecoveryReport{Recovered: n}, err
+}

@@ -49,12 +49,20 @@ const sweepSlots = 2
 // Specs returns the engine roster the sweep covers: the four
 // failure-atomicity engines plus the iDO and JUSTDO meters.
 func Specs() []EngineSpec {
+	return SpecsSized(sweepSlots, 1<<20)
+}
+
+// SpecsSized returns the roster with explicit per-engine slot counts and
+// data-log capacities. Harnesses that restore or snapshot whole pool images
+// per crash point (the sweep, proptest) use small logs so each iteration
+// stays cheap; throughput benchmarks size them up.
+func SpecsSized(slots int, dataLogCap uint64) []EngineSpec {
 	return []EngineSpec{
 		{
 			Name: "clobber", Style: StyleAtomic,
 			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
 				return clobber.Create(p, a, clobber.Options{
-					Slots: sweepSlots, DataLogCap: 1 << 20, ArgsCap: 1024,
+					Slots: slots, DataLogCap: dataLogCap, ArgsCap: 1024,
 					AllocLogCap: 128, FreeLogCap: 128,
 				})
 			},
@@ -66,7 +74,7 @@ func Specs() []EngineSpec {
 			Name: "pmdk", Style: StyleAtomic,
 			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
 				return undolog.Create(p, a, undolog.Options{
-					Slots: sweepSlots, DataLogCap: 1 << 20,
+					Slots: slots, DataLogCap: dataLogCap,
 					AllocLogCap: 128, FreeLogCap: 128,
 				})
 			},
@@ -78,7 +86,7 @@ func Specs() []EngineSpec {
 			Name: "mnemosyne", Style: StyleAtomic,
 			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
 				return redolog.Create(p, a, redolog.Options{
-					Slots: sweepSlots, DataLogCap: 1 << 20,
+					Slots: slots, DataLogCap: dataLogCap,
 					AllocLogCap: 128, FreeLogCap: 128,
 				})
 			},
@@ -90,7 +98,7 @@ func Specs() []EngineSpec {
 			Name: "atlas", Style: StyleAtomic,
 			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
 				return atlas.Create(p, a, atlas.Options{
-					Slots: sweepSlots, DataLogCap: 1 << 20,
+					Slots: slots, DataLogCap: dataLogCap,
 					AllocLogCap: 128, FreeLogCap: 128,
 				})
 			},

@@ -8,7 +8,6 @@ import (
 	"clobbernvm/internal/nvm"
 	"clobbernvm/internal/pds"
 	"clobbernvm/internal/pmem"
-	"clobbernvm/internal/txn"
 )
 
 // Config parameterizes one exhaustive sweep cell.
@@ -315,7 +314,7 @@ func RunSpec(spec EngineSpec, cfg Config) (Result, error) {
 				Detail: fmt.Sprintf("structure open failed: %v", err)})
 			continue
 		}
-		rep, err := recoverReport(e2)
+		rep, err := Recover(e2)
 		if err != nil {
 			res.Mismatches = append(res.Mismatches, Mismatch{Point: point, Op: opIdx,
 				Detail: fmt.Sprintf("recovery failed: %v", err)})
@@ -333,58 +332,15 @@ func RunSpec(spec EngineSpec, cfg Config) (Result, error) {
 			continue
 		}
 
-		obs := map[string]string{}
-		auditErr := ""
-		for k := range universe {
-			got, found, err := store2.Get(0, []byte(k))
-			if err != nil {
-				auditErr = fmt.Sprintf("get %q after recovery: %v", k, err)
-				break
-			}
-			if found {
-				obs[k] = string(got)
-			}
-		}
-		if auditErr != "" {
-			res.Mismatches = append(res.Mismatches, Mismatch{Point: point, Op: opIdx, Detail: auditErr})
+		obs, err := Observe(store2, universe)
+		if err != nil {
+			res.Mismatches = append(res.Mismatches, Mismatch{Point: point, Op: opIdx,
+				Detail: err.Error()})
 			continue
 		}
-		var want map[string]string
-		switch {
-		case modelEqual(obs, models[opIdx]):
-			want = models[opIdx]
-		case modelEqual(obs, models[opIdx+1]):
-			want = models[opIdx+1]
-		default:
-			res.Mismatches = append(res.Mismatches, Mismatch{Point: point, Op: opIdx,
-				Detail: fmt.Sprintf("torn state: got %v, want %v (op absent) or %v (op complete)",
-					obs, models[opIdx], models[opIdx+1])})
-			continue
-		}
-		if n, err := store2.Len(0); err != nil || n != len(want) {
-			res.Mismatches = append(res.Mismatches, Mismatch{Point: point, Op: opIdx,
-				Detail: fmt.Sprintf("Len = %d, %v; want %d", n, err, len(want))})
+		if detail := AuditRecovered(store2, obs, models[opIdx], models[opIdx+1]); detail != "" {
+			res.Mismatches = append(res.Mismatches, Mismatch{Point: point, Op: opIdx, Detail: detail})
 		}
 	}
 	return res, nil
-}
-
-func recoverReport(e pds.Engine) (txn.RecoveryReport, error) {
-	if rr, ok := e.(txn.RecoveryReporter); ok {
-		return rr.RecoverReport()
-	}
-	n, err := e.Recover()
-	return txn.RecoveryReport{Recovered: n}, err
-}
-
-func modelEqual(a, b map[string]string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if bv, ok := b[k]; !ok || bv != v {
-			return false
-		}
-	}
-	return true
 }

@@ -23,7 +23,8 @@ func ExtYCSBMixes(sc Scale) (*Table, error) {
 		Header: []string{"engine", "structure", "workload", "ops_per_sec", "read_checks_per_op"},
 	}
 	engines := []EngineKind{EngineClobber, EnginePMDK, EngineMnemosyne}
-	workloads := []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC}
+	workloads := []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC,
+		ycsb.WorkloadARMW, ycsb.WorkloadBRMW}
 	for _, st := range []StructureKind{StructHashMap, StructRBTree} {
 		for _, ek := range engines {
 			for _, w := range workloads {
@@ -46,6 +47,13 @@ func ExtYCSBMixes(sc Scale) (*Table, error) {
 					switch op.Kind {
 					case ycsb.OpRead:
 						if _, _, err := store.Get(0, op.Key); err != nil {
+							return nil, err
+						}
+					case ycsb.OpReadModifyWrite:
+						if _, _, err := store.Get(0, op.Key); err != nil {
+							return nil, err
+						}
+						if err := store.Insert(0, op.Key, op.Value); err != nil {
 							return nil, err
 						}
 					default:

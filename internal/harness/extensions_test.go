@@ -7,22 +7,34 @@ func TestExtYCSBMixesShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2*3*3 {
+	if len(tab.Rows) != 2*3*5 { // 2 structures x 3 engines x A/B/C + RMW mixes
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	// Only the redo engine pays read interposition.
+	rmwRows := 0
 	for _, row := range tab.Rows {
 		rc := cellF(t, tab, row, "read_checks_per_op")
 		switch cell(t, tab, row, "engine") {
 		case "mnemosyne":
-			if cell(t, tab, row, "workload") == "c" && rc == 0 {
-				t.Error("mnemosyne read-only workload paid no read checks")
+			switch cell(t, tab, row, "workload") {
+			case "c":
+				if rc == 0 {
+					t.Error("mnemosyne read-only workload paid no read checks")
+				}
+			case "a-rmw", "b-rmw":
+				rmwRows++
+				if rc == 0 {
+					t.Error("mnemosyne RMW workload paid no read checks")
+				}
 			}
 		default:
 			if rc != 0 {
 				t.Errorf("%s paid read checks (%v)", cell(t, tab, row, "engine"), rc)
 			}
 		}
+	}
+	if rmwRows != 2*2 {
+		t.Errorf("rmw mnemosyne rows = %d, want 4", rmwRows)
 	}
 	// On the read-only workload, clobber must beat mnemosyne (no read path).
 	for _, st := range []string{"hashmap", "rbtree"} {

@@ -326,3 +326,79 @@ func TestParseHelpers(t *testing.T) {
 		t.Fatal("bogus evict policy accepted")
 	}
 }
+
+// TestCrashLatchStopsAllThreads pins the powered-off latch: once a scheduled
+// crash fires, every later persistence event — from any goroutine — panics
+// with ErrCrash, stores are refused before touching even the cache, and
+// Crash() restores service. Multi-threaded fault injection depends on this:
+// without the latch, workers that did not hit the ordinal would keep writing
+// "after" the power failure.
+func TestCrashLatchStopsAllThreads(t *testing.T) {
+	p := New(1<<16, WithEviction(EvictAll))
+	a := uint64(HeaderSize)
+
+	p.ScheduleCrashAt(CrashAtStore, 1)
+	if !expectCrash(t, func() { p.Store64(a, 1) }) {
+		t.Fatal("armed crash did not fire")
+	}
+	if !p.Crashed() {
+		t.Fatal("latch not set after the crash fired")
+	}
+
+	// Every primitive must now refuse service, from this or any goroutine.
+	if !expectCrash(t, func() { p.Store64(a+LineSize, 2) }) {
+		t.Fatal("Store64 succeeded while powered off")
+	}
+	done := make(chan bool)
+	go func() {
+		fired := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok || !errors.Is(err, ErrCrash) {
+						panic(r)
+					}
+					fired = true
+				}
+			}()
+			p.Store(a+2*LineSize, []byte("late"))
+		}()
+		done <- fired
+	}()
+	if !<-done {
+		t.Fatal("Store from another goroutine succeeded while powered off")
+	}
+	if !expectCrash(t, func() { p.Flush(a, 8) }) {
+		t.Fatal("Flush succeeded while powered off")
+	}
+	if !expectCrash(t, func() { p.Fence() }) {
+		t.Fatal("Fence succeeded while powered off")
+	}
+
+	// The refused stores must not have leaked into the cache: even the
+	// persist-everything eviction policy cannot resurrect them.
+	p.Crash()
+	if p.Crashed() {
+		t.Fatal("latch survives Crash()")
+	}
+	if got := p.Load64(a + LineSize); got != 0 {
+		t.Fatalf("post-failure store leaked into the durable image: %d", got)
+	}
+
+	// Power restored: normal service resumes.
+	p.Store64(a+LineSize, 3)
+	p.Persist(a+LineSize, 8)
+	if got := p.Load64(a + LineSize); got != 3 {
+		t.Fatalf("store after Crash() = %d, want 3", got)
+	}
+
+	// Re-arming also clears the latch.
+	p.ScheduleCrashAt(CrashAtStore, 1)
+	expectCrash(t, func() { p.Store64(a, 9) })
+	p.ScheduleCrashAt(CrashAtStore, 0)
+	if p.Crashed() {
+		t.Fatal("latch survives re-arming")
+	}
+	p.Store64(a, 4) // must not panic
+}

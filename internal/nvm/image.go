@@ -68,6 +68,7 @@ func (p *Pool) Restore(img []byte) error {
 	copy(p.mem, img)
 	p.clearTracking()
 	p.crashAt.Store(0)
+	p.crashed.Store(false)
 	p.ResetPersistPoints()
 	return nil
 }

@@ -149,6 +149,15 @@ type Pool struct {
 	crashAt   atomic.Int64
 	crashKind atomic.Int64 // CrashKind the schedule is armed for
 
+	// crashed latches once a scheduled crash fires: the power is out, so
+	// every subsequent persistence event — from any goroutine — also panics
+	// with ErrCrash until Crash (or Restore / a fresh ScheduleCrashAt)
+	// acknowledges the failure. Without the latch a multi-threaded workload
+	// would keep storing and flushing "after" the power failure, corrupting
+	// the durable image a concurrent fault-injection harness is about to
+	// audit.
+	crashed atomic.Bool
+
 	// Persistence-event counters, reset by ScheduleCrashAt and
 	// ResetPersistPoints. anyEvents is the total across kinds and is what
 	// an exhaustive sweep enumerates. Only maintained in precise mode.
@@ -300,6 +309,12 @@ func (p *Pool) Load64(addr uint64) uint64 {
 // neighbouring object) can never copy a torn 8-byte value to the media.
 func (p *Pool) Store(addr uint64, data []byte) {
 	p.check(addr, uint64(len(data)))
+	if p.crashed.Load() {
+		// The write is refused, not just the tick: a store issued after the
+		// power-failure instant must never reach even the cache, or crash-time
+		// eviction could leak it into the durable image.
+		panic(ErrCrash)
+	}
 	h := &p.stats.hot[stripeOf(addr)]
 	h.stores.Add(1)
 	h.bytesStored.Add(int64(len(data)))
@@ -357,6 +372,9 @@ func (p *Pool) storeBytes(addr uint64, data []byte) {
 // Store64 writes a little-endian uint64 at addr.
 func (p *Pool) Store64(addr uint64, v uint64) {
 	p.check(addr, 8)
+	if p.crashed.Load() {
+		panic(ErrCrash) // see Store: refuse post-failure writes entirely
+	}
 	h := &p.stats.hot[stripeOf(addr)]
 	h.stores.Add(1)
 	h.bytesStored.Add(8)
@@ -388,6 +406,11 @@ func (p *Pool) Store64(addr uint64, v uint64) {
 // through the caller and a held shard mutex would wedge the pool for the
 // recovery attempt that follows. Only the precise mode calls tick.
 func (p *Pool) tick(kind CrashKind) {
+	if p.crashed.Load() {
+		// Power already failed (another thread hit the armed ordinal):
+		// nothing executes after the failure instant.
+		panic(ErrCrash)
+	}
 	var n int64
 	switch kind {
 	case CrashAtStore:
@@ -421,6 +444,7 @@ func (p *Pool) tick(kind CrashKind) {
 		case CrashAtFence:
 			p.stats.CrashesAtFence.Add(1)
 		}
+		p.crashed.Store(true)
 		panic(ErrCrash)
 	}
 }
@@ -438,9 +462,15 @@ func (p *Pool) ScheduleCrash(n int64) { p.ScheduleCrashAt(CrashAtStore, n) }
 // counted. n == 0 disarms.
 func (p *Pool) ScheduleCrashAt(kind CrashKind, n int64) {
 	p.ResetPersistPoints()
+	p.crashed.Store(false)
 	p.crashKind.Store(int64(kind))
 	p.crashAt.Store(n)
 }
+
+// Crashed reports whether a scheduled crash has fired and the pool is still
+// in the powered-off state (every persistence event panics with ErrCrash).
+// Crash, Restore and ScheduleCrashAt clear it.
+func (p *Pool) Crashed() bool { return p.crashed.Load() }
 
 // CrashScheduled reports whether crash injection is armed and has not fired.
 func (p *Pool) CrashScheduled() bool {
@@ -751,6 +781,7 @@ func (p *Pool) Crash() {
 	}
 	p.stats.Crashes.Add(1)
 	p.crashAt.Store(0)
+	p.crashed.Store(false)
 	p.rngMu.Lock()
 	for w := range p.dirtyBits {
 		m := p.dirtyBits[w].Load()

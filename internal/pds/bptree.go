@@ -358,40 +358,45 @@ func (t *BPTree) Insert(slot int, key, value []byte) error {
 	}
 	args := txn.NewArgs().PutBytes(key).PutBytes(value)
 
-	t.treeMu.RLock()
-	var leaf txn.Addr
-	var needSplit bool
-	if err := t.eng.RunRO(slot, func(m txn.Mem) error {
-		leaf = t.findLeaf(m, key)
-		return nil
-	}); err != nil {
-		t.treeMu.RUnlock()
-		return err
-	}
-	if leaf != 0 {
+	// The shared-lock fast path runs in a closure with deferred unlocks so a
+	// simulated-crash panic inside eng.Run cannot leave treeMu or a stripe
+	// lock held (a concurrent fault-injection harness unwinds through here
+	// and then expects other workers to keep draining).
+	done, err := func() (bool, error) {
+		t.treeMu.RLock()
+		defer t.treeMu.RUnlock()
+		var leaf txn.Addr
+		if err := t.eng.RunRO(slot, func(m txn.Mem) error {
+			leaf = t.findLeaf(m, key)
+			return nil
+		}); err != nil {
+			return true, err
+		}
+		if leaf == 0 {
+			return false, nil
+		}
 		st := t.stripe(leaf)
 		st.Lock()
+		defer st.Unlock()
 		// Re-check under the stripe lock: another same-leaf insert may have
 		// filled it meanwhile. (Splits cannot have happened: they need the
 		// exclusive tree lock, excluded by our shared hold.)
+		var needSplit bool
 		if err := t.eng.RunRO(slot, func(m txn.Mem) error {
 			_, exact := bptSearch(m, leaf, key)
 			needSplit = !exact && m.Load64(leaf+bptNKeys) >= bptOrder
 			return nil
 		}); err != nil {
-			st.Unlock()
-			t.treeMu.RUnlock()
-			return err
+			return true, err
 		}
-		if !needSplit {
-			err := t.eng.Run(slot, t.fn("ins"), args)
-			st.Unlock()
-			t.treeMu.RUnlock()
-			return err
+		if needSplit {
+			return false, nil
 		}
-		st.Unlock()
+		return true, t.eng.Run(slot, t.fn("ins"), args)
+	}()
+	if done {
+		return err
 	}
-	t.treeMu.RUnlock()
 
 	// Split path (or empty tree): exclusive tree lock.
 	t.treeMu.Lock()
@@ -432,6 +437,12 @@ func (t *BPTree) Delete(slot int, key []byte) (bool, error) {
 	if err := t.eng.RunRO(slot, func(m txn.Mem) error {
 		leaf = t.findLeaf(m, key)
 		if leaf != 0 {
+			// The stripe read-lock keeps the probe coherent against a
+			// concurrent same-leaf insert (which writes under the stripe's
+			// exclusive lock).
+			st := t.stripe(leaf)
+			st.RLock()
+			defer st.RUnlock()
 			_, exists = bptSearch(m, leaf, key)
 		}
 		return nil
@@ -447,10 +458,11 @@ func (t *BPTree) Delete(slot int, key []byte) (bool, error) {
 	return true, t.eng.Run(slot, t.fn("del"), txn.NewArgs().PutBytes(key))
 }
 
-// Len implements Store.
+// Len implements Store. It walks every leaf, so it takes the exclusive tree
+// lock rather than per-leaf stripe locks.
 func (t *BPTree) Len(slot int) (int, error) {
-	t.treeMu.RLock()
-	defer t.treeMu.RUnlock()
+	t.treeMu.Lock()
+	defer t.treeMu.Unlock()
 	n := 0
 	err := t.eng.RunRO(slot, func(m txn.Mem) error {
 		node := m.Load64(t.rootLink(m))
@@ -469,10 +481,11 @@ func (t *BPTree) Len(slot int) (int, error) {
 	return n, err
 }
 
-// CheckInvariants verifies ordering and occupancy invariants (for tests).
+// CheckInvariants verifies ordering and occupancy invariants (for tests). It
+// reads the whole tree, so it takes the exclusive tree lock.
 func (t *BPTree) CheckInvariants(slot int) error {
-	t.treeMu.RLock()
-	defer t.treeMu.RUnlock()
+	t.treeMu.Lock()
+	defer t.treeMu.Unlock()
 	return t.eng.RunRO(slot, func(m txn.Mem) error {
 		root := m.Load64(t.rootLink(m))
 		if root == 0 {

@@ -1,0 +1,256 @@
+package pds
+
+import (
+	"bytes"
+	"fmt"
+
+	"clobbernvm/internal/txn"
+)
+
+// This file holds the structural-invariant checkers for the pointer-chain
+// structures (hashmap, skiplist, list); the trees define theirs next to
+// their balancing code. Checkers are diagnostic tooling: fault-injection
+// harnesses run them after every recovery, so they must turn arbitrary
+// damage — wild pointers, cycles, garbage lengths — into errors rather than
+// panics or unbounded walks.
+
+// InvariantChecker is implemented by every structure in this package. A nil
+// return means the persistent shape satisfies all of the structure's
+// invariants (key ordering, balance, chain integrity, ...).
+type InvariantChecker interface {
+	CheckInvariants(slot int) error
+}
+
+var (
+	_ InvariantChecker = (*HashMap)(nil)
+	_ InvariantChecker = (*SkipList)(nil)
+	_ InvariantChecker = (*RBTree)(nil)
+	_ InvariantChecker = (*BPTree)(nil)
+	_ InvariantChecker = (*AVLTree)(nil)
+	_ InvariantChecker = (*List)(nil)
+)
+
+// CheckInvariants runs the structure's checker if it has one, converting any
+// panic the walk hits (out-of-pool pointer, codec panic on garbage) into an
+// error. Harnesses call this instead of the method so a corrupt pointer
+// reads as "invariant violated", not a crashed test process.
+func CheckInvariants(s Store, slot int) (err error) {
+	c, ok := s.(InvariantChecker)
+	if !ok {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pds: %s invariant walk panicked: %v", s.Name(), r)
+		}
+	}()
+	return c.CheckInvariants(slot)
+}
+
+// maxWalkSteps bounds every chain walk: a corrupted next pointer that forms
+// a cycle through addresses the seen-set misses (overlapping nodes) must
+// still terminate.
+const maxWalkSteps = 1 << 21
+
+// kvSane validates a kv block's header before any key/value bytes are
+// materialized, so a garbage length cannot trigger a giant allocation.
+func kvSane(m txn.Mem, pool interface{ Size() uint64 }, kv txn.Addr) error {
+	if kv == 0 {
+		return fmt.Errorf("nil kv pointer")
+	}
+	if kv+8 > pool.Size() {
+		return fmt.Errorf("kv header %#x outside pool", kv)
+	}
+	klen, vlen := kvLens(m, kv)
+	end := kv + 8 + uint64(klen) + uint64(vlen)
+	if end > pool.Size() || end < kv {
+		return fmt.Errorf("kv block %#x lengths (%d,%d) outside pool", kv, klen, vlen)
+	}
+	return nil
+}
+
+// CheckInvariants verifies hashmap chain integrity: header magic and bucket
+// count, in-pool acyclic chains, sane kv blocks, every key stored in the
+// bucket its hash selects, and no duplicate key anywhere.
+func (h *HashMap) CheckInvariants(slot int) error {
+	for i := range h.locks {
+		h.locks[i].RLock()
+		defer h.locks[i].RUnlock()
+	}
+	pool := h.eng.Pool()
+	return h.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := h.headerAddr(m)
+		if hdr == 0 {
+			return fmt.Errorf("hashmap: nil header")
+		}
+		if got := m.Load64(hdr); got != hashMagic {
+			return fmt.Errorf("hashmap: header magic %#x, want %#x", got, hashMagic)
+		}
+		if got := m.Load64(hdr + 8); got != NumBuckets {
+			return fmt.Errorf("hashmap: bucket count %d, want %d", got, NumBuckets)
+		}
+		seenNodes := map[txn.Addr]struct{}{}
+		seenKeys := map[string]uint64{}
+		steps := 0
+		for b := uint64(0); b < NumBuckets; b++ {
+			for node := m.Load64(h.bucketAddr(m, b)); node != 0; node = m.Load64(node + 8) {
+				if steps++; steps > maxWalkSteps {
+					return fmt.Errorf("hashmap: chain walk exceeded %d steps (cycle?)", maxWalkSteps)
+				}
+				if node+16 > pool.Size() {
+					return fmt.Errorf("hashmap: bucket %d node %#x outside pool", b, node)
+				}
+				if _, dup := seenNodes[node]; dup {
+					return fmt.Errorf("hashmap: node %#x linked twice (cycle or cross-link)", node)
+				}
+				seenNodes[node] = struct{}{}
+				kv := m.Load64(node)
+				if err := kvSane(m, pool, kv); err != nil {
+					return fmt.Errorf("hashmap: bucket %d node %#x: %v", b, node, err)
+				}
+				key := kvKey(m, kv)
+				if want := fnv1a(key) % NumBuckets; want != b {
+					return fmt.Errorf("hashmap: key %q in bucket %d, hash selects %d", key, b, want)
+				}
+				if prev, dup := seenKeys[string(key)]; dup {
+					return fmt.Errorf("hashmap: key %q present in buckets %d and %d", key, prev, b)
+				}
+				seenKeys[string(key)] = b
+			}
+		}
+		return nil
+	})
+}
+
+// CheckInvariants verifies the skiplist's shape: header magic, strictly
+// sorted acyclic level-0 chain, node levels within [1, SkipLevels], and
+// level monotonicity — the level-i list must be exactly the ordered
+// subsequence of level-0 nodes whose level exceeds i.
+func (s *SkipList) CheckInvariants(slot int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pool := s.eng.Pool()
+	return s.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := s.headerAddr(m)
+		if hdr == 0 {
+			return fmt.Errorf("skiplist: nil header")
+		}
+		if got := m.Load64(hdr); got != skipMagic {
+			return fmt.Errorf("skiplist: header magic %#x, want %#x", got, skipMagic)
+		}
+		// Level 0: collect every node, checking order, bounds and levels.
+		type nodeInfo struct {
+			level int
+			key   []byte
+		}
+		nodes := map[txn.Addr]nodeInfo{}
+		order := []txn.Addr{}
+		var prevKey []byte
+		steps := 0
+		for node := m.Load64(headNext(hdr, 0)); node != 0; node = m.Load64(nodeNext(node, 0)) {
+			if steps++; steps > maxWalkSteps {
+				return fmt.Errorf("skiplist: level-0 walk exceeded %d steps (cycle?)", maxWalkSteps)
+			}
+			if node+16 > pool.Size() {
+				return fmt.Errorf("skiplist: node %#x outside pool", node)
+			}
+			if _, dup := nodes[node]; dup {
+				return fmt.Errorf("skiplist: node %#x linked twice at level 0 (cycle)", node)
+			}
+			lvl := nodeLevel(m, node)
+			if lvl < 1 || lvl > SkipLevels {
+				return fmt.Errorf("skiplist: node %#x level %d outside [1,%d]", node, lvl, SkipLevels)
+			}
+			kv := nodeKV(m, node)
+			if err := kvSane(m, pool, kv); err != nil {
+				return fmt.Errorf("skiplist: node %#x: %v", node, err)
+			}
+			key := kvKey(m, kv)
+			if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
+				return fmt.Errorf("skiplist: level 0 keys out of order (%q then %q)", prevKey, key)
+			}
+			prevKey = key
+			nodes[node] = nodeInfo{lvl, key}
+			order = append(order, node)
+		}
+		// Levels 1..max: each list must be the level-filtered subsequence of
+		// level 0 — the monotonicity that makes the index layers correct.
+		for i := 1; i < SkipLevels; i++ {
+			want := order[:0:0]
+			for _, n := range order {
+				if nodes[n].level > i {
+					want = append(want, n)
+				}
+			}
+			got := []txn.Addr{}
+			steps = 0
+			for node := m.Load64(headNext(hdr, i)); node != 0; node = m.Load64(nodeNext(node, i)) {
+				if steps++; steps > maxWalkSteps {
+					return fmt.Errorf("skiplist: level-%d walk exceeded %d steps (cycle?)", i, maxWalkSteps)
+				}
+				info, ok := nodes[node]
+				if !ok {
+					return fmt.Errorf("skiplist: level %d links node %#x absent from level 0", i, node)
+				}
+				if info.level <= i {
+					return fmt.Errorf("skiplist: level-%d node %#x declares level %d", i, node, info.level)
+				}
+				got = append(got, node)
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("skiplist: level %d has %d nodes, level profile implies %d", i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return fmt.Errorf("skiplist: level %d order diverges from level 0 at position %d", i, j)
+				}
+			}
+			if len(want) == 0 {
+				break // higher levels can only be emptier
+			}
+		}
+		return nil
+	})
+}
+
+// CheckInvariants verifies the list: header magic, an acyclic in-pool chain,
+// sane kv blocks and no duplicate keys.
+func (l *List) CheckInvariants(slot int) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	pool := l.eng.Pool()
+	return l.eng.RunRO(slot, func(m txn.Mem) error {
+		hdr := m.Load64(l.eng.Pool().RootSlot(l.rootSlot))
+		if hdr == 0 {
+			return fmt.Errorf("list: nil header")
+		}
+		if got := m.Load64(hdr); got != listMagic {
+			return fmt.Errorf("list: header magic %#x, want %#x", got, listMagic)
+		}
+		seen := map[txn.Addr]struct{}{}
+		keys := map[string]struct{}{}
+		steps := 0
+		for node := m.Load64(l.headAddr(m)); node != 0; node = m.Load64(node + 8) {
+			if steps++; steps > maxWalkSteps {
+				return fmt.Errorf("list: walk exceeded %d steps (cycle?)", maxWalkSteps)
+			}
+			if node+16 > pool.Size() {
+				return fmt.Errorf("list: node %#x outside pool", node)
+			}
+			if _, dup := seen[node]; dup {
+				return fmt.Errorf("list: node %#x linked twice (cycle)", node)
+			}
+			seen[node] = struct{}{}
+			kv := m.Load64(node)
+			if err := kvSane(m, pool, kv); err != nil {
+				return fmt.Errorf("list: node %#x: %v", node, err)
+			}
+			key := kvKey(m, kv)
+			if _, dup := keys[string(key)]; dup {
+				return fmt.Errorf("list: duplicate key %q", key)
+			}
+			keys[string(key)] = struct{}{}
+		}
+		return nil
+	})
+}

@@ -398,21 +398,29 @@ func (a *Allocator) refill(ar int, need uint64) (uint64, uint64, error) {
 	for uint64(sz) < need {
 		sz *= 2
 	}
-	a.centralMu.Lock()
-	p := a.pool
-	cb := p.Load64(a.metaBase + 8)
-	cl := p.Load64(a.metaBase + 16)
-	if cb+uint64(sz) > cl {
-		a.centralMu.Unlock()
-		return 0, 0, fmt.Errorf("%w: central region exhausted (bump %#x limit %#x need %#x)", ErrOutOfMemory, cb, cl, sz)
+	// The critical section is a closure so the lock releases even if a store
+	// inside it panics with a simulated crash — a held centralMu would wedge
+	// every other worker of a concurrent fault-injection run.
+	cb, err := func() (uint64, error) {
+		a.centralMu.Lock()
+		defer a.centralMu.Unlock()
+		p := a.pool
+		cb := p.Load64(a.metaBase + 8)
+		cl := p.Load64(a.metaBase + 16)
+		if cb+uint64(sz) > cl {
+			return 0, fmt.Errorf("%w: central region exhausted (bump %#x limit %#x need %#x)", ErrOutOfMemory, cb, cl, sz)
+		}
+		// Advance the central bump first and persist it. If we crash after this
+		// but before the arena journal entry, the chunk is leaked (bounded by
+		// one chunk per crash), never double-owned. PMDK makes the same
+		// trade-off for zone metadata.
+		p.Store64(a.metaBase+8, cb+uint64(sz))
+		p.Persist(a.metaBase+8, 8)
+		return cb, nil
+	}()
+	if err != nil {
+		return 0, 0, err
 	}
-	// Advance the central bump first and persist it. If we crash after this
-	// but before the arena journal entry, the chunk is leaked (bounded by
-	// one chunk per crash), never double-owned. PMDK makes the same
-	// trade-off for zone metadata.
-	p.Store64(a.metaBase+8, cb+uint64(sz))
-	p.Persist(a.metaBase+8, 8)
-	a.centralMu.Unlock()
 
 	a.stats.Refills.Add(1)
 

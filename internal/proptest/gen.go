@@ -1,0 +1,133 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies one generated operation.
+type OpKind int
+
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpLookup
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "lookup"
+	}
+}
+
+// Op is one generated operation. Inserts double as updates whenever the key
+// distribution revisits a key.
+type Op struct {
+	Kind OpKind
+	Key  string
+	Val  string
+}
+
+func (o Op) String() string {
+	if o.Kind == OpInsert {
+		return fmt.Sprintf("insert(%s=%s)", o.Key, o.Val)
+	}
+	return fmt.Sprintf("%s(%s)", o.Kind, o.Key)
+}
+
+// apply mirrors the op into a volatile reference model.
+func (o Op) apply(m map[string]string) {
+	switch o.Kind {
+	case OpInsert:
+		m[o.Key] = o.Val
+	case OpDelete:
+		delete(m, o.Key)
+	}
+}
+
+// keyDist is one key distribution the generator can pick. Skewed and
+// adversarial shapes stress different structure paths: uniform churn,
+// zipfian hot keys (repeated in-place clobbers), sequential runs (tree
+// splits and rotations at the right edge), and shared-prefix keys (deep
+// comparisons, hash clustering).
+type keyDist func(rng *rand.Rand, i int) string
+
+func distributions(rng *rand.Rand) keyDist {
+	switch rng.Intn(4) {
+	case 0: // uniform over a small space: heavy key reuse
+		return func(rng *rand.Rand, _ int) string {
+			return fmt.Sprintf("u-%03d", rng.Intn(48))
+		}
+	case 1: // zipfian: a few very hot keys, a long cold tail
+		z := rand.NewZipf(rng, 1.3, 1, 47)
+		return func(_ *rand.Rand, _ int) string {
+			return fmt.Sprintf("z-%03d", z.Uint64())
+		}
+	case 2: // sequential: sorted inserts, the tree-split adversary
+		return func(_ *rand.Rand, i int) string {
+			return fmt.Sprintf("s-%05d", i)
+		}
+	default: // shared prefix: long common prefixes, tiny distinguishing tail
+		return func(rng *rand.Rand, _ int) string {
+			return fmt.Sprintf("p-%s-%02d", "xxxxxxxxxxxxxxxxxxxxxxxx", rng.Intn(24))
+		}
+	}
+}
+
+// Generate produces the full deterministic op sequence for spec (ignoring
+// Keep): same seed, same sequence, forever.
+func Generate(spec Spec) []Op {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	dist := distributions(rng)
+	ops := make([]Op, 0, spec.Ops)
+	for i := 0; i < spec.Ops; i++ {
+		key := dist(rng, i)
+		switch r := rng.Intn(100); {
+		case r < 55:
+			ops = append(ops, Op{OpInsert, key, fmt.Sprintf("v%d-%d", spec.Seed, i)})
+		case r < 75:
+			ops = append(ops, Op{OpDelete, key, ""})
+		default:
+			ops = append(ops, Op{OpLookup, key, ""})
+		}
+	}
+	return ops
+}
+
+// Materialize generates the sequence and applies the Keep filter.
+func Materialize(spec Spec) []Op {
+	ops := Generate(spec)
+	if spec.Keep == nil {
+		return ops
+	}
+	kept := make([]Op, 0, len(spec.Keep))
+	for _, i := range spec.Keep {
+		if i >= 0 && i < len(ops) {
+			kept = append(kept, ops[i])
+		}
+	}
+	return kept
+}
+
+// buildModels returns models[j] = expected state after the first j ops, plus
+// the universe of every key the sequence touches.
+func buildModels(ops []Op) (models []map[string]string, universe map[string]struct{}) {
+	models = make([]map[string]string, len(ops)+1)
+	models[0] = map[string]string{}
+	universe = map[string]struct{}{}
+	for j, o := range ops {
+		next := make(map[string]string, len(models[j])+1)
+		for k, v := range models[j] {
+			next[k] = v
+		}
+		o.apply(next)
+		models[j+1] = next
+		universe[o.Key] = struct{}{}
+	}
+	return models, universe
+}

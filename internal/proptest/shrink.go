@@ -1,0 +1,120 @@
+package proptest
+
+import (
+	"fmt"
+
+	"clobbernvm/internal/crashsweep"
+)
+
+// maxShrinkWindow bounds how many crash points of the victim op's window the
+// predicate sweeps per candidate: enough to cover any single structure
+// operation, small enough to keep shrinking fast.
+const maxShrinkWindow = 512
+
+// Shrink minimizes a sequential failure to a smallest reproducer: it
+// truncates the sequence at the interrupted op, then delta-debugs (ddmin)
+// the prefix, re-validating each candidate by sweeping the crash points of
+// its final op's persistence window. Returns the minimized failure and the
+// number of candidate evaluations spent.
+//
+// Only sequential failures shrink; concurrent failures replay as-is.
+func Shrink(es crashsweep.EngineSpec, f Failure) (Failure, int, error) {
+	if f.Spec.Threads > 1 {
+		return f, 0, fmt.Errorf("proptest: concurrent failures do not shrink")
+	}
+	if f.Op < 0 {
+		// Crash-free divergence: ops after the divergent one never ran.
+		f.Op = f.Spec.Ops - 1
+	}
+
+	// Executed-op indices: the kept sequence up to and including the victim.
+	kept := f.Spec.Keep
+	if kept == nil {
+		kept = make([]int, f.Spec.Ops)
+		for i := range kept {
+			kept[i] = i
+		}
+	}
+	if f.Op >= len(kept) {
+		f.Op = len(kept) - 1
+	}
+	prefix, victim := kept[:f.Op], kept[f.Op]
+
+	evals := 0
+	check := func(candidate []int) (Failure, bool) {
+		evals++
+		spec := f.Spec
+		spec.Keep = append(append([]int{}, candidate...), victim)
+		if g, ok := windowFails(es, spec); ok {
+			return g, true
+		}
+		return Failure{}, false
+	}
+
+	// The truncated sequence must still fail; if not, the failure depends
+	// on state this shrinker cannot isolate — return it untruncated.
+	best, ok := check(prefix)
+	if !ok {
+		return f, evals, fmt.Errorf("proptest: failure did not reproduce under truncation")
+	}
+
+	// ddmin over the prefix: try dropping chunks at decreasing granularity.
+	n := 2
+	for len(prefix) >= 1 {
+		chunk := (len(prefix) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(prefix); lo += chunk {
+			hi := lo + chunk
+			if hi > len(prefix) {
+				hi = len(prefix)
+			}
+			candidate := append(append([]int{}, prefix[:lo]...), prefix[hi:]...)
+			if g, ok := check(candidate); ok {
+				prefix, best = candidate, g
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if chunk == 1 {
+			break
+		}
+		n *= 2
+		if n > len(prefix) {
+			n = len(prefix)
+		}
+	}
+	return best, evals, nil
+}
+
+// windowFails re-runs spec's sequence, sweeping every crash point of the
+// final op's persistence window (the events it emits beyond the prefix),
+// and reports the first failing point. This makes the shrink predicate
+// robust: a candidate "still fails" if ANY crash placement inside the
+// victim op reproduces a divergence, not just the original ordinal.
+func windowFails(es crashsweep.EngineSpec, spec Spec) (Failure, bool) {
+	prefixSpec := spec
+	prefixSpec.Keep = spec.Keep[:len(spec.Keep)-1]
+	start, err := Measure(es, prefixSpec)
+	if err != nil {
+		return Failure{}, false
+	}
+	end, err := Measure(es, spec)
+	if err != nil {
+		return Failure{}, false
+	}
+	if end-start > maxShrinkWindow {
+		end = start + maxShrinkWindow
+	}
+	for p := start + 1; p <= end; p++ {
+		s := spec
+		s.Point = p
+		if f, err := RunSpec(es, s); err == nil && f != nil {
+			return *f, true
+		}
+	}
+	return Failure{}, false
+}

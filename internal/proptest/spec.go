@@ -1,0 +1,149 @@
+// Package proptest is the property-based differential torture harness: a
+// seeded, reproducible generator of randomized operation sequences over
+// every persistent structure under every failure-atomicity engine, checked
+// against a volatile in-DRAM reference model through crash-recover cycles at
+// sampled persist points. On divergence a delta-debugging shrinker minimizes
+// the failing (sequence, crash point, engine, structure) tuple to a smallest
+// reproducer and emits a one-line replay command.
+//
+// Everything a failure needs to reproduce is a single Spec, serializable as
+// one line of flag-style fields:
+//
+//	engine=pmdk structure=rbtree seed=42 ops=30 crash-at=any evict=random point=17 threads=1
+//
+// which replays with:
+//
+//	go run ./cmd/torture -replay "<that line>"
+package proptest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clobbernvm/internal/nvm"
+)
+
+// Spec identifies one torture scenario completely: the generated operation
+// sequence (Seed, Ops, optionally filtered by Keep), the cell it runs in
+// (Engine, Structure), and the crash being injected (Kind, Policy, Point,
+// Threads). Two runs of the same Spec behave identically.
+type Spec struct {
+	Engine    string
+	Structure string
+	// Seed drives the op-sequence generator and the eviction adversary.
+	Seed int64
+	// Ops is the length of the generated sequence.
+	Ops int
+	// Keep optionally selects a subset of the generated sequence by index
+	// (sorted, unique); nil means every op. The shrinker minimizes this.
+	Keep []int
+	// Kind and Policy select the persist-point class and eviction adversary.
+	Kind   nvm.CrashKind
+	Policy nvm.EvictPolicy
+	// Point is the 1-based persist-point ordinal (of Kind, counted from the
+	// first executed op) the crash fires at; 0 runs the sequence without a
+	// crash and audits only the final state.
+	Point int64
+	// Threads > 1 selects concurrent mode: each thread runs its own stream
+	// over a disjoint key space and the crash halts them all mid-flight.
+	Threads int
+}
+
+// String encodes the spec as one parseable line.
+func (s Spec) String() string {
+	threads := s.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	line := fmt.Sprintf("engine=%s structure=%s seed=%d ops=%d crash-at=%s evict=%s point=%d threads=%d",
+		s.Engine, s.Structure, s.Seed, s.Ops, s.Kind, s.Policy, s.Point, threads)
+	if s.Keep != nil {
+		idx := make([]string, len(s.Keep))
+		for i, k := range s.Keep {
+			idx[i] = strconv.Itoa(k)
+		}
+		line += " keep=" + strings.Join(idx, ",")
+	}
+	return line
+}
+
+// Parse decodes a Spec from the String encoding.
+func Parse(line string) (Spec, error) {
+	s := Spec{Threads: 1}
+	for _, field := range strings.Fields(line) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("proptest: malformed field %q", field)
+		}
+		var err error
+		switch k {
+		case "engine":
+			s.Engine = v
+		case "structure":
+			s.Structure = v
+		case "seed":
+			s.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "ops":
+			s.Ops, err = strconv.Atoi(v)
+		case "crash-at":
+			s.Kind, err = nvm.ParseCrashKind(v)
+		case "evict":
+			s.Policy, err = nvm.ParseEvictPolicy(v)
+		case "point":
+			s.Point, err = strconv.ParseInt(v, 10, 64)
+		case "threads":
+			s.Threads, err = strconv.Atoi(v)
+		case "keep":
+			s.Keep = []int{}
+			for _, part := range strings.Split(v, ",") {
+				if part == "" {
+					continue
+				}
+				i, perr := strconv.Atoi(part)
+				if perr != nil {
+					return Spec{}, fmt.Errorf("proptest: keep index %q: %w", part, perr)
+				}
+				s.Keep = append(s.Keep, i)
+			}
+		default:
+			return Spec{}, fmt.Errorf("proptest: unknown field %q", k)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("proptest: field %q: %w", field, err)
+		}
+	}
+	if s.Engine == "" || s.Structure == "" || s.Ops <= 0 {
+		return Spec{}, fmt.Errorf("proptest: spec %q missing engine, structure or ops", line)
+	}
+	if s.Keep != nil {
+		sort.Ints(s.Keep)
+		for i, k := range s.Keep {
+			if k < 0 || k >= s.Ops || (i > 0 && s.Keep[i-1] == k) {
+				return Spec{}, fmt.Errorf("proptest: keep index %d out of range or duplicated", k)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Failure is one reproducible divergence: the exact spec (with the concrete
+// crash point filled in), the index of the executed op the crash interrupted
+// (-1 when the divergence happened without a crash), and what the audit saw.
+type Failure struct {
+	Spec   Spec
+	Op     int
+	Detail string
+}
+
+// Error renders the failure with its replay command — the contract that
+// every torture failure prints the exact line needed to reproduce it.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("%s\n  spec: %s\n  reproduce: %s", f.Detail, f.Spec, f.ReplayCommand())
+}
+
+// ReplayCommand returns the shell command that replays this exact failure.
+func (f *Failure) ReplayCommand() string {
+	return fmt.Sprintf("go run ./cmd/torture -replay %q", f.Spec.String())
+}

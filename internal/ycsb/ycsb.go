@@ -17,6 +17,10 @@ const (
 	OpInsert OpKind = iota
 	OpRead
 	OpUpdate
+	// OpReadModifyWrite reads the key's current value and writes a new one
+	// derived from it in the same logical operation (YCSB's RMW verb). The
+	// generated Value is the write half; consumers read first, then write.
+	OpReadModifyWrite
 )
 
 func (k OpKind) String() string {
@@ -25,6 +29,8 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpRead:
 		return "read"
+	case OpReadModifyWrite:
+		return "rmw"
 	default:
 		return "update"
 	}
@@ -43,6 +49,7 @@ type Workload struct {
 	InsertFrac   float64
 	ReadFrac     float64
 	UpdateFrac   float64
+	RMWFrac      float64
 	Distribution string // "uniform" or "zipfian" (request distribution)
 }
 
@@ -57,6 +64,12 @@ var (
 	WorkloadB = Workload{Name: "b", ReadFrac: 0.95, UpdateFrac: 0.05, Distribution: "zipfian"}
 	// WorkloadC is read-only, zipfian.
 	WorkloadC = Workload{Name: "c", ReadFrac: 1, Distribution: "zipfian"}
+	// WorkloadARMW is workload A with its write half as read-modify-writes:
+	// 50% reads / 50% RMW, zipfian (YCSB F's mix at A's skew).
+	WorkloadARMW = Workload{Name: "a-rmw", ReadFrac: 0.5, RMWFrac: 0.5, Distribution: "zipfian"}
+	// WorkloadBRMW is workload B with its write half as read-modify-writes:
+	// 95% reads / 5% RMW, zipfian.
+	WorkloadBRMW = Workload{Name: "b-rmw", ReadFrac: 0.95, RMWFrac: 0.05, Distribution: "zipfian"}
 )
 
 // Generator produces a deterministic operation stream.
@@ -127,6 +140,8 @@ func (g *Generator) Next() Op {
 		return Op{Kind: OpInsert, Key: g.Key(i), Value: g.value()}
 	case r < g.w.InsertFrac+g.w.ReadFrac:
 		return Op{Kind: OpRead, Key: g.Key(g.pick())}
+	case r < g.w.InsertFrac+g.w.ReadFrac+g.w.RMWFrac:
+		return Op{Kind: OpReadModifyWrite, Key: g.Key(g.pick()), Value: g.value()}
 	default:
 		return Op{Kind: OpUpdate, Key: g.Key(g.pick()), Value: g.value()}
 	}

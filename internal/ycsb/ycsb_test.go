@@ -89,6 +89,89 @@ func TestZipfianSkew(t *testing.T) {
 	}
 }
 
+func TestRMWMixShape(t *testing.T) {
+	// The RMW mixes must hit their nominal fractions and draw keys from the
+	// loaded population like any other request.
+	cases := []struct {
+		w                  Workload
+		wantReads, wantRMW float64
+	}{
+		{WorkloadARMW, 0.5, 0.5},
+		{WorkloadBRMW, 0.95, 0.05},
+	}
+	const n = 20000
+	for _, c := range cases {
+		g := NewGenerator(c.w, 1000, 8, 32, 11)
+		reads, rmws := 0, 0
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			switch op.Kind {
+			case OpRead:
+				reads++
+			case OpReadModifyWrite:
+				rmws++
+				if len(op.Value) != 32 {
+					t.Fatalf("%s: rmw op missing write value", c.w.Name)
+				}
+			default:
+				t.Fatalf("%s: unexpected op kind %v", c.w.Name, op.Kind)
+			}
+		}
+		if got := float64(reads) / n; got < c.wantReads-0.02 || got > c.wantReads+0.02 {
+			t.Fatalf("%s: read fraction %.3f, want %.2f±0.02", c.w.Name, got, c.wantReads)
+		}
+		if got := float64(rmws) / n; got < c.wantRMW-0.02 || got > c.wantRMW+0.02 {
+			t.Fatalf("%s: rmw fraction %.3f, want %.2f±0.02", c.w.Name, got, c.wantRMW)
+		}
+	}
+}
+
+func TestRMWSkewMatchesDistribution(t *testing.T) {
+	// a-rmw is zipfian: RMW requests must concentrate on the hot keys, same
+	// as reads.
+	g := NewGenerator(WorkloadARMW, 1000, 8, 16, 13)
+	hot := string(g.Key(0))
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Kind != OpReadModifyWrite {
+			continue
+		}
+		counts[string(op.Key)]++
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no RMW ops generated")
+	}
+	// Under zipf(0.99) over 1000 items the hottest key draws far more than
+	// the 0.1% a uniform distribution would give it.
+	if float64(counts[hot])/float64(total) < 0.02 {
+		t.Fatalf("rmw requests not skewed: hot key got %d/%d", counts[hot], total)
+	}
+}
+
+func TestRMWReplayability(t *testing.T) {
+	// Same seed → identical stream, including RMW write values; different
+	// seed → different stream.
+	g1 := NewGenerator(WorkloadARMW, 500, 8, 16, 42)
+	g2 := NewGenerator(WorkloadARMW, 500, 8, 16, 42)
+	g3 := NewGenerator(WorkloadARMW, 500, 8, 16, 43)
+	same := true
+	for i := 0; i < 500; i++ {
+		a, b, c := g1.Next(), g2.Next(), g3.Next()
+		if a.Kind != b.Kind || string(a.Key) != string(b.Key) || string(a.Value) != string(b.Value) {
+			t.Fatalf("op %d diverged under identical seeds", i)
+		}
+		if a.Kind != c.Kind || string(a.Key) != string(c.Key) || string(a.Value) != string(c.Value) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical streams")
+	}
+}
+
 func TestKeyStableAndSized(t *testing.T) {
 	g := NewGenerator(WorkloadLoad, 10, 32, 8, 5)
 	k1, k2 := g.Key(7), g.Key(7)
