@@ -18,17 +18,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"clobbernvm/internal/harness"
 )
 
+// parseThreads parses a comma-separated thread sweep like "1,2,4,8,16".
+func parseThreads(s string) ([]int, error) {
+	var list []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", f)
+		}
+		list = append(list, n)
+	}
+	return list, nil
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6..14, 13static, ext-ycsb, ext-fence, or all")
 	scale := flag.String("scale", "small", "experiment scale: small, medium or paper")
 	out := flag.String("out", ".", "output directory for CSV files")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this path instead of CSV figures")
+	threads := flag.String("threads", "", "comma-separated thread sweep overriding the scale's default (e.g. 1,2,4,8,16,32)")
+	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit; -json reports add the on/off fence-amortization sweep")
 	flag.Parse()
 
 	sc := harness.SmallScale
@@ -42,6 +58,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchfigs: unknown scale %q (want small, medium or paper)\n", *scale)
 		os.Exit(2)
 	}
+	if *threads != "" {
+		list, err := parseThreads(*threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfigs: -threads: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Threads = list
+	}
+	sc.GroupCommit = *groupCommit
 
 	if *jsonOut != "" {
 		start := time.Now()

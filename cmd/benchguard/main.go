@@ -1,0 +1,112 @@
+// Command benchguard compares two benchfigs -json reports and fails when the
+// current report regresses the clobber engine's single-thread Fig. 6 insert
+// latency beyond a threshold — the tripwire CI runs against the frozen
+// BENCH_PR2.json baseline so persistence-path slowdowns surface as a red
+// build rather than a quiet drift.
+//
+//	benchguard -baseline BENCH_PR2.json -current bench-report.json
+//	benchguard -baseline BENCH_PR2.json -current fresh.json -max-regress 0.10
+//
+// Only clobber single-thread rows are compared: multi-thread points wobble
+// with runner load, and the comparison engines' numbers are reproduced
+// relatives, not guarded absolutes. A structure present in the baseline but
+// missing from the current report is an error (a silently dropped sweep must
+// not pass the guard). Exit status: 0 when every structure is within the
+// threshold, 1 on any regression or missing row, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"clobbernvm/internal/harness"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR2.json", "baseline report (the frozen reference)")
+	currentPath := flag.String("current", "", "current report to check against the baseline")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated single-thread ns/op regression (0.20 = +20%)")
+	engine := flag.String("engine", "clobber", "engine whose single-thread inserts are guarded")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseNS := singleThreadNS(base, *engine)
+	curNS := singleThreadNS(cur, *engine)
+	if len(baseNS) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline %s has no single-thread %s rows\n", *baselinePath, *engine)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, st := range sortedKeys(baseNS) {
+		b := baseNS[st]
+		c, ok := curNS[st]
+		if !ok {
+			fmt.Printf("FAIL %-9s missing from current report\n", st)
+			failed = true
+			continue
+		}
+		ratio := c/b - 1
+		status := "ok  "
+		if ratio > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-9s baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
+			status, st, b, c, 100*ratio, 100**maxRegress)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: single-thread regression beyond threshold")
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*harness.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// singleThreadNS maps structure -> ns/op for the engine's 1-thread Fig. 6
+// insert rows.
+func singleThreadNS(rep *harness.BenchReport, engine string) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range rep.Fig6Insert {
+		if r.Engine == engine && r.Threads == 1 {
+			out[r.Structure] = r.NSPerOp
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -41,11 +41,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:0", "debug HTTP endpoint (vars/pprof/trace); empty disables")
 	tracePath := flag.String("trace", "", "write txn lifecycle trace events as JSONL to this file")
 	traceRing := flag.Int("trace-ring", 4096, "in-memory trace ring capacity served at /debug/trace (0 disables)")
+	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit: concurrent connections share commit fences")
 	flag.Parse()
 
 	sc := harness.SmallScale
 	sc.PoolBytes = *poolMB << 20
 	sc.Latency = nvm.DefaultLatency
+	sc.GroupCommit = *groupCommit
 	setup, err := harness.NewSetup(harness.EngineKind(*engine), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
@@ -106,8 +108,9 @@ func main() {
 		pool := setup.Engine.Pool()
 		eng := setup.Engine
 		mux := obs.DebugMux(map[string]func() any{
-			"pool":   func() any { return pool.Stats() },
-			"engine": func() any { return eng.Stats().Snapshot() },
+			"pool":        func() any { return pool.Stats() },
+			"engine":      func() any { return eng.Stats().Snapshot() },
+			"groupcommit": func() any { return pool.GroupCommitStats() },
 			"cache": func() any {
 				return map[string]int64{
 					"hits":      cache.Hits.Load(),

@@ -54,6 +54,7 @@ func main() {
 	seqs := flag.Int("seqs", 30, "prop mode: generated sequences")
 	samples := flag.Int("samples", 3, "prop mode: crash points sampled per sequence")
 	threads := flag.Int("threads", 1, "prop mode: concurrent worker streams (>1 enables concurrent-history checking)")
+	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit on the torture pool (crashes can land inside shared commit epochs)")
 	replay := flag.String("replay", "", "replay a proptest spec line exactly (overrides -mode)")
 	flag.Parse()
 
@@ -69,11 +70,11 @@ func main() {
 
 	switch *mode {
 	case "sweep":
-		runSweep(*engine, *structure, kind, policy, *seed, *liveOps)
+		runSweep(*engine, *structure, kind, policy, *seed, *liveOps, *groupCommit)
 	case "random":
-		runRandom(*engine, *structure, kind, policy, *seed, *rounds, *opsPerRound)
+		runRandom(*engine, *structure, kind, policy, *seed, *rounds, *opsPerRound, *groupCommit)
 	case "prop":
-		runProp(*engine, *structure, kind, policy, *seed, *seqs, *opsPerRound, *samples, *threads)
+		runProp(*engine, *structure, kind, policy, *seed, *seqs, *opsPerRound, *samples, *threads, *groupCommit)
 	default:
 		check(fmt.Errorf("unknown mode %q (want sweep|random|prop)", *mode))
 	}
@@ -95,12 +96,13 @@ func runReplay(line string) {
 // runProp generates seeded op sequences, tortures each at sampled crash
 // points, and shrinks the first failure to a smallest reproducer.
 func runProp(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy,
-	seed int64, seqs, ops, samples, threads int) {
+	seed int64, seqs, ops, samples, threads int, groupCommit bool) {
 	for s := 0; s < seqs; s++ {
 		spec := proptest.Spec{
 			Engine: engine, Structure: structure,
 			Seed: seed + int64(s), Ops: ops,
 			Kind: kind, Policy: policy, Threads: threads,
+			GroupCommit: groupCommit,
 		}
 		f, err := proptest.TortureNamed(spec, samples)
 		check(err)
@@ -120,8 +122,8 @@ func runProp(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolic
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("torture prop: %s/%s survived %d sequences x %d sampled crash points (ops=%d threads=%d crash-at=%s evict=%s seed=%d)\n",
-		engine, structure, seqs, samples, ops, threads, kind, policy, seed)
+	fmt.Printf("torture prop: %s/%s survived %d sequences x %d sampled crash points (ops=%d threads=%d crash-at=%s evict=%s seed=%d gc=%v)\n",
+		engine, structure, seqs, samples, ops, threads, kind, policy, seed, groupCommit)
 }
 
 // reproduceCmd is the exact command line that re-runs the current scenario;
@@ -129,16 +131,20 @@ func runProp(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolic
 var reproduceCmd string
 
 // runSweep crashes at every persist point of a deterministic workload.
-func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, liveOps int) {
+func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, liveOps int, groupCommit bool) {
 	reproduceCmd = fmt.Sprintf("go run ./cmd/torture -mode sweep -engine %s -structure %s -crash-at %s -evict %s -seed %d -live-ops %d",
 		engine, structure, kind, policy, seed, liveOps)
+	if groupCommit {
+		reproduceCmd += " -group-commit"
+	}
 	res, err := crashsweep.Run(crashsweep.Config{
-		Engine:    engine,
-		Structure: structure,
-		Kind:      kind,
-		Policy:    policy,
-		Seed:      seed,
-		LiveOps:   liveOps,
+		Engine:      engine,
+		Structure:   structure,
+		Kind:        kind,
+		Policy:      policy,
+		Seed:        seed,
+		LiveOps:     liveOps,
+		GroupCommit: groupCommit,
 	})
 	check(err)
 	fmt.Printf("torture sweep: %s/%s crash-at=%s evict=%s: %d persist points, %d crashes, %d recovered (%d re-executed, %d rolled back, %d rolled forward), %d quarantined\n",
@@ -154,9 +160,12 @@ func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPoli
 }
 
 // runRandom is the randomized long-haul stress loop.
-func runRandom(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, rounds, opsPerRound int) {
+func runRandom(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, rounds, opsPerRound int, groupCommit bool) {
 	reproduceCmd = fmt.Sprintf("go run ./cmd/torture -mode random -engine %s -structure %s -crash-at %s -evict %s -seed %d -rounds %d -ops %d",
 		engine, structure, kind, policy, seed, rounds, opsPerRound)
+	if groupCommit {
+		reproduceCmd += " -group-commit"
+	}
 	spec, err := crashsweep.EngineByName(engine)
 	check(err)
 
@@ -164,6 +173,9 @@ func runRandom(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPol
 	crashes, recoveries, quarantines, completions := 0, 0, 0, 0
 
 	pool := nvm.New(1<<27, nvm.WithEvictProbability(0.5), nvm.WithSeed(seed), nvm.WithEviction(policy))
+	if groupCommit {
+		pool.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
+	}
 	alloc, err := pmem.Create(pool)
 	check(err)
 	eng, err := spec.Create(pool, alloc)

@@ -274,7 +274,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	p.Store64(s.hdr+offFreeApplied, 0)
 	p.Store64(s.hdr+offReclaimApplied, 0)
 	p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
-	p.Persist(s.hdr+offStatus, 8)
+	p.CommitPersist(s.hdr+offStatus, 8)
 	s.seq = seq
 	s.dlog.Reset()
 	s.alog.Reset()
@@ -295,7 +295,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	sp.ExecDone()
 
 	p.FlushOptLines(m.dirty.dirty)
-	p.Fence()
+	p.CommitFence()
 	sp.FlushFence(len(m.dirty.dirty))
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)
@@ -320,7 +320,7 @@ func (e *Engine) recordDependency(s *slot, seq uint64) {
 	p.Store64(at, uint64(s.id))
 	p.Store64(at+8, seq)
 	p.Store64(at+16, e.epoch)
-	p.Persist(at, ringEntrySz)
+	p.CommitPersist(at, ringEntrySz)
 	e.ringIdx++
 	e.commits++
 	if e.commits%SnapshotInterval == 0 {
@@ -348,7 +348,7 @@ func (e *Engine) snapshotScan() {
 
 func (e *Engine) setStatus(s *slot, seq, phase uint64) {
 	e.pool.Store64(s.hdr+offStatus, seq<<2|phase)
-	e.pool.Persist(s.hdr+offStatus, 8)
+	e.pool.CommitPersist(s.hdr+offStatus, 8)
 }
 
 func (e *Engine) applyFrees(s *slot, seq, from uint64) {
@@ -359,7 +359,7 @@ func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
-		p.Persist(s.hdr+offFreeApplied, 8)
+		p.CommitPersist(s.hdr+offFreeApplied, 8)
 		if err := e.alloc.Free(addrs[i]); err != nil {
 			continue
 		}
@@ -509,10 +509,13 @@ func (m *mem) preStore(addr, n uint64) {
 	}
 	old := make([]byte, n)
 	m.e.pool.Load(addr, old)
-	nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{})
+	// Groupable per-entry fence: durable before the store (CommitFence
+	// blocks), amortizable across concurrently logging FASEs.
+	nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{NoFence: true})
 	if err != nil {
 		panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
 	}
+	m.e.pool.CommitFence()
 	m.e.stats.LogEntries.Add(1)
 	m.e.stats.LogBytes.Add(int64(nbytes))
 	m.e.probe.LogAppend(obs.KindLogAppend, m.s.id, m.seq, nbytes)

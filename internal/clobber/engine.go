@@ -387,7 +387,7 @@ func (e *Engine) begin(s *slot, seq uint64, name string, args *txn.Args, sp *obs
 		putU64(buf[offVLogChecksum:], vlogChecksum(seq, name, enc))
 		p.Store(s.hdr, buf)
 		p.FlushOpt(s.hdr, uint64(total))
-		p.Fence()
+		p.CommitFence()
 		e.stats.VLogEntries.Add(1)
 		e.stats.VLogBytes.Add(int64(len(name) + len(enc)))
 		sp.VLogAppend(len(name) + len(enc))
@@ -427,7 +427,7 @@ func vlogChecksum(seq uint64, name string, enc []byte) uint64 {
 func (e *Engine) commit(s *slot, seq uint64, m *mem, sp *obs.Span) {
 	p := e.pool
 	p.FlushOptLines(m.t.dirty)
-	p.Fence()
+	p.CommitFence()
 	sp.FlushFence(len(m.t.dirty))
 
 	if m.frees > 0 {
@@ -443,7 +443,7 @@ func (e *Engine) setStatus(s *slot, seq uint64, phase uint64) {
 	}
 	p := e.pool
 	p.Store64(s.hdr+offStatus, seq<<2|phase)
-	p.Persist(s.hdr+offStatus, 8)
+	p.CommitPersist(s.hdr+offStatus, 8)
 }
 
 // applyFrees performs the deferred frees recorded in the free log, bumping a
@@ -457,7 +457,7 @@ func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
-		p.Persist(s.hdr+offFreeApplied, 8)
+		p.CommitPersist(s.hdr+offFreeApplied, 8)
 		if err := e.alloc.Free(addrs[i]); err != nil {
 			// A corrupt free is a programming error surfaced at commit;
 			// leaking is the only safe continuation.

@@ -126,10 +126,15 @@ func (m *mem) preStore(addr, n uint64) {
 func (m *mem) logClobber(addr, n uint64) {
 	old := make([]byte, n)
 	m.e.pool.Load(addr, old)
-	nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{})
+	// The entry's fence is issued through CommitFence so concurrent
+	// transactions' log-ordering fences can share one epoch; the blocking
+	// contract is unchanged (the entry is durable before the store that
+	// clobbers it executes).
+	nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{NoFence: true})
 	if err != nil {
 		panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
 	}
+	m.e.pool.CommitFence()
 	m.e.stats.LogEntries.Add(1)
 	m.e.stats.LogBytes.Add(int64(nbytes))
 	m.e.probe.LogAppend(obs.KindClobberLog, m.s.id, m.seq, nbytes)

@@ -36,6 +36,11 @@ type Config struct {
 	PoolSize uint64
 	// RootSlot anchors the structure (default 16).
 	RootSlot int
+	// GroupCommit enables the pool's epoch-based group-commit coordinator
+	// for the swept workload. The sweep is single-threaded, so epochs have
+	// occupancy one and the persist-point ordinals stay identical to a
+	// disabled run — this mode exists to prove exactly that.
+	GroupCommit bool
 }
 
 func (c *Config) fill() {
@@ -73,10 +78,10 @@ func (m Mismatch) String() string {
 
 // Result summarizes one sweep cell.
 type Result struct {
-	Engine       string
-	Structure    string
-	Kind         nvm.CrashKind
-	Policy       nvm.EvictPolicy
+	Engine        string
+	Structure     string
+	Kind          nvm.CrashKind
+	Policy        nvm.EvictPolicy
 	PersistPoints int64
 	// Crashes counts points where the scheduled crash fired mid-workload.
 	Crashes int
@@ -156,6 +161,9 @@ func RunSpec(spec EngineSpec, cfg Config) (Result, error) {
 	res := Result{Engine: spec.Name, Structure: cfg.Structure, Kind: cfg.Kind, Policy: cfg.Policy}
 
 	pool := nvm.New(cfg.PoolSize, nvm.WithSeed(cfg.Seed), nvm.WithEviction(cfg.Policy))
+	if cfg.GroupCommit {
+		pool.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
+	}
 	alloc, err := pmem.Create(pool)
 	if err != nil {
 		return res, fmt.Errorf("crashsweep: create allocator: %w", err)

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"testing"
+
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
+)
+
+// gcTestScale is a small single-structure workload: big enough that the
+// clobber engine crosses allocation, bucket-chain and in-place paths, small
+// enough to keep the regression test fast.
+var gcTestScale = Scale{
+	Entries:   400,
+	Ops:       400,
+	Threads:   []int{1},
+	PoolBytes: 1 << 26,
+	Latency:   nvm.DefaultLatency,
+	Runs:      1,
+}
+
+// runInsertFences runs the clobber/hashmap insert workload at the given
+// thread count and returns the exact pool fence count of the measured
+// region, the obs pool.fences mirror over the same region, and the
+// coordinator stats.
+func runInsertFences(t *testing.T, threads int, groupCommit bool) (fences, obsFences int64, gcs nvm.GroupCommitStats) {
+	t.Helper()
+	sc := gcTestScale
+	if threads > 2 {
+		sc.Threads = []int{threads}
+	}
+	setup, err := NewSetup(EngineClobber, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStructure(StructHashMap, setup.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := populate(store, StructHashMap, sc.Entries, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Enable the coordinator only for the measured region, so the epoch
+	// stats and the fence delta describe exactly the same window.
+	if groupCommit {
+		w := threads
+		if w < nvm.DefaultGroupCommitWaiters {
+			w = nvm.DefaultGroupCommitWaiters
+		}
+		setup.Pool.GroupCommit(w, nvm.DefaultGroupCommitDelayNS)
+	}
+	f0 := setup.Pool.Stats().Fences
+	snap0 := obs.Default.Snapshot().Counters["pool.fences"]
+	if _, err := measureInsertThroughput(store, StructHashMap, sc.Entries, sc.Ops, threads); err != nil {
+		t.Fatal(err)
+	}
+	return setup.Pool.Stats().Fences - f0,
+		obs.Default.Snapshot().Counters["pool.fences"] - snap0,
+		setup.Pool.GroupCommitStats()
+}
+
+// TestClobberFencesPerOpSingleThread pins the clobber engine's single-thread
+// fence behaviour: the obs pool.fences counter mirrors the pool's own fence
+// stat exactly, every insert pays at least the engine's three mandatory
+// ordering points (v_log append, dirty-line drain, status persist), and —
+// the bit-identity property — enabling group commit changes nothing: same
+// exact fence count, every epoch solo, zero fences saved.
+func TestClobberFencesPerOpSingleThread(t *testing.T) {
+	prevOn := obs.Enable(true)
+	defer obs.Enable(prevOn)
+
+	off, obsOff, gcsOff := runInsertFences(t, 1, false)
+	if off != obsOff {
+		t.Fatalf("obs pool.fences=%d disagrees with pool stats fences=%d", obsOff, off)
+	}
+	if gcsOff != (nvm.GroupCommitStats{}) {
+		t.Fatalf("coordinator off but reported stats %+v", gcsOff)
+	}
+	// Every clobber insert orders at least: v_log append fence, commit
+	// dirty-line fence, txn-status persist fence.
+	ops := int64(gcTestScale.Ops)
+	if off < 3*ops {
+		t.Fatalf("clobber issued %d fences for %d inserts; want >= %d (3/op)", off, ops, 3*ops)
+	}
+
+	on, obsOn, gcsOn := runInsertFences(t, 1, true)
+	if on != obsOn {
+		t.Fatalf("obs pool.fences=%d disagrees with pool stats fences=%d", obsOn, on)
+	}
+	if on != off {
+		t.Fatalf("single-thread fence count changed with group commit: %d on vs %d off", on, off)
+	}
+	if gcsOn.FencesSaved != 0 || gcsOn.MaxOccupancy != 1 || gcsOn.Epochs != gcsOn.Enlisted {
+		t.Fatalf("single-thread epochs must be solo: %+v", gcsOn)
+	}
+}
+
+// TestClobberGroupCommitSavesFences is the amortization regression: with the
+// coordinator on at 4 threads, the same insert workload must issue strictly
+// fewer fences than with it off, and the coordinator must report shared
+// epochs accounting exactly for the savings.
+func TestClobberGroupCommitSavesFences(t *testing.T) {
+	prevOn := obs.Enable(true)
+	defer obs.Enable(prevOn)
+	const threads = 4
+
+	off, _, _ := runInsertFences(t, threads, false)
+	on, _, gcs := runInsertFences(t, threads, true)
+	if on >= off {
+		t.Fatalf("group commit at %d threads saved nothing: %d fences on vs %d off", threads, on, off)
+	}
+	if gcs.FencesSaved <= 0 || gcs.MaxOccupancy < 2 {
+		t.Fatalf("no shared epochs at %d threads: %+v", threads, gcs)
+	}
+	if gcs.Epochs+gcs.FencesSaved != gcs.Enlisted {
+		t.Fatalf("inconsistent coordinator stats: %+v", gcs)
+	}
+	if off-on < gcs.FencesSaved {
+		t.Fatalf("pool fence delta %d smaller than coordinator's claimed savings %d", off-on, gcs.FencesSaved)
+	}
+	t.Logf("fences: off=%d on=%d (saved %d, mean occupancy %.2f)",
+		off, on, gcs.FencesSaved, gcs.MeanOccupancy())
+}

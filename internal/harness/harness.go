@@ -48,6 +48,11 @@ type Scale struct {
 	// Runs is the number of repetitions recorded per configuration (the
 	// artifact reports 5 runs per point).
 	Runs int
+	// GroupCommit enables the pool's epoch-based group-commit coordinator
+	// (internal/nvm), which coalesces concurrent transactions' commit
+	// fences into shared epochs. Off by default so baselines are
+	// bit-identical with earlier reports.
+	GroupCommit bool
 }
 
 // SmallScale finishes in seconds; used by tests and quick CLI runs.
@@ -137,6 +142,9 @@ func NewSetup(kind EngineKind, sc Scale) (*Setup, error) {
 	pool := nvm.New(sc.PoolBytes, nvm.WithLatency(sc.Latency))
 	pool.Prefault()
 	pool.SetFastPath(true)
+	if sc.GroupCommit {
+		pool.GroupCommit(sc.maxSlots(), nvm.DefaultGroupCommitDelayNS)
+	}
 	alloc, err := pmem.Create(pool)
 	if err != nil {
 		return nil, err

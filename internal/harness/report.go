@@ -3,6 +3,7 @@ package harness
 import (
 	"time"
 
+	"clobbernvm/internal/nvm"
 	"clobbernvm/internal/obs"
 )
 
@@ -46,21 +47,41 @@ type PhaseLatency struct {
 	obs.HistogramSummary
 }
 
+// GroupCommitPoint is one clobber YCSB-Load measurement in the group-commit
+// amortization sweep: the same thread count measured with the coordinator
+// off and on, carrying the fence traffic alongside throughput so the
+// fences-per-transaction reduction the coordinator claims is checkable from
+// the report alone.
+type GroupCommitPoint struct {
+	Engine        string  `json:"engine"`
+	Threads       int     `json:"threads"`
+	GroupCommit   bool    `json:"group_commit"`
+	NSPerOp       float64 `json:"ns_per_op"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	FencesPerOp   float64 `json:"fences_per_op"`
+	Epochs        int64   `json:"epochs"`
+	FencesSaved   int64   `json:"fences_saved"`
+	MeanOccupancy float64 `json:"mean_epoch_occupancy"`
+}
+
 // BenchReport is the machine-readable benchmark record benchfigs -json
 // emits (BENCH_PR2.json): the frozen pre-optimization baseline plus current
 // single-thread Fig. 6 inserts, the multi-thread YCSB-Load scaling sweep,
 // and per-phase transaction latency percentiles from the obs histograms.
+// GroupCommitScaling (BENCH_PR5.json, -group-commit) adds the epoch
+// group-commit on/off comparison.
 type BenchReport struct {
-	GeneratedAt     string             `json:"generated_at"`
-	Scale           string             `json:"scale"`
-	Entries         int                `json:"entries"`
-	Ops             int                `json:"ops"`
-	Threads         []int              `json:"threads"`
-	BaselineNSPerOp map[string]float64 `json:"baseline_fig6_clobber_ns_per_op"`
-	BaselineCommit  string             `json:"baseline_commit"`
-	Fig6Insert      []InsertResult     `json:"fig6_insert_1t"`
-	YCSBLoadScaling []ScalingResult    `json:"ycsb_load_scaling"`
-	PhaseLatencies  []PhaseLatency     `json:"txn_phase_latency"`
+	GeneratedAt        string             `json:"generated_at"`
+	Scale              string             `json:"scale"`
+	Entries            int                `json:"entries"`
+	Ops                int                `json:"ops"`
+	Threads            []int              `json:"threads"`
+	BaselineNSPerOp    map[string]float64 `json:"baseline_fig6_clobber_ns_per_op"`
+	BaselineCommit     string             `json:"baseline_commit"`
+	Fig6Insert         []InsertResult     `json:"fig6_insert_1t"`
+	YCSBLoadScaling    []ScalingResult    `json:"ycsb_load_scaling"`
+	PhaseLatencies     []PhaseLatency     `json:"txn_phase_latency"`
+	GroupCommitScaling []GroupCommitPoint `json:"group_commit_scaling,omitempty"`
 }
 
 // reportEngines is the engine set the JSON report sweeps — the four
@@ -109,6 +130,11 @@ func RunBenchReport(sc Scale, scaleName string) (*BenchReport, error) {
 		BaselineNSPerOp: BaselineFig6Insert,
 		BaselineCommit:  "4befc7a",
 	}
+	// The standard figures always measure the ungrouped baseline — the
+	// Fig. 6 rows are what benchguard holds against the frozen reference.
+	// sc.GroupCommit only adds the dedicated off/on comparison sweep.
+	groupCommit := sc.GroupCommit
+	sc.GroupCommit = false
 	for _, st := range AllStructures {
 		for _, ek := range reportEngines {
 			ns, err := measureInsert(ek, st, sc, 1)
@@ -142,7 +168,82 @@ func RunBenchReport(sc Scale, scaleName string) (*BenchReport, error) {
 		}
 	}
 	rep.PhaseLatencies = collectPhaseLatencies()
+	if groupCommit {
+		pts, err := RunGroupCommitSweep(sc)
+		if err != nil {
+			return nil, err
+		}
+		rep.GroupCommitScaling = pts
+	}
 	return rep, nil
+}
+
+// measureInsertFences is measureInsert plus fence accounting: it returns
+// the ns/op of the timed insert region together with the pool fences issued
+// per operation and the group-commit coordinator's stats (zero when off).
+// The coordinator is switched on only after populate, so both the fence
+// delta and the epoch stats cover exactly the measured region.
+func measureInsertFences(ek EngineKind, st StructureKind, sc Scale, threads int, groupCommit bool) (nsPerOp, fencesPerOp float64, gcs nvm.GroupCommitStats, err error) {
+	sc.GroupCommit = false
+	setup, err := NewSetup(ek, sc)
+	if err != nil {
+		return 0, 0, gcs, err
+	}
+	store, err := OpenStructure(st, setup.Engine)
+	if err != nil {
+		return 0, 0, gcs, err
+	}
+	if err := populate(store, st, sc.Entries, 1); err != nil {
+		return 0, 0, gcs, err
+	}
+	// The sweep measures in precise mode, where every fence is a synchronous
+	// drain stalling its thread — the cost structure group commit amortizes.
+	// Deferred-media mode already overlaps concurrent fence latency across
+	// threads by construction (that is its purpose), so measuring the
+	// coordinator there would pit it against a baseline that has pre-claimed
+	// the same amortization.
+	setup.Pool.SetFastPath(false)
+	if groupCommit {
+		w := threads
+		if w < nvm.DefaultGroupCommitWaiters {
+			w = nvm.DefaultGroupCommitWaiters
+		}
+		setup.Pool.GroupCommit(w, nvm.DefaultGroupCommitDelayNS)
+	}
+	f0 := setup.Pool.Stats().Fences
+	elapsed, err := measureInsertThroughput(store, st, sc.Entries, sc.Ops, threads)
+	if err != nil {
+		return 0, 0, gcs, err
+	}
+	fences := setup.Pool.Stats().Fences - f0
+	return float64(elapsed.Nanoseconds()) / float64(sc.Ops),
+		float64(fences) / float64(sc.Ops),
+		setup.Pool.GroupCommitStats(), nil
+}
+
+// RunGroupCommitSweep measures the clobber engine's YCSB-Load inserts over
+// the scale's thread sweep with the group-commit coordinator off and on,
+// pairing throughput with fences-per-op so the amortization is directly
+// visible: with the coordinator on at k overlapping threads the groupable
+// fences collapse to ~1/k, while the off rows reproduce the ungrouped
+// baseline exactly.
+func RunGroupCommitSweep(sc Scale) ([]GroupCommitPoint, error) {
+	var out []GroupCommitPoint
+	for _, threads := range sc.Threads {
+		for _, on := range []bool{false, true} {
+			ns, fpo, gcs, err := measureInsertFences(EngineClobber, StructHashMap, sc, threads, on)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, GroupCommitPoint{
+				Engine: string(EngineClobber), Threads: threads, GroupCommit: on,
+				NSPerOp: ns, OpsPerSec: 1e9 / ns, FencesPerOp: fpo,
+				Epochs: gcs.Epochs, FencesSaved: gcs.FencesSaved,
+				MeanOccupancy: gcs.MeanOccupancy(),
+			})
+		}
+	}
+	return out, nil
 }
 
 // collectPhaseLatencies condenses the obs histograms the sweeps populated

@@ -148,7 +148,7 @@ func (t *tracer) boundary() {
 	for l := range t.dirty {
 		p.Flush(l*nvm.LineSize, nvm.LineSize)
 	}
-	p.Fence()
+	p.CommitFence()
 	t.m.stats.LogEntries.Add(1)
 	t.m.stats.LogBytes.Add(RegisterSnapshotBytes + StackSlotBytes)
 	t.m.probe.LogAppend(obs.KindLogAppend, 0, 0, RegisterSnapshotBytes+StackSlotBytes)

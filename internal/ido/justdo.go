@@ -118,7 +118,7 @@ func (j justdoMem) preStore(addr, n uint64) {
 	// The record must be durable before the store executes.
 	for i := int64(0); i < words; i++ {
 		j.m.pool.Flush(addr, 8)
-		j.m.pool.Fence()
+		j.m.pool.CommitFence()
 	}
 }
 

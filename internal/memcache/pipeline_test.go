@@ -1,0 +1,90 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"clobbernvm/internal/nvm"
+)
+
+// testPipelinedClient bursts n "set ... noreply" commands down one
+// connection without reading anything, then issues a get per key and checks
+// every reply arrives in order with the right value — the memcached
+// pipelining discipline (noreply sets produce no reply lines, so the k-th
+// reply line must belong to the k-th get).
+func testPipelinedClient(t *testing.T, groupCommit bool) {
+	t.Helper()
+	pool, c := newCache(t, Options{})
+	if groupCommit {
+		pool.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
+	}
+	client, server := net.Pipe()
+	ln := newScriptedListener(func() (net.Conn, error) { return server, nil })
+	srv := NewServerOn(c, ln, 4)
+	defer srv.Close()
+
+	const n = 32
+	client.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// One write containing the whole burst: n noreply sets, then n gets.
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		val := fmt.Sprintf("val-%02d", i)
+		fmt.Fprintf(&b, "set key-%02d 0 0 %d noreply\r\n%s\r\n", i, len(val), val)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "get key-%02d\r\n", i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte(b.String()))
+		done <- err
+	}()
+
+	// Replies must be exactly n VALUE/data/END triples, in request order.
+	r := bufio.NewReader(client)
+	for i := 0; i < n; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("get %d: read header: %v", i, err)
+		}
+		wantHdr := fmt.Sprintf("VALUE key-%02d 0 6", i)
+		if strings.TrimSpace(line) != wantHdr {
+			t.Fatalf("get %d: header = %q, want %q", i, strings.TrimSpace(line), wantHdr)
+		}
+		data, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("get %d: read data: %v", i, err)
+		}
+		if want := fmt.Sprintf("val-%02d", i); strings.TrimSpace(data) != want {
+			t.Fatalf("get %d: data = %q, want %q", i, strings.TrimSpace(data), want)
+		}
+		end, err := r.ReadString('\n')
+		if err != nil || strings.TrimSpace(end) != "END" {
+			t.Fatalf("get %d: trailer = %q (%v), want END", i, strings.TrimSpace(end), err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("pipelined write: %v", err)
+	}
+
+	// Nothing may trail the last END: a stray reply means a noreply set
+	// leaked a response and the whole stream was out of sync.
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if extra, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("unexpected trailing reply %q", strings.TrimSpace(extra))
+	}
+}
+
+// TestPipelinedClient checks reply/request synchronization on a bursty
+// pipelined connection with the group-commit coordinator off and on. With
+// the coordinator on, each set's commit fence may be led by another
+// connection's epoch — replies must still come back one per get, in order.
+func TestPipelinedClient(t *testing.T) {
+	t.Run("groupcommit=off", func(t *testing.T) { testPipelinedClient(t, false) })
+	t.Run("groupcommit=on", func(t *testing.T) { testPipelinedClient(t, true) })
+}

@@ -1,0 +1,349 @@
+// Group commit: an epoch-based coordinator that coalesces the ordering
+// fences of concurrently committing transactions into one.
+//
+// The cost model charges every Fence the full sfence drain latency, and at
+// N threads the commit path drains N near-identical fences where one would
+// durably cover all of them: the pending-line set is global, so a single
+// drain retires every waiter's flushed lines. CommitFence is the grouping
+// entry point engines call at their ordering-fence sites. When the
+// coordinator is disabled (the default) it is exactly Fence — same events,
+// same counters, same crash semantics — so single-thread baselines and the
+// crashsweep/proptest harnesses are bit-identical. When enabled, committing
+// transactions enlist in the current epoch; the first arrival is the
+// epoch's leader and issues one combined drain + Fence on behalf of every
+// enlisted waiter, while followers block on the epoch instead of fencing
+// themselves.
+//
+// Durability-at-ack is preserved by construction: CommitFence does not
+// return until the epoch's fence has completed, so a transaction is only
+// acknowledged — and only eligible for log truncation — once everything it
+// flushed is durable. A crash during an epoch's fence tears all-or-some of
+// the enlisted transactions (their flushed lines are still at the
+// hardware's mercy, exactly as if each had crashed on its own fence), and
+// each remains individually recoverable through its engine's log. The
+// leader stores the crash panic in the epoch and re-raises it in every
+// follower, so the sticky power-failure latch propagates to all enlisted
+// threads just as it does to threads issuing their own persistence events.
+package nvm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"clobbernvm/internal/obs"
+)
+
+// Default group-commit tuning. DefaultGroupCommitWaiters bounds an epoch's
+// occupancy; DefaultGroupCommitDelayNS bounds how long a leader lingers for
+// followers (a few fences' worth — past that, amortization no longer pays
+// for the added commit latency).
+const (
+	DefaultGroupCommitWaiters = 8
+	DefaultGroupCommitDelayNS = 2400
+)
+
+// gcStablePasses is how many scheduler-yield passes with no waiter growth
+// the leader tolerates before sealing the epoch early. Adaptive sealing
+// keeps lightly-loaded (and single-threaded) pools from paying the full
+// maxDelay on every commit while still letting runnable committers join.
+// Two passes is the measured sweet spot: one is not enough for runnable
+// committers to reach their enlist (occupancy collapses to 1 even on a
+// saturated pool), while more passes only add idle yields at every
+// occupancy level.
+const gcStablePasses = 2
+
+// obsPoolFences mirrors the pool's fence counter into the obs registry
+// (gated on obs.Enabled), so fences-per-op regressions are checkable from
+// the observability layer alone.
+var obsPoolFences = obs.Default.Counter("pool.fences")
+
+// GroupCommitStats is a snapshot of the coordinator's counters.
+type GroupCommitStats struct {
+	// Epochs is the number of epochs fenced.
+	Epochs int64 `json:"epochs"`
+	// Enlisted is the total number of transactions retired across epochs.
+	Enlisted int64 `json:"enlisted"`
+	// FencesSaved is Enlisted - Epochs: ordering fences that were never
+	// issued because a leader's fence covered them.
+	FencesSaved int64 `json:"fences_saved"`
+	// MaxOccupancy is the largest number of waiters one epoch retired.
+	MaxOccupancy int64 `json:"max_occupancy"`
+}
+
+// MeanOccupancy is the average number of transactions per epoch.
+func (s GroupCommitStats) MeanOccupancy() float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return float64(s.Enlisted) / float64(s.Epochs)
+}
+
+// epochSealed is or-ed into commitEpoch.waiters when the leader seals the
+// epoch: enlist CAS attempts observe it and move on to the next epoch, so
+// the occupancy below the bit is frozen without a lock.
+const epochSealed = int64(1) << 32
+
+// commitEpoch is one group of concurrently committing transactions. The
+// creator is the leader; everyone else waits on done in a yielding co-pay
+// loop. Spinning (with yields) beats parking here: releasing an epoch by
+// closing a channel drags every follower through a scheduler park/unpark
+// round trip per ordering fence, which measures several times the fence
+// being saved, while the co-pay loop keeps followers settling the pool's
+// accrued latency debt as they wait. failed carries the leader's fence
+// panic (the crash latch) to every follower and is written before done is
+// set.
+type commitEpoch struct {
+	// waiters holds the occupancy count, with epochSealed or-ed in once
+	// the leader stops admitting. Enlisting is a CAS that fails over to a
+	// fresh epoch when the bit is set; the commit paths are lock-free
+	// because a contended sync.Mutex parks goroutines through its slow
+	// path, and at eight committers per epoch that costs more than the
+	// fence being amortized.
+	waiters atomic.Int64
+	done    atomic.Bool
+	failed  any
+}
+
+// groupCommitter coordinates epochs for one pool.
+type groupCommitter struct {
+	maxWaiters int
+	maxDelayNS int64
+
+	cur atomic.Pointer[commitEpoch]
+
+	epochs       atomic.Int64
+	enlisted     atomic.Int64
+	fencesSaved  atomic.Int64
+	maxOccupancy atomic.Int64
+
+	// obs instruments, resolved once at construction; recording is gated
+	// on obs.Enabled so a disabled registry costs one atomic load.
+	obsEpochs   *obs.Counter
+	obsEnlisted *obs.Counter
+	obsSaved    *obs.Counter
+	obsOcc      *obs.Histogram
+}
+
+func newGroupCommitter(maxWaiters int, maxDelayNS int64) *groupCommitter {
+	return &groupCommitter{
+		maxWaiters:  maxWaiters,
+		maxDelayNS:  maxDelayNS,
+		obsEpochs:   obs.Default.Counter("nvm.gc.epochs"),
+		obsEnlisted: obs.Default.Counter("nvm.gc.enlisted"),
+		obsSaved:    obs.Default.Counter("nvm.gc.fences_saved"),
+		obsOcc:      obs.Default.Histogram("nvm.gc.occupancy"),
+	}
+}
+
+// GroupCommit enables the epoch-based group-commit coordinator on the pool:
+// subsequent CommitFence calls enlist in shared epochs of up to maxWaiters
+// transactions, with leaders lingering at most maxDelayNS for followers.
+// maxWaiters <= 1 (or maxDelayNS < 0) disables the coordinator and restores
+// CommitFence == Fence. Like the other mode switches, enabling or disabling
+// requires external quiescence (no in-flight transactions).
+func (p *Pool) GroupCommit(maxWaiters int, maxDelayNS int64) {
+	if maxWaiters <= 1 || maxDelayNS < 0 {
+		p.gc.Store(nil)
+		return
+	}
+	p.gc.Store(newGroupCommitter(maxWaiters, maxDelayNS))
+}
+
+// GroupCommitEnabled reports whether the coordinator is active.
+func (p *Pool) GroupCommitEnabled() bool { return p.gc.Load() != nil }
+
+// GroupCommitStats returns a snapshot of the coordinator's counters (zero
+// when the coordinator is disabled).
+func (p *Pool) GroupCommitStats() GroupCommitStats {
+	g := p.gc.Load()
+	if g == nil {
+		return GroupCommitStats{}
+	}
+	return GroupCommitStats{
+		Epochs:       g.epochs.Load(),
+		Enlisted:     g.enlisted.Load(),
+		FencesSaved:  g.fencesSaved.Load(),
+		MaxOccupancy: g.maxOccupancy.Load(),
+	}
+}
+
+// CommitFence is the ordering fence engines issue on their commit paths:
+// it returns only after every line the caller flushed (FlushOpt) is
+// durable. With the coordinator disabled it is exactly Fence. Enabled, the
+// caller enlists in the current epoch and either leads (issuing the one
+// fence that retires the whole epoch) or blocks until the leader's fence
+// completes. Only convert bare ordering fences to CommitFence — Persist and
+// strong-Flush sites carry immediate-durability semantics a shared drain
+// does not provide.
+func (p *Pool) CommitFence() {
+	if g := p.gc.Load(); g != nil {
+		g.commit(p)
+		return
+	}
+	p.Fence()
+}
+
+// CommitPersist is Persist with its ordering fence routed through the
+// group-commit coordinator: a strong Flush (the line reaches the media at
+// the flush itself in precise mode, so durable-before-next-store protocols
+// like the allocator journal keep their contract regardless of epoch
+// grouping) followed by CommitFence. With the coordinator disabled the
+// sequence is Flush+Fence — exactly Persist, event for event.
+func (p *Pool) CommitPersist(addr, n uint64) {
+	p.Flush(addr, n)
+	p.CommitFence()
+}
+
+// groupFence is the fence a group-commit leader issues: identical to Fence
+// except that in deferred-media mode the fence's latency debt is posted but
+// not yet settled — the caller settles it with payLatency after releasing
+// the epoch's followers, so the wait overlaps their resumed compute. In
+// precise mode it is exactly Fence.
+func (p *Pool) groupFence() {
+	if !p.fast.Load() {
+		p.Fence()
+		return
+	}
+	p.stats.hot[0].fences.Add(1)
+	if obs.Enabled() {
+		obsPoolFences.Add(0, 1)
+	}
+	p.latDebt.Add(int64(p.lat.FenceNS))
+}
+
+// commit enlists the caller in the current epoch and waits until the
+// epoch's fence has completed, panicking with the leader's crash if the
+// simulated power failed mid-epoch.
+//
+// Waiters do not park: the lingering leader and the followers keep
+// calling payLatency while they wait. In deferred-media mode the pool's
+// accrued flush/fence debt is settled by yieldWait calls whose wall-clock
+// windows overlap — the model of per-thread persist pipelines draining
+// underneath stalled threads — so co-paying waiters preserve that overlap
+// while the epoch forms, and groupFence defers the epoch fence's own
+// payment until after the followers are released so the drain overlaps
+// their resumed compute instead of serializing in front of it.
+func (g *groupCommitter) commit(p *Pool) {
+	if p.crashed.Load() {
+		// Power is already out: a commit fence issued after the failure
+		// instant behaves like any other persistence event.
+		panic(ErrCrash)
+	}
+	var e *commitEpoch
+	leader := false
+	for e == nil {
+		c := g.cur.Load()
+		if c == nil {
+			ne := &commitEpoch{}
+			ne.waiters.Store(1)
+			if g.cur.CompareAndSwap(nil, ne) {
+				e, leader = ne, true
+			}
+			continue
+		}
+		w := c.waiters.Load()
+		if w&epochSealed != 0 {
+			// The leader seals and then swaps the slot to nil; yield so
+			// it can finish publishing the next epoch's vacancy.
+			runtime.Gosched()
+			continue
+		}
+		if int(w) >= g.maxWaiters {
+			// Full but not yet sealed: displace it and lead the next
+			// epoch. Capping occupancy at enlist time (not just in the
+			// leader's linger) is what lets epoch k+1 form — its members
+			// computing and flushing — while epoch k's fence drains; on a
+			// saturated pool an uncapped epoch absorbs every thread and
+			// its fence runs with nothing overlapping it.
+			ne := &commitEpoch{}
+			ne.waiters.Store(1)
+			if g.cur.CompareAndSwap(c, ne) {
+				e, leader = ne, true
+			}
+			continue
+		}
+		if c.waiters.CompareAndSwap(w, w+1) {
+			e = c
+		}
+	}
+
+	if !leader {
+		for !e.done.Load() {
+			p.payLatency()
+			runtime.Gosched()
+		}
+		if e.failed != nil {
+			panic(e.failed)
+		}
+		return
+	}
+
+	// Leader: linger for followers until the epoch fills, the delay bound
+	// expires, or the waiter count stops growing (the adaptive early seal
+	// that keeps single-threaded commits cheap). The yield gives runnable
+	// committers on other goroutines a chance to reach their CommitFence
+	// and enlist, and the co-pay turns the linger window into useful
+	// latency settlement instead of idle spinning.
+	deadline := time.Now().Add(time.Duration(g.maxDelayNS))
+	prev, stable := int64(1), 0
+	for {
+		n := e.waiters.Load()
+		if int(n) >= g.maxWaiters {
+			break
+		}
+		if n == prev {
+			if stable++; stable >= gcStablePasses {
+				break
+			}
+		} else {
+			prev, stable = n, 0
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		p.payLatency()
+		runtime.Gosched()
+	}
+
+	// Seal: the Or freezes the occupancy (enlist CASes fail against the
+	// bit), then the slot is vacated so the next epoch can form while this
+	// one's fence drains.
+	occupancy := e.waiters.Or(epochSealed)
+	g.cur.CompareAndSwap(e, nil)
+
+	g.epochs.Add(1)
+	g.enlisted.Add(occupancy)
+	g.fencesSaved.Add(occupancy - 1)
+	for {
+		m := g.maxOccupancy.Load()
+		if occupancy <= m || g.maxOccupancy.CompareAndSwap(m, occupancy) {
+			break
+		}
+	}
+	if obs.Enabled() {
+		g.obsEpochs.Add(0, 1)
+		g.obsEnlisted.Add(0, occupancy)
+		g.obsSaved.Add(0, occupancy-1)
+		g.obsOcc.Observe(0, occupancy)
+	}
+
+	// The one fence that retires the whole epoch. A crash panic (or any
+	// other failure) is stored before done is closed so every follower
+	// re-raises it: the power failed for all enlisted transactions, not
+	// just the leader's. In deferred-media mode the fence's latency debt is
+	// posted by groupFence but settled only after the followers are
+	// released, so the simulated drain overlaps their resumed compute the
+	// way an asynchronous media drain overlaps execution on real hardware.
+	var failed any
+	func() {
+		defer func() { failed = recover() }()
+		p.groupFence()
+	}()
+	e.failed = failed
+	e.done.Store(true)
+	if failed != nil {
+		panic(failed)
+	}
+	p.payLatency()
+}

@@ -1,0 +1,167 @@
+package nvm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCommitFenceDisabledIsFence: with the coordinator off (the default),
+// CommitFence must be indistinguishable from Fence — same fence counter,
+// same pending-line drain, same persist-point ticks.
+func TestCommitFenceDisabledIsFence(t *testing.T) {
+	p := New(1 << 16)
+	if p.GroupCommitEnabled() {
+		t.Fatal("group commit must be off by default")
+	}
+	addr := p.HeapBase()
+	p.Store(addr, []byte("payload"))
+	p.FlushOpt(addr, 7)
+	if p.PendingLines() == 0 {
+		t.Fatal("FlushOpt left nothing pending")
+	}
+	s0 := p.Stats()
+	e0 := p.PersistPoints(CrashAtFence)
+	p.CommitFence()
+	if p.PendingLines() != 0 {
+		t.Fatal("CommitFence did not drain pending lines")
+	}
+	if got := p.Stats().Fences - s0.Fences; got != 1 {
+		t.Fatalf("CommitFence issued %d fences, want 1", got)
+	}
+	if got := p.PersistPoints(CrashAtFence) - e0; got != 1 {
+		t.Fatalf("CommitFence ticked %d fence events, want 1", got)
+	}
+	if st := p.GroupCommitStats(); st != (GroupCommitStats{}) {
+		t.Fatalf("disabled coordinator reported stats %+v", st)
+	}
+}
+
+// TestGroupCommitSingleThreadOccupancyOne: enabled but single-threaded,
+// every epoch retires exactly one transaction and the issued fence count
+// matches the disabled baseline exactly (the bit-identity property the
+// deterministic sweeps rely on).
+func TestGroupCommitSingleThreadOccupancyOne(t *testing.T) {
+	const rounds = 25
+	run := func(enable bool) (fences int64, stats GroupCommitStats) {
+		p := New(1 << 16)
+		if enable {
+			p.GroupCommit(DefaultGroupCommitWaiters, DefaultGroupCommitDelayNS)
+		}
+		addr := p.HeapBase()
+		for i := 0; i < rounds; i++ {
+			p.Store64(addr, uint64(i))
+			p.FlushOpt(addr, 8)
+			p.CommitFence()
+		}
+		return p.Stats().Fences, p.GroupCommitStats()
+	}
+	off, _ := run(false)
+	on, st := run(true)
+	if on != off {
+		t.Fatalf("single-thread fence count: %d enabled vs %d disabled", on, off)
+	}
+	if st.Epochs != rounds || st.Enlisted != rounds || st.FencesSaved != 0 || st.MaxOccupancy != 1 {
+		t.Fatalf("single-thread stats %+v, want %d solo epochs", st, rounds)
+	}
+}
+
+// TestGroupCommitSavesFencesConcurrently: concurrent committers must share
+// epochs, issuing strictly fewer fences than transactions committed.
+func TestGroupCommitSavesFencesConcurrently(t *testing.T) {
+	const workers, rounds = 8, 400
+	p := New(1 << 20)
+	p.GroupCommit(workers, DefaultGroupCommitDelayNS)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			addr := p.HeapBase() + uint64(w)*LineSize
+			for i := 0; i < rounds; i++ {
+				p.Store64(addr, uint64(i))
+				p.FlushOpt(addr, 8)
+				p.CommitFence()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.GroupCommitStats()
+	if st.Enlisted != workers*rounds {
+		t.Fatalf("enlisted %d, want %d", st.Enlisted, workers*rounds)
+	}
+	if st.FencesSaved <= 0 {
+		t.Fatalf("no fences saved across %d concurrent commits: %+v", st.Enlisted, st)
+	}
+	if st.Epochs+st.FencesSaved != st.Enlisted {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	if st.MaxOccupancy > workers {
+		t.Fatalf("epoch occupancy %d exceeds maxWaiters %d", st.MaxOccupancy, workers)
+	}
+	// Every committed line must be durable after its CommitFence returned.
+	if p.PendingLines() != 0 {
+		t.Fatalf("%d lines still pending after all commits", p.PendingLines())
+	}
+}
+
+// TestGroupCommitCrashPropagates: a crash landing on an epoch's fence must
+// panic ErrCrash in every enlisted waiter — leader and followers alike —
+// and latch the pool so later commit fences fail too.
+func TestGroupCommitCrashPropagates(t *testing.T) {
+	const workers = 4
+	p := New(1<<20, WithEviction(EvictNone))
+	p.GroupCommit(workers, DefaultGroupCommitDelayNS)
+	p.ScheduleCrashAt(CrashAtFence, 3)
+
+	var wg sync.WaitGroup
+	crashed := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok || !errors.Is(err, ErrCrash) {
+						panic(r)
+					}
+					crashed[w] = true
+				}
+			}()
+			addr := p.HeapBase() + uint64(w)*LineSize
+			for i := 0; ; i++ {
+				p.Store64(addr, uint64(i))
+				p.FlushOpt(addr, 8)
+				p.CommitFence()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !p.Crashed() {
+		t.Fatal("scheduled crash never fired")
+	}
+	for w, c := range crashed {
+		if !c {
+			t.Fatalf("worker %d exited without observing ErrCrash", w)
+		}
+	}
+	// Sticky latch: a commit fence after the failure instant must refuse.
+	func() {
+		defer func() {
+			err, ok := recover().(error)
+			if !ok || !errors.Is(err, ErrCrash) {
+				t.Fatalf("post-crash CommitFence: got %v, want ErrCrash", err)
+			}
+		}()
+		p.CommitFence()
+	}()
+	// And the pool must still be recoverable: Crash + a fresh commit works.
+	p.Crash()
+	p.GroupCommit(0, 0)
+	if p.GroupCommitEnabled() {
+		t.Fatal("GroupCommit(0,0) did not disable the coordinator")
+	}
+	p.Store64(p.HeapBase(), 42)
+	p.Persist(p.HeapBase(), 8)
+}

@@ -56,6 +56,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"clobbernvm/internal/obs"
 )
 
 // LineSize is the simulated cache-line size in bytes.
@@ -140,6 +142,11 @@ type Pool struct {
 	// compute the way per-thread persist pipelines do on real hardware.
 	// Precise mode pays latency inline and never touches it.
 	latDebt atomic.Int64
+
+	// gc, when non-nil, is the epoch-based group-commit coordinator
+	// CommitFence enlists in (see groupcommit.go). Nil — the default —
+	// makes CommitFence exactly Fence.
+	gc atomic.Pointer[groupCommitter]
 
 	lat   Latency
 	stats Stats
@@ -664,6 +671,9 @@ func (p *Pool) markPending(w, mask uint64) {
 // before the drain — the pending lines are still at the hardware's mercy.
 func (p *Pool) Fence() {
 	p.stats.hot[0].fences.Add(1)
+	if obs.Enabled() {
+		obsPoolFences.Add(0, 1)
+	}
 	if !p.fast.Load() {
 		p.tick(CrashAtFence)
 		if p.pendingCount.Load() != 0 {

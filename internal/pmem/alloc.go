@@ -146,6 +146,13 @@ type Pool interface {
 	Flush(addr, n uint64)
 	Fence()
 	Persist(addr, n uint64)
+	// CommitFence / CommitPersist route the ordering fence through the
+	// pool's group-commit coordinator when one is enabled; with the
+	// coordinator off they are exactly Fence / Persist. The allocator uses
+	// them on its per-alloc journal path so concurrent transactions'
+	// allocator fences amortize with their commit fences.
+	CommitFence()
+	CommitPersist(addr, n uint64)
 	Size() uint64
 	HeapBase() uint64
 	RootSlot(i int) uint64
@@ -254,7 +261,7 @@ func (a *Allocator) writeJournal(ar int, e jentry) {
 	binary.LittleEndian.PutUint64(buf[40:], e.aux2)
 	binary.LittleEndian.PutUint64(buf[48:], e.checksum())
 	p.Store(j, buf[:])
-	p.Persist(j, 56)
+	p.CommitPersist(j, 56)
 }
 
 func (a *Allocator) readJournal(ar int) (jentry, bool) {
@@ -281,21 +288,21 @@ func (a *Allocator) apply(ar int, e jentry) {
 	switch e.kind {
 	case kindPop:
 		p.Store64(a.headAddr(ar, int(e.class)), e.aux1)
-		p.Persist(a.headAddr(ar, int(e.class)), 8)
+		p.CommitPersist(a.headAddr(ar, int(e.class)), 8)
 	case kindPush:
 		p.Store64(e.addr, e.aux1) // freed block's next pointer = old head
 		p.Flush(e.addr, 8)
 		p.Store64(a.headAddr(ar, int(e.class)), e.addr)
 		p.Flush(a.headAddr(ar, int(e.class)), 8)
-		p.Fence()
+		p.CommitFence()
 	case kindBump:
 		p.Store64(a.bumpAddr(ar), e.aux1)
-		p.Persist(a.bumpAddr(ar), 8)
+		p.CommitPersist(a.bumpAddr(ar), 8)
 	case kindRefill:
 		p.Store64(a.bumpAddr(ar), e.aux1)
 		p.Store64(a.limitAddr(ar), e.aux2)
 		p.Flush(a.bumpAddr(ar), 16)
-		p.Fence()
+		p.CommitFence()
 	}
 }
 
@@ -375,7 +382,7 @@ func (a *Allocator) nextSeq(ar int) uint64 {
 func (a *Allocator) writeHeader(block uint64, ar, class int, hugeUnits uint32) {
 	h := uint64(blockMagic)<<48 | uint64(ar&0xFF)<<40 | uint64(class&0xFF)<<32 | uint64(hugeUnits)
 	a.pool.Store64(block, h)
-	a.pool.Persist(block, 8)
+	a.pool.CommitPersist(block, 8)
 }
 
 func (a *Allocator) readHeader(block uint64) (ar, class int, hugeUnits uint32, ok bool) {
@@ -415,7 +422,7 @@ func (a *Allocator) refill(ar int, need uint64) (uint64, uint64, error) {
 		// one chunk per crash), never double-owned. PMDK makes the same
 		// trade-off for zone metadata.
 		p.Store64(a.metaBase+8, cb+uint64(sz))
-		p.Persist(a.metaBase+8, 8)
+		p.CommitPersist(a.metaBase+8, 8)
 		return cb, nil
 	}()
 	if err != nil {
@@ -450,7 +457,7 @@ func (a *Allocator) allocHuge(size uint64) (uint64, error) {
 		if csize >= need {
 			// Unlink: single 8-byte store, atomic w.r.t. crash.
 			p.Store64(prevA, next)
-			p.Persist(prevA, 8)
+			p.CommitPersist(prevA, 8)
 			a.noteAlloc(size)
 			a.writeHeader(cur, 0, hugeClass, uint32(csize/16))
 			return cur + headerSize, nil
@@ -465,7 +472,7 @@ func (a *Allocator) allocHuge(size uint64) (uint64, error) {
 		return 0, fmt.Errorf("%w: huge alloc of %d bytes", ErrOutOfMemory, size)
 	}
 	p.Store64(a.metaBase+8, cb+need)
-	p.Persist(a.metaBase+8, 8)
+	p.CommitPersist(a.metaBase+8, 8)
 	a.noteAlloc(size)
 	a.writeHeader(cb, 0, hugeClass, uint32(need/16))
 	return cb + headerSize, nil
@@ -492,9 +499,9 @@ func (a *Allocator) Free(addr uint64) error {
 		p.Store64(block, uint64(hugeUnits)) // size units in first word
 		p.Store64(block+8, head)            // next pointer
 		p.Flush(block, 16)
-		p.Fence()
+		p.CommitFence()
 		p.Store64(a.metaBase+24, block)
-		p.Persist(a.metaBase+24, 8)
+		p.CommitPersist(a.metaBase+24, 8)
 		return nil
 	}
 

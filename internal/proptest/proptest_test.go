@@ -20,6 +20,9 @@ func TestSpecRoundTrip(t *testing.T) {
 			Kind: nvm.CrashAtFence, Policy: nvm.EvictTorn, Point: 0, Threads: 4},
 		{Engine: "atlas", Structure: "list", Seed: 3, Ops: 8, Keep: []int{0, 2, 7},
 			Kind: nvm.CrashAtStore, Policy: nvm.EvictNone, Point: 5, Threads: 1},
+		{Engine: "clobber", Structure: "hashmap", Seed: 11, Ops: 24,
+			Kind: nvm.CrashAtAny, Policy: nvm.EvictRandom, Point: 40, Threads: 4,
+			GroupCommit: true},
 	}
 	for _, want := range specs {
 		line := want.String()
@@ -245,6 +248,47 @@ func TestConcurrentTorture(t *testing.T) {
 					Engine: c.engine, Structure: c.structure,
 					Seed: seed, Ops: 20, Threads: 3,
 					Kind: nvm.CrashAtAny, Policy: nvm.EvictRandom,
+				}
+				es, err := engineSpec(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := Torture(es, spec, 2)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if f != nil {
+					t.Fatalf("seed %d: %v", seed, f.Error())
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentTortureGroupCommit reruns the concurrent oracle with the
+// epoch group-commit coordinator enabled: crashes now land inside commit
+// epochs shared by several worker streams (a leader's fence panic must
+// propagate the power failure to every enlisted follower), and recovery must
+// still produce a per-worker linearizable history.
+func TestConcurrentTortureGroupCommit(t *testing.T) {
+	cells := []struct {
+		engine, structure string
+	}{
+		{"clobber", "hashmap"},
+		{"pmdk", "rbtree"},
+		{"mnemosyne", "hashmap"},
+		{"atlas", "skiplist"},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.engine+"/"+c.structure, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 3; seed++ {
+				spec := Spec{
+					Engine: c.engine, Structure: c.structure,
+					Seed: seed, Ops: 20, Threads: 3,
+					Kind: nvm.CrashAtAny, Policy: nvm.EvictRandom,
+					GroupCommit: true,
 				}
 				es, err := engineSpec(spec)
 				if err != nil {

@@ -146,6 +146,13 @@ func setup(es crashsweep.EngineSpec, spec Spec) (*nvm.Pool, pds.Store, pds.Engin
 		size = 1 << 24 // per-slot logs for every worker
 	}
 	pool := nvm.New(size, nvm.WithSeed(spec.Seed), nvm.WithEviction(spec.Policy))
+	if spec.GroupCommit {
+		w := nvm.DefaultGroupCommitWaiters
+		if spec.Threads > w {
+			w = spec.Threads
+		}
+		pool.GroupCommit(w, nvm.DefaultGroupCommitDelayNS)
+	}
 	alloc, err := pmem.Create(pool)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("proptest: create allocator: %w", err)

@@ -49,6 +49,11 @@ type Spec struct {
 	// Threads > 1 selects concurrent mode: each thread runs its own stream
 	// over a disjoint key space and the crash halts them all mid-flight.
 	Threads int
+	// GroupCommit enables the pool's epoch-based group-commit coordinator,
+	// so crashes can land inside a partially-drained commit epoch shared by
+	// several threads. Off by default: single-threaded persist-point
+	// ordinals then stay identical to historical spec lines.
+	GroupCommit bool
 }
 
 // String encodes the spec as one parseable line.
@@ -59,6 +64,9 @@ func (s Spec) String() string {
 	}
 	line := fmt.Sprintf("engine=%s structure=%s seed=%d ops=%d crash-at=%s evict=%s point=%d threads=%d",
 		s.Engine, s.Structure, s.Seed, s.Ops, s.Kind, s.Policy, s.Point, threads)
+	if s.GroupCommit {
+		line += " gc=1"
+	}
 	if s.Keep != nil {
 		idx := make([]string, len(s.Keep))
 		for i, k := range s.Keep {
@@ -95,6 +103,10 @@ func Parse(line string) (Spec, error) {
 			s.Point, err = strconv.ParseInt(v, 10, 64)
 		case "threads":
 			s.Threads, err = strconv.Atoi(v)
+		case "gc":
+			var on int
+			on, err = strconv.Atoi(v)
+			s.GroupCommit = on != 0
 		case "keep":
 			s.Keep = []int{}
 			for _, part := range strings.Split(v, ",") {

@@ -274,33 +274,36 @@ func (e *Engine) commit(s *slot, seq uint64, m *mem, sp *obs.Span) {
 	for i, r := range ranges {
 		batch[i] = plog.BatchEntry{Addr: r.addr, Data: r.data}
 	}
-	nbytes, err := s.dlog.AppendBatch(seq, batch, plog.AppendOptions{})
+	nbytes, err := s.dlog.AppendBatch(seq, batch, plog.AppendOptions{NoFence: true})
 	if err != nil {
 		panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
 	}
+	// One groupable ordering fence makes the whole batch durable before
+	// the commit marker below can win.
+	p.CommitFence()
 	e.stats.LogEntries.Add(int64(len(ranges)))
 	e.stats.LogBytes.Add(int64(nbytes))
 	e.probe.LogAppend(obs.KindLogAppend, s.id, seq, nbytes)
 
 	// Commit point: once this marker is durable the transaction wins.
 	p.Store64(s.hdr+offStatus, seq<<2|phaseApplying)
-	p.Persist(s.hdr+offStatus, 8)
+	p.CommitPersist(s.hdr+offStatus, 8)
 
 	// Apply in place and persist the home locations.
 	for _, r := range ranges {
 		p.Store(r.addr, r.data)
 		p.FlushOpt(r.addr, uint64(len(r.data)))
 	}
-	p.Fence()
+	p.CommitFence()
 	sp.FlushFence(len(ranges))
 
 	if m.frees > 0 {
 		p.Store64(s.hdr+offStatus, seq<<2|phaseFreeing)
-		p.Persist(s.hdr+offStatus, 8)
+		p.CommitPersist(s.hdr+offStatus, 8)
 		e.applyFrees(s, seq, 0)
 	}
 	p.Store64(s.hdr+offStatus, seq<<2|phaseIdle)
-	p.Persist(s.hdr+offStatus, 8)
+	p.CommitPersist(s.hdr+offStatus, 8)
 }
 
 func (e *Engine) applyFrees(s *slot, seq, from uint64) {
@@ -311,7 +314,7 @@ func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
-		p.Persist(s.hdr+offFreeApplied, 8)
+		p.CommitPersist(s.hdr+offFreeApplied, 8)
 		if err := e.alloc.Free(addrs[i]); err != nil {
 			continue
 		}

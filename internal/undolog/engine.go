@@ -242,7 +242,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 	p.Store64(s.hdr+offFreeApplied, 0)
 	p.Store64(s.hdr+offReclaimApplied, 0)
 	p.Store64(s.hdr+offStatus, seq<<2|phaseOngoing)
-	p.Persist(s.hdr+offStatus, 8) // freeApplied shares the line
+	p.CommitPersist(s.hdr+offStatus, 8) // freeApplied shares the line
 	sp.BeginDone(seq)
 	s.seq = seq
 	s.dlog.Reset()
@@ -265,7 +265,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 
 	// Commit: outputs durable, then invalidate the log, then frees.
 	p.FlushOptLines(m.t.dirty)
-	p.Fence()
+	p.CommitFence()
 	sp.FlushFence(len(m.t.dirty))
 	if m.frees > 0 {
 		e.setStatus(s, seq, phaseFreeing)
@@ -279,7 +279,7 @@ func (e *Engine) Run(slotID int, name string, args *txn.Args) error {
 
 func (e *Engine) setStatus(s *slot, seq, phase uint64) {
 	e.pool.Store64(s.hdr+offStatus, seq<<2|phase)
-	e.pool.Persist(s.hdr+offStatus, 8)
+	e.pool.CommitPersist(s.hdr+offStatus, 8)
 }
 
 func (e *Engine) applyFrees(s *slot, seq, from uint64) {
@@ -290,7 +290,7 @@ func (e *Engine) applyFreeList(s *slot, addrs []uint64, from uint64) {
 	p := e.pool
 	for i := from; i < uint64(len(addrs)); i++ {
 		p.Store64(s.hdr+offFreeApplied, i+1)
-		p.Persist(s.hdr+offFreeApplied, 8)
+		p.CommitPersist(s.hdr+offFreeApplied, 8)
 		if err := e.alloc.Free(addrs[i]); err != nil {
 			continue
 		}
@@ -452,10 +452,14 @@ func (m *mem) preStore(addr, n uint64) {
 	if need {
 		old := make([]byte, n)
 		m.e.pool.Load(addr, old)
-		nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{})
+		// Fence through CommitFence: the undo entry is still durable
+		// before the protected store runs (CommitFence blocks), but the
+		// fence itself can be amortized across concurrent transactions.
+		nbytes, err := m.s.dlog.Append(m.seq, addr, old, plog.AppendOptions{NoFence: true})
 		if err != nil {
 			panic(fmt.Errorf("%w: %v", ErrTxTooLarge, err))
 		}
+		m.e.pool.CommitFence()
 		m.e.stats.LogEntries.Add(1)
 		m.e.stats.LogBytes.Add(int64(nbytes))
 		m.e.probe.LogAppend(obs.KindLogAppend, m.s.id, m.seq, nbytes)
