@@ -7,11 +7,19 @@
 //
 //	printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
 //
+// The cache is wrapped in a crash-recovery supervisor: if the simulated
+// pool's crash latch fires (e.g. armed via the /debug/crash endpoint), the
+// server drains in-flight requests with "SERVER_ERROR recovering", rebuilds
+// the world from the durable image, re-runs engine recovery, and resumes —
+// connections stay up throughout. /debug/crash?at=<store|flush|fence|any>&
+// point=<n> arms the next crash; "recovery" in /debug/vars reports restarts
+// and the last recovery's outcome.
+//
 // A debug HTTP endpoint (-debug-addr) serves /debug/vars (JSON metrics:
 // per-phase txn latency histograms, pool persist traffic, engine log
-// counters, cache hit rates), /debug/pprof/* and /debug/trace (the
-// transaction lifecycle flight recorder). -trace writes every lifecycle
-// event as JSONL to a file.
+// counters, cache hit rates, recovery status), /debug/pprof/* and
+// /debug/trace (the transaction lifecycle flight recorder). -trace writes
+// every lifecycle event as JSONL to a file.
 //
 // With -selftest the binary instead drives the four §5.6 request mixes
 // against the in-process engine and prints throughput.
@@ -24,11 +32,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"time"
 
 	"clobbernvm/internal/harness"
 	"clobbernvm/internal/memcache"
 	"clobbernvm/internal/nvm"
 	"clobbernvm/internal/obs"
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/pmem"
 )
 
 func main() {
@@ -42,12 +54,18 @@ func main() {
 	tracePath := flag.String("trace", "", "write txn lifecycle trace events as JSONL to this file")
 	traceRing := flag.Int("trace-ring", 4096, "in-memory trace ring capacity served at /debug/trace (0 disables)")
 	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit: concurrent connections share commit fences")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "per-connection read/write deadline; 0 disables")
+	drainTimeout := flag.Duration("drain-timeout", time.Second, "how long Close waits for in-flight sessions before force-closing")
 	flag.Parse()
 
+	const serverConns = 8
 	sc := harness.SmallScale
 	sc.PoolBytes = *poolMB << 20
 	sc.Latency = nvm.DefaultLatency
 	sc.GroupCommit = *groupCommit
+	// The engine needs one worker slot per concurrent connection; SmallScale
+	// is sized for two benchmark threads, not a server's session pool.
+	sc.Threads = []int{serverConns}
 	setup, err := harness.NewSetup(harness.EngineKind(*engine), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
@@ -67,14 +85,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	cache, err := memcache.New(setup.Engine, 34, memcache.Options{
+	const rootSlot = 34
+	copts := memcache.Options{
 		Capacity: *capacity,
 		Lock:     lockMode,
-	})
+	}
+	cache, err := memcache.New(setup.Engine, rootSlot, copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Crash-recovery supervision: on a pool crash latch, rebuild the world
+	// from the durable image exactly the way this process builds it at boot
+	// (same latency model, fast path, group commit), re-attach the engine,
+	// and let the supervisor re-register txfuncs and run recovery.
+	rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
+		p, err := nvm.NewFromImage(img, nvm.WithLatency(sc.Latency))
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Prefault()
+		p.SetFastPath(true)
+		if sc.GroupCommit {
+			p.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
+		}
+		a, err := pmem.Attach(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := harness.AttachEngine(harness.EngineKind(*engine), p, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, e, nil
+	}
+	sup := memcache.NewSupervisor(cache, setup.Pool, rootSlot, copts, rebuild)
 
 	// Observability: metrics on, trace sinks per flags.
 	obs.Enable(true)
@@ -105,20 +151,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "memcachedsim: debug listen: %v\n", err)
 			os.Exit(1)
 		}
-		pool := setup.Engine.Pool()
-		eng := setup.Engine
+		// Read pool/engine through the supervisor: recovery swaps in a
+		// fresh incarnation, and the debug page must follow it.
 		mux := obs.DebugMux(map[string]func() any{
-			"pool":        func() any { return pool.Stats() },
-			"engine":      func() any { return eng.Stats().Snapshot() },
-			"groupcommit": func() any { return pool.GroupCommitStats() },
+			"pool":        func() any { return sup.Pool().Stats() },
+			"engine":      func() any { return sup.Engine().Stats().Snapshot() },
+			"groupcommit": func() any { return sup.Pool().GroupCommitStats() },
+			"recovery":    func() any { return sup.Status() },
 			"cache": func() any {
+				hits, misses, evictions := sup.Counters()
 				return map[string]int64{
-					"hits":      cache.Hits.Load(),
-					"misses":    cache.Misses.Load(),
-					"evictions": cache.Evictions.Load(),
+					"hits":      hits,
+					"misses":    misses,
+					"evictions": evictions,
 				}
 			},
 		}, ring)
+		mux.HandleFunc("/debug/crash", func(w http.ResponseWriter, r *http.Request) {
+			kind, err := nvm.ParseCrashKind(r.URL.Query().Get("at"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			point, err := strconv.ParseInt(r.URL.Query().Get("point"), 10, 64)
+			if err != nil || point < 1 {
+				http.Error(w, "point must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			if err := sup.Arm(kind, point); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			fmt.Fprintf(w, "armed: crash at %s persistence event #%d\n", kind, point)
+		})
 		go func() { _ = http.Serve(dln, mux) }()
 		fmt.Printf("memcachedsim: debug endpoint on http://%s/debug/vars\n", dln.Addr())
 	}
@@ -138,7 +203,9 @@ func main() {
 		return
 	}
 
-	srv, err := memcache.NewServer(cache, *addr, 8)
+	srv, err := memcache.NewServer(sup, *addr, serverConns,
+		memcache.WithIdleTimeout(*idleTimeout),
+		memcache.WithDrainTimeout(*drainTimeout))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
 		os.Exit(1)
@@ -154,7 +221,7 @@ func main() {
 		obs.SetSink(nil)
 		_ = traceFile.Close()
 	}
-	hits, misses := cache.Hits.Load(), cache.Misses.Load()
-	fmt.Printf("memcachedsim: done (hits=%d misses=%d evictions=%d)\n",
-		hits, misses, cache.Evictions.Load())
+	hits, misses, evictions := sup.Counters()
+	fmt.Printf("memcachedsim: done (hits=%d misses=%d evictions=%d restarts=%d)\n",
+		hits, misses, evictions, sup.Restarts())
 }

@@ -11,7 +11,11 @@
 //     randomized op sequences checked against a reference model through
 //     crash-recover cycles at sampled persist points; failures are shrunk by
 //     delta debugging to a smallest reproducer and printed as a one-line
-//     replay command.
+//     replay command;
+//   - chaos (-chaos): online crash/recover torture (internal/chaos) — a live
+//     memcached server under concurrent client fire, crashed at seeded random
+//     persist points and recovered in place by the supervisor while the
+//     durability-at-ack invariant is audited every round.
 //
 // Every failure prints the exact command that reproduces it. -replay takes
 // the spec line a prop failure printed and re-runs exactly that scenario.
@@ -21,6 +25,7 @@
 //	torture -mode sweep -engine clobber -structure rbtree -crash-at any
 //	torture -mode random -engine pmdk -structure hashmap -rounds 200 -evict torn
 //	torture -mode prop -engine pmdk -structure rbtree -seqs 50 -samples 3
+//	torture -chaos -engine clobber -clients 8 -rounds 20 -seed 1
 //	torture -replay "engine=pmdk structure=rbtree seed=7 ops=30 crash-at=any evict=all point=67 threads=1 keep=28"
 package main
 
@@ -32,6 +37,7 @@ import (
 	"math/rand"
 	"os"
 
+	"clobbernvm/internal/chaos"
 	"clobbernvm/internal/crashsweep"
 	"clobbernvm/internal/nvm"
 	"clobbernvm/internal/pmem"
@@ -55,6 +61,10 @@ func main() {
 	samples := flag.Int("samples", 3, "prop mode: crash points sampled per sequence")
 	threads := flag.Int("threads", 1, "prop mode: concurrent worker streams (>1 enables concurrent-history checking)")
 	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit on the torture pool (crashes can land inside shared commit epochs)")
+	chaosMode := flag.Bool("chaos", false, "online chaos mode: live server, concurrent clients, crash/recover under traffic with a durability-at-ack audit (overrides -mode)")
+	clients := flag.Int("clients", 8, "chaos mode: concurrent clients")
+	keys := flag.Int("keys", 48, "chaos mode: keys per client")
+	chaosBroken := flag.Bool("chaos-broken", false, "chaos mode: deliberately skip engine recovery — the harness self-test; the run MUST be convicted")
 	replay := flag.String("replay", "", "replay a proptest spec line exactly (overrides -mode)")
 	flag.Parse()
 
@@ -67,6 +77,15 @@ func main() {
 	check(err)
 	policy, err := nvm.ParseEvictPolicy(*evict)
 	check(err)
+
+	if *chaosMode {
+		runChaos(chaos.Spec{
+			Engine: *engine, Clients: *clients, Rounds: *rounds,
+			KeysPerClient: *keys, Seed: *seed,
+			Kind: kind, Policy: policy, Broken: *chaosBroken,
+		})
+		return
+	}
 
 	switch *mode {
 	case "sweep":
@@ -124,6 +143,48 @@ func runProp(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolic
 	}
 	fmt.Printf("torture prop: %s/%s survived %d sequences x %d sampled crash points (ops=%d threads=%d crash-at=%s evict=%s seed=%d gc=%v)\n",
 		engine, structure, seqs, samples, ops, threads, kind, policy, seed, groupCommit)
+}
+
+// runChaos drives the online chaos schedule. Unlike sweep/random/prop, the
+// broken self-test variant inverts the exit logic: a broken engine that
+// escapes conviction is the failure.
+func runChaos(spec chaos.Spec) {
+	res, err := chaos.Run(spec, func(format string, a ...any) {
+		fmt.Printf(format+"\n", a...)
+	})
+	if res == nil {
+		check(err)
+		return
+	}
+	if spec.Broken {
+		convicted := len(res.Violations) > 0 || err != nil
+		if !convicted {
+			fmt.Fprintf(os.Stderr, "torture chaos: broken engine escaped conviction after %d rounds\n", res.Rounds)
+			fmt.Fprintf(os.Stderr, "torture chaos: reproduce: %s\n", res.Reproduce())
+			os.Exit(1)
+		}
+		fmt.Printf("torture chaos: broken engine convicted after %d rounds (%d violations, err=%v)\n",
+			res.Rounds, len(res.Violations), err)
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture chaos: %v\n", err)
+		fmt.Fprintf(os.Stderr, "torture chaos: reproduce: %s\n", res.Reproduce())
+		os.Exit(1)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "torture chaos: VIOLATION %s\n", v)
+	}
+	if len(res.Violations) > 0 || res.LeakedGoroutines > 0 {
+		fmt.Fprintf(os.Stderr, "torture chaos: %d violation(s), %d leaked goroutine(s)\n",
+			len(res.Violations), res.LeakedGoroutines)
+		fmt.Fprintf(os.Stderr, "torture chaos: reproduce: %s\n", res.Reproduce())
+		os.Exit(1)
+	}
+	fmt.Printf("torture chaos: %s survived %d crash/recover rounds with %d clients (acked=%d unacked=%d rejected=%d; recovered=%d reexec=%d rolled-back=%d rolled-forward=%d) in %v\n",
+		spec.Engine, res.Rounds, spec.Clients,
+		res.OpsAcked, res.OpsUnacked, res.OpsRejected,
+		res.Recovered, res.Reexecuted, res.RolledBack, res.RolledForward, res.Elapsed)
 }
 
 // reproduceCmd is the exact command line that re-runs the current scenario;

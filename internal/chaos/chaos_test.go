@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"clobbernvm/internal/nvm"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		DefaultSpec(),
+		{Engine: "pmdk", Clients: 4, Rounds: 3, KeysPerClient: 16, Seed: 99,
+			Kind: nvm.CrashAtStore, Policy: nvm.EvictAll, Broken: true},
+		{Engine: "atlas", Clients: 2, Rounds: 1, KeysPerClient: 8, Seed: -5,
+			Kind: nvm.CrashAtFence, Policy: nvm.EvictTorn},
+	}
+	for _, want := range specs {
+		got, err := Parse(want.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("round trip %q: got %+v, want %+v", want.String(), got, want)
+		}
+	}
+	for _, bad := range []string{"clients", "clients=x", "evict=sometimes", "frobs=1", "clients=0", "rounds=-1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestChaosDurabilityAtAck is the acceptance bar: concurrent clients,
+// repeated crash/recover rounds, zero durability-at-ack violations and zero
+// leaked goroutines. Short mode trims the schedule; the full run covers the
+// 8-client / 20-round bar.
+func TestChaosDurabilityAtAck(t *testing.T) {
+	spec := DefaultSpec()
+	if testing.Short() {
+		spec.Clients, spec.Rounds, spec.KeysPerClient = 4, 3, 16
+	}
+	res, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != spec.Rounds {
+		t.Errorf("completed %d rounds, want %d", res.Rounds, spec.Rounds)
+	}
+	if res.Restarts != int64(spec.Rounds) {
+		t.Errorf("restarts = %d, want %d", res.Restarts, spec.Rounds)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.LeakedGoroutines != 0 {
+		t.Errorf("leaked %d goroutines", res.LeakedGoroutines)
+	}
+	if res.OpsAcked == 0 {
+		t.Error("no operations acknowledged — the harness generated no real traffic")
+	}
+	t.Logf("acked=%d unacked=%d rejected=%d recovered=%d reexec=%d rolled-back=%d in %v",
+		res.OpsAcked, res.OpsUnacked, res.OpsRejected,
+		res.Recovered, res.Reexecuted, res.RolledBack, res.Elapsed)
+}
+
+// TestChaosOtherEngines runs a trimmed schedule over the rest of the
+// failure-atomicity roster: the invariant is engine-independent.
+func TestChaosOtherEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trimmed roster covered by TestChaosDurabilityAtAck in short mode")
+	}
+	for _, eng := range []string{"pmdk", "mnemosyne", "atlas"} {
+		t.Run(eng, func(t *testing.T) {
+			spec := DefaultSpec()
+			spec.Engine = eng
+			spec.Clients, spec.Rounds, spec.KeysPerClient, spec.Seed = 4, 3, 16, 7
+			res, err := Run(spec, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if res.LeakedGoroutines != 0 {
+				t.Errorf("leaked %d goroutines", res.LeakedGoroutines)
+			}
+		})
+	}
+}
+
+// TestChaosConvictsBrokenEngine is the harness self-test: an undo-log engine
+// whose recovery is deliberately skipped, crashed mid-store with every dirty
+// line written back, must be caught — by the post-recovery audit or by the
+// supervisor refusing to serve the corrupted image. A chaos harness that
+// cannot convict a known-broken engine proves nothing about working ones.
+func TestChaosConvictsBrokenEngine(t *testing.T) {
+	spec := Spec{
+		Engine: "pmdk", Clients: 4, Rounds: 10, KeysPerClient: 16, Seed: 3,
+		Kind: nvm.CrashAtStore, Policy: nvm.EvictAll, Broken: true,
+	}
+	if testing.Short() {
+		spec.Rounds = 5
+	}
+	res, err := Run(spec, t.Logf)
+	if res == nil {
+		t.Fatalf("no result: %v", err)
+	}
+	if len(res.Violations) == 0 &&
+		!(err != nil && strings.Contains(err.Error(), "supervisor down")) {
+		t.Fatalf("broken engine escaped conviction: err=%v rounds=%d", err, res.Rounds)
+	}
+	if len(res.Violations) > 0 {
+		t.Logf("convicted after %d rounds: %d violations, first: %s",
+			res.Rounds, len(res.Violations), res.Violations[0])
+	} else {
+		t.Logf("convicted by supervisor shutdown after %d rounds: %v", res.Rounds, err)
+	}
+}

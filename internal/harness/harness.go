@@ -182,6 +182,34 @@ func BuildEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots i
 	}
 }
 
+// AttachEngine re-attaches the engine variant to an existing pool — the
+// restart half of BuildEngine, used when a pool is rebuilt from a durable
+// image (nvm.NewFromImage) after a crash. Slot counts and log capacities
+// come from the pool's durable header; only the volatile behavior flags
+// that Create set must be restated.
+func AttachEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator) (pds.Engine, error) {
+	switch kind {
+	case EngineClobber:
+		return clobber.Attach(pool, alloc, clobber.Options{})
+	case EngineClobberConservative:
+		return clobber.Attach(pool, alloc, clobber.Options{Conservative: true})
+	case EngineClobberVLogOnly:
+		return clobber.Attach(pool, alloc, clobber.Options{DisableClobberLog: true})
+	case EngineClobberCLogOnly:
+		return clobber.Attach(pool, alloc, clobber.Options{DisableVLog: true})
+	case EngineNoLog:
+		return clobber.Attach(pool, alloc, clobber.Options{DisableVLog: true, DisableClobberLog: true})
+	case EnginePMDK:
+		return undolog.Attach(pool, alloc, undolog.Options{})
+	case EngineMnemosyne:
+		return redolog.Attach(pool, alloc, redolog.Options{})
+	case EngineAtlas:
+		return atlas.Attach(pool, alloc, atlas.Options{})
+	default:
+		return nil, fmt.Errorf("harness: unknown engine kind %q", kind)
+	}
+}
+
 // StructureKind names a benchmark data structure.
 type StructureKind string
 

@@ -438,6 +438,13 @@ func (c *Cache) GetWithCAS(slot int, key []byte) ([]byte, uint32, uint64, bool, 
 // Engine returns the cache's persistence engine (for stats reporting).
 func (c *Cache) Engine() pds.Engine { return c.eng }
 
+// Counters returns the volatile hit/miss/eviction counters in one call (the
+// Backend accessor sessions use for the stats command; a Supervisor forwards
+// it to whichever cache incarnation is current).
+func (c *Cache) Counters() (hits, misses, evictions int64) {
+	return c.Hits.Load(), c.Misses.Load(), c.Evictions.Load()
+}
+
 // Delete removes key, reporting whether it existed.
 func (c *Cache) Delete(slot int, key []byte) (bool, error) {
 	c.lock.Lock()

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"clobbernvm/internal/pds"
 )
 
 // maxValueBytes is the largest value a set may carry (memcached's classic
@@ -17,11 +19,25 @@ const maxValueBytes = 1 << 20
 // the connection.
 const maxDiscardBytes = 8 << 20
 
+// Backend is what a session needs from the store it serves: the cache
+// operations the protocol dispatches plus the accessors the stats command
+// reads. *Cache implements it directly; *Supervisor implements it with
+// fail-fast recovery semantics, so a server can swap a freshly recovered
+// cache in under live connections without the protocol layer noticing.
+type Backend interface {
+	SetFlags(slot int, key, value []byte, flags uint32) error
+	GetWithCAS(slot int, key []byte) ([]byte, uint32, uint64, bool, error)
+	Delete(slot int, key []byte) (bool, error)
+	Len() (int, error)
+	Counters() (hits, misses, evictions int64)
+	Engine() pds.Engine
+}
+
 // Session serves the memcached text protocol (the subset memslap exercises:
 // set, get, gets, delete, stats, quit) over one connection, dispatching to
-// the cache.
+// the backend.
 type Session struct {
-	cache *Cache
+	cache Backend
 	slot  int
 	r     *bufio.Reader
 	w     *bufio.Writer
@@ -29,7 +45,7 @@ type Session struct {
 
 // NewSession wraps a connection's reader/writer. slot is the worker slot
 // this session's transactions run on.
-func NewSession(cache *Cache, slot int, r io.Reader, w io.Writer) *Session {
+func NewSession(cache Backend, slot int, r io.Reader, w io.Writer) *Session {
 	return &Session{cache: cache, slot: slot, r: bufio.NewReader(r), w: bufio.NewWriter(w)}
 }
 
@@ -205,10 +221,11 @@ func (s *Session) handleStats() error {
 		s.reply("SERVER_ERROR " + err.Error())
 		return nil
 	}
+	hits, misses, evictions := s.cache.Counters()
 	fmt.Fprintf(s.w, "STAT curr_items %d\r\n", n)
-	fmt.Fprintf(s.w, "STAT get_hits %d\r\n", s.cache.Hits.Load())
-	fmt.Fprintf(s.w, "STAT get_misses %d\r\n", s.cache.Misses.Load())
-	fmt.Fprintf(s.w, "STAT evictions %d\r\n", s.cache.Evictions.Load())
+	fmt.Fprintf(s.w, "STAT get_hits %d\r\n", hits)
+	fmt.Fprintf(s.w, "STAT get_misses %d\r\n", misses)
+	fmt.Fprintf(s.w, "STAT evictions %d\r\n", evictions)
 
 	eng := s.cache.Engine()
 	fmt.Fprintf(s.w, "STAT engine %s\r\n", eng.Name())

@@ -3,6 +3,7 @@ package nvm
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 	"testing"
 )
 
@@ -324,6 +325,129 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if _, err := ParseEvictPolicy("bogus"); err == nil {
 		t.Fatal("bogus evict policy accepted")
+	}
+}
+
+// TestCrashLatchAllGoroutinesObserve hammers the latch from many goroutines
+// at once: one of them trips the armed ordinal, and every store issued by
+// any goroutine after that instant must panic with ErrCrash. This is the
+// property the online supervisor leans on — all in-flight handlers fail
+// within one persistence event of the power failure, so draining terminates.
+func TestCrashLatchAllGoroutinesObserve(t *testing.T) {
+	const workers = 8
+	p := New(1<<20, WithEviction(EvictAll))
+	p.ScheduleCrashAt(CrashAtStore, 50)
+
+	var wg sync.WaitGroup
+	crashes := make([]int, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(HeaderSize) + uint64(g)*4*LineSize
+			for i := 0; ; i++ {
+				fired := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							err, ok := r.(error)
+							if !ok || !errors.Is(err, ErrCrash) {
+								panic(r)
+							}
+							fired = true
+						}
+					}()
+					p.Store64(base+uint64(i%4)*LineSize, uint64(i+1))
+				}()
+				if fired {
+					crashes[g]++
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every worker loops until it observes the crash, so each must have
+	// recorded exactly one ErrCrash — none may still be storing after the
+	// latch fired.
+	for g, n := range crashes {
+		if n != 1 {
+			t.Fatalf("worker %d observed %d crashes, want 1", g, n)
+		}
+	}
+	if !p.Crashed() {
+		t.Fatal("latch not set after concurrent crash")
+	}
+}
+
+// TestNewFromImageFreshLatch pins the reboot contract the supervisor's
+// rebuild path depends on: a pool reconstructed from a crashed pool's image
+// starts with the latch clear, no armed schedule, zeroed persist-point
+// counters, and working persistence primitives.
+func TestNewFromImageFreshLatch(t *testing.T) {
+	p := New(1<<16, WithEviction(EvictAll))
+	a := uint64(HeaderSize)
+	p.Store64(a, 41)
+	p.Persist(a, 8)
+	p.ScheduleCrashAt(CrashAtStore, 1)
+	if !expectCrash(t, func() { p.Store64(a, 42) }) {
+		t.Fatal("armed crash did not fire")
+	}
+	if !p.Crashed() {
+		t.Fatal("latch not set")
+	}
+	p.Crash()
+
+	q, err := NewFromImage(p.Snapshot(), WithEviction(EvictAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Crashed() {
+		t.Fatal("latch carried over into the rebuilt pool")
+	}
+	if q.CrashScheduled() {
+		t.Fatal("crash schedule carried over into the rebuilt pool")
+	}
+	if n := q.PersistPointCount(); n != 0 {
+		t.Fatalf("rebuilt pool starts with %d persist points, want 0", n)
+	}
+	// Normal service on the fresh incarnation.
+	q.Store64(a, 43)
+	q.Persist(a, 8)
+	if got := q.Load64(a); got != 43 {
+		t.Fatalf("store on rebuilt pool = %d, want 43", got)
+	}
+}
+
+// TestPrefaultPreservesContents guards the benchmark warm-up against data
+// loss: Prefault must touch every page without altering either view — the
+// header magic lives on page zero, and a pool rebuilt from a durable image
+// carries live data on every page.
+func TestPrefaultPreservesContents(t *testing.T) {
+	p := New(1 << 20)
+	const stride = 4096
+	for off := uint64(HeaderSize); off+8 <= p.Size(); off += stride {
+		p.Store64(off, off^0xABCD)
+		p.Persist(off, 8)
+	}
+	p.Prefault()
+	for off := uint64(HeaderSize); off+8 <= p.Size(); off += stride {
+		if got := p.Load64(off); got != off^0xABCD {
+			t.Fatalf("Prefault corrupted mem at %#x: %#x", off, got)
+		}
+	}
+	// The durable view (and its magic) must survive too: the snapshot must
+	// still parse as a valid image with the data intact.
+	q, err := NewFromImage(p.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot of a prefaulted pool rejected: %v", err)
+	}
+	q.Prefault() // the supervisor prefaults rebuilt pools carrying live data
+	for off := uint64(HeaderSize); off+8 <= q.Size(); off += stride {
+		if got := q.Load64(off); got != off^0xABCD {
+			t.Fatalf("Prefault corrupted rebuilt pool at %#x: %#x", off, got)
+		}
 	}
 }
 

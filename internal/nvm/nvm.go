@@ -240,12 +240,18 @@ func (p *Pool) Size() uint64 { return uint64(len(p.mem)) }
 
 // Prefault touches every page of both pool images so that operating-system
 // page faults land here rather than inside a measured region. Benchmark
-// setups call this before starting timers.
+// setups call this before starting timers. The touch is a write of the
+// byte's own value — a write is what forces a private copy-on-write page,
+// but it must not alter contents: the header magic lives in page zero, and
+// a pool rebuilt from a durable image (nvm.NewFromImage) is prefaulted with
+// live data on every page.
 func (p *Pool) Prefault() {
 	const page = 4096
 	for i := 0; i < len(p.mem); i += page {
-		p.mem[i] = 0
-		p.media[i] = 0
+		v := p.mem[i]
+		p.mem[i] = v
+		v = p.media[i]
+		p.media[i] = v
 	}
 }
 

@@ -433,6 +433,20 @@ func (e *Engine) recoverSlot(s *slot, rep *txn.RecoveryReport) {
 		// without reaching its commit marker; destroy them so a future
 		// attempt reusing that sequence cannot replay them.
 		s.dlog.Invalidate()
+		// Invalidate alone is not enough: it destroys only the first
+		// entry, while the dead attempt's unfenced batch may have left
+		// valid seq+1 entries deeper in the log (eviction persists lines
+		// in any order). If the sequence were reused and the new batch
+		// came up shorter, a later recovery scan would walk off the end of
+		// the fresh entries straight into the stale ones — same sequence,
+		// intact checksums — and replay writes whose target addresses have
+		// since been reclaimed. Burning the dead sequence in the durable
+		// status word makes those entries unreachable under any future
+		// scan. Undo engines never face this: their begin record advances
+		// the status word before the first log write.
+		s.seq = seq + 1
+		p.Store64(s.hdr+offStatus, s.seq<<2|phaseIdle)
+		p.Persist(s.hdr+offStatus, 8)
 	default:
 		e.quarantine(s, fmt.Errorf("%w: redolog slot %d: undefined phase %d", txn.ErrCorruptLog, s.id, phase))
 	}

@@ -201,6 +201,142 @@ func TestCommittedLogReplayedAfterCrash(t *testing.T) {
 	_ = cell
 }
 
+// TestStaleEntriesNotResurrectedAcrossSeqReuse double-crashes the engine:
+// transaction "big" (two log entries) dies before its commit marker, then —
+// because redo has no begin record — the next transaction would reuse its
+// sequence number. "small" logs a single entry of exactly the same size as
+// big's first, so big's durable second entry sits at the exact offset where
+// a recovery scan of the reused sequence continues after small's batch. If
+// small then dies mid-apply, an unburned sequence lets recovery silently
+// replay big's stale entry — writing a value the first recovery already
+// discarded (and whose address it may have reclaimed). The sweep tries every
+// (first crash, second crash) point pair under worst-case eviction and
+// requires that the never-committed big value can never materialize.
+func TestStaleEntriesNotResurrectedAcrossSeqReuse(t *testing.T) {
+	const (
+		sentB  = 0xB0B0B0B0B0B0B0B0
+		bigX0  = 0x1111111111111111
+		bigX1  = 0x2222222222222222
+		smallY = 0x3333333333333333
+	)
+	register := func(e *Engine, root uint64) {
+		e.Register("big", func(m txn.Mem, _ *txn.Args) error {
+			r := m.Load64(root)
+			m.Store64(r, bigX0)
+			m.Store64(r+64, bigX1)
+			return nil
+		})
+		e.Register("small", func(m txn.Mem, _ *txn.Args) error {
+			r := m.Load64(root)
+			m.Store64(r, smallY)
+			return nil
+		})
+	}
+	runExpectCrash := func(e *Engine, name string) (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, nvm.ErrCrash) {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		if err := e.Run(0, name, txn.NoArgs); err != nil {
+			t.Fatal(err)
+		}
+		return false
+	}
+	reattach := func(p *nvm.Pool, root uint64) *Engine {
+		t.Helper()
+		a, err := pmem.Attach(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Attach(p, a, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		register(e, root)
+		rep, err := e.RecoverReport()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Quarantined != 0 {
+			t.Fatalf("slot quarantined: %v", rep.Errors)
+		}
+		return e
+	}
+
+	for i := int64(1); ; i++ {
+		// Fresh world: one slot, a 128-byte cell block, sentinels planted.
+		p := nvm.New(1<<20, nvm.WithEviction(nvm.EvictAll), nvm.WithSeed(5))
+		a, err := pmem.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Create(p, a, Options{Slots: 1, DataLogCap: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := p.RootSlot(10)
+		e.Register("setup", func(m txn.Mem, _ *txn.Args) error {
+			r, err := m.Alloc(128)
+			if err != nil {
+				return err
+			}
+			m.Store64(root, r)
+			m.Store64(r+64, sentB)
+			return nil
+		})
+		register(e, root)
+		if err := e.Run(0, "setup", txn.NoArgs); err != nil {
+			t.Fatal(err)
+		}
+		cell := p.Load64(root)
+
+		p.ScheduleCrashAt(nvm.CrashAtAny, i)
+		if !runExpectCrash(e, "big") {
+			break // swept past every persist point of big: done
+		}
+		p.Crash()
+		img := p.Snapshot()
+
+		for j := int64(1); ; j++ {
+			q, err := nvm.NewFromImage(img, nvm.WithEviction(nvm.EvictAll))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2 := reattach(q, root) // first recovery: big rolled forward or discarded
+			bigWon := q.Load64(cell+64) == bigX1
+
+			q.ScheduleCrashAt(nvm.CrashAtAny, j)
+			crashed := runExpectCrash(e2, "small")
+			if crashed {
+				q.Crash()
+				reattach(q, root) // second recovery
+			}
+			want := uint64(sentB)
+			if bigWon {
+				want = bigX1
+			}
+			if got := q.Load64(cell + 64); got != want {
+				t.Fatalf("crash big@%d small@%d: cell+64 = %#x, want %#x (stale redo entry resurrected)",
+					i, j, got, want)
+			}
+			if got := q.Load64(cell); crashed && got != smallY && got != bigX0 && got != 0 {
+				t.Fatalf("crash big@%d small@%d: cell = %#x, not an allowed outcome", i, j, got)
+			}
+			if !crashed {
+				if got := q.Load64(cell); got != smallY {
+					t.Fatalf("crash big@%d: small committed but cell = %#x", i, got)
+				}
+				break // swept past every persist point of small
+			}
+		}
+	}
+}
+
 func TestAbortDiscardsWriteSetAndAllocs(t *testing.T) {
 	p, e := newEngine(t)
 	cell := p.RootSlot(8)
