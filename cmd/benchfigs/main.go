@@ -45,6 +45,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report to this path instead of CSV figures")
 	threads := flag.String("threads", "", "comma-separated thread sweep overriding the scale's default (e.g. 1,2,4,8,16,32)")
 	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit; -json reports add the on/off fence-amortization sweep")
+	shards := flag.String("shards", "", "comma-separated shard-count sweep added to the -json report (e.g. 1,2,4,8); the first count must be 1 — it is the unsharded recovery baseline the speedup column divides by")
 	flag.Parse()
 
 	sc := harness.SmallScale
@@ -68,12 +69,33 @@ func main() {
 	}
 	sc.GroupCommit = *groupCommit
 
+	if *shards != "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchfigs: -shards is a -json report sweep; pass -json too")
+		os.Exit(2)
+	}
+
 	if *jsonOut != "" {
 		start := time.Now()
 		rep, err := harness.RunBenchReport(sc, *scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
 			os.Exit(1)
+		}
+		if *shards != "" {
+			counts, err := parseThreads(*shards)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfigs: -shards: %v\n", err)
+				os.Exit(2)
+			}
+			if counts[0] != 1 {
+				fmt.Fprintln(os.Stderr, "benchfigs: -shards sweep must start at 1 (the unsharded baseline)")
+				os.Exit(2)
+			}
+			rep.ShardSweep, err = harness.RunShardSweep(sc, counts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfigs: shard sweep: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -85,7 +107,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report     %4d rows  %8.1fs  -> %s\n",
-			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling), time.Since(start).Seconds(), *jsonOut)
+			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling)+len(rep.ShardSweep),
+			time.Since(start).Seconds(), *jsonOut)
 		return
 	}
 

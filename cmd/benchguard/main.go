@@ -72,10 +72,49 @@ func main() {
 		fmt.Printf("%s %-9s baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
 			status, st, b, c, 100*ratio, 100**maxRegress)
 	}
+	if guardShardRows(base, cur, *maxRegress) {
+		failed = true
+	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchguard: single-thread regression beyond threshold")
+		fmt.Fprintln(os.Stderr, "benchguard: regression beyond threshold")
 		os.Exit(1)
 	}
+}
+
+// guardShardRows holds the current report's shards=1 sweep rows (the routed
+// path with a nil ring, which must be bit-identical to the unsharded engine)
+// against the baseline's YCSB-Load scaling rows at the same thread count: if
+// routing one shard costs more than the threshold over the plain path, the
+// "sharding is free when unused" contract is broken. Reports without a shard
+// sweep pass vacuously. Returns true when a row regresses.
+func guardShardRows(base, cur *harness.BenchReport, maxRegress float64) bool {
+	baseByThreads := map[int]float64{}
+	for _, r := range base.YCSBLoadScaling {
+		if r.Engine == "clobber" {
+			baseByThreads[r.Threads] = r.NSPerOp
+		}
+	}
+	failed := false
+	for _, s := range cur.ShardSweep {
+		if s.Shards != 1 {
+			continue
+		}
+		b, ok := baseByThreads[s.Threads]
+		if !ok {
+			fmt.Printf("FAIL shards=1 t=%d has no baseline ycsb_load_scaling row\n", s.Threads)
+			failed = true
+			continue
+		}
+		ratio := s.NSPerOp/b - 1
+		status := "ok  "
+		if ratio > maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s shards=1 t=%d baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
+			status, s.Threads, b, s.NSPerOp, 100*ratio, 100*maxRegress)
+	}
+	return failed
 }
 
 func readReport(path string) (*harness.BenchReport, error) {

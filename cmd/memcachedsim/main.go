@@ -56,6 +56,7 @@ func main() {
 	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit: concurrent connections share commit fences")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "per-connection read/write deadline; 0 disables")
 	drainTimeout := flag.Duration("drain-timeout", time.Second, "how long Close waits for in-flight sessions before force-closing")
+	shards := flag.Int("shards", 1, "independent persistence domains behind a consistent-hash key router; each shard has its own pool, engine and crash-recovery supervisor")
 	flag.Parse()
 
 	const serverConns = 8
@@ -66,11 +67,6 @@ func main() {
 	// The engine needs one worker slot per concurrent connection; SmallScale
 	// is sized for two benchmark threads, not a server's session pool.
 	sc.Threads = []int{serverConns}
-	setup, err := harness.NewSetup(harness.EngineKind(*engine), sc)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
-		os.Exit(1)
-	}
 
 	var lockMode memcache.LockMode
 	switch *lock {
@@ -90,37 +86,87 @@ func main() {
 		Capacity: *capacity,
 		Lock:     lockMode,
 	}
-	cache, err := memcache.New(setup.Engine, rootSlot, copts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
-		os.Exit(1)
-	}
 
-	// Crash-recovery supervision: on a pool crash latch, rebuild the world
-	// from the durable image exactly the way this process builds it at boot
-	// (same latency model, fast path, group commit), re-attach the engine,
-	// and let the supervisor re-register txfuncs and run recovery.
-	rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
-		p, err := nvm.NewFromImage(img, nvm.WithLatency(sc.Latency))
+	// backend is what the protocol layer serves; sups are the per-shard
+	// crash-recovery supervisors behind it (one entry when unsharded).
+	var (
+		backend memcache.Backend
+		sups    []*memcache.Supervisor
+		sharded *memcache.ShardedBackend
+		cache   *memcache.Cache // selftest drives the cache directly (unsharded only)
+	)
+	if *shards <= 1 {
+		setup, err := harness.NewSetup(harness.EngineKind(*engine), sc)
 		if err != nil {
-			return nil, nil, err
+			fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
+			os.Exit(1)
 		}
-		p.Prefault()
-		p.SetFastPath(true)
-		if sc.GroupCommit {
-			p.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
-		}
-		a, err := pmem.Attach(p)
+		cache, err = memcache.New(setup.Engine, rootSlot, copts)
 		if err != nil {
-			return nil, nil, err
+			fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
+			os.Exit(1)
 		}
-		e, err := harness.AttachEngine(harness.EngineKind(*engine), p, a)
+		// Crash-recovery supervision: on a pool crash latch, rebuild the world
+		// from the durable image exactly the way this process builds it at boot
+		// (same latency model, fast path, group commit), re-attach the engine,
+		// and let the supervisor re-register txfuncs and run recovery.
+		rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
+			p, err := nvm.NewFromImage(img, nvm.WithLatency(sc.Latency))
+			if err != nil {
+				return nil, nil, err
+			}
+			p.Prefault()
+			p.SetFastPath(true)
+			if sc.GroupCommit {
+				p.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
+			}
+			a, err := pmem.Attach(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			e, err := harness.AttachEngine(harness.EngineKind(*engine), p, a)
+			if err != nil {
+				return nil, nil, err
+			}
+			return p, e, nil
+		}
+		sup := memcache.NewSupervisor(cache, setup.Pool, rootSlot, copts, rebuild)
+		sups = []*memcache.Supervisor{sup}
+		backend = sup
+	} else {
+		// Sharded: N independent pools behind the router, one supervisor per
+		// shard, so a crash drains and recovers only the shard that latched.
+		sc.Shards = *shards
+		shSetup, err := harness.NewShardedSetup(harness.EngineKind(*engine), sc)
 		if err != nil {
-			return nil, nil, err
+			fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
+			os.Exit(1)
 		}
-		return p, e, nil
+		sups = make([]*memcache.Supervisor, shSetup.Set.N())
+		for i := range sups {
+			sh := shSetup.Set.Shard(i)
+			shCache, err := memcache.New(sh.Engine, rootSlot, copts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memcachedsim: shard %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
+				s2, err := harness.RebuildShard(harness.EngineKind(*engine), img, sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				return s2.Pool, s2.Engine, nil
+			}
+			sups[i] = memcache.NewSupervisor(shCache, sh.Pool, rootSlot, copts, rebuild)
+		}
+		sharded, err = memcache.NewShardedBackend(sups)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
+			os.Exit(1)
+		}
+		backend = sharded
 	}
-	sup := memcache.NewSupervisor(cache, setup.Pool, rootSlot, copts, rebuild)
+	sup := sups[0]
 
 	// Observability: metrics on, trace sinks per flags.
 	obs.Enable(true)
@@ -134,11 +180,12 @@ func main() {
 		sinks = append(sinks, ring)
 	}
 	if *tracePath != "" {
-		traceFile, err = os.Create(*tracePath)
+		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
 			os.Exit(1)
 		}
+		traceFile = f
 		sinks = append(sinks, obs.NewJSONLSink(traceFile))
 	}
 	if s := obs.MultiSink(sinks...); s != nil {
@@ -152,14 +199,20 @@ func main() {
 			os.Exit(1)
 		}
 		// Read pool/engine through the supervisor: recovery swaps in a
-		// fresh incarnation, and the debug page must follow it.
+		// fresh incarnation, and the debug page must follow it. In a sharded
+		// deployment shard 0 is the representative for pool/engine stats and
+		// "recovery" carries every shard's supervisor status.
+		recovery := func() any { return sup.Status() }
+		if sharded != nil {
+			recovery = func() any { return sharded.Statuses() }
+		}
 		mux := obs.DebugMux(map[string]func() any{
 			"pool":        func() any { return sup.Pool().Stats() },
 			"engine":      func() any { return sup.Engine().Stats().Snapshot() },
 			"groupcommit": func() any { return sup.Pool().GroupCommitStats() },
-			"recovery":    func() any { return sup.Status() },
+			"recovery":    recovery,
 			"cache": func() any {
-				hits, misses, evictions := sup.Counters()
+				hits, misses, evictions := backend.Counters()
 				return map[string]int64{
 					"hits":      hits,
 					"misses":    misses,
@@ -178,17 +231,31 @@ func main() {
 				http.Error(w, "point must be a positive integer", http.StatusBadRequest)
 				return
 			}
-			if err := sup.Arm(kind, point); err != nil {
+			// &shard=<i> picks the victim domain (default 0; only shard 0
+			// exists unsharded).
+			target := 0
+			if q := r.URL.Query().Get("shard"); q != "" {
+				target, err = strconv.Atoi(q)
+				if err != nil || target < 0 || target >= len(sups) {
+					http.Error(w, fmt.Sprintf("shard must be in [0,%d)", len(sups)), http.StatusBadRequest)
+					return
+				}
+			}
+			if err := sups[target].Arm(kind, point); err != nil {
 				http.Error(w, err.Error(), http.StatusConflict)
 				return
 			}
-			fmt.Fprintf(w, "armed: crash at %s persistence event #%d\n", kind, point)
+			fmt.Fprintf(w, "armed: crash on shard %d at %s persistence event #%d\n", target, kind, point)
 		})
 		go func() { _ = http.Serve(dln, mux) }()
 		fmt.Printf("memcachedsim: debug endpoint on http://%s/debug/vars\n", dln.Addr())
 	}
 
 	if *selftest {
+		if cache == nil {
+			fmt.Fprintln(os.Stderr, "memcachedsim: -selftest drives a single cache; run it with -shards 1")
+			os.Exit(2)
+		}
 		for _, mix := range memcache.AllMixes {
 			res, err := memcache.Drive(cache, memcache.DriverConfig{
 				Mix: mix, Threads: 4, Ops: 20000, KeySpace: 10000, Seed: 1,
@@ -203,15 +270,15 @@ func main() {
 		return
 	}
 
-	srv, err := memcache.NewServer(sup, *addr, serverConns,
+	srv, err := memcache.NewServer(backend, *addr, serverConns,
 		memcache.WithIdleTimeout(*idleTimeout),
 		memcache.WithDrainTimeout(*drainTimeout))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("memcachedsim: engine=%s lock=%s listening on %s (ctrl-c to stop)\n",
-		*engine, *lock, srv.Addr())
+	fmt.Printf("memcachedsim: engine=%s lock=%s shards=%d listening on %s (ctrl-c to stop)\n",
+		*engine, *lock, len(sups), srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -221,7 +288,11 @@ func main() {
 		obs.SetSink(nil)
 		_ = traceFile.Close()
 	}
-	hits, misses, evictions := sup.Counters()
+	hits, misses, evictions := backend.Counters()
+	var restarts int64
+	for _, s := range sups {
+		restarts += s.Restarts()
+	}
 	fmt.Printf("memcachedsim: done (hits=%d misses=%d evictions=%d restarts=%d)\n",
-		hits, misses, evictions, sup.Restarts())
+		hits, misses, evictions, restarts)
 }

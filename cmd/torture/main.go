@@ -64,6 +64,7 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "online chaos mode: live server, concurrent clients, crash/recover under traffic with a durability-at-ack audit (overrides -mode)")
 	clients := flag.Int("clients", 8, "chaos mode: concurrent clients")
 	keys := flag.Int("keys", 48, "chaos mode: keys per client")
+	shards := flag.Int("shards", 1, "independent persistence domains; >1 shards the backend (chaos: one victim shard crashes per round while the rest must keep serving; sweep: every persist point of one shard crashed while survivors are audited)")
 	chaosBroken := flag.Bool("chaos-broken", false, "chaos mode: deliberately skip engine recovery — the harness self-test; the run MUST be convicted")
 	replay := flag.String("replay", "", "replay a proptest spec line exactly (overrides -mode)")
 	flag.Parse()
@@ -83,13 +84,14 @@ func main() {
 			Engine: *engine, Clients: *clients, Rounds: *rounds,
 			KeysPerClient: *keys, Seed: *seed,
 			Kind: kind, Policy: policy, Broken: *chaosBroken,
+			Shards: *shards,
 		})
 		return
 	}
 
 	switch *mode {
 	case "sweep":
-		runSweep(*engine, *structure, kind, policy, *seed, *liveOps, *groupCommit)
+		runSweep(*engine, *structure, kind, policy, *seed, *liveOps, *groupCommit, *shards)
 	case "random":
 		runRandom(*engine, *structure, kind, policy, *seed, *rounds, *opsPerRound, *groupCommit)
 	case "prop":
@@ -191,14 +193,19 @@ func runChaos(spec chaos.Spec) {
 // sweep and random set it on entry so every failure path can print it.
 var reproduceCmd string
 
-// runSweep crashes at every persist point of a deterministic workload.
-func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, liveOps int, groupCommit bool) {
+// runSweep crashes at every persist point of a deterministic workload; with
+// shards > 1 the points swept belong to one victim shard behind the router
+// and the audit additionally enforces survivor isolation.
+func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPolicy, seed int64, liveOps int, groupCommit bool, shards int) {
 	reproduceCmd = fmt.Sprintf("go run ./cmd/torture -mode sweep -engine %s -structure %s -crash-at %s -evict %s -seed %d -live-ops %d",
 		engine, structure, kind, policy, seed, liveOps)
 	if groupCommit {
 		reproduceCmd += " -group-commit"
 	}
-	res, err := crashsweep.Run(crashsweep.Config{
+	if shards > 1 {
+		reproduceCmd += fmt.Sprintf(" -shards %d", shards)
+	}
+	res, err := crashsweep.RunSharded(crashsweep.Config{
 		Engine:      engine,
 		Structure:   structure,
 		Kind:        kind,
@@ -206,10 +213,14 @@ func runSweep(engine, structure string, kind nvm.CrashKind, policy nvm.EvictPoli
 		Seed:        seed,
 		LiveOps:     liveOps,
 		GroupCommit: groupCommit,
-	})
+	}, shards)
 	check(err)
-	fmt.Printf("torture sweep: %s/%s crash-at=%s evict=%s: %d persist points, %d crashes, %d recovered (%d re-executed, %d rolled back, %d rolled forward), %d quarantined\n",
-		res.Engine, res.Structure, res.Kind, res.Policy, res.PersistPoints, res.Crashes,
+	where := ""
+	if res.Shards > 1 {
+		where = fmt.Sprintf(" shards=%d victim=%d", res.Shards, res.Victim)
+	}
+	fmt.Printf("torture sweep: %s/%s crash-at=%s evict=%s%s: %d persist points, %d crashes, %d recovered (%d re-executed, %d rolled back, %d rolled forward), %d quarantined\n",
+		res.Engine, res.Structure, res.Kind, res.Policy, where, res.PersistPoints, res.Crashes,
 		res.Recovered, res.Reexecuted, res.RolledBack, res.RolledForward, res.Quarantined)
 	if !res.Ok() {
 		for _, m := range res.Mismatches {

@@ -56,6 +56,12 @@ type Spec struct {
 	// Broken swaps in an engine whose recovery is deliberately skipped —
 	// the self-test proving the audit can convict a bad engine.
 	Broken bool
+	// Shards runs the server over that many independent persistence domains
+	// (internal/memcache.ShardedBackend); each round crashes one seeded-
+	// random shard and the audit additionally convicts any *other* shard
+	// that restarted or stopped serving — the crash-isolation contract.
+	// 0 or 1 is the original single-pool schedule.
+	Shards int
 }
 
 // DefaultSpec is the acceptance-bar schedule: 8 clients, 20 crash/recover
@@ -75,6 +81,11 @@ func (s Spec) String() string {
 		s.Engine, s.Clients, s.Rounds, s.KeysPerClient, s.Seed, s.Kind, s.Policy)
 	if s.Broken {
 		out += " broken=1"
+	}
+	if s.Shards > 1 {
+		// Appended only when sharded so pre-sharding spec lines round-trip
+		// byte-identically.
+		out += fmt.Sprintf(" shards=%d", s.Shards)
 	}
 	return out
 }
@@ -106,6 +117,8 @@ func Parse(enc string) (Spec, error) {
 			s.Policy, err = nvm.ParseEvictPolicy(v)
 		case "broken":
 			s.Broken = v == "1" || v == "true"
+		case "shards":
+			s.Shards, err = strconv.Atoi(v)
 		default:
 			return s, fmt.Errorf("chaos: unknown spec key %q", k)
 		}
@@ -157,6 +170,9 @@ func (r *Result) Reproduce() string {
 	if s.Broken {
 		cmd += " -chaos-broken"
 	}
+	if s.Shards > 1 {
+		cmd += fmt.Sprintf(" -shards %d", s.Shards)
+	}
 	return cmd
 }
 
@@ -179,7 +195,13 @@ func pointSpan(kind nvm.CrashKind) int64 {
 // engineSpec resolves the crashsweep roster entry for name, rejecting the
 // meter pseudo-engines (no recovery machinery to supervise).
 func engineSpec(name string, slots int) (crashsweep.EngineSpec, error) {
-	for _, es := range crashsweep.SpecsSized(slots, dataLogCap) {
+	return engineSpecSized(name, slots, dataLogCap)
+}
+
+// engineSpecSized is engineSpec with an explicit per-slot data-log capacity
+// (sharded runs split the capacity across domains).
+func engineSpecSized(name string, slots int, cap uint64) (crashsweep.EngineSpec, error) {
+	for _, es := range crashsweep.SpecsSized(slots, cap) {
 		if es.Name == name {
 			if es.Style != crashsweep.StyleAtomic {
 				return es, fmt.Errorf("chaos: engine %q is a meter, not a recoverable engine", name)
@@ -234,6 +256,9 @@ func settleGoroutines(baseline int, wait time.Duration) int {
 func Run(spec Spec, logf func(format string, a ...any)) (*Result, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if spec.Shards > 1 {
+		return runSharded(spec, logf)
 	}
 	start := time.Now()
 	baseline := runtime.NumGoroutine()
@@ -367,11 +392,17 @@ func Run(spec Spec, logf func(format string, a ...any)) (*Result, error) {
 	return res, nil
 }
 
+// getter is the read path the audit uses: a single supervisor or the
+// sharded dispatch layer, both reading exactly the way sessions do.
+type getter interface {
+	Get(slot int, key []byte) ([]byte, bool, error)
+}
+
 // audit checks every key any client ever touched against that client's
 // oracle, reading through the supervisor (the same path sessions use).
 // A failing read is itself a violation — a recovered store that errors on
 // lookup has lost the key as surely as one that returns the wrong value.
-func audit(sup *memcache.Supervisor, clients []*client, round int, res *Result) {
+func audit(sup getter, clients []*client, round int, res *Result) {
 	for _, c := range clients {
 		keys := make([]string, 0, len(c.model))
 		for k := range c.model {

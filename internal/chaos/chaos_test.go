@@ -94,26 +94,38 @@ func TestChaosOtherEngines(t *testing.T) {
 // line written back, must be caught — by the post-recovery audit or by the
 // supervisor refusing to serve the corrupted image. A chaos harness that
 // cannot convict a known-broken engine proves nothing about working ones.
+//
+// Conviction on any one schedule is probabilistic: the crash fires at a
+// seeded persist point, but which client op is in flight at that instant
+// depends on goroutine scheduling, and under heavy load a schedule can land
+// every crash between transactions. So the test tries a few seeds and passes
+// on the first conviction; a harness that truly cannot convict fails all of
+// them.
 func TestChaosConvictsBrokenEngine(t *testing.T) {
-	spec := Spec{
-		Engine: "pmdk", Clients: 4, Rounds: 10, KeysPerClient: 16, Seed: 3,
-		Kind: nvm.CrashAtStore, Policy: nvm.EvictAll, Broken: true,
-	}
+	rounds := 10
 	if testing.Short() {
-		spec.Rounds = 5
+		rounds = 5
 	}
-	res, err := Run(spec, t.Logf)
-	if res == nil {
-		t.Fatalf("no result: %v", err)
+	for _, seed := range []int64{3, 4, 5} {
+		spec := Spec{
+			Engine: "pmdk", Clients: 4, Rounds: rounds, KeysPerClient: 16, Seed: seed,
+			Kind: nvm.CrashAtStore, Policy: nvm.EvictAll, Broken: true,
+		}
+		res, err := Run(spec, t.Logf)
+		if res == nil {
+			t.Fatalf("no result: %v", err)
+		}
+		if len(res.Violations) > 0 {
+			t.Logf("seed %d: convicted after %d rounds: %d violations, first: %s",
+				seed, res.Rounds, len(res.Violations), res.Violations[0])
+			return
+		}
+		if err != nil && strings.Contains(err.Error(), "supervisor down") {
+			t.Logf("seed %d: convicted by supervisor shutdown after %d rounds: %v",
+				seed, res.Rounds, err)
+			return
+		}
+		t.Logf("seed %d: escaped (err=%v rounds=%d), trying next seed", seed, err, res.Rounds)
 	}
-	if len(res.Violations) == 0 &&
-		!(err != nil && strings.Contains(err.Error(), "supervisor down")) {
-		t.Fatalf("broken engine escaped conviction: err=%v rounds=%d", err, res.Rounds)
-	}
-	if len(res.Violations) > 0 {
-		t.Logf("convicted after %d rounds: %d violations, first: %s",
-			res.Rounds, len(res.Violations), res.Violations[0])
-	} else {
-		t.Logf("convicted by supervisor shutdown after %d rounds: %v", res.Rounds, err)
-	}
+	t.Fatalf("broken engine escaped conviction on all seeds")
 }

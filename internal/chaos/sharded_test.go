@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"testing"
+
+	"clobbernvm/internal/nvm"
+)
+
+// TestShardedSpecRoundTrip pins the spec encoding with shards: the field is
+// emitted only when sharded, so pre-sharding spec lines stay byte-identical.
+func TestShardedSpecRoundTrip(t *testing.T) {
+	sharded := DefaultSpec()
+	sharded.Shards = 4
+	got, err := Parse(sharded.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sharded.String(), err)
+	}
+	if got != sharded {
+		t.Errorf("round trip: got %+v, want %+v", got, sharded)
+	}
+	if s := DefaultSpec().String(); Contains(s, "shards") {
+		t.Errorf("unsharded spec %q leaks a shards token", s)
+	}
+}
+
+// Contains avoids importing strings for one call.
+func Contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosShardedCrashIsolation is the sharded acceptance bar: live
+// concurrent traffic over 4 shards while one seeded-random shard per round
+// takes a power failure. Zero durability-at-ack violations, zero isolation
+// violations (no non-victim shard restarts or stops serving), zero leaks.
+func TestChaosShardedCrashIsolation(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Shards = 4
+	if testing.Short() {
+		spec.Clients, spec.Rounds, spec.KeysPerClient = 4, 3, 16
+	} else {
+		spec.Clients, spec.Rounds, spec.KeysPerClient = 8, 10, 32
+	}
+	res, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != spec.Rounds {
+		t.Errorf("completed %d rounds, want %d", res.Rounds, spec.Rounds)
+	}
+	// Exactly one shard restarts per round.
+	if res.Restarts != int64(spec.Rounds) {
+		t.Errorf("restarts = %d, want %d (one victim per round)", res.Restarts, spec.Rounds)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.LeakedGoroutines != 0 {
+		t.Errorf("leaked %d goroutines", res.LeakedGoroutines)
+	}
+	if res.OpsAcked == 0 {
+		t.Error("no operations acknowledged — the harness generated no real traffic")
+	}
+	t.Logf("acked=%d unacked=%d rejected=%d recovered=%d reexec=%d in %v",
+		res.OpsAcked, res.OpsUnacked, res.OpsRejected,
+		res.Recovered, res.Reexecuted, res.Elapsed)
+}
+
+// TestChaosShardedOtherKinds exercises the isolation contract at flush- and
+// fence-targeted crash points with the torn-line adversary.
+func TestChaosShardedOtherKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestChaosShardedCrashIsolation in short mode")
+	}
+	spec := DefaultSpec()
+	spec.Shards = 2
+	spec.Clients, spec.Rounds, spec.KeysPerClient, spec.Seed = 4, 3, 16, 11
+	spec.Kind, spec.Policy = nvm.CrashAtFlush, nvm.EvictTorn
+	res, err := Run(spec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.LeakedGoroutines != 0 {
+		t.Errorf("leaked %d goroutines", res.LeakedGoroutines)
+	}
+}

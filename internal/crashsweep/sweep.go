@@ -95,6 +95,11 @@ type Result struct {
 	// also a Mismatch (a pure power failure must never corrupt a log).
 	Quarantined int
 	Mismatches  []Mismatch
+	// Shards and Victim are set by RunSharded only: the shard count swept
+	// over and the shard whose persist points were crash-injected while the
+	// others had to keep their state intact.
+	Shards int
+	Victim int
 }
 
 // Ok reports whether the sweep found no consistency violations.

@@ -53,6 +53,12 @@ type Scale struct {
 	// fences into shared epochs. Off by default so baselines are
 	// bit-identical with earlier reports.
 	GroupCommit bool
+	// Shards partitions the persistent heap into that many independent
+	// pools behind a consistent-hash router (internal/shard). 0 or 1 keeps
+	// the single-pool layout bit-identical with earlier reports; sharded
+	// setups split PoolBytes and the per-slot log capacity evenly so N
+	// shards occupy the same total space as one pool.
+	Shards int
 }
 
 // SmallScale finishes in seconds; used by tests and quick CLI runs.
@@ -156,58 +162,72 @@ func NewSetup(kind EngineKind, sc Scale) (*Setup, error) {
 	return &Setup{Pool: pool, Alloc: alloc, Engine: eng}, nil
 }
 
-// BuildEngine constructs the engine variant on an existing pool with the
-// given worker-slot count.
-func BuildEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int) (pds.Engine, error) {
-	const dataCap = 1 << 22
+// DefaultDataLogCap is the per-slot data-log capacity BuildEngine formats.
+// Sharded setups shrink it proportionally (see NewShardedSetup) so N shards
+// use the same total log space as one unsharded pool.
+const DefaultDataLogCap = 1 << 22
+
+// newEngine is the single construction path for every engine variant, in
+// both directions of a pool's life: fresh (Create: format slots and logs on
+// an empty pool) and attach (reopen an existing pool after restart or
+// crash, where slot counts and log capacities come from the pool's durable
+// header and only volatile behavior flags must be restated). One switch
+// serves both so the crash-rebuild path cannot drift from the build path.
+func newEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int, dataCap uint64, fresh bool) (pds.Engine, error) {
+	// Sizing fields are only meaningful on the fresh path; Attach reads them
+	// from the durable anchor and must not have them restated.
+	if !fresh {
+		slots, dataCap = 0, 0
+	}
+	clob := func(o clobber.Options) (pds.Engine, error) {
+		o.Slots, o.DataLogCap = slots, dataCap
+		if fresh {
+			return clobber.Create(pool, alloc, o)
+		}
+		return clobber.Attach(pool, alloc, o)
+	}
 	switch kind {
 	case EngineClobber:
-		return clobber.Create(pool, alloc, clobber.Options{Slots: slots, DataLogCap: dataCap})
+		return clob(clobber.Options{})
 	case EngineClobberConservative:
-		return clobber.Create(pool, alloc, clobber.Options{Slots: slots, DataLogCap: dataCap, Conservative: true})
+		return clob(clobber.Options{Conservative: true})
 	case EngineClobberVLogOnly:
-		return clobber.Create(pool, alloc, clobber.Options{Slots: slots, DataLogCap: dataCap, DisableClobberLog: true})
+		return clob(clobber.Options{DisableClobberLog: true})
 	case EngineClobberCLogOnly:
-		return clobber.Create(pool, alloc, clobber.Options{Slots: slots, DataLogCap: dataCap, DisableVLog: true})
+		return clob(clobber.Options{DisableVLog: true})
 	case EngineNoLog:
-		return clobber.Create(pool, alloc, clobber.Options{Slots: slots, DataLogCap: dataCap, DisableVLog: true, DisableClobberLog: true})
+		return clob(clobber.Options{DisableVLog: true, DisableClobberLog: true})
 	case EnginePMDK:
-		return undolog.Create(pool, alloc, undolog.Options{Slots: slots, DataLogCap: dataCap})
+		if fresh {
+			return undolog.Create(pool, alloc, undolog.Options{Slots: slots, DataLogCap: dataCap})
+		}
+		return undolog.Attach(pool, alloc, undolog.Options{})
 	case EngineMnemosyne:
-		return redolog.Create(pool, alloc, redolog.Options{Slots: slots, DataLogCap: dataCap})
+		if fresh {
+			return redolog.Create(pool, alloc, redolog.Options{Slots: slots, DataLogCap: dataCap})
+		}
+		return redolog.Attach(pool, alloc, redolog.Options{})
 	case EngineAtlas:
-		return atlas.Create(pool, alloc, atlas.Options{Slots: slots, DataLogCap: dataCap})
+		if fresh {
+			return atlas.Create(pool, alloc, atlas.Options{Slots: slots, DataLogCap: dataCap})
+		}
+		return atlas.Attach(pool, alloc, atlas.Options{})
 	default:
 		return nil, fmt.Errorf("harness: unknown engine kind %q", kind)
 	}
 }
 
+// BuildEngine constructs the engine variant on an existing pool with the
+// given worker-slot count.
+func BuildEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int) (pds.Engine, error) {
+	return newEngine(kind, pool, alloc, slots, DefaultDataLogCap, true)
+}
+
 // AttachEngine re-attaches the engine variant to an existing pool — the
 // restart half of BuildEngine, used when a pool is rebuilt from a durable
-// image (nvm.NewFromImage) after a crash. Slot counts and log capacities
-// come from the pool's durable header; only the volatile behavior flags
-// that Create set must be restated.
+// image (nvm.NewFromImage) after a crash.
 func AttachEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator) (pds.Engine, error) {
-	switch kind {
-	case EngineClobber:
-		return clobber.Attach(pool, alloc, clobber.Options{})
-	case EngineClobberConservative:
-		return clobber.Attach(pool, alloc, clobber.Options{Conservative: true})
-	case EngineClobberVLogOnly:
-		return clobber.Attach(pool, alloc, clobber.Options{DisableClobberLog: true})
-	case EngineClobberCLogOnly:
-		return clobber.Attach(pool, alloc, clobber.Options{DisableVLog: true})
-	case EngineNoLog:
-		return clobber.Attach(pool, alloc, clobber.Options{DisableVLog: true, DisableClobberLog: true})
-	case EnginePMDK:
-		return undolog.Attach(pool, alloc, undolog.Options{})
-	case EngineMnemosyne:
-		return redolog.Attach(pool, alloc, redolog.Options{})
-	case EngineAtlas:
-		return atlas.Attach(pool, alloc, atlas.Options{})
-	default:
-		return nil, fmt.Errorf("harness: unknown engine kind %q", kind)
-	}
+	return newEngine(kind, pool, alloc, 0, 0, false)
 }
 
 // StructureKind names a benchmark data structure.

@@ -82,6 +82,7 @@ type BenchReport struct {
 	YCSBLoadScaling    []ScalingResult    `json:"ycsb_load_scaling"`
 	PhaseLatencies     []PhaseLatency     `json:"txn_phase_latency"`
 	GroupCommitScaling []GroupCommitPoint `json:"group_commit_scaling,omitempty"`
+	ShardSweep         []ShardSweepPoint  `json:"shard_sweep,omitempty"`
 }
 
 // reportEngines is the engine set the JSON report sweeps — the four

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardTestScale keeps sharded tests in the sub-second range.
+var shardTestScale = func() Scale {
+	sc := SmallScale
+	sc.Entries = 400
+	sc.Ops = 400
+	sc.Threads = []int{1, 2}
+	sc.PoolBytes = 1 << 26
+	return sc
+}()
+
+// TestShardedSetupRoundTrip inserts through the router and reads everything
+// back, across a single-shard crash recovery and a full restart.
+func TestShardedSetupRoundTrip(t *testing.T) {
+	sc := shardTestScale
+	sc.Shards = 4
+	setup, err := NewShardedSetup(EngineClobber, sc)
+	if err != nil {
+		t.Fatalf("NewShardedSetup: %v", err)
+	}
+	if setup.Set.N() != 4 {
+		t.Fatalf("set has %d shards, want 4", setup.Set.N())
+	}
+	store, err := OpenShardedStructure(StructHashMap, setup.Set)
+	if err != nil {
+		t.Fatalf("OpenShardedStructure: %v", err)
+	}
+	keys := make([][]byte, 300)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k-%04d", i))
+		if err := store.Insert(0, keys[i], []byte(fmt.Sprintf("v-%04d", i))); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		for i, k := range keys {
+			v, ok, err := store.Get(0, k)
+			if err != nil || !ok || string(v) != fmt.Sprintf("v-%04d", i) {
+				t.Fatalf("%s: Get(%q) = %q ok=%v err=%v", stage, k, v, ok, err)
+			}
+		}
+		if n, err := store.Len(0); err != nil || n != len(keys) {
+			t.Fatalf("%s: Len = %d err=%v, want %d", stage, n, err, len(keys))
+		}
+	}
+	check("fresh")
+	if _, err := measureShardCrashRecovery(setup, store); err != nil {
+		t.Fatalf("crash recovery: %v", err)
+	}
+	check("after single-shard crash recovery")
+	if _, _, err := measureFullRestart(setup, store); err != nil {
+		t.Fatalf("full restart: %v", err)
+	}
+	check("after full restart")
+}
+
+// TestShardedSetupOneShardMatchesUnsharded pins that Shards=1 provisions
+// exactly what NewSetup provisions: same pool size, same engine kind, and a
+// router that sends every key to shard 0.
+func TestShardedSetupOneShardMatchesUnsharded(t *testing.T) {
+	sc := shardTestScale
+	sc.Shards = 1
+	setup, err := NewShardedSetup(EngineClobber, sc)
+	if err != nil {
+		t.Fatalf("NewShardedSetup: %v", err)
+	}
+	if setup.Set.N() != 1 {
+		t.Fatalf("set has %d shards, want 1", setup.Set.N())
+	}
+	if got := setup.Set.Shard(0).Pool.Size(); got != sc.PoolBytes {
+		t.Errorf("1-shard pool is %d bytes, want the full %d", got, sc.PoolBytes)
+	}
+	if got := setup.Set.ShardOf([]byte("anything")); got != 0 {
+		t.Errorf("1-shard router sent a key to shard %d", got)
+	}
+}
+
+// TestRunShardSweepSmall runs the BENCH_PR7 sweep shape at toy scale and
+// sanity-checks the rows.
+func TestRunShardSweepSmall(t *testing.T) {
+	pts, err := RunShardSweep(shardTestScale, []int{1, 2})
+	if err != nil {
+		t.Fatalf("RunShardSweep: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.OpsPerSec <= 0 || p.CrashRecoveryNS <= 0 || p.FullRestartNS <= 0 {
+			t.Errorf("degenerate sweep point: %+v", p)
+		}
+	}
+	if pts[0].Shards != 1 || pts[0].RecoverySpeedupX != 1 {
+		t.Errorf("first row must be the shards=1 baseline with speedup 1, got %+v", pts[0])
+	}
+}

@@ -1,0 +1,160 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"clobbernvm/internal/nvm"
+)
+
+// newShardedBackend builds n independently supervised clobber-backed shards.
+func newShardedBackend(t *testing.T, n int) *ShardedBackend {
+	t.Helper()
+	sups := make([]*Supervisor, n)
+	for i := range sups {
+		sups[i], _ = newSupervised(t)
+	}
+	b, err := NewShardedBackend(sups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// keyOwnedBy returns a key the router assigns to shard want.
+func keyOwnedBy(t *testing.T, b *ShardedBackend, want int) []byte {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := []byte(fmt.Sprintf("owned-%d-%d", want, i))
+		if b.ShardOf(k) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key found routing to shard %d", want)
+	return nil
+}
+
+// waitGen polls until the supervisor's recovery generation passes gen.
+func waitGen(t *testing.T, sup *Supervisor, gen int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Generation() <= gen {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery did not complete (generation stuck at %d)", sup.Generation())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedBackendRoutesAndSums checks dispatch plumbing: keys land on
+// their routed shard and Len/Counters aggregate over all shards.
+func TestShardedBackendRoutesAndSums(t *testing.T) {
+	b := newShardedBackend(t, 4)
+	perShard := make([]int, b.N())
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := b.Set(0, k, []byte("v")); err != nil {
+			t.Fatalf("set %q: %v", k, err)
+		}
+		perShard[b.ShardOf(k)]++
+	}
+	total, err := b.Len()
+	if err != nil {
+		t.Fatalf("Len: %v", err)
+	}
+	if total != 200 {
+		t.Fatalf("Len = %d, want 200", total)
+	}
+	for i := 0; i < b.N(); i++ {
+		n, err := b.Shard(i).Len()
+		if err != nil {
+			t.Fatalf("shard %d Len: %v", i, err)
+		}
+		if n != perShard[i] {
+			t.Errorf("shard %d holds %d items, router sent it %d", i, n, perShard[i])
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if _, ok, err := b.Get(0, k); err != nil || !ok {
+			t.Fatalf("get %q: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+// TestShardedBackendCrashIsolation is the dispatch layer's core promise: a
+// crash on one shard is detected, drained, rebuilt and recovered without
+// the other shards missing a single operation — and without their
+// supervisors restarting at all.
+func TestShardedBackendCrashIsolation(t *testing.T) {
+	b := newShardedBackend(t, 4)
+	const victim = 2
+
+	// Acked writes everywhere before the failure.
+	acked := make([][]byte, 0, 100)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("pre-%04d", i))
+		if err := b.Set(0, k, []byte("durable")); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+		acked = append(acked, k)
+	}
+
+	// Crash the victim on its next store.
+	gen := b.Shard(victim).Generation()
+	if err := b.ArmShard(victim, nvm.CrashAtStore, 1); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	vkey := keyOwnedBy(t, b, victim)
+	err := b.Set(0, vkey, []byte("boom"))
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("crashing set returned %v, want ErrInterrupted", err)
+	}
+
+	// While the victim recovers, the other shards answer immediately. (The
+	// recovery runs in the background; these reads race it, which is the
+	// point — they must not block on or be poisoned by the victim.)
+	for _, k := range acked {
+		if s := b.ShardOf(k); s == victim {
+			continue
+		}
+		if _, ok, gerr := b.Get(0, k); gerr != nil || !ok {
+			t.Fatalf("survivor read %q failed during victim recovery: ok=%v err=%v", k, ok, gerr)
+		}
+	}
+
+	waitGen(t, b.Shard(victim), gen)
+	if !b.Shard(victim).Serving() {
+		t.Fatal("victim not serving after recovery")
+	}
+	if got := b.Shard(victim).Restarts(); got != 1 {
+		t.Errorf("victim restarts = %d, want 1", got)
+	}
+	for i := 0; i < b.N(); i++ {
+		if i == victim {
+			continue
+		}
+		if got := b.Shard(i).Restarts(); got != 0 {
+			t.Errorf("shard %d restarted %d times during victim crash, want 0", i, got)
+		}
+		if !b.Shard(i).Serving() {
+			t.Errorf("shard %d not serving", i)
+		}
+	}
+
+	// Every acked write — victim's included — survived.
+	for _, k := range acked {
+		v, ok, err := b.Get(0, k)
+		if err != nil || !ok || string(v) != "durable" {
+			t.Fatalf("acked key %q after recovery: %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+	if !b.Serving() {
+		t.Error("backend not fully serving after recovery")
+	}
+	if got := b.Restarts(); got != 1 {
+		t.Errorf("total restarts = %d, want 1", got)
+	}
+}

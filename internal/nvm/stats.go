@@ -11,9 +11,18 @@ const statsStripes = 16
 // stripeOf maps an address to its stats stripe.
 func stripeOf(addr uint64) int { return int((addr >> 6) & (statsStripes - 1)) }
 
-// hotStats is one stripe of the per-operation counters, padded to a cache
-// line. The counters touched together by one operation (count + bytes) share
-// a stripe so a Store costs a single line transfer, not two.
+// hotStats is one stripe of the per-operation counters. The counters
+// touched together by one operation (count + bytes) share a stripe so a
+// Store costs a single line transfer, not two.
+//
+// Each stripe is padded out to two cache lines, not one: Go only guarantees
+// 8-byte alignment for the array, so a 64-byte stripe could start mid-line,
+// straddle a boundary, and put counters from adjacent stripes on the same
+// physical line — exactly the false sharing striping exists to avoid. 128
+// bytes of footprint guarantees every stripe owns at least one full line to
+// itself at any starting offset (and sidesteps the adjacent-line prefetcher
+// pairing lines on modern x86). Sharded pools multiply these arrays per
+// shard, so the stripes must actually isolate, not just usually isolate.
 type hotStats struct {
 	loads       atomic.Int64
 	bytesLoaded atomic.Int64
@@ -22,7 +31,7 @@ type hotStats struct {
 	flushes     atomic.Int64
 	flushOpts   atomic.Int64
 	fences      atomic.Int64
-	_           [64 - 7*8%64]byte
+	_           [128 - 7*8]byte
 }
 
 // Stats holds the pool's live counters. Hot-path counters are striped by

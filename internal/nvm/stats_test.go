@@ -1,0 +1,42 @@
+package nvm
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestHotStatsStripePadding pins the false-sharing guarantee: each stripe's
+// footprint spans two full cache lines, so wherever the runtime places the
+// array (Go only promises 8-byte alignment), no two stripes' counters can
+// land on the same 64-byte line.
+func TestHotStatsStripePadding(t *testing.T) {
+	if sz := unsafe.Sizeof(hotStats{}); sz != 2*LineSize {
+		t.Fatalf("hotStats is %d bytes, want %d (two cache lines)", sz, 2*LineSize)
+	}
+	var s Stats
+	for i := 1; i < len(s.hot); i++ {
+		gap := uintptr(unsafe.Pointer(&s.hot[i])) - uintptr(unsafe.Pointer(&s.hot[i-1]))
+		if gap < 2*LineSize {
+			t.Fatalf("stripes %d and %d are %d bytes apart, want >= %d", i-1, i, gap, 2*LineSize)
+		}
+	}
+}
+
+// TestStatsStripesAggregate checks that counts striped by address still sum
+// correctly in the snapshot.
+func TestStatsStripesAggregate(t *testing.T) {
+	p := New(1 << 20)
+	p.ResetStats()
+	const n = 100
+	buf := []byte{1, 2, 3, 4}
+	for i := 0; i < n; i++ {
+		// Touch many different lines so multiple stripes are exercised.
+		p.Store(HeaderSize+uint64(i)*LineSize, buf)
+	}
+	if got := p.Stats().Stores; got != n {
+		t.Fatalf("snapshot stores = %d, want %d", got, n)
+	}
+	if got := p.Stats().BytesStored; got != n*int64(len(buf)) {
+		t.Fatalf("snapshot bytesStored = %d, want %d", got, n*len(buf))
+	}
+}

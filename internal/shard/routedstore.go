@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"fmt"
+
+	"clobbernvm/internal/pds"
+)
+
+// RoutedStore presents N per-shard instances of the same persistent
+// structure as one pds.Store: every operation is dispatched to the shard
+// owning the key, so callers written against a single store (benchmarks,
+// crash sweeps, audits) run unchanged over a sharded backend.
+type RoutedStore struct {
+	set    *Set
+	stores []pds.Store
+}
+
+var _ pds.Store = (*RoutedStore)(nil)
+
+// NewRoutedStore wraps one store per shard, index-aligned with the set.
+func NewRoutedStore(set *Set, stores []pds.Store) (*RoutedStore, error) {
+	if len(stores) != set.N() {
+		return nil, fmt.Errorf("shard: %d stores for %d shards", len(stores), set.N())
+	}
+	return &RoutedStore{set: set, stores: stores}, nil
+}
+
+// Store returns shard i's underlying store (the recovery path swaps these
+// via ReplaceStore after rebuilding a shard).
+func (r *RoutedStore) Store(i int) pds.Store { return r.stores[i] }
+
+// ReplaceStore swaps shard i's store for a rebuilt incarnation. The caller
+// must quiesce traffic to shard i around the swap.
+func (r *RoutedStore) ReplaceStore(i int, st pds.Store) { r.stores[i] = st }
+
+// Name implements pds.Store.
+func (r *RoutedStore) Name() string { return r.stores[0].Name() }
+
+// Insert implements pds.Store.
+func (r *RoutedStore) Insert(slot int, key, value []byte) error {
+	return r.stores[r.set.ShardOf(key)].Insert(slot, key, value)
+}
+
+// Get implements pds.Store.
+func (r *RoutedStore) Get(slot int, key []byte) ([]byte, bool, error) {
+	return r.stores[r.set.ShardOf(key)].Get(slot, key)
+}
+
+// Delete implements pds.Store.
+func (r *RoutedStore) Delete(slot int, key []byte) (bool, error) {
+	return r.stores[r.set.ShardOf(key)].Delete(slot, key)
+}
+
+// CheckInvariants implements pds.InvariantChecker by walking every shard's
+// structure: the routed view is consistent only if each per-shard instance
+// is, so audits written against one store check all N through this.
+func (r *RoutedStore) CheckInvariants(slot int) error {
+	for i, st := range r.stores {
+		if err := pds.CheckInvariants(st, slot); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Len implements pds.Store: the population is the sum over shards.
+func (r *RoutedStore) Len(slot int) (int, error) {
+	total := 0
+	for _, st := range r.stores {
+		n, err := st.Len(slot)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// uniformKeys returns n distinct pseudo-random keys.
+func uniformKeys(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, 0, n)
+	seen := map[uint64]bool{}
+	for len(keys) < n {
+		v := rng.Uint64()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		keys = append(keys, []byte(fmt.Sprintf("u-%016x", v)))
+	}
+	return keys
+}
+
+// zipfKeys returns the distinct keys observed in n draws from a zipfian id
+// distribution — the skewed keyspace shape of a hot-key workload. Occupancy
+// is measured over distinct keys: placement balance is a property of where
+// keys live, not of how often the workload touches them (a single hot key
+// necessarily lives on one shard regardless of the router).
+func zipfKeys(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, 1<<22)
+	seen := map[uint64]bool{}
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		keys = append(keys, []byte(fmt.Sprintf("z-%d", v)))
+	}
+	return keys
+}
+
+// TestRouterBalance checks the ISSUE's balance bar: over 1e5 uniform and
+// zipfian keys, no shard holds more than 1.5x the mean occupancy.
+func TestRouterBalance(t *testing.T) {
+	const n = 100_000
+	for _, shards := range []int{2, 4, 8, 16} {
+		r := NewRouter(shards)
+		for name, keys := range map[string][][]byte{
+			"uniform": uniformKeys(n, 1),
+			"zipfian": zipfKeys(n, 2),
+		} {
+			counts := make([]int, shards)
+			for _, k := range keys {
+				counts[r.ShardOf(k)]++
+			}
+			mean := float64(len(keys)) / float64(shards)
+			for s, c := range counts {
+				if float64(c) > 1.5*mean {
+					t.Errorf("shards=%d %s: shard %d holds %d keys, > 1.5x mean %.0f (counts %v)",
+						shards, name, s, c, mean, counts)
+				}
+				if c == 0 {
+					t.Errorf("shards=%d %s: shard %d holds no keys", shards, name, s)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterStability checks the consistent-hashing contract: growing the
+// ring from N to N+1 shards moves at most 2/(N+1) of the keys (the ideal is
+// 1/(N+1); the slack covers vnode placement randomness), and every moved key
+// lands on the new shard — consistent hashing never shuffles keys between
+// surviving shards.
+func TestRouterStability(t *testing.T) {
+	keys := uniformKeys(100_000, 3)
+	for _, n := range []int{2, 4, 7, 8, 15} {
+		old := NewRouter(n)
+		grown := NewRouter(n + 1)
+		moved := 0
+		for _, k := range keys {
+			a, b := old.ShardOf(k), grown.ShardOf(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != n {
+				t.Fatalf("n=%d: key %q moved %d->%d, not to the new shard %d", n, k, a, b, n)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if limit := 2.0 / float64(n+1); frac > limit {
+			t.Errorf("n=%d->%d: %.3f of keys moved, limit %.3f", n, n+1, frac, limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: no keys moved — the new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRouterDeterminism pins routing to be a pure function of (key, N).
+func TestRouterDeterminism(t *testing.T) {
+	a, b := NewRouter(8), NewRouter(8)
+	for _, k := range uniformKeys(1000, 4) {
+		if a.ShardOf(k) != b.ShardOf(k) {
+			t.Fatalf("routing of %q differs between identically built routers", k)
+		}
+	}
+}
+
+// TestRouterSingleShard pins the N=1 fast path: everything routes to 0.
+func TestRouterSingleShard(t *testing.T) {
+	r := NewRouter(1)
+	for _, k := range uniformKeys(100, 5) {
+		if s := r.ShardOf(k); s != 0 {
+			t.Fatalf("single-shard router sent %q to shard %d", k, s)
+		}
+	}
+}
