@@ -107,6 +107,12 @@ type Options struct {
 	// Conservative disables the dependency-analysis refinements (the
 	// Figure 13 ablation).
 	Conservative bool
+	// LineLog formats the clobber_log with the in-cache-line
+	// write-combined layout: entries stream through 64-byte lines that
+	// each carry a validity word, so a small append costs one line flush
+	// instead of separate header/trailer/terminator flushes. Open
+	// auto-detects the format, so the flag only matters at Create.
+	LineLog bool
 }
 
 func (o *Options) fill() {
@@ -146,6 +152,7 @@ func createOn(pool *nvm.Pool, opts Options) (*DB, error) {
 		Slots:        opts.Slots,
 		DataLogCap:   opts.DataLogCap,
 		Conservative: opts.Conservative,
+		LineLog:      opts.LineLog,
 	})
 	if err != nil {
 		return nil, err

@@ -46,6 +46,7 @@ func main() {
 	threads := flag.String("threads", "", "comma-separated thread sweep overriding the scale's default (e.g. 1,2,4,8,16,32)")
 	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit; -json reports add the on/off fence-amortization sweep")
 	shards := flag.String("shards", "", "comma-separated shard-count sweep added to the -json report (e.g. 1,2,4,8); the first count must be 1 — it is the unsharded recovery baseline the speedup column divides by")
+	lineLog := flag.Bool("linelog", false, "add the write-combined line-writer on/off flush+fence sweep to the -json report")
 	flag.Parse()
 
 	sc := harness.SmallScale
@@ -73,6 +74,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfigs: -shards is a -json report sweep; pass -json too")
 		os.Exit(2)
 	}
+	if *lineLog && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchfigs: -linelog is a -json report sweep; pass -json too")
+		os.Exit(2)
+	}
 
 	if *jsonOut != "" {
 		start := time.Now()
@@ -97,6 +102,13 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *lineLog {
+			rep.LineLogSweep, err = harness.RunLineLogSweep(sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfigs: linelog sweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
@@ -107,7 +119,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report     %4d rows  %8.1fs  -> %s\n",
-			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling)+len(rep.ShardSweep),
+			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling)+len(rep.ShardSweep)+len(rep.LineLogSweep),
 			time.Since(start).Seconds(), *jsonOut)
 		return
 	}

@@ -6,13 +6,16 @@
 //
 //	benchguard -baseline BENCH_PR2.json -current bench-report.json
 //	benchguard -baseline BENCH_PR2.json -current fresh.json -max-regress 0.10
+//	benchguard -baseline BENCH_PR8.json -current fresh.json -checks linelog
 //
 // Only clobber single-thread rows are compared: multi-thread points wobble
 // with runner load, and the comparison engines' numbers are reproduced
 // relatives, not guarded absolutes. A structure present in the baseline but
 // missing from the current report is an error (a silently dropped sweep must
-// not pass the guard). Exit status: 0 when every structure is within the
-// threshold, 1 on any regression or missing row, 2 on usage errors.
+// not pass the guard). -checks selects a subset of the guards (fig6, shard,
+// linelog) when a baseline only anchors one of them. Exit status: 0 when
+// every structure is within the threshold, 1 on any regression or missing
+// row, 2 on usage errors.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"clobbernvm/internal/harness"
 )
@@ -30,11 +34,23 @@ func main() {
 	currentPath := flag.String("current", "", "current report to check against the baseline")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated single-thread ns/op regression (0.20 = +20%)")
 	engine := flag.String("engine", "clobber", "engine whose single-thread inserts are guarded")
+	checks := flag.String("checks", "fig6,shard,linelog", "comma-separated guard subset to run: fig6, shard, linelog")
 	flag.Parse()
 
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
 		os.Exit(2)
+	}
+	enabled := map[string]bool{}
+	for _, c := range strings.Split(*checks, ",") {
+		c = strings.TrimSpace(c)
+		switch c {
+		case "fig6", "shard", "linelog":
+			enabled[c] = true
+		default:
+			fmt.Fprintf(os.Stderr, "benchguard: unknown check %q (want fig6, shard or linelog)\n", c)
+			os.Exit(2)
+		}
 	}
 	base, err := readReport(*baselinePath)
 	if err != nil {
@@ -47,32 +63,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	baseNS := singleThreadNS(base, *engine)
-	curNS := singleThreadNS(cur, *engine)
-	if len(baseNS) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: baseline %s has no single-thread %s rows\n", *baselinePath, *engine)
-		os.Exit(2)
-	}
-
 	failed := false
-	for _, st := range sortedKeys(baseNS) {
-		b := baseNS[st]
-		c, ok := curNS[st]
-		if !ok {
-			fmt.Printf("FAIL %-9s missing from current report\n", st)
-			failed = true
-			continue
+	if enabled["fig6"] {
+		baseNS := singleThreadNS(base, *engine)
+		curNS := singleThreadNS(cur, *engine)
+		if len(baseNS) == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: baseline %s has no single-thread %s rows\n", *baselinePath, *engine)
+			os.Exit(2)
 		}
-		ratio := c/b - 1
-		status := "ok  "
-		if ratio > *maxRegress {
-			status = "FAIL"
-			failed = true
+		for _, st := range sortedKeys(baseNS) {
+			b := baseNS[st]
+			c, ok := curNS[st]
+			if !ok {
+				fmt.Printf("FAIL %-9s missing from current report\n", st)
+				failed = true
+				continue
+			}
+			ratio := c/b - 1
+			status := "ok  "
+			if ratio > *maxRegress {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-9s baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
+				status, st, b, c, 100*ratio, 100**maxRegress)
 		}
-		fmt.Printf("%s %-9s baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
-			status, st, b, c, 100*ratio, 100**maxRegress)
 	}
-	if guardShardRows(base, cur, *maxRegress) {
+	if enabled["shard"] && guardShardRows(base, cur, *maxRegress) {
+		failed = true
+	}
+	if enabled["linelog"] && guardLineLogRows(base, cur, *maxRegress) {
 		failed = true
 	}
 	if failed {
@@ -113,6 +133,84 @@ func guardShardRows(base, cur *harness.BenchReport, maxRegress float64) bool {
 		}
 		fmt.Printf("%s shards=1 t=%d baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
 			status, s.Threads, b, s.NSPerOp, 100*ratio, 100*maxRegress)
+	}
+	return failed
+}
+
+// guardLineLogRows holds the current report's linelog_sweep rows to the PR 8
+// contract. The sweep measures in precise (non-deferred-media) mode so its
+// event counts are exact, which makes its ns/op incomparable to the fast-path
+// YCSB rows — off-row timing is therefore held against the baseline's own
+// linelog off-rows (same tolerance as the shard guard) when the baseline
+// carries a sweep, i.e. CI guarding a fresh report against the frozen
+// BENCH_PR8.json. In that case the single-thread off-row's deterministic
+// persistence event profile (fences, flushes, whole-line stores per op) must
+// also match the baseline exactly: the counts are pure logic, independent of
+// machine and load, so any drift means the legacy writer's code path changed.
+// On-rows must keep the write-combined win: strictly fewer flush+fence events
+// per op than the off-row at the same thread count. Reports without a linelog
+// sweep pass vacuously. Returns true when any row fails.
+func guardLineLogRows(base, cur *harness.BenchReport, maxRegress float64) bool {
+	baseOff := map[int]harness.LineLogPoint{}
+	for _, r := range base.LineLogSweep {
+		if !r.LineLog {
+			baseOff[r.Threads] = r
+		}
+	}
+	curOff := map[int]harness.LineLogPoint{}
+	failed := false
+	for _, r := range cur.LineLogSweep {
+		if r.LineLog {
+			continue
+		}
+		curOff[r.Threads] = r
+		if b, ok := baseOff[r.Threads]; ok {
+			ratio := r.NSPerOp/b.NSPerOp - 1
+			status := "ok  "
+			if ratio > maxRegress {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s linelog=off t=%d baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
+				status, r.Threads, b.NSPerOp, r.NSPerOp, 100*ratio, 100*maxRegress)
+		}
+		// The single-thread legacy event profile is deterministic: same
+		// keys, same allocation order, same flush pattern. Exact identity
+		// with the frozen baseline is the "off mode is bit-identical"
+		// contract. Multi-thread rows wobble with interleaving, so only
+		// t=1 is held to equality.
+		if b, ok := baseOff[r.Threads]; ok && r.Threads == 1 {
+			if r.FencesPerOp != b.FencesPerOp || r.FlushesPerOp != b.FlushesPerOp ||
+				r.LineStoresPerOp != b.LineStoresPerOp {
+				fmt.Printf("FAIL linelog=off t=1 event profile drifted: fences %v->%v flushes %v->%v line-stores %v->%v\n",
+					b.FencesPerOp, r.FencesPerOp, b.FlushesPerOp, r.FlushesPerOp,
+					b.LineStoresPerOp, r.LineStoresPerOp)
+				failed = true
+			} else {
+				fmt.Printf("ok   linelog=off t=1 event profile identical to baseline (%.2f flushes/op, %.2f fences/op)\n",
+					r.FlushesPerOp, r.FencesPerOp)
+			}
+		}
+	}
+	for _, r := range cur.LineLogSweep {
+		if !r.LineLog {
+			continue
+		}
+		off, ok := curOff[r.Threads]
+		if !ok {
+			fmt.Printf("FAIL linelog=on t=%d has no off-row to compare against\n", r.Threads)
+			failed = true
+			continue
+		}
+		onEvents := r.FencesPerOp + r.FlushesPerOp
+		offEvents := off.FencesPerOp + off.FlushesPerOp
+		status := "ok  "
+		if onEvents >= offEvents {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s linelog=on  t=%d flush+fence/op %6.2f vs off %6.2f (must be strictly fewer)\n",
+			status, r.Threads, onEvents, offEvents)
 	}
 	return failed
 }

@@ -101,6 +101,11 @@ type Options struct {
 	// DisableClobberLog skips clobber_log persistence (Clobber-NVM-vlog
 	// variant of §5.3; NOT failure-atomic).
 	DisableClobberLog bool
+	// LineLog formats the clobber_log with the write-combined line writer:
+	// entries stream through a 64-byte staging buffer, one Store+FlushOpt
+	// per touched line, validated by per-line validity words. Attach
+	// detects the mode from the log magic, so only Create needs the flag.
+	LineLog bool
 }
 
 func (o *Options) fill() {
@@ -200,7 +205,7 @@ func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 		s := &slot{
 			id:   i,
 			hdr:  base,
-			dlog: plog.FormatDataLog(p, i, base+dlogOff, opts.DataLogCap),
+			dlog: plog.FormatDataLogMode(p, i, base+dlogOff, opts.DataLogCap, opts.LineLog),
 			alog: plog.FormatAddrLog(p, i, base+alogOff, opts.AllocLogCap),
 			flog: plog.FormatAddrLog(p, i, base+flogOff, opts.FreeLogCap),
 		}

@@ -107,6 +107,58 @@ func SpecsSized(slots int, dataLogCap uint64) []EngineSpec {
 			},
 		},
 		{
+			// Line-writer variants: identical engines with the data log in
+			// write-combined line mode, so every sweep/proptest/chaos cell
+			// can run against the streaming persistence path. Attach stays
+			// flagless — the log magic records the mode.
+			Name: "clobber-line", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return clobber.Create(p, a, clobber.Options{
+					Slots: slots, DataLogCap: dataLogCap, ArgsCap: 1024,
+					AllocLogCap: 128, FreeLogCap: 128, LineLog: true,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return clobber.Attach(p, a, clobber.Options{})
+			},
+		},
+		{
+			Name: "pmdk-line", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return undolog.Create(p, a, undolog.Options{
+					Slots: slots, DataLogCap: dataLogCap,
+					AllocLogCap: 128, FreeLogCap: 128, LineLog: true,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return undolog.Attach(p, a, undolog.Options{})
+			},
+		},
+		{
+			Name: "mnemosyne-line", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return redolog.Create(p, a, redolog.Options{
+					Slots: slots, DataLogCap: dataLogCap,
+					AllocLogCap: 128, FreeLogCap: 128, LineLog: true,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return redolog.Attach(p, a, redolog.Options{})
+			},
+		},
+		{
+			Name: "atlas-line", Style: StyleAtomic,
+			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return atlas.Create(p, a, atlas.Options{
+					Slots: slots, DataLogCap: dataLogCap,
+					AllocLogCap: 128, FreeLogCap: 128, LineLog: true,
+				})
+			},
+			Attach: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
+				return atlas.Attach(p, a, atlas.Options{})
+			},
+		},
+		{
 			Name: "ido", Style: StyleMeter,
 			Create: func(p *nvm.Pool, a *pmem.Allocator) (pds.Engine, error) {
 				return ido.New(p, a), nil
@@ -134,7 +186,7 @@ func EngineByName(name string) (EngineSpec, error) {
 			return s, nil
 		}
 	}
-	return EngineSpec{}, fmt.Errorf("crashsweep: unknown engine %q (want clobber|pmdk|mnemosyne|atlas|ido|justdo)", name)
+	return EngineSpec{}, fmt.Errorf("crashsweep: unknown engine %q (want clobber|pmdk|mnemosyne|atlas|clobber-line|pmdk-line|mnemosyne-line|atlas-line|ido|justdo)", name)
 }
 
 // StructureKinds lists the structures OpenStructure accepts.

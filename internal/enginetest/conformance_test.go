@@ -66,6 +66,45 @@ var factories = []factory{
 			return atlas.Attach(p, a, atlas.Options{})
 		},
 	},
+	// Line-writer variants: the same engines with their data logs in
+	// write-combined line mode, so the full conformance battery (crash
+	// schedules included) also proves the streaming persistence path.
+	{
+		name: "clobber-line", supportsAbort: false,
+		create: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return clobber.Create(p, a, clobber.Options{Slots: 8, LineLog: true})
+		},
+		attach: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return clobber.Attach(p, a, clobber.Options{})
+		},
+	},
+	{
+		name: "pmdk-line", supportsAbort: true,
+		create: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return undolog.Create(p, a, undolog.Options{Slots: 8, LineLog: true})
+		},
+		attach: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return undolog.Attach(p, a, undolog.Options{})
+		},
+	},
+	{
+		name: "mnemosyne-line", supportsAbort: true,
+		create: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return redolog.Create(p, a, redolog.Options{Slots: 8, LineLog: true})
+		},
+		attach: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return redolog.Attach(p, a, redolog.Options{})
+		},
+	},
+	{
+		name: "atlas-line", supportsAbort: true,
+		create: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return atlas.Create(p, a, atlas.Options{Slots: 8, LineLog: true})
+		},
+		attach: func(p *nvm.Pool, a *pmem.Allocator) (txn.Engine, error) {
+			return atlas.Attach(p, a, atlas.Options{})
+		},
+	},
 }
 
 const headSlot = 8

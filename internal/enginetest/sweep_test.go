@@ -19,7 +19,10 @@ func TestExhaustiveCrashSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive sweep skipped in -short mode")
 	}
-	engines := []string{"clobber", "pmdk", "mnemosyne", "atlas", "ido"}
+	engines := []string{
+		"clobber", "pmdk", "mnemosyne", "atlas", "ido",
+		"clobber-line", "pmdk-line", "mnemosyne-line", "atlas-line",
+	}
 	structures := []string{"list", "hashmap", "skiplist"}
 	policies := []nvm.EvictPolicy{nvm.EvictRandom, nvm.EvictTorn}
 

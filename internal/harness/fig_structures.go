@@ -248,7 +248,7 @@ func MeasureRecovery(ek EngineKind, st StructureKind, sc Scale, seed int64) (tim
 	if err != nil {
 		return 0, 0, err
 	}
-	eng, err := BuildEngine(ek, pool, alloc, sc.maxSlots())
+	eng, err := BuildEngine(ek, pool, alloc, sc.maxSlots(), sc.LineLog)
 	if err != nil {
 		return 0, 0, err
 	}

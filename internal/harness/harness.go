@@ -59,6 +59,12 @@ type Scale struct {
 	// setups split PoolBytes and the per-slot log capacity evenly so N
 	// shards occupy the same total space as one pool.
 	Shards int
+	// LineLog formats every engine data log with the write-combined line
+	// writer (internal/plog): entries stream through a 64-byte staging
+	// buffer, one Store+FlushOpt per touched line, per-line validity words
+	// instead of trailer checksums. Off by default so baselines stay
+	// bit-identical with earlier reports.
+	LineLog bool
 }
 
 // SmallScale finishes in seconds; used by tests and quick CLI runs.
@@ -155,7 +161,7 @@ func NewSetup(kind EngineKind, sc Scale) (*Setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := BuildEngine(kind, pool, alloc, sc.maxSlots())
+	eng, err := BuildEngine(kind, pool, alloc, sc.maxSlots(), sc.LineLog)
 	if err != nil {
 		return nil, err
 	}
@@ -173,14 +179,14 @@ const DefaultDataLogCap = 1 << 22
 // crash, where slot counts and log capacities come from the pool's durable
 // header and only volatile behavior flags must be restated). One switch
 // serves both so the crash-rebuild path cannot drift from the build path.
-func newEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int, dataCap uint64, fresh bool) (pds.Engine, error) {
+func newEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int, dataCap uint64, fresh, lineLog bool) (pds.Engine, error) {
 	// Sizing fields are only meaningful on the fresh path; Attach reads them
 	// from the durable anchor and must not have them restated.
 	if !fresh {
 		slots, dataCap = 0, 0
 	}
 	clob := func(o clobber.Options) (pds.Engine, error) {
-		o.Slots, o.DataLogCap = slots, dataCap
+		o.Slots, o.DataLogCap, o.LineLog = slots, dataCap, lineLog
 		if fresh {
 			return clobber.Create(pool, alloc, o)
 		}
@@ -199,17 +205,17 @@ func newEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int
 		return clob(clobber.Options{DisableVLog: true, DisableClobberLog: true})
 	case EnginePMDK:
 		if fresh {
-			return undolog.Create(pool, alloc, undolog.Options{Slots: slots, DataLogCap: dataCap})
+			return undolog.Create(pool, alloc, undolog.Options{Slots: slots, DataLogCap: dataCap, LineLog: lineLog})
 		}
 		return undolog.Attach(pool, alloc, undolog.Options{})
 	case EngineMnemosyne:
 		if fresh {
-			return redolog.Create(pool, alloc, redolog.Options{Slots: slots, DataLogCap: dataCap})
+			return redolog.Create(pool, alloc, redolog.Options{Slots: slots, DataLogCap: dataCap, LineLog: lineLog})
 		}
 		return redolog.Attach(pool, alloc, redolog.Options{})
 	case EngineAtlas:
 		if fresh {
-			return atlas.Create(pool, alloc, atlas.Options{Slots: slots, DataLogCap: dataCap})
+			return atlas.Create(pool, alloc, atlas.Options{Slots: slots, DataLogCap: dataCap, LineLog: lineLog})
 		}
 		return atlas.Attach(pool, alloc, atlas.Options{})
 	default:
@@ -219,15 +225,15 @@ func newEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int
 
 // BuildEngine constructs the engine variant on an existing pool with the
 // given worker-slot count.
-func BuildEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int) (pds.Engine, error) {
-	return newEngine(kind, pool, alloc, slots, DefaultDataLogCap, true)
+func BuildEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator, slots int, lineLog bool) (pds.Engine, error) {
+	return newEngine(kind, pool, alloc, slots, DefaultDataLogCap, true, lineLog)
 }
 
 // AttachEngine re-attaches the engine variant to an existing pool — the
 // restart half of BuildEngine, used when a pool is rebuilt from a durable
 // image (nvm.NewFromImage) after a crash.
 func AttachEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator) (pds.Engine, error) {
-	return newEngine(kind, pool, alloc, 0, 0, false)
+	return newEngine(kind, pool, alloc, 0, 0, false, false)
 }
 
 // StructureKind names a benchmark data structure.

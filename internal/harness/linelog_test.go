@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"testing"
+
+	"clobbernvm/internal/nvm"
+)
+
+// llTestScale mirrors gcTestScale: large enough that clobber inserts cross
+// allocation, bucket-chain and in-place paths; small enough to stay fast.
+var llTestScale = Scale{
+	Entries:   400,
+	Ops:       400,
+	Threads:   []int{1},
+	PoolBytes: 1 << 26,
+	Latency:   nvm.DefaultLatency,
+	Runs:      1,
+}
+
+// runInsertPersistEvents measures the clobber/hashmap insert workload in
+// precise mode and returns the exact flush, fence and whole-line-store
+// event counts of the measured region.
+func runInsertPersistEvents(t *testing.T, threads int, lineLog bool) nvm.StatsSnapshot {
+	t.Helper()
+	sc := llTestScale
+	sc.LineLog = lineLog
+	if threads > 2 {
+		sc.Threads = []int{threads}
+	}
+	setup, err := NewSetup(EngineClobber, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStructure(StructHashMap, setup.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := populate(store, StructHashMap, sc.Entries, 1); err != nil {
+		t.Fatal(err)
+	}
+	setup.Pool.SetFastPath(false)
+	s0 := setup.Pool.Stats()
+	if _, err := measureInsertThroughput(store, StructHashMap, sc.Entries, sc.Ops, threads); err != nil {
+		t.Fatal(err)
+	}
+	return setup.Pool.Stats().Sub(s0)
+}
+
+// TestLineLogFewerPersistEvents is the PR 8 acceptance gate: with the
+// write-combined line writer the clobber engine must issue strictly fewer
+// flush+fence events per transaction than the legacy entry writer, at one
+// thread and at eight. Fences are unchanged by the format (one commit
+// fence per transaction either way), so the saving must come from flushes:
+// the legacy header+payload+trailer image plus next-header terminator
+// spans ~2 lines per small append where the line writer streams one.
+func TestLineLogFewerPersistEvents(t *testing.T) {
+	for _, threads := range []int{1, 8} {
+		legacy := runInsertPersistEvents(t, threads, false)
+		line := runInsertPersistEvents(t, threads, true)
+
+		legacyEvents := legacy.Flushes + legacy.Fences
+		lineEvents := line.Flushes + line.Fences
+		if lineEvents >= legacyEvents {
+			t.Fatalf("threads=%d: line writer %d flush+fence events, legacy %d — no saving",
+				threads, lineEvents, legacyEvents)
+		}
+		// The commit protocol is format-independent: the line writer must
+		// win on flush traffic, not by skipping ordering fences.
+		if line.Fences != legacy.Fences {
+			t.Errorf("threads=%d: fences differ: line %d, legacy %d",
+				threads, line.Fences, legacy.Fences)
+		}
+		// The saving comes from the streaming store path: whole-line
+		// emissions must dominate the line writer's log traffic and be
+		// absent from the legacy writer's.
+		if line.LineStores == 0 {
+			t.Errorf("threads=%d: line writer recorded no whole-line stores", threads)
+		}
+		if legacy.LineStores != 0 {
+			t.Errorf("threads=%d: legacy writer recorded %d whole-line stores",
+				threads, legacy.LineStores)
+		}
+		t.Logf("threads=%d: flush+fence/op legacy=%.2f line=%.2f (flushes %.2f→%.2f, fences %.2f)",
+			threads,
+			float64(legacyEvents)/float64(llTestScale.Ops),
+			float64(lineEvents)/float64(llTestScale.Ops),
+			float64(legacy.Flushes)/float64(llTestScale.Ops),
+			float64(line.Flushes)/float64(llTestScale.Ops),
+			float64(line.Fences)/float64(llTestScale.Ops))
+	}
+}
+
+// TestLineLogSweepShape sanity-checks the BENCH_PR8 sweep runner: rows come
+// in off/on pairs per thread count and the on-row records the flush saving.
+func TestLineLogSweepShape(t *testing.T) {
+	sc := llTestScale
+	sc.Entries, sc.Ops = 200, 200
+	pts, err := RunLineLogSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(sc.Threads) {
+		t.Fatalf("%d rows, want %d", len(pts), 2*len(sc.Threads))
+	}
+	for i := 0; i < len(pts); i += 2 {
+		off, on := pts[i], pts[i+1]
+		if off.LineLog || !on.LineLog {
+			t.Fatalf("row pair %d not ordered off,on", i)
+		}
+		if off.Threads != on.Threads {
+			t.Fatalf("row pair %d thread mismatch", i)
+		}
+		if on.FlushesPerOp+on.FencesPerOp >= off.FlushesPerOp+off.FencesPerOp {
+			t.Errorf("threads=%d: on-row flush+fence %.2f not below off-row %.2f",
+				on.Threads, on.FlushesPerOp+on.FencesPerOp, off.FlushesPerOp+off.FencesPerOp)
+		}
+		if on.LineStoresPerOp <= 0 || off.LineStoresPerOp != 0 {
+			t.Errorf("threads=%d: line-store accounting wrong: on=%.2f off=%.2f",
+				on.Threads, on.LineStoresPerOp, off.LineStoresPerOp)
+		}
+	}
+}

@@ -83,6 +83,7 @@ type BenchReport struct {
 	PhaseLatencies     []PhaseLatency     `json:"txn_phase_latency"`
 	GroupCommitScaling []GroupCommitPoint `json:"group_commit_scaling,omitempty"`
 	ShardSweep         []ShardSweepPoint  `json:"shard_sweep,omitempty"`
+	LineLogSweep       []LineLogPoint     `json:"linelog_sweep,omitempty"`
 }
 
 // reportEngines is the engine set the JSON report sweeps — the four
@@ -228,6 +229,77 @@ func measureInsertFences(ek EngineKind, st StructureKind, sc Scale, threads int,
 // visible: with the coordinator on at k overlapping threads the groupable
 // fences collapse to ~1/k, while the off rows reproduce the ungrouped
 // baseline exactly.
+// LineLogPoint is one row of the line-writer sweep (BENCH_PR8.json,
+// -linelog): the clobber/hashmap insert workload with the data log in
+// legacy vs write-combined line mode, measured in precise mode so flush
+// and fence counts are exact per-event tallies.
+type LineLogPoint struct {
+	Engine          string  `json:"engine"`
+	Threads         int     `json:"threads"`
+	LineLog         bool    `json:"line_log"`
+	NSPerOp         float64 `json:"ns_per_op"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	FencesPerOp     float64 `json:"fences_per_op"`
+	FlushesPerOp    float64 `json:"flushes_per_op"`
+	LineStoresPerOp float64 `json:"line_stores_per_op"`
+}
+
+// measureInsertPersistEvents is measureInsertFences generalized to the full
+// persistence-event profile: per-op fences, per-line flush issues, and
+// whole-line stores (the write-combined emission signature), with the data
+// log in the requested writer mode.
+func measureInsertPersistEvents(ek EngineKind, st StructureKind, sc Scale, threads int, lineLog bool) (nsPerOp, fencesPerOp, flushesPerOp, lineStoresPerOp float64, err error) {
+	sc.GroupCommit = false
+	sc.LineLog = lineLog
+	setup, err := NewSetup(ek, sc)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	store, err := OpenStructure(st, setup.Engine)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := populate(store, st, sc.Entries, 1); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// Precise mode: every flush is issued per line and every fence is a
+	// synchronous drain, so the counters are exact event tallies rather
+	// than the fast path's batched equivalents.
+	setup.Pool.SetFastPath(false)
+	s0 := setup.Pool.Stats()
+	elapsed, err := measureInsertThroughput(store, st, sc.Entries, sc.Ops, threads)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	d := setup.Pool.Stats().Sub(s0)
+	ops := float64(sc.Ops)
+	return float64(elapsed.Nanoseconds()) / ops,
+		float64(d.Fences) / ops,
+		float64(d.Flushes) / ops,
+		float64(d.LineStores) / ops, nil
+}
+
+// RunLineLogSweep measures the clobber/hashmap insert workload with the
+// line writer off and on at every thread count, recording the flush and
+// fence deltas the write-combined format exists to shrink.
+func RunLineLogSweep(sc Scale) ([]LineLogPoint, error) {
+	var out []LineLogPoint
+	for _, threads := range sc.Threads {
+		for _, on := range []bool{false, true} {
+			ns, fpo, flpo, lspo, err := measureInsertPersistEvents(EngineClobber, StructHashMap, sc, threads, on)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LineLogPoint{
+				Engine: string(EngineClobber), Threads: threads, LineLog: on,
+				NSPerOp: ns, OpsPerSec: 1e9 / ns, FencesPerOp: fpo,
+				FlushesPerOp: flpo, LineStoresPerOp: lspo,
+			})
+		}
+	}
+	return out, nil
+}
+
 func RunGroupCommitSweep(sc Scale) ([]GroupCommitPoint, error) {
 	var out []GroupCommitPoint
 	for _, threads := range sc.Threads {

@@ -58,6 +58,10 @@ const gcStablePasses = 2
 // the observability layer alone.
 var obsPoolFences = obs.Default.Counter("pool.fences")
 
+// obsPoolLineStores mirrors the pool's whole-line store counter (the
+// write-combined log emission path) into the obs registry, same gating.
+var obsPoolLineStores = obs.Default.Counter("pool.line_stores")
+
 // GroupCommitStats is a snapshot of the coordinator's counters.
 type GroupCommitStats struct {
 	// Epochs is the number of epochs fenced.

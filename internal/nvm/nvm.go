@@ -331,6 +331,15 @@ func (p *Pool) Store(addr uint64, data []byte) {
 	h := &p.stats.hot[stripeOf(addr)]
 	h.stores.Add(1)
 	h.bytesStored.Add(int64(len(data)))
+	if n := uint64(len(data)); n > 0 && addr%LineSize == 0 && n%LineSize == 0 {
+		// Line-aligned whole-line image: the write-combined log emission
+		// signature. Counted per line so multi-line streams accumulate.
+		k := int64(n / LineSize)
+		h.lineStores.Add(k)
+		if obs.Enabled() {
+			obsPoolLineStores.Add(0, k)
+		}
+	}
 	if len(data) > 0 {
 		p.storeBytes(addr, data)
 	}

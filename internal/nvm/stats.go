@@ -28,10 +28,11 @@ type hotStats struct {
 	bytesLoaded atomic.Int64
 	stores      atomic.Int64
 	bytesStored atomic.Int64
+	lineStores  atomic.Int64
 	flushes     atomic.Int64
 	flushOpts   atomic.Int64
 	fences      atomic.Int64
-	_           [128 - 7*8]byte
+	_           [128 - 8*8]byte
 }
 
 // Stats holds the pool's live counters. Hot-path counters are striped by
@@ -55,6 +56,10 @@ type StatsSnapshot struct {
 	Stores      int64
 	BytesLoaded int64
 	BytesStored int64
+	// LineStores counts whole cache lines written by line-aligned,
+	// line-multiple Stores — the signature of the write-combined log
+	// emission path, which always stores full 64-byte images.
+	LineStores int64
 	// Flushes counts every per-line flush issue, strong or optimized;
 	// FlushOpts counts the weakly ordered (FlushOpt) subset.
 	Flushes        int64
@@ -81,6 +86,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		out.Stores += h.stores.Load()
 		out.BytesLoaded += h.bytesLoaded.Load()
 		out.BytesStored += h.bytesStored.Load()
+		out.LineStores += h.lineStores.Load()
 		out.Flushes += h.flushes.Load()
 		out.FlushOpts += h.flushOpts.Load()
 		out.Fences += h.fences.Load()
@@ -95,6 +101,7 @@ func (s *Stats) reset() {
 		h.stores.Store(0)
 		h.bytesLoaded.Store(0)
 		h.bytesStored.Store(0)
+		h.lineStores.Store(0)
 		h.flushes.Store(0)
 		h.flushOpts.Store(0)
 		h.fences.Store(0)
@@ -114,6 +121,7 @@ func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 		Stores:         a.Stores - b.Stores,
 		BytesLoaded:    a.BytesLoaded - b.BytesLoaded,
 		BytesStored:    a.BytesStored - b.BytesStored,
+		LineStores:     a.LineStores - b.LineStores,
 		Flushes:        a.Flushes - b.Flushes,
 		FlushOpts:      a.FlushOpts - b.FlushOpts,
 		Fences:         a.Fences - b.Fences,

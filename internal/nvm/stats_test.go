@@ -40,3 +40,25 @@ func TestStatsStripesAggregate(t *testing.T) {
 		t.Fatalf("snapshot bytesStored = %d, want %d", got, n*len(buf))
 	}
 }
+
+// TestLineStoresCounter pins what counts as a write-combined line store:
+// only line-aligned, whole-line-multiple images, one count per line.
+func TestLineStoresCounter(t *testing.T) {
+	p := New(1 << 20)
+	p.ResetStats()
+	base := uint64(HeaderSize) // HeaderSize is line-aligned
+	line := make([]byte, LineSize)
+	p.Store(base, line)                      // 1 line
+	p.Store(base+LineSize, make([]byte, 3*LineSize)) // 3 lines
+	p.Store(base+8, line)                    // misaligned: not counted
+	p.Store(base, line[:LineSize-8])         // partial: not counted
+	p.Store64(base, 7)                       // word store: not counted
+	if got := p.Stats().LineStores; got != 4 {
+		t.Fatalf("LineStores = %d, want 4", got)
+	}
+	s0 := p.Stats()
+	p.Store(base, line)
+	if d := p.Stats().Sub(s0); d.LineStores != 1 {
+		t.Fatalf("Sub LineStores = %d, want 1", d.LineStores)
+	}
+}

@@ -52,6 +52,10 @@ type Options struct {
 	DataLogCap  uint64
 	AllocLogCap int
 	FreeLogCap  int
+	// LineLog formats the data log with the write-combined line writer
+	// (see plog.FormatDataLogLine). Attach detects the mode from the log
+	// magic, so only Create needs the flag.
+	LineLog bool
 }
 
 func (o *Options) fill() {
@@ -130,7 +134,7 @@ func Create(p *nvm.Pool, a *pmem.Allocator, opts Options) (*Engine, error) {
 		e.slots = append(e.slots, &slot{
 			id:   i,
 			hdr:  base,
-			dlog: plog.FormatDataLog(p, i, base+dlogOff, opts.DataLogCap),
+			dlog: plog.FormatDataLogMode(p, i, base+dlogOff, opts.DataLogCap, opts.LineLog),
 			alog: plog.FormatAddrLog(p, i, base+alogOff, opts.AllocLogCap),
 			flog: plog.FormatAddrLog(p, i, base+flogOff, opts.FreeLogCap),
 		})
