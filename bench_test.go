@@ -187,6 +187,84 @@ func BenchmarkYCSBLoadScaling(b *testing.B) {
 	}
 }
 
+// lockfreeBenchScale widens the thread sweep past the standard 8-thread axis
+// for the lock-free vs stripe-locked comparison. Kept separate from
+// benchScale so the >8-thread points (and the slot sizing they require) do
+// not leak into the figure benchmarks that the frozen baselines anchor.
+var lockfreeBenchScale = func() harness.Scale {
+	sc := harness.SmallScale
+	sc.PoolBytes = 1 << 27
+	sc.Threads = []int{1, 2, 4, 8, 16, 32}
+	return sc
+}()
+
+// BenchmarkLockFreeScaling measures clobber-engine insert throughput on the
+// stripe-locked hashmap and the announcement-record lock-free hashmap across
+// the widened thread sweep — the benchmark form of the BENCH_PR9.json
+// lockfree_sweep rows, where the locked structure flattens at high thread
+// counts and the lock-free one must not.
+func BenchmarkLockFreeScaling(b *testing.B) {
+	structures := []harness.StructureKind{harness.StructHashMap, harness.StructLFHashMap}
+	for _, st := range structures {
+		for _, threads := range lockfreeBenchScale.Threads {
+			b.Run(fmt.Sprintf("%s/threads=%d", st, threads), func(b *testing.B) {
+				setup, err := harness.NewSetup(harness.EngineClobber, lockfreeBenchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				store, err := harness.OpenStructure(st, setup.Engine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ks := harness.KeySize(st)
+				gw := ycsb.NewGenerator(ycsb.WorkloadLoad, 0, ks, harness.ValueSize, 1)
+				for i := 0; i < 2000; i++ {
+					if err := store.Insert(0, gw.Key(i), gw.Next().Value); err != nil {
+						b.Fatal(err)
+					}
+				}
+				per := b.N / threads
+				if per == 0 {
+					per = 1
+				}
+				type op struct{ key, value []byte }
+				work := make([][]op, threads)
+				for t := 0; t < threads; t++ {
+					g := ycsb.NewGenerator(ycsb.WorkloadLoad, 0, ks, harness.ValueSize, int64(t)*7919)
+					ops := make([]op, per)
+					base := 2000 + t*per
+					for i := range ops {
+						ops[i] = op{key: g.Key(base + i), value: g.Next().Value}
+					}
+					work[t] = ops
+				}
+				var wg sync.WaitGroup
+				errs := make([]error, threads)
+				b.ResetTimer()
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						for _, o := range work[t] {
+							if err := store.Insert(t, o.key, o.value); err != nil {
+								errs[t] = err
+								return
+							}
+						}
+					}(t)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig7Variant measures the §5.3 logging-component breakdown on the
 // hashmap (the structure Figure 7 discusses in most detail).
 func BenchmarkFig7Variant(b *testing.B) {

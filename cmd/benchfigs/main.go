@@ -47,6 +47,7 @@ func main() {
 	groupCommit := flag.Bool("group-commit", false, "enable epoch-based group commit; -json reports add the on/off fence-amortization sweep")
 	shards := flag.String("shards", "", "comma-separated shard-count sweep added to the -json report (e.g. 1,2,4,8); the first count must be 1 — it is the unsharded recovery baseline the speedup column divides by")
 	lineLog := flag.Bool("linelog", false, "add the write-combined line-writer on/off flush+fence sweep to the -json report")
+	lockfree := flag.String("lockfree", "", "comma-separated thread sweep comparing the stripe-locked and lock-free hashmaps, added to the -json report (e.g. 1,2,4,8,16,32); independent of -threads so the >8-thread axis stays out of the other figures")
 	flag.Parse()
 
 	sc := harness.SmallScale
@@ -76,6 +77,10 @@ func main() {
 	}
 	if *lineLog && *jsonOut == "" {
 		fmt.Fprintln(os.Stderr, "benchfigs: -linelog is a -json report sweep; pass -json too")
+		os.Exit(2)
+	}
+	if *lockfree != "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchfigs: -lockfree is a -json report sweep; pass -json too")
 		os.Exit(2)
 	}
 
@@ -109,6 +114,18 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *lockfree != "" {
+			counts, err := parseThreads(*lockfree)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfigs: -lockfree: %v\n", err)
+				os.Exit(2)
+			}
+			rep.LockfreeSweep, err = harness.RunLockfreeSweep(sc, counts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfigs: lockfree sweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
@@ -119,7 +136,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report     %4d rows  %8.1fs  -> %s\n",
-			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling)+len(rep.ShardSweep)+len(rep.LineLogSweep),
+			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling)+len(rep.ShardSweep)+
+				len(rep.LineLogSweep)+len(rep.LockfreeSweep),
 			time.Since(start).Seconds(), *jsonOut)
 		return
 	}

@@ -50,7 +50,7 @@ const rootSlot = 16
 func main() {
 	mode := flag.String("mode", "random", "mode: sweep (exhaustive persist-point injection), random, or prop (property-based differential torture)")
 	engine := flag.String("engine", "clobber", "engine: clobber, pmdk, mnemosyne, atlas, ido, justdo")
-	structure := flag.String("structure", "rbtree", "structure: hashmap, skiplist, rbtree, bptree, avltree, list")
+	structure := flag.String("structure", "rbtree", "structure: hashmap, skiplist, rbtree, bptree, avltree, list, lfhashmap (clobber-family)")
 	crashAt := flag.String("crash-at", "any", "persist-point class to crash at: store, flush, fence, any")
 	evict := flag.String("evict", "random", "cache eviction adversary at crash: random, none, all, torn")
 	rounds := flag.Int("rounds", 100, "random mode: crash/recover rounds")

@@ -189,7 +189,11 @@ func EngineByName(name string) (EngineSpec, error) {
 	return EngineSpec{}, fmt.Errorf("crashsweep: unknown engine %q (want clobber|pmdk|mnemosyne|atlas|clobber-line|pmdk-line|mnemosyne-line|atlas-line|ido|justdo)", name)
 }
 
-// StructureKinds lists the structures OpenStructure accepts.
+// StructureKinds lists the structures OpenStructure accepts on every engine.
+// The lock-free hashmap is opened by name too but stays off this list: its
+// persistence protocol is engine-independent (it only needs the allocator),
+// so sweeping it across every engine would re-run identical cells; its sweep
+// and proptest cells name it explicitly on the clobber variants.
 func StructureKinds() []string {
 	return []string{"hashmap", "skiplist", "rbtree", "bptree", "avltree", "list"}
 }
@@ -210,6 +214,8 @@ func OpenStructure(kind string, eng pds.Engine, rootSlot int) (pds.Store, error)
 		return pds.NewAVLTree(eng, rootSlot)
 	case "list":
 		return pds.NewList(eng, rootSlot)
+	case "lfhashmap":
+		return pds.NewLFHashMap(eng, rootSlot)
 	}
 	return nil, fmt.Errorf("crashsweep: unknown structure %q (want %v)", kind, StructureKinds())
 }

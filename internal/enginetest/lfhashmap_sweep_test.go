@@ -1,0 +1,89 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"clobbernvm/internal/crashsweep"
+	"clobbernvm/internal/nvm"
+)
+
+// TestLFHashMapCrashSweep crashes the lock-free hashmap at every persist
+// point of the mixed workload under every eviction adversary, on both
+// clobber log formats. The announcement protocol has no engine log behind
+// it: recovery's verdict on each interrupted CAS comes entirely from the
+// announcement record, so this sweep is the structure's whole recovery
+// proof. The torn adversary doubles as the seeded announcement-torn-line
+// test — announcement lines are evicted as word prefixes, which the record
+// checksum must catch.
+func TestLFHashMapCrashSweep(t *testing.T) {
+	engines := []string{"clobber", "clobber-line"}
+	policies := []nvm.EvictPolicy{nvm.EvictNone, nvm.EvictAll, nvm.EvictRandom, nvm.EvictTorn}
+	if testing.Short() {
+		// CI smoke budget: one engine, the two adversaries that stress the
+		// announcement checksum (torn) and the lost-whole fate (none).
+		engines = engines[:1]
+		policies = []nvm.EvictPolicy{nvm.EvictNone, nvm.EvictTorn}
+	}
+	for _, engine := range engines {
+		for _, policy := range policies {
+			for _, seed := range []int64{1, 42} {
+				engine, policy, seed := engine, policy, seed
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", engine, policy, seed), func(t *testing.T) {
+					t.Parallel()
+					res, err := crashsweep.Run(crashsweep.Config{
+						Engine:    engine,
+						Structure: "lfhashmap",
+						Kind:      nvm.CrashAtAny,
+						Policy:    policy,
+						Seed:      seed,
+						LiveOps:   6, // two full insert/update/delete cycles
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.PersistPoints == 0 {
+						t.Fatal("no persist points found")
+					}
+					if res.Crashes != int(res.PersistPoints) {
+						t.Fatalf("crashes = %d, want one per persist point (%d)",
+							res.Crashes, res.PersistPoints)
+					}
+					for i, m := range res.Mismatches {
+						if i == 5 {
+							t.Errorf("... %d more mismatches", len(res.Mismatches)-5)
+							break
+						}
+						t.Errorf("mismatch: %v", m)
+					}
+					t.Logf("%d persist points, all crash-consistent", res.PersistPoints)
+				})
+			}
+		}
+	}
+}
+
+// TestLFHashMapShardedCrashSweep runs the victim-shard sweep: the lock-free
+// map behind the consistent-hash router, one shard crash-injected at every
+// persist point while the survivors must keep their state.
+func TestLFHashMapShardedCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded lfhashmap sweep skipped in -short mode")
+	}
+	res, err := crashsweep.RunSharded(crashsweep.Config{
+		Engine:    "clobber",
+		Structure: "lfhashmap",
+		Kind:      nvm.CrashAtAny,
+		Policy:    nvm.EvictTorn,
+		Seed:      42,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PersistPoints == 0 {
+		t.Fatal("no persist points found")
+	}
+	for _, m := range res.Mismatches {
+		t.Errorf("mismatch: %v", m)
+	}
+}

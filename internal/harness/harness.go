@@ -239,12 +239,16 @@ func AttachEngine(kind EngineKind, pool *nvm.Pool, alloc *pmem.Allocator) (pds.E
 // StructureKind names a benchmark data structure.
 type StructureKind string
 
-// The four §5.2 structures.
+// The four §5.2 structures, plus the lock-free extension structure.
 const (
 	StructBPTree   StructureKind = "bptree"
 	StructHashMap  StructureKind = "hashmap"
 	StructSkipList StructureKind = "skiplist"
 	StructRBTree   StructureKind = "rbtree"
+	// StructLFHashMap is the recoverable lock-free hashmap (ext-lockfree).
+	// Clobber-family engines only; not part of AllStructures because the
+	// paper's §5.2 sweep predates it.
+	StructLFHashMap StructureKind = "lfhashmap"
 )
 
 // AllStructures lists the §5.2 benchmark structures in paper order.
@@ -264,6 +268,8 @@ func OpenStructure(kind StructureKind, eng pds.Engine) (pds.Store, error) {
 		return pds.NewSkipList(eng, structRootSlot)
 	case StructRBTree:
 		return pds.NewRBTree(eng, structRootSlot)
+	case StructLFHashMap:
+		return pds.NewLFHashMap(eng, structRootSlot)
 	default:
 		return nil, fmt.Errorf("harness: unknown structure %q", kind)
 	}

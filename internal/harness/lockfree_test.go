@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+
+	"clobbernvm/internal/nvm"
+)
+
+// lfTestScale keeps the sweep-shape test fast; the real BENCH_PR9 sweep runs
+// at small scale with threads 1..32 via benchfigs -lockfree.
+var lfTestScale = Scale{
+	Entries:   300,
+	Ops:       300,
+	Threads:   []int{1, 2},
+	PoolBytes: 1 << 26,
+	Latency:   nvm.DefaultLatency,
+	Runs:      1,
+}
+
+// TestLockfreeSweepShape sanity-checks the BENCH_PR9 sweep runner: one row
+// per structure per thread count, structures in hashmap-then-lfhashmap order,
+// thread list taken from the sweep's own axis (not the scale's), and the
+// single-thread speedup anchored at 1.0.
+func TestLockfreeSweepShape(t *testing.T) {
+	threads := []int{1, 2, 4}
+	pts, err := RunLockfreeSweep(lfTestScale, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(threads) {
+		t.Fatalf("%d rows, want %d", len(pts), 2*len(threads))
+	}
+	for i, st := range []string{"hashmap", "lfhashmap"} {
+		for j, th := range threads {
+			r := pts[i*len(threads)+j]
+			if r.Structure != st || r.Threads != th {
+				t.Fatalf("row %d is %s/t=%d, want %s/t=%d", i*len(threads)+j,
+					r.Structure, r.Threads, st, th)
+			}
+			if r.Engine != string(EngineClobber) {
+				t.Fatalf("row %s/t=%d engine %q", st, th, r.Engine)
+			}
+			if r.NSPerOp <= 0 || r.OpsPerSec <= 0 {
+				t.Fatalf("row %s/t=%d has non-positive timing", st, th)
+			}
+			if th == 1 && r.SpeedupX != 1.0 {
+				t.Fatalf("row %s/t=1 speedup %.2f, want 1.0", st, r.SpeedupX)
+			}
+		}
+	}
+}
+
+// TestLockfreeSweepWidensSlots pins the slot-sizing contract: the sweep must
+// provision engine slots from its own thread list, so a scale whose standard
+// axis stops at 2 threads still accepts a 16-thread lock-free point.
+func TestLockfreeSweepWidensSlots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-thread sweep point skipped in -short mode")
+	}
+	sc := lfTestScale
+	sc.PoolBytes = 1 << 28 // 18 slots x 4MB data logs outgrow the 64MB pool
+	pts, err := RunLockfreeSweep(sc, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d rows, want 2", len(pts))
+	}
+}

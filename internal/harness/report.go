@@ -84,6 +84,7 @@ type BenchReport struct {
 	GroupCommitScaling []GroupCommitPoint `json:"group_commit_scaling,omitempty"`
 	ShardSweep         []ShardSweepPoint  `json:"shard_sweep,omitempty"`
 	LineLogSweep       []LineLogPoint     `json:"linelog_sweep,omitempty"`
+	LockfreeSweep      []LockFreePoint    `json:"lockfree_sweep,omitempty"`
 }
 
 // reportEngines is the engine set the JSON report sweeps — the four
@@ -294,6 +295,59 @@ func RunLineLogSweep(sc Scale) ([]LineLogPoint, error) {
 				Engine: string(EngineClobber), Threads: threads, LineLog: on,
 				NSPerOp: ns, OpsPerSec: 1e9 / ns, FencesPerOp: fpo,
 				FlushesPerOp: flpo, LineStoresPerOp: lspo,
+			})
+		}
+	}
+	return out, nil
+}
+
+// LockFreePoint is one row of the lock-free hashmap thread sweep
+// (BENCH_PR9.json, -lockfree): the stripe-locked hashmap and the
+// announcement-record lock-free hashmap driven by the same clobber-engine
+// insert workload at the same thread count. The sweep runs past the standard
+// 8-thread axis (1..32) because its whole point is the contention ceiling:
+// the locked structure's throughput flattens once threads outnumber stripes,
+// while the lock-free rows must stay monotonically non-decreasing through 16
+// threads (the benchguard lockfree gate).
+type LockFreePoint struct {
+	Engine    string  `json:"engine"`
+	Structure string  `json:"structure"`
+	Threads   int     `json:"threads"`
+	NSPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	SpeedupX  float64 `json:"speedup_vs_1t"`
+}
+
+// RunLockfreeSweep measures the clobber insert workload on the stripe-locked
+// and lock-free hashmaps across its own thread list, independent of the
+// scale's standard sweep so the >8-thread axis does not inflate every other
+// figure. The scale's slot sizing is widened to the sweep's largest point.
+func RunLockfreeSweep(sc Scale, threads []int) ([]LockFreePoint, error) {
+	sc.Threads = threads // maxSlots() must cover the widest point
+	// Every worker slot carries ~4.5MB of formatted log space; a 32-thread
+	// point needs 34 slots, which outgrows the small scale's default pool.
+	// 8MB per slot leaves the usual headroom for data and allocator metadata.
+	if need := uint64(sc.maxSlots()) * (8 << 20); sc.PoolBytes < need {
+		sc.PoolBytes = need
+	}
+	var out []LockFreePoint
+	for _, st := range []StructureKind{StructHashMap, StructLFHashMap} {
+		var oneThread float64
+		for _, t := range threads {
+			ns, err := measureInsert(EngineClobber, st, sc, t)
+			if err != nil {
+				return nil, err
+			}
+			if t == 1 {
+				oneThread = ns
+			}
+			speedup := 0.0
+			if oneThread > 0 {
+				speedup = oneThread / ns
+			}
+			out = append(out, LockFreePoint{
+				Engine: string(EngineClobber), Structure: string(st), Threads: t,
+				NSPerOp: ns, OpsPerSec: 1e9 / ns, SpeedupX: speedup,
 			})
 		}
 	}

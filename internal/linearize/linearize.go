@@ -1,0 +1,287 @@
+// Package linearize records per-thread operation histories of a concurrent
+// map run and decides whether they are linearizable: whether some total
+// order of the operations (a) respects real-time order — an op invoked after
+// another returned comes after it — and (b) is legal for a key-value map.
+//
+// The checker is a bounded Wing–Gong search. Map linearizability composes
+// per key (each key is an independent register: no map operation here reads
+// or writes more than one key), so the history is first split by key and
+// each subhistory checked independently — turning one exponential search
+// over N ops into many small searches over per-key contention groups. Within
+// a key the search picks any remaining operation that could linearize first
+// (one invoked before every remaining operation's return), applies its
+// register semantics, and recurses, memoizing failed (done-set, state) pairs
+// and charging every explored node against a budget so adversarial
+// histories terminate with an explicit "exhausted" verdict instead of
+// hanging the test suite.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind is a map operation type.
+type Kind uint8
+
+// The three recorded operation kinds.
+const (
+	Insert Kind = iota
+	Delete
+	Get
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return "get"
+	}
+}
+
+// Op is one completed operation: invocation and response with timestamps
+// drawn from one global atomic counter, so Invoke/Return values totally
+// order the history's visible events.
+type Op struct {
+	Thread int
+	Kind   Kind
+	Key    string
+	// Val is the value argument (Insert only).
+	Val string
+	// Out is the value returned (Get only).
+	Out string
+	// Found reports the boolean result: Get hit, or Delete found its key.
+	Found  bool
+	Invoke int64
+	Return int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Insert:
+		return fmt.Sprintf("t%d insert(%s=%s) [%d,%d]", o.Thread, o.Key, o.Val, o.Invoke, o.Return)
+	case Delete:
+		return fmt.Sprintf("t%d delete(%s)=%v [%d,%d]", o.Thread, o.Key, o.Found, o.Invoke, o.Return)
+	default:
+		return fmt.Sprintf("t%d get(%s)=(%q,%v) [%d,%d]", o.Thread, o.Key, o.Out, o.Found, o.Invoke, o.Return)
+	}
+}
+
+// Recorder collects per-thread histories with a shared timestamp counter.
+// Each thread appends only to its own slice, so recording takes no lock; the
+// atomic counter is the only cross-thread contention point, mirroring how
+// little the recorder perturbs the run it observes.
+type Recorder struct {
+	clock   atomic.Int64
+	threads [][]Op
+}
+
+// NewRecorder sizes a recorder for the given worker count.
+func NewRecorder(threads int) *Recorder {
+	return &Recorder{threads: make([][]Op, threads)}
+}
+
+// Invoke stamps an operation's invocation. Call immediately before the
+// operation, and pass the returned timestamp to the matching Record call.
+func (r *Recorder) Invoke() int64 { return r.clock.Add(1) }
+
+// RecordInsert completes an insert invocation.
+func (r *Recorder) RecordInsert(thread int, invoke int64, key, val string) {
+	r.threads[thread] = append(r.threads[thread], Op{
+		Thread: thread, Kind: Insert, Key: key, Val: val,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// RecordDelete completes a delete invocation with its existed result.
+func (r *Recorder) RecordDelete(thread int, invoke int64, key string, existed bool) {
+	r.threads[thread] = append(r.threads[thread], Op{
+		Thread: thread, Kind: Delete, Key: key, Found: existed,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// RecordGet completes a get invocation with its observed result.
+func (r *Recorder) RecordGet(thread int, invoke int64, key, out string, found bool) {
+	r.threads[thread] = append(r.threads[thread], Op{
+		Thread: thread, Kind: Get, Key: key, Out: out, Found: found,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// History merges the per-thread logs into one history. Call only after every
+// recording goroutine has finished.
+func (r *Recorder) History() []Op {
+	var h []Op
+	for _, t := range r.threads {
+		h = append(h, t...)
+	}
+	return h
+}
+
+// Verdict is the checker's three-way answer.
+type Verdict int
+
+// Checker verdicts.
+const (
+	// Ok: a legal linearization of every per-key subhistory exists.
+	Ok Verdict = iota
+	// Violation: some per-key subhistory admits no legal linearization.
+	Violation
+	// Exhausted: the node budget ran out before a verdict; the history is
+	// neither proved nor refuted. Tests should fail on this and re-run with
+	// a larger budget or smaller history.
+	Exhausted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Ok:
+		return "linearizable"
+	case Violation:
+		return "NOT linearizable"
+	default:
+		return "exhausted"
+	}
+}
+
+// Result carries the verdict with its evidence.
+type Result struct {
+	Verdict Verdict
+	// Key is the per-key subhistory that failed or exhausted the budget.
+	Key string
+	// KeyOps is that subhistory, in invocation order (evidence for debugging).
+	KeyOps []Op
+	// Explored counts search nodes across all keys.
+	Explored int
+}
+
+// Check decides linearizability of a completed history. budget bounds the
+// total number of search nodes explored across all keys (<= 0 means a
+// default of 1<<20). Histories with more than 64 operations on a single key
+// are rejected as Exhausted immediately (the done-set is a word).
+func Check(history []Op, budget int) Result {
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	byKey := map[string][]Op{}
+	for _, o := range history {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	// Deterministic key order so failures reproduce.
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	res := Result{Verdict: Ok}
+	for _, k := range keys {
+		ops := byKey[k]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		v := checkKey(ops, &budget, &res.Explored)
+		if v != Ok {
+			res.Verdict, res.Key, res.KeyOps = v, k, ops
+			return res
+		}
+	}
+	return res
+}
+
+// regState is a key register's abstract state: present with a value, or
+// absent. The empty-string ambiguity is resolved by the present flag.
+type regState struct {
+	present bool
+	val     string
+}
+
+// memoKey identifies a visited search node: which ops are already
+// linearized and the register state they produced. Distinct linearization
+// orders reaching the same (set, state) are equivalent futures.
+type memoKey struct {
+	done  uint64
+	state regState
+}
+
+func checkKey(ops []Op, budget, explored *int) Verdict {
+	n := len(ops)
+	if n == 0 {
+		return Ok
+	}
+	if n > 64 {
+		return Exhausted
+	}
+	full := uint64(1)<<n - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+	failed := map[memoKey]struct{}{}
+
+	var dfs func(done uint64, st regState) Verdict
+	dfs = func(done uint64, st regState) Verdict {
+		if done == full {
+			return Ok
+		}
+		if _, seen := failed[memoKey{done, st}]; seen {
+			return Violation
+		}
+		if *budget <= 0 {
+			return Exhausted
+		}
+		*budget--
+		*explored++
+
+		// An op can linearize next only if no other remaining op returned
+		// before it was invoked.
+		minRet := int64(1 << 62)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 || ops[i].Invoke > minRet {
+				continue
+			}
+			next, legal := step(st, ops[i])
+			if !legal {
+				continue
+			}
+			switch dfs(done|1<<i, next) {
+			case Ok:
+				return Ok
+			case Exhausted:
+				return Exhausted
+			}
+		}
+		failed[memoKey{done, st}] = struct{}{}
+		return Violation
+	}
+	return dfs(0, regState{})
+}
+
+// step applies one op's register semantics, reporting whether its recorded
+// result is legal in the given state.
+func step(st regState, o Op) (regState, bool) {
+	switch o.Kind {
+	case Insert:
+		return regState{present: true, val: o.Val}, true
+	case Delete:
+		if o.Found != st.present {
+			return st, false
+		}
+		return regState{}, true
+	default: // Get
+		if o.Found != st.present {
+			return st, false
+		}
+		if st.present && o.Out != st.val {
+			return st, false
+		}
+		return st, true
+	}
+}

@@ -1,0 +1,209 @@
+package nvm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCAS64Semantics(t *testing.T) {
+	p := New(1 << 20)
+	addr := p.RootSlot(0)
+	p.Store64(addr, 100)
+	if !p.CAS64(addr, 100, 200) {
+		t.Fatal("CAS with matching expect failed")
+	}
+	if got := p.Load64(addr); got != 200 {
+		t.Fatalf("after CAS: %d, want 200", got)
+	}
+	if p.CAS64(addr, 100, 300) {
+		t.Fatal("CAS with stale expect succeeded")
+	}
+	if got := p.Load64(addr); got != 200 {
+		t.Fatalf("failed CAS wrote: %d, want 200", got)
+	}
+}
+
+func TestCAS64IsAPersistEvent(t *testing.T) {
+	p := New(1 << 20)
+	addr := p.RootSlot(0)
+	p.Store64(addr, 1)
+	p.ResetPersistPoints()
+	if !p.CAS64(addr, 1, 2) {
+		t.Fatal("CAS failed")
+	}
+	if got := p.PersistPoints(CrashAtStore); got != 1 {
+		t.Fatalf("successful CAS counted %d store events, want 1", got)
+	}
+	p.ResetPersistPoints()
+	if p.CAS64(addr, 1, 3) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if got := p.PersistPoints(CrashAtStore); got != 0 {
+		t.Fatalf("failed CAS counted %d store events, want 0", got)
+	}
+}
+
+func TestCAS64DirtiesTheLine(t *testing.T) {
+	p := New(1 << 20)
+	addr := p.RootSlot(0)
+	p.Store64(addr, 7)
+	p.Persist(addr, 8)
+	if !p.CAS64(addr, 7, 8) {
+		t.Fatal("CAS failed")
+	}
+	p.Flush(addr, 8)
+	p.Fence()
+	p.Crash() // evict: only durable lines survive
+	if got := p.Load64(addr); got != 8 {
+		t.Fatalf("flushed CAS lost: %d, want 8", got)
+	}
+}
+
+func TestCAS64UndecidedUntilFlushed(t *testing.T) {
+	// An unflushed CAS has undecided durability: lost whole under
+	// EvictNone, surviving whole when the line happens to be evicted, and
+	// under EvictTorn either old or new — never a blend — because the
+	// torn model is word-atomic.
+	t.Run("lost", func(t *testing.T) {
+		p := New(1<<20, WithEviction(EvictNone))
+		addr := p.RootSlot(0)
+		p.Store64(addr, 7)
+		p.Persist(addr, 8)
+		if !p.CAS64(addr, 7, 8) {
+			t.Fatal("CAS failed")
+		}
+		p.Crash()
+		if got := p.Load64(addr); got != 7 {
+			t.Fatalf("dropped CAS word = %d, want 7", got)
+		}
+	})
+	t.Run("torn-word-atomic", func(t *testing.T) {
+		sawOld, sawNew := false, false
+		for seed := int64(0); seed < 32; seed++ {
+			p := New(1<<20, WithEviction(EvictTorn), WithSeed(seed))
+			addr := p.RootSlot(0) + 8 // not word 0: a torn prefix can cut before it
+			p.Store64(addr, 7)
+			p.Persist(addr, 8)
+			if !p.CAS64(addr, 7, 8) {
+				t.Fatal("CAS failed")
+			}
+			p.Crash()
+			switch got := p.Load64(addr); got {
+			case 7:
+				sawOld = true
+			case 8:
+				sawNew = true
+			default:
+				t.Fatalf("seed %d: torn CAS word: %d", seed, got)
+			}
+		}
+		if !sawOld || !sawNew {
+			t.Fatalf("torn sweep not exercising both fates (old=%v new=%v)", sawOld, sawNew)
+		}
+	})
+}
+
+func TestCAS64SchedulableCrashPoint(t *testing.T) {
+	p := New(1 << 20)
+	addr := p.RootSlot(0)
+	p.Store64(addr, 1)
+	p.ScheduleCrashAt(CrashAtStore, 1)
+	fired := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, ErrCrash) {
+					panic(r)
+				}
+				fired = true
+			}
+		}()
+		p.CAS64(addr, 1, 2)
+	}()
+	if !fired {
+		t.Fatal("CAS did not trip the scheduled crash")
+	}
+	// Like Store, the write applies before the crash point fires: the
+	// coherent view moved even though durability is undecided.
+	p.ScheduleCrashAt(CrashAtStore, 0)
+	if got := p.Load64(addr); got != 2 {
+		t.Fatalf("coherent view %d, want 2", got)
+	}
+}
+
+func TestCAS64RefusesCrashedPool(t *testing.T) {
+	p := New(1 << 20)
+	addr := p.RootSlot(0)
+	p.ScheduleCrash(1)
+	func() {
+		defer func() { recover() }()
+		p.Store64(addr, 1)
+	}()
+	if !p.Crashed() {
+		t.Fatal("pool not crashed")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("CAS on a crashed pool did not panic")
+		}
+	}()
+	p.CAS64(addr, 0, 1)
+}
+
+func TestAtomicOpsRejectMisalignment(t *testing.T) {
+	p := New(1 << 20)
+	for _, f := range []func(){
+		func() { p.CAS64(p.RootSlot(0)+4, 0, 1) },
+		func() { p.AtomicLoad64(p.RootSlot(0) + 4) },
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("misaligned atomic op did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAtomicLoad64ObservesStores(t *testing.T) {
+	p := New(1 << 20)
+	addr := p.RootSlot(0)
+	p.Store64(addr, 0xdeadbeef)
+	if got := p.AtomicLoad64(addr); got != 0xdeadbeef {
+		t.Fatalf("AtomicLoad64 = %#x", got)
+	}
+}
+
+// TestCAS64Concurrent drives a lock-free counter from several goroutines:
+// every increment must land exactly once. Run under -race this also proves
+// the happens-before edge between CAS64 writers and AtomicLoad64 readers.
+func TestCAS64Concurrent(t *testing.T) {
+	p := New(1 << 20)
+	p.SetFastPath(true) // benchmark mode: the common case for lock-free users
+	addr := p.RootSlot(0)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					v := p.AtomicLoad64(addr)
+					if p.CAS64(addr, v, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.AtomicLoad64(addr); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,181 @@
+package pds
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestScanEmptyStructure: every Ranger must accept scans over an empty
+// structure — open, bounded and inverted bounds — without visiting anything.
+func TestScanEmptyStructure(t *testing.T) {
+	for _, sf := range rangerFactories {
+		t.Run(sf.name, func(t *testing.T) {
+			r := newRangerStore(t, sf).(Ranger)
+			for _, bounds := range [][2][]byte{
+				{nil, nil},
+				{[]byte("a"), nil},
+				{nil, []byte("z")},
+				{[]byte("a"), []byte("z")},
+			} {
+				n := 0
+				err := r.Scan(0, bounds[0], bounds[1], func(k, v []byte) bool { n++; return true })
+				if err != nil || n != 0 {
+					t.Fatalf("empty scan [%q,%q): visited %d, err %v", bounds[0], bounds[1], n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestScanDegenerateBounds: from==to and from>to denote empty ranges; bounds
+// entirely outside the population visit nothing.
+func TestScanDegenerateBounds(t *testing.T) {
+	for _, sf := range rangerFactories {
+		t.Run(sf.name, func(t *testing.T) {
+			s := newRangerStore(t, sf)
+			r := s.(Ranger)
+			for i := 0; i < 20; i++ {
+				key := []byte(fmt.Sprintf("key-%03d", i*10)) // key-000, key-010, ...
+				if err := s.Insert(0, key, []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cases := []struct {
+				name     string
+				from, to []byte
+				want     int
+			}{
+				{"from==to", []byte("key-050"), []byte("key-050"), 0},
+				{"inverted", []byte("key-100"), []byte("key-050"), 0},
+				{"below population", []byte("aaa"), []byte("bbb"), 0},
+				{"above population", []byte("zzz"), nil, 0},
+				{"gap between keys", []byte("key-011"), []byte("key-019"), 0},
+				{"half-open excludes to", []byte("key-000"), []byte("key-010"), 1},
+				{"single key", []byte("key-050"), []byte("key-051"), 1},
+			}
+			for _, c := range cases {
+				n := 0
+				err := r.Scan(0, c.from, c.to, func(k, v []byte) bool { n++; return true })
+				if err != nil || n != c.want {
+					t.Fatalf("%s: visited %d, want %d (err %v)", c.name, n, c.want, err)
+				}
+			}
+		})
+	}
+}
+
+// TestScanEarlyTermination: a false return from the visitor stops the scan
+// exactly there, on full and bounded scans.
+func TestScanEarlyTermination(t *testing.T) {
+	for _, sf := range rangerFactories {
+		t.Run(sf.name, func(t *testing.T) {
+			s := newRangerStore(t, sf)
+			r := s.(Ranger)
+			for i := 0; i < 50; i++ {
+				if err := s.Insert(0, []byte(fmt.Sprintf("key-%03d", i)), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, stopAfter := range []int{1, 7, 50} {
+				n := 0
+				err := r.Scan(0, nil, nil, func(k, v []byte) bool {
+					n++
+					return n < stopAfter
+				})
+				if err != nil || n != stopAfter {
+					t.Fatalf("stopAfter=%d: visited %d (err %v)", stopAfter, n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestScanSnapshotUnderConcurrentInserts pins the structures' snapshot
+// semantics: Scan holds the structure lock, so with a writer inserting keys
+// in ascending order every observed result set must be a PREFIX of the
+// insertion sequence — a scan containing key i+1 but missing key i would
+// mean it interleaved with a mutation.
+func TestScanSnapshotUnderConcurrentInserts(t *testing.T) {
+	for _, sf := range rangerFactories {
+		t.Run(sf.name, func(t *testing.T) {
+			s := newRangerStore(t, sf)
+			r := s.(Ranger)
+			const n = 300
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if err := s.Insert(0, []byte(fmt.Sprintf("key-%04d", i)), []byte("v")); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			for scans := 0; scans < 20; scans++ {
+				var seen []string
+				if err := r.Scan(1, nil, nil, func(k, v []byte) bool {
+					seen = append(seen, string(k))
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// Ascending-order inserts + atomic scans => the observed set
+				// is exactly key-0000..key-(len-1), in order.
+				for i, k := range seen {
+					if k != fmt.Sprintf("key-%04d", i) {
+						t.Fatalf("scan %d: position %d holds %q: not a prefix snapshot", scans, i, k)
+					}
+				}
+			}
+			wg.Wait()
+			// Final scan sees everything.
+			count := 0
+			if err := r.Scan(0, nil, nil, func(k, v []byte) bool { count++; return true }); err != nil {
+				t.Fatal(err)
+			}
+			if count != n {
+				t.Fatalf("final scan saw %d keys, want %d", count, n)
+			}
+		})
+	}
+}
+
+// TestScanSkipsDeleted: deleted keys never appear, including when the
+// deleted key was a scan bound.
+func TestScanSkipsDeleted(t *testing.T) {
+	for _, sf := range rangerFactories {
+		t.Run(sf.name, func(t *testing.T) {
+			s := newRangerStore(t, sf)
+			r := s.(Ranger)
+			for i := 0; i < 30; i++ {
+				if err := s.Insert(0, []byte(fmt.Sprintf("key-%03d", i)), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 30; i += 2 {
+				if ok, err := s.Delete(0, []byte(fmt.Sprintf("key-%03d", i))); err != nil || !ok {
+					t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+			var seen []string
+			// From-bound is a deleted key: the scan starts at its successor.
+			if err := r.Scan(0, []byte("key-010"), []byte("key-020"), func(k, v []byte) bool {
+				seen = append(seen, string(k))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"key-011", "key-013", "key-015", "key-017", "key-019"}
+			if len(seen) != len(want) {
+				t.Fatalf("saw %v, want %v", seen, want)
+			}
+			for i := range want {
+				if seen[i] != want[i] {
+					t.Fatalf("saw %v, want %v", seen, want)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package proptest
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -334,4 +335,51 @@ func TestConcurrentCatchesBrokenEngine(t *testing.T) {
 		}
 	}
 	t.Fatal("concurrent torture did not catch the skipped undo pass in 30 seeds")
+}
+
+// TestLFHashMapProptest runs the differential crash oracle on the lock-free
+// hashmap: sequential and concurrent cells on both clobber log formats,
+// with the torn-line adversary in the mix so sampled crashes land on
+// announcement lines too.
+func TestLFHashMapProptest(t *testing.T) {
+	cells := []struct {
+		engine  string
+		threads int
+		policy  nvm.EvictPolicy
+	}{
+		{"clobber", 1, nvm.EvictRandom},
+		{"clobber", 1, nvm.EvictTorn},
+		{"clobber-line", 1, nvm.EvictTorn},
+		{"clobber", 3, nvm.EvictRandom},
+		{"clobber", 3, nvm.EvictTorn},
+		{"clobber-line", 3, nvm.EvictRandom},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(fmt.Sprintf("%s/threads=%d/%s", c.engine, c.threads, c.policy), func(t *testing.T) {
+			t.Parallel()
+			seeds := int64(3)
+			if testing.Short() {
+				seeds = 1
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				spec := Spec{
+					Engine: c.engine, Structure: "lfhashmap",
+					Seed: seed, Ops: 20, Threads: c.threads,
+					Kind: nvm.CrashAtAny, Policy: c.policy,
+				}
+				es, err := engineSpec(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := Torture(es, spec, 2)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if f != nil {
+					t.Fatalf("seed %d: %v", seed, f.Error())
+				}
+			}
+		})
+	}
 }
