@@ -109,7 +109,11 @@ func main() {
 // against the baseline's YCSB-Load scaling rows at the same thread count: if
 // routing one shard costs more than the threshold over the plain path, the
 // "sharding is free when unused" contract is broken. Reports without a shard
-// sweep pass vacuously. Returns true when a row regresses.
+// sweep pass vacuously — but a sweep whose rows ALL miss the baseline fails:
+// skipping every row would let an empty or mismatched baseline (wrong file,
+// sweep silently dropped from the frozen report) wave the gate through
+// without checking anything. Returns true when a row regresses or no row
+// could be anchored.
 func guardShardRows(base, cur *harness.BenchReport, maxRegress float64) bool {
 	baseByThreads := map[int]float64{}
 	for _, r := range base.YCSBLoadScaling {
@@ -118,10 +122,12 @@ func guardShardRows(base, cur *harness.BenchReport, maxRegress float64) bool {
 		}
 	}
 	failed := false
+	rows, anchored := 0, 0
 	for _, s := range cur.ShardSweep {
 		if s.Shards != 1 {
 			continue
 		}
+		rows++
 		b, ok := baseByThreads[s.Threads]
 		if !ok {
 			// Thread counts the frozen baseline never measured (reports now
@@ -130,6 +136,7 @@ func guardShardRows(base, cur *harness.BenchReport, maxRegress float64) bool {
 			fmt.Printf("skip shards=1 t=%d: no baseline ycsb_load_scaling row\n", s.Threads)
 			continue
 		}
+		anchored++
 		ratio := s.NSPerOp/b - 1
 		status := "ok  "
 		if ratio > maxRegress {
@@ -138,6 +145,10 @@ func guardShardRows(base, cur *harness.BenchReport, maxRegress float64) bool {
 		}
 		fmt.Printf("%s shards=1 t=%d baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
 			status, s.Threads, b, s.NSPerOp, 100*ratio, 100*maxRegress)
+	}
+	if rows > 0 && anchored == 0 {
+		fmt.Printf("FAIL shard check: none of the %d shards=1 rows matched a baseline ycsb_load_scaling thread count (empty or mismatched baseline?)\n", rows)
+		failed = true
 	}
 	return failed
 }

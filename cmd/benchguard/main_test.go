@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"clobbernvm/internal/harness"
+)
+
+// shardReport builds a current report with shards=1 sweep rows at the given
+// thread counts, all at 100 ns/op.
+func shardReport(threads ...int) *harness.BenchReport {
+	rep := &harness.BenchReport{}
+	for _, t := range threads {
+		rep.ShardSweep = append(rep.ShardSweep, harness.ShardSweepPoint{
+			Shards: 1, Threads: t, NSPerOp: 100,
+		})
+	}
+	return rep
+}
+
+func ycsbBaseline(threads ...int) *harness.BenchReport {
+	rep := &harness.BenchReport{}
+	for _, t := range threads {
+		rep.YCSBLoadScaling = append(rep.YCSBLoadScaling, harness.ScalingResult{
+			Engine: "clobber", Threads: t, NSPerOp: 100,
+		})
+	}
+	return rep
+}
+
+// TestGuardShardRowsFailsWhenNothingAnchors pins the no-vacuous-pass rule: a
+// present shard sweep whose rows all miss the baseline (empty baseline,
+// wrong file, or a sweep dropped from the frozen report) must fail, not
+// skip its way to green.
+func TestGuardShardRowsFailsWhenNothingAnchors(t *testing.T) {
+	if !guardShardRows(&harness.BenchReport{}, shardReport(1, 2, 4, 8), 0.20) {
+		t.Fatal("shard gate passed with an empty baseline anchoring zero rows")
+	}
+	if !guardShardRows(ycsbBaseline(16, 32), shardReport(1, 2, 4, 8), 0.20) {
+		t.Fatal("shard gate passed with a baseline matching zero thread counts")
+	}
+}
+
+// TestGuardShardRowsSkipsOnlyUnanchoredRows keeps the PR 9 behaviour for
+// extended sweeps: thread counts past the frozen baseline are skipped as
+// long as at least one row anchors.
+func TestGuardShardRowsSkipsOnlyUnanchoredRows(t *testing.T) {
+	if guardShardRows(ycsbBaseline(1, 2, 4, 8), shardReport(1, 2, 4, 8, 16, 32), 0.20) {
+		t.Fatal("shard gate failed a sweep whose extra thread counts should be skipped")
+	}
+}
+
+// TestGuardShardRowsVacuousWithoutSweep: reports that never ran a shard
+// sweep still pass the gate.
+func TestGuardShardRowsVacuousWithoutSweep(t *testing.T) {
+	if guardShardRows(ycsbBaseline(1), &harness.BenchReport{}, 0.20) {
+		t.Fatal("shard gate failed a report without a shard sweep")
+	}
+}
+
+// TestGuardShardRowsStillCatchesRegressions: anchored rows beyond the
+// tolerance fail.
+func TestGuardShardRowsStillCatchesRegressions(t *testing.T) {
+	cur := shardReport(1)
+	cur.ShardSweep[0].NSPerOp = 150 // +50% over the 100 ns/op baseline
+	if !guardShardRows(ycsbBaseline(1), cur, 0.20) {
+		t.Fatal("shard gate missed a +50% regression on an anchored row")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"clobbernvm/internal/nvm"
 	"clobbernvm/internal/pmem"
@@ -69,6 +70,20 @@ import (
 // fence in step 2 can evict the announcement line but lose content lines, and
 // a checksum mismatch then demotes the op to a rollback — always admissible
 // for an op that never returned.
+//
+// Recovery resolves the surviving announcements JOINTLY, not slot by slot.
+// Two valid records can target the same word with the same expected value —
+// racing CASes of which at most one can have won — and whether an insert of
+// key k may roll forward depends on whether a competing delete of k's live
+// node does. So recovery lifts every valid record first, groups them by
+// target word, and replays each target as a chain from its durable value:
+// at every value exactly one arbitrated winner rolls forward (a record
+// announced against another record's new value proves that record's CAS
+// won; otherwise deletes are preferred, then slot order — all conflicting
+// ops are unreturned, so any single choice is admissible). Node-word
+// targets settle before bucket-head targets, and an insert whose chain
+// still holds a live node for its key is demoted to rollback rather than
+// double-creating the key.
 //
 // Reclamation is deliberately lazy: the runtime never frees (no reclamation
 // races, no ABA — addresses are never reused while a concurrent op could
@@ -145,7 +160,7 @@ func NewLFHashMap(eng Engine, rootSlot int) (*LFHashMap, error) {
 	slotAddr := h.pool.RootSlot(rootSlot)
 
 	if hdr := h.pool.Load64(slotAddr); hdr != 0 {
-		if hdr+lfHdrSize > h.pool.Size() || h.pool.Load64(hdr) != lfMagic {
+		if !h.inPool(hdr, lfHdrSize) || h.pool.Load64(hdr) != lfMagic {
 			return nil, fmt.Errorf("pds: root slot %d does not hold a lfhashmap", rootSlot)
 		}
 		if got := h.pool.Load64(hdr + 8); got != LFBuckets {
@@ -153,7 +168,7 @@ func NewLFHashMap(eng Engine, rootSlot int) (*LFHashMap, error) {
 		}
 		h.hdr = hdr
 		h.annBase = h.pool.Load64(hdr + 16)
-		if h.annBase%nvm.LineSize != 0 || h.annBase+lfAnnSlots*nvm.LineSize > h.pool.Size() {
+		if h.annBase%nvm.LineSize != 0 || !h.inPool(h.annBase, lfAnnSlots*nvm.LineSize) {
 			return nil, fmt.Errorf("pds: lfhashmap announcement region %#x corrupt", h.annBase)
 		}
 		if err := h.recover(); err != nil {
@@ -194,6 +209,14 @@ func NewLFHashMap(eng Engine, rootSlot int) (*LFHashMap, error) {
 func (h *LFHashMap) Name() string { return "lfhashmap" }
 
 func (h *LFHashMap) bucketAddr(b uint64) uint64 { return h.hdr + 32 + b*8 }
+
+// inPool reports whether [addr, addr+n) lies inside the pool. The
+// subtraction form cannot wrap, so a corrupt near-2^64 address reads as out
+// of bounds instead of bypassing the check and panicking in the pool.
+func (h *LFHashMap) inPool(addr, n uint64) bool {
+	size := h.pool.Size()
+	return addr < size && size-addr >= n
+}
 
 func (h *LFHashMap) annAddr(slot int) uint64 {
 	return h.annBase + uint64(slot)*nvm.LineSize
@@ -241,7 +264,7 @@ func lfSumBytes(pool *nvm.Pool, addr, n uint64) uint64 {
 
 // lfKVSum hashes a kv block (header + key + value).
 func lfKVSum(pool *nvm.Pool, kv uint64) (uint64, error) {
-	if kv == 0 || kv+8 > pool.Size() {
+	if kv == 0 || kv >= pool.Size() || pool.Size()-kv < 8 {
 		return 0, fmt.Errorf("kv header %#x outside pool", kv)
 	}
 	var hdr [8]byte
@@ -485,7 +508,7 @@ func (h *LFHashMap) CheckInvariants(slot int) error {
 			if steps++; steps > maxWalkSteps {
 				return fmt.Errorf("lfhashmap: chain walk exceeded %d steps (cycle?)", maxWalkSteps)
 			}
-			if node%8 != 0 || node+lfNodeSize > pool.Size() {
+			if node%8 != 0 || !h.inPool(node, lfNodeSize) {
 				return fmt.Errorf("lfhashmap: bucket %d node %#x outside pool or misaligned", b, node)
 			}
 			if _, dup := seenNodes[node]; dup {
@@ -532,18 +555,37 @@ type lfRecovery struct {
 // attach time (zero value when the map was freshly created).
 func (h *LFHashMap) LastRecovery() lfRecovery { return h.lastRecovery }
 
+// lfAnnRec is one checksum-valid announcement record lifted from its slot
+// before resolution. Records are resolved jointly, not slot by slot: see the
+// type comment's recovery paragraph.
+type lfAnnRec struct {
+	slot       int
+	op         uint64
+	target     uint64
+	expect     uint64
+	newv       uint64
+	block0     uint64
+	block1     uint64
+	contentsum uint64
+}
+
 // recover resolves every announced in-flight CAS and sweeps logically
 // deleted nodes. Single-threaded; every step is idempotent (no frees, plain
-// stores only), so a crash during recovery re-runs cleanly.
+// stores only, and every roll-forward is an announced transition that a
+// re-run reclassifies as complete), so a crash during recovery re-runs
+// cleanly.
 func (h *LFHashMap) recover() error {
 	pool := h.pool
 	var rec lfRecovery
-	dirty := false
 
+	// Lift every armed announcement. A checksum or slot-binding failure is a
+	// torn line: the op never reached its pre-CAS fence, so nothing it did
+	// is visible and the record is discarded.
+	var recs []lfAnnRec
+	armed := make([]bool, lfAnnSlots)
 	for s := 0; s < lfAnnSlots; s++ {
-		a := h.annAddr(s)
 		var line [nvm.LineSize]byte
-		pool.Load(a, line[:])
+		pool.Load(h.annAddr(s), line[:])
 		var w [7]uint64
 		for i := range w {
 			w[i] = binary.LittleEndian.Uint64(line[i*8:])
@@ -551,35 +593,62 @@ func (h *LFHashMap) recover() error {
 		if w[0] == 0 {
 			continue
 		}
+		armed[s] = true
 		recsum := binary.LittleEndian.Uint64(line[56:])
-		if recsum != lfRecSum(s, w) || int(w[0]>>8&0xff) != s {
-			// Torn announcement line: the op never reached its pre-CAS
-			// fence, so nothing it did is visible. Discard.
+		if recsum != lfRecSum(s, w) || int(w[0]>>8&0xff) != s ||
+			w[1]%8 != 0 || !h.inPool(w[1], 8) {
 			rec.TornRecords++
-			pool.Store64(a, 0)
-			pool.FlushOpt(a, 8)
-			dirty = true
 			continue
 		}
-		op, target, expect, newv := w[0]&lfTagOp, w[1], w[2], w[3]
-		if target%8 != 0 || target+8 > pool.Size() {
-			rec.TornRecords++
-		} else {
-			switch h.resolve(op, target, expect, newv, w[4], w[5], w[6]) {
-			case lfResolveDone:
-				rec.Completed++
-			case lfResolveForward:
-				pool.Store64(target, newv)
-				pool.FlushOpt(target, 8)
-				dirty = true
-				rec.RolledForward++
-			default:
-				rec.RolledBack++
-			}
+		recs = append(recs, lfAnnRec{
+			slot: s, op: w[0] & lfTagOp,
+			target: w[1], expect: w[2], newv: w[3],
+			block0: w[4], block1: w[5], contentsum: w[6],
+		})
+	}
+
+	// Joint resolution, grouped by target word. Node-word targets
+	// (update/delete CASes) settle before bucket-head targets (insert
+	// CASes): whether an insert of key k may roll forward depends on
+	// whether the chain still holds a live node for k, which the node-word
+	// verdicts decide.
+	byTarget := map[uint64][]lfAnnRec{}
+	var order []uint64
+	for _, r := range recs {
+		if _, seen := byTarget[r.target]; !seen {
+			order = append(order, r.target)
 		}
-		pool.Store64(a, 0)
-		pool.FlushOpt(a, 8)
-		dirty = true
+		byTarget[r.target] = append(byTarget[r.target], r)
+	}
+	headLo, headHi := h.hdr+32, h.hdr+32+LFBuckets*8
+	isHead := func(t uint64) bool { return t >= headLo && t < headHi }
+	sort.Slice(order, func(i, j int) bool {
+		if hi, hj := isHead(order[i]), isHead(order[j]); hi != hj {
+			return !hi
+		}
+		return order[i] < order[j]
+	})
+	applied := false
+	for _, target := range order {
+		if h.resolveTarget(target, byTarget[target], &rec) {
+			applied = true
+		}
+	}
+	// The resolution stores must be durable before the announcements that
+	// justify them are erased: a crash that kept a slot clear but lost its
+	// roll-forward would silently drop an op whose dependent durable
+	// effects survive.
+	if applied {
+		pool.Fence()
+	}
+
+	dirty := applied
+	for s := 0; s < lfAnnSlots; s++ {
+		if armed[s] {
+			pool.Store64(h.annAddr(s), 0)
+			pool.FlushOpt(h.annAddr(s), 8)
+			dirty = true
+		}
 	}
 
 	// Physically unlink every logically deleted node. Chains are short-lived
@@ -593,7 +662,7 @@ func (h *LFHashMap) recover() error {
 			if steps++; steps > maxWalkSteps {
 				return fmt.Errorf("pds: lfhashmap recovery walk exceeded %d steps", maxWalkSteps)
 			}
-			if node%8 != 0 || node+lfNodeSize > pool.Size() {
+			if node%8 != 0 || !h.inPool(node, lfNodeSize) {
 				return fmt.Errorf("pds: lfhashmap recovery: bucket %d links node %#x outside pool", b, node)
 			}
 			next := pool.Load64(node + 8)
@@ -615,51 +684,147 @@ func (h *LFHashMap) recover() error {
 	return nil
 }
 
-type lfResolveVerdict int
-
-const (
-	lfResolveDone lfResolveVerdict = iota
-	lfResolveForward
-	lfResolveBack
-)
-
-// resolve classifies one valid announcement against the surviving state:
-// effect durable → done; CAS lost but target still holds the expected value
-// and the published content is intact → roll forward; anything else → roll
-// back (the op never returned, so erasing it is always admissible).
-func (h *LFHashMap) resolve(op, target, expect, newv, block0, block1, contentsum uint64) lfResolveVerdict {
+// resolveTarget replays the announced CASes on one word. The durable value
+// plus the records form a replay chain: the records whose expected value
+// matches the current word are the CASes that could have won next; exactly
+// one (the arbitrated winner) rolls forward, and the word advances to its
+// new value — which may enable a dependent record announced against that
+// value. Addresses are never reused within a crash epoch, so the chain
+// never revisits a value and a conflict loser never becomes eligible again.
+// Records left over when no candidate matches either already took effect
+// durably (complete) or lost their race (rolled back — none of them
+// returned, so erasure is admissible). Returns whether any store was made.
+func (h *LFHashMap) resolveTarget(target uint64, cands []lfAnnRec, rec *lfRecovery) bool {
 	pool := h.pool
 	cur := pool.Load64(target)
-	switch op {
-	case lfOpInsert:
-		if h.reachable(target, block0) {
-			return lfResolveDone
+	reached := map[uint64]bool{cur: true}
+	applied := false
+	remaining := append([]lfAnnRec(nil), cands...)
+	for {
+		var elig []int
+		for i, c := range remaining {
+			if c.expect == cur && h.announcedContentOK(c) {
+				elig = append(elig, i)
+			}
 		}
-		if cur == expect && h.insertContentOK(block0, block1, expect, contentsum) {
-			return lfResolveForward
+		if len(elig) == 0 {
+			break
 		}
-		return lfResolveBack
-	case lfOpUpdate:
-		if cur == newv {
-			return lfResolveDone
+		win := elig[0]
+		if len(elig) > 1 {
+			win = arbitrate(remaining, elig)
 		}
-		if cur == expect && h.updateContentOK(block0, contentsum) {
-			return lfResolveForward
+		c := remaining[win]
+		remaining = append(remaining[:win], remaining[win+1:]...)
+		if c.op == lfOpInsert {
+			if h.reachable(target, c.block0) {
+				// The node is already linked (the CAS was durable after
+				// all): the op is complete, and re-applying the head store
+				// would cycle the chain.
+				rec.Completed++
+				continue
+			}
+			if h.chainHasLiveKey(target, kvKey(h.mem(0), c.block1)) {
+				// Rolling forward would create a second live node for the
+				// key. The op never returned, so demote it to a rollback.
+				rec.RolledBack++
+				continue
+			}
 		}
-		// Neither value: a later durable op already moved the word past this
-		// one (which therefore completed) or past its expected value (so the
-		// CAS would have failed). Both read as "nothing to do".
-		return lfResolveBack
-	case lfOpDelMark:
-		if cur == newv {
-			return lfResolveDone
-		}
-		if cur == expect {
-			return lfResolveForward
-		}
-		return lfResolveBack
+		pool.Store64(target, c.newv)
+		pool.FlushOpt(target, 8)
+		rec.RolledForward++
+		applied = true
+		cur = c.newv
+		reached[cur] = true
 	}
-	return lfResolveBack
+	for _, c := range remaining {
+		switch {
+		case c.op == lfOpInsert && h.reachable(target, c.block0):
+			rec.Completed++
+		case c.op != lfOpInsert && reached[c.newv]:
+			rec.Completed++
+		default:
+			// A durable value the chain never reached: the op lost its race
+			// (or a later durable op moved the word past it). Nothing to do.
+			rec.RolledBack++
+		}
+	}
+	return applied
+}
+
+// arbitrate picks which of several same-expect candidates rolls forward. At
+// most one of the racing CASes can have won at runtime, and none of the ops
+// returned, so any single choice is admissible — but some are provably
+// right:
+//
+//  1. a candidate whose new value another record on the same target expects
+//     must have won — the observer announced against its result;
+//  2. otherwise prefer a delete: erasing a never-returned op's key is the
+//     conservative verdict, and when a surviving insert announcement
+//     re-inserts the victim key it is also the provable one (the inserter
+//     can only have seen the key absent via the delete's mark);
+//  3. otherwise the lowest slot, for determinism.
+//
+// elig is in slot order, so "first match" implements the lower tie-breaks.
+func arbitrate(cands []lfAnnRec, elig []int) int {
+	for _, i := range elig {
+		for j, c := range cands {
+			if j != i && c.expect == cands[i].newv {
+				return i
+			}
+		}
+	}
+	for _, i := range elig {
+		if cands[i].op == lfOpDelMark {
+			return i
+		}
+	}
+	return elig[0]
+}
+
+// announcedContentOK gates roll-forward eligibility on the published content
+// having survived the crash: content lines can be lost at the announce fence
+// itself, and a mismatch demotes the op to a rollback.
+func (h *LFHashMap) announcedContentOK(c lfAnnRec) bool {
+	switch c.op {
+	case lfOpInsert:
+		return h.insertContentOK(c.block0, c.block1, c.expect, c.contentsum)
+	case lfOpUpdate:
+		return h.updateContentOK(c.block0, c.contentsum)
+	case lfOpDelMark:
+		// A delete publishes no content; its new value must be exactly the
+		// announced expect with the mark set.
+		return c.newv == c.expect|lfMarkBit
+	}
+	return false
+}
+
+// chainHasLiveKey reports whether the chain anchored at the head word holds
+// a live (unmarked) node for key. Corrupt links read as "yes": refusing a
+// roll-forward is always admissible for an op that never returned.
+func (h *LFHashMap) chainHasLiveKey(head uint64, key []byte) bool {
+	pool, m := h.pool, h.mem(0)
+	steps := 0
+	for n := pool.Load64(head); n != 0; n = pool.Load64(n + 8) {
+		if n%8 != 0 || !h.inPool(n, lfNodeSize) {
+			return true
+		}
+		if steps++; steps > maxWalkSteps {
+			return true
+		}
+		kvw := pool.Load64(n)
+		if kvw&lfMarkBit != 0 {
+			continue
+		}
+		if _, err := lfKVSum(pool, kvw); err != nil {
+			return true
+		}
+		if kvKeyEqual(m, kvw, key) {
+			return true
+		}
+	}
+	return false
 }
 
 // reachable reports whether node is linked on the chain whose head word is
@@ -671,7 +836,7 @@ func (h *LFHashMap) reachable(target, node uint64) bool {
 		if n == node {
 			return true
 		}
-		if n%8 != 0 || n+lfNodeSize > pool.Size() {
+		if n%8 != 0 || !h.inPool(n, lfNodeSize) {
 			return false
 		}
 		if steps++; steps > maxWalkSteps {
@@ -689,14 +854,14 @@ func (h *LFHashMap) reachable(target, node uint64) bool {
 // have durably swung it — and validated structurally instead.
 func (h *LFHashMap) insertContentOK(node, kv, expect, contentsum uint64) bool {
 	pool := h.pool
-	if node%8 != 0 || node+lfNodeSize > pool.Size() {
+	if node%8 != 0 || !h.inPool(node, lfNodeSize) {
 		return false
 	}
 	if pool.Load64(node+8) != expect {
 		return false
 	}
 	kvw := pool.Load64(node) &^ lfMarkBit
-	if kvw == 0 || kvw+8 > pool.Size() {
+	if kvw == 0 || !h.inPool(kvw, 8) {
 		return false
 	}
 	kvsum, err := lfKVSum(pool, kv)

@@ -529,6 +529,203 @@ func TestLFHashMapRecoveryDiscardsTornAnnouncement(t *testing.T) {
 	}
 }
 
+// --- conflicting-announcement windows ---------------------------------------
+//
+// A crash can leave several valid announcements aimed at the same word with
+// the same expected value — racing CASes of which at most one can have won —
+// plus dependent announcements on other words. Per-slot resolution would
+// resolve them independently against the mutating pool state and could roll
+// forward two of them; these tests pin the joint resolver's verdicts.
+
+// lfAnnounceUpdate builds a new kv block and announces an update CAS against
+// the given node/kv word without executing it, exactly as Insert's update
+// path does up to protocol step 2.
+func lfAnnounceUpdate(t *testing.T, h *LFHashMap, slot int, node, kvw uint64, key, val []byte) uint64 {
+	t.Helper()
+	m := h.mem(slot)
+	nkv, err := kvWrite(m, key, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.pool.FlushOpt(nkv, uint64(8+len(key)+len(val)))
+	kvsum, err := lfKVSum(h.pool, nkv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.announce(slot, lfOpUpdate, node, kvw, nkv, nkv, kvw, kvsum)
+	return nkv
+}
+
+// TestLFHashMapRecoveryConflictingUpdateDeleteInsert reconstructs the
+// three-op window where slot order would betray a per-slot resolver: B
+// announces an update of key k (expect V) and never CASes; D's delete of k
+// succeeds in cache but the mark is lost at the crash; A observes the mark
+// and fresh-inserts k (announced, head CAS lost too). Resolving slots in
+// order would roll B forward, demote D, then roll A forward as well — two
+// live nodes for k. Joint resolution must let the delete win the conflict
+// and leave exactly A's re-insert live.
+func TestLFHashMapRecoveryConflictingUpdateDeleteInsert(t *testing.T) {
+	pool, h := lfSetup(t, false, nvm.WithEviction(nvm.EvictNone))
+	key := []byte("conflict-key")
+	if err := h.Insert(0, key, []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	bucket := h.bucketAddr(fnv1a(key) % LFBuckets)
+	node := pool.AtomicLoad64(bucket)
+	kvw := pool.AtomicLoad64(node)
+
+	// Slot 1 (first in a slot-ordered scan): B's update, never CASed.
+	lfAnnounceUpdate(t, h, 1, node, kvw, key, []byte("B-update"))
+	// Slot 2: D's delete — the CAS succeeds, the marked line is never
+	// flushed, so EvictNone drops it at the crash.
+	h.announce(2, lfOpDelMark, node, kvw, kvw|lfMarkBit, 0, 0, 0)
+	if !pool.CAS64(node, kvw, kvw|lfMarkBit) {
+		t.Fatal("setup delete CAS failed")
+	}
+	// Slot 3: A saw the (volatile) mark and fresh-inserts k; its head CAS is
+	// also lost with the crash.
+	_, nodeA := lfPrepareInsert(h, 3, key, []byte("A-reinsert"))
+	if !pool.CAS64(bucket, node, nodeA) {
+		t.Fatal("setup insert CAS failed")
+	}
+
+	h2 := lfReattach(t, pool)
+	if err := h2.CheckInvariants(0); err != nil {
+		t.Fatalf("joint recovery left inconsistent chains: %v", err)
+	}
+	got, found, err := h2.Get(0, key)
+	if err != nil || !found || string(got) != "A-reinsert" {
+		t.Fatalf("want the re-insert live, got %q found=%v err=%v", got, found, err)
+	}
+	if n, _ := h2.Len(0); n != 1 {
+		t.Fatalf("Len = %d, want exactly one live node for the key", n)
+	}
+	r := h2.LastRecovery()
+	if r.RolledForward != 2 || r.RolledBack != 1 || r.Unlinked != 1 {
+		t.Fatalf("recovery = %+v, want delete+insert forward, update back, one unlink", r)
+	}
+}
+
+// TestLFHashMapRecoveryChainedAnnouncements exercises the dependency chain
+// in the opposite slot order: the delete was announced against the UPDATE's
+// new value (proof the update's CAS won in cache), both CASes are lost, and
+// a dependent fresh insert of the key is durable. Recovery must replay the
+// whole chain — update, then delete, regardless of slot order — or the
+// durable insert would coexist with a live stale node.
+func TestLFHashMapRecoveryChainedAnnouncements(t *testing.T) {
+	pool, h := lfSetup(t, false, nvm.WithEviction(nvm.EvictNone))
+	key := []byte("chain-key")
+	if err := h.Insert(0, key, []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	bucket := h.bucketAddr(fnv1a(key) % LFBuckets)
+	node := pool.AtomicLoad64(bucket)
+	kvw := pool.AtomicLoad64(node)
+
+	// B's update kv block must exist before D can announce against it; the
+	// update record itself sits in the HIGHER slot so a slot-ordered scan
+	// meets the dependent delete first.
+	m := h.mem(2)
+	nkv, err := kvWrite(m, key, []byte("B-update"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.FlushOpt(nkv, uint64(8+len(key)+8))
+	kvsum, err := lfKVSum(pool, nkv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.announce(1, lfOpDelMark, node, nkv, nkv|lfMarkBit, 0, 0, 0)
+	h.announce(2, lfOpUpdate, node, kvw, nkv, nkv, kvw, kvsum)
+	if !pool.CAS64(node, kvw, nkv) { // B's CAS won in cache...
+		t.Fatal("setup update CAS failed")
+	}
+	if !pool.CAS64(node, nkv, nkv|lfMarkBit) { // ...then D marked it.
+		t.Fatal("setup delete CAS failed")
+	}
+	// A's fresh insert of the key became DURABLE: recovery must justify it.
+	_, nodeA := lfPrepareInsert(h, 3, key, []byte("A-reinsert"))
+	if !pool.CAS64(bucket, node, nodeA) {
+		t.Fatal("setup insert CAS failed")
+	}
+	pool.FlushOpt(bucket, 8)
+	pool.Fence()
+
+	h2 := lfReattach(t, pool)
+	if err := h2.CheckInvariants(0); err != nil {
+		t.Fatalf("joint recovery left inconsistent chains: %v", err)
+	}
+	got, found, err := h2.Get(0, key)
+	if err != nil || !found || string(got) != "A-reinsert" {
+		t.Fatalf("want the durable re-insert live, got %q found=%v err=%v", got, found, err)
+	}
+	if n, _ := h2.Len(0); n != 1 {
+		t.Fatalf("Len = %d, want exactly one live node for the key", n)
+	}
+	r := h2.LastRecovery()
+	if r.RolledForward != 2 || r.Completed != 1 || r.Unlinked != 1 {
+		t.Fatalf("recovery = %+v, want update+delete forward, insert complete, one unlink", r)
+	}
+}
+
+// TestLFHashMapRecoveryConflictPrefersDelete pins the arbitration fallback:
+// an update and a delete announced against the same word and value, neither
+// CASed, no other evidence. Exactly one may roll forward, and the resolver
+// deterministically prefers the delete.
+func TestLFHashMapRecoveryConflictPrefersDelete(t *testing.T) {
+	pool, h := lfSetup(t, false, nvm.WithEviction(nvm.EvictNone))
+	key := []byte("prefer-delete")
+	if err := h.Insert(0, key, []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	bucket := h.bucketAddr(fnv1a(key) % LFBuckets)
+	node := pool.AtomicLoad64(bucket)
+	kvw := pool.AtomicLoad64(node)
+	lfAnnounceUpdate(t, h, 1, node, kvw, key, []byte("B-update"))
+	h.announce(2, lfOpDelMark, node, kvw, kvw|lfMarkBit, 0, 0, 0)
+
+	h2 := lfReattach(t, pool)
+	if err := h2.CheckInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := h2.Get(0, key); found {
+		t.Fatal("conflicting delete did not win the roll-forward")
+	}
+	r := h2.LastRecovery()
+	if r.RolledForward != 1 || r.RolledBack != 1 || r.Unlinked != 1 {
+		t.Fatalf("recovery = %+v, want exactly one forward (the delete) and one rollback", r)
+	}
+}
+
+// TestLFHashMapRecoveryDemotesDuplicateInsert pins the insert safety net in
+// isolation: a valid fresh-insert announcement for a key whose chain still
+// holds a live node (no delete record survives to justify it) must be
+// demoted to a rollback rather than double-creating the key.
+func TestLFHashMapRecoveryDemotesDuplicateInsert(t *testing.T) {
+	pool, h := lfSetup(t, false, nvm.WithEviction(nvm.EvictNone))
+	key := []byte("dup-key")
+	if err := h.Insert(0, key, []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	lfPrepareInsert(h, 3, key, []byte("dup"))
+
+	h2 := lfReattach(t, pool)
+	if err := h2.CheckInvariants(0); err != nil {
+		t.Fatalf("duplicate insert rolled forward: %v", err)
+	}
+	got, found, err := h2.Get(0, key)
+	if err != nil || !found || string(got) != "V" {
+		t.Fatalf("original value lost: %q found=%v err=%v", got, found, err)
+	}
+	if n, _ := h2.Len(0); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	r := h2.LastRecovery()
+	if r.RolledForward != 0 || r.RolledBack != 1 {
+		t.Fatalf("recovery = %+v, want the insert demoted to rollback", r)
+	}
+}
+
 // TestLFHashMapRecoveryIdempotent re-runs recovery on an already-recovered
 // image: a crash during recovery must leave a state recovery handles again.
 func TestLFHashMapRecoveryIdempotent(t *testing.T) {
