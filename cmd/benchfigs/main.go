@@ -25,6 +25,19 @@ import (
 	"clobbernvm/internal/harness"
 )
 
+// parseRates parses a comma-separated rate sweep like "4000,16000".
+func parseRates(s string) ([]float64, error) {
+	var list []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q", f)
+		}
+		list = append(list, r)
+	}
+	return list, nil
+}
+
 // parseThreads parses a comma-separated thread sweep like "1,2,4,8,16".
 func parseThreads(s string) ([]int, error) {
 	var list []int
@@ -48,7 +61,19 @@ func main() {
 	shards := flag.String("shards", "", "comma-separated shard-count sweep added to the -json report (e.g. 1,2,4,8); the first count must be 1 — it is the unsharded recovery baseline the speedup column divides by")
 	lineLog := flag.Bool("linelog", false, "add the write-combined line-writer on/off flush+fence sweep to the -json report")
 	lockfree := flag.String("lockfree", "", "comma-separated thread sweep comparing the stripe-locked and lock-free hashmaps, added to the -json report (e.g. 1,2,4,8,16,32); independent of -threads so the >8-thread axis stays out of the other figures")
+	slo := flag.Bool("slo", false, "add the open-loop serving tail-latency sweep (front cache off vs on per offered rate) to the -json report")
+	sloOnly := flag.Bool("slo-only", false, "write a -json report containing only the SLO sweep, skipping the base figure benchmarks (implies -slo)")
+	sloRates := flag.String("slo-rates", "", "comma-separated offered rates in ops/sec for the SLO sweep (default 4000,16000)")
+	sloOps := flag.Int("slo-ops", 0, "operations per SLO run (default 4000; 0 with -slo-seconds set bounds by time instead)")
+	sloSeconds := flag.Float64("slo-seconds", 0, "wall-clock bound per SLO run when -slo-ops is 0")
+	sloConns := flag.Int("slo-conns", 0, "simulated client connections for the SLO sweep (default 8)")
+	sloShards := flag.Int("slo-shards", 1, "shard count for the SLO sweep's server stack")
+	sloLanes := flag.Int("slo-write-lanes", 0, "write lanes per shard for the SLO sweep (0/1 = classic single-lane layout)")
+	sloReps := flag.Int("slo-reps", 0, "interleaved repetitions per SLO point, pooled into one row (default 1)")
 	flag.Parse()
+	if *sloOnly {
+		*slo = true
+	}
 
 	sc := harness.SmallScale
 	switch *scale {
@@ -83,11 +108,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfigs: -lockfree is a -json report sweep; pass -json too")
 		os.Exit(2)
 	}
+	if *slo && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchfigs: -slo is a -json report sweep; pass -json too")
+		os.Exit(2)
+	}
 
 	if *jsonOut != "" {
 		start := time.Now()
-		rep, err := harness.RunBenchReport(sc, *scale)
-		if err != nil {
+		var rep *harness.BenchReport
+		var err error
+		if *sloOnly {
+			// SLO-only reports skip the figure benchmarks: the sweep carries
+			// its own configuration columns, so the base fields just record
+			// provenance.
+			rep = &harness.BenchReport{
+				GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+				Scale:       *scale,
+				Entries:     sc.Entries,
+				Ops:         sc.Ops,
+				Threads:     sc.Threads,
+			}
+		} else if rep, err = harness.RunBenchReport(sc, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
 			os.Exit(1)
 		}
@@ -126,6 +167,31 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *slo {
+			scSLO := sc
+			scSLO.Shards = *sloShards
+			cfg := harness.SLOConfig{
+				Scale:      scSLO,
+				Ops:        *sloOps,
+				Seconds:    *sloSeconds,
+				Conns:      *sloConns,
+				WriteLanes: *sloLanes,
+				Reps:       *sloReps,
+			}
+			if *sloRates != "" {
+				rates, err := parseRates(*sloRates)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchfigs: -slo-rates: %v\n", err)
+					os.Exit(2)
+				}
+				cfg.Rates = rates
+			}
+			rep.SLOSweep, err = harness.RunSLOSweep(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfigs: slo sweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfigs: report: %v\n", err)
@@ -137,7 +203,7 @@ func main() {
 		}
 		fmt.Printf("report     %4d rows  %8.1fs  -> %s\n",
 			len(rep.Fig6Insert)+len(rep.YCSBLoadScaling)+len(rep.ShardSweep)+
-				len(rep.LineLogSweep)+len(rep.LockfreeSweep),
+				len(rep.LineLogSweep)+len(rep.LockfreeSweep)+len(rep.SLOSweep),
 			time.Since(start).Seconds(), *jsonOut)
 		return
 	}

@@ -13,7 +13,9 @@
 // relatives, not guarded absolutes. A structure present in the baseline but
 // missing from the current report is an error (a silently dropped sweep must
 // not pass the guard). -checks selects a subset of the guards (fig6, shard,
-// linelog) when a baseline only anchors one of them. Exit status: 0 when
+// linelog, lockfree, slo) when a baseline only anchors one of them; the slo
+// guard is self-anchoring (front-cache off vs on pairs inside the current
+// report) and ignores the baseline. Exit status: 0 when
 // every structure is within the threshold, 1 on any regression or missing
 // row, 2 on usage errors.
 package main
@@ -34,7 +36,7 @@ func main() {
 	currentPath := flag.String("current", "", "current report to check against the baseline")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated single-thread ns/op regression (0.20 = +20%)")
 	engine := flag.String("engine", "clobber", "engine whose single-thread inserts are guarded")
-	checks := flag.String("checks", "fig6,shard,linelog", "comma-separated guard subset to run: fig6, shard, linelog, lockfree")
+	checks := flag.String("checks", "fig6,shard,linelog", "comma-separated guard subset to run: fig6, shard, linelog, lockfree, slo")
 	flag.Parse()
 
 	if *currentPath == "" {
@@ -45,10 +47,10 @@ func main() {
 	for _, c := range strings.Split(*checks, ",") {
 		c = strings.TrimSpace(c)
 		switch c {
-		case "fig6", "shard", "linelog", "lockfree":
+		case "fig6", "shard", "linelog", "lockfree", "slo":
 			enabled[c] = true
 		default:
-			fmt.Fprintf(os.Stderr, "benchguard: unknown check %q (want fig6, shard, linelog or lockfree)\n", c)
+			fmt.Fprintf(os.Stderr, "benchguard: unknown check %q (want fig6, shard, linelog, lockfree or slo)\n", c)
 			os.Exit(2)
 		}
 	}
@@ -96,6 +98,9 @@ func main() {
 		failed = true
 	}
 	if enabled["lockfree"] && guardLockfreeRows(base, cur, *maxRegress) {
+		failed = true
+	}
+	if enabled["slo"] && guardSLORows(cur, *maxRegress) {
 		failed = true
 	}
 	if failed {
@@ -294,6 +299,113 @@ func guardLockfreeRows(base, cur *harness.BenchReport, maxRegress float64) bool 
 		}
 		fmt.Printf("%s lockfree t=1 baseline %9.0f ns/op  current %9.0f ns/op  %+6.1f%% (limit +%.0f%%)\n",
 			status, baseOne.NSPerOp, rows[0].NSPerOp, 100*ratio, 100*maxRegress)
+	}
+	return failed
+}
+
+// guardSLORows enforces the serving tail-latency contract on the report's
+// slo_sweep (the BENCH_PR10.json gate). The sweep is self-anchoring — off
+// and on rows at the same offered rate inside ONE report — so no baseline
+// is consulted; CI runs this check against the frozen report itself, which
+// keeps the recorded front-cache win from silently rotting into a tie when
+// the sweep is regenerated. Checks:
+//
+//  1. Validity: the sweep exists, every offered rate has both a front-off
+//     and a front-on row (extra repetitions pair index-wise), and no row
+//     recorded transport errors or an empty run.
+//  2. Path evidence: front-off rows must show zero front-cache traffic —
+//     the volatile read cache is structurally absent, so the off serving
+//     path is the same persistent path the pre-front reports measured —
+//     and front-on rows must show hits (a hot zipfian head that never
+//     hits the front means the cache or the workload is miswired).
+//  3. Tail latency: within each pair, the on row's p99 must not exceed the
+//     off row's, and its achieved throughput must stay within the regress
+//     tolerance of the off row's.
+//  4. Speedup: at least one pair must show a strict front-cache win — the
+//     recorded evidence that the hot-key front buys serving performance,
+//     not just a counter that increments. The win takes either form the
+//     load regime allows: below saturation achieved throughput is pinned
+//     to the offered schedule on both sides, so the win is p99 strictly
+//     lower (at throughput held within tolerance); at saturation the queue
+//     pins p99 at its ceiling on both sides, so the win is achieved
+//     throughput strictly higher (at p99 no worse). Demanding both
+//     strictly in one pair would gate on measurement noise.
+//
+// Returns true on any failure.
+func guardSLORows(cur *harness.BenchReport, maxRegress float64) bool {
+	if len(cur.SLOSweep) == 0 {
+		fmt.Println("FAIL slo check selected but current report has no slo_sweep rows")
+		return true
+	}
+	failed := false
+	offRows := map[float64][]harness.SLOPoint{}
+	onRows := map[float64][]harness.SLOPoint{}
+	var rates []float64
+	for _, p := range cur.SLOSweep {
+		if p.Errors > 0 || p.Completed == 0 {
+			fmt.Printf("FAIL slo front=%v rate=%.0f: errors=%d completed=%d (measurement invalid)\n",
+				p.FrontCache, p.OfferedOpsPerSec, p.Errors, p.Completed)
+			failed = true
+		}
+		if p.FrontCache {
+			if p.FrontHits == 0 {
+				fmt.Printf("FAIL slo front=on rate=%.0f: zero front-cache hits (hot head never reached the front)\n",
+					p.OfferedOpsPerSec)
+				failed = true
+			}
+			onRows[p.OfferedOpsPerSec] = append(onRows[p.OfferedOpsPerSec], p)
+		} else {
+			if p.FrontHits != 0 || p.FrontMisses != 0 {
+				fmt.Printf("FAIL slo front=off rate=%.0f: front-cache counters moved (hits=%d misses=%d) on the supposedly identical persistent path\n",
+					p.OfferedOpsPerSec, p.FrontHits, p.FrontMisses)
+				failed = true
+			}
+			if _, seen := offRows[p.OfferedOpsPerSec]; !seen {
+				rates = append(rates, p.OfferedOpsPerSec)
+			}
+			offRows[p.OfferedOpsPerSec] = append(offRows[p.OfferedOpsPerSec], p)
+		}
+	}
+	sort.Float64s(rates)
+	strictWin := false
+	pairs := 0
+	for _, rate := range rates {
+		offs, ons := offRows[rate], onRows[rate]
+		if len(offs) != len(ons) {
+			fmt.Printf("FAIL slo rate=%.0f: %d off rows vs %d on rows (unpaired sweep)\n", rate, len(offs), len(ons))
+			failed = true
+		}
+		for i := 0; i < len(offs) && i < len(ons); i++ {
+			off, on := offs[i], ons[i]
+			pairs++
+			status := "ok  "
+			if on.P99NS > off.P99NS || on.AchievedOpsPerSec < off.AchievedOpsPerSec*(1-maxRegress) {
+				status = "FAIL"
+				failed = true
+			}
+			tailWin := on.P99NS < off.P99NS && on.AchievedOpsPerSec >= off.AchievedOpsPerSec*(1-maxRegress)
+			tputWin := on.AchievedOpsPerSec > off.AchievedOpsPerSec && on.P99NS <= off.P99NS
+			if tailWin || tputWin {
+				strictWin = true
+			}
+			fmt.Printf("%s slo rate=%.0f p99 on %9d ns vs off %9d ns  achieved on %8.0f vs off %8.0f ops/s\n",
+				status, rate, on.P99NS, off.P99NS, on.AchievedOpsPerSec, off.AchievedOpsPerSec)
+		}
+	}
+	for rate, ons := range onRows {
+		if _, ok := offRows[rate]; !ok {
+			fmt.Printf("FAIL slo rate=%.0f: on rows with no off row to compare against\n", rate)
+			failed = true
+			_ = ons
+		}
+	}
+	if pairs == 0 {
+		fmt.Println("FAIL slo check: no off/on pair shares an offered rate (nothing compared)")
+		return true
+	}
+	if !strictWin {
+		fmt.Println("FAIL slo check: no offered rate shows a strict front-cache win (p99 strictly lower at held throughput, or throughput strictly higher at no-worse p99)")
+		failed = true
 	}
 	return failed
 }

@@ -67,3 +67,154 @@ func TestGuardShardRowsStillCatchesRegressions(t *testing.T) {
 		t.Fatal("shard gate missed a +50% regression on an anchored row")
 	}
 }
+
+// sloRow builds one well-formed sweep row. On rows carry front hits; off
+// rows carry none, as the gate requires.
+func sloRow(front bool, rate, achieved float64, p99 int64) harness.SLOPoint {
+	p := harness.SLOPoint{
+		FrontCache:        front,
+		OfferedOpsPerSec:  rate,
+		AchievedOpsPerSec: achieved,
+		P99NS:             p99,
+		Completed:         1000,
+	}
+	if front {
+		p.FrontHits, p.FrontMisses = 500, 100
+	}
+	return p
+}
+
+// sloReport wraps rows into a report.
+func sloReport(rows ...harness.SLOPoint) *harness.BenchReport {
+	return &harness.BenchReport{SLOSweep: rows}
+}
+
+// TestGuardSLOPassesOnStrictWin: an unsaturated tie plus a pair where the
+// on row strictly wins the tail is the canonical healthy sweep.
+func TestGuardSLOPassesOnStrictWin(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 1000, 990, 3_000_000),
+		sloRow(true, 1000, 991, 3_000_000),
+		sloRow(false, 8000, 5000, 100_000_000),
+		sloRow(true, 8000, 7000, 12_000_000),
+	)
+	if guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate failed a sweep with a strict saturated win")
+	}
+}
+
+// TestGuardSLOFailsWithoutSweep: selecting the check with no sweep rows must
+// fail, not pass vacuously.
+func TestGuardSLOFailsWithoutSweep(t *testing.T) {
+	if !guardSLORows(&harness.BenchReport{}, 0.20) {
+		t.Fatal("slo gate passed a report without a sweep")
+	}
+}
+
+// TestGuardSLOPassesOnTailOnlyWin: at an offered rate both sides sustain,
+// achieved throughput is pinned to the schedule — the strict win is carried
+// by p99 alone, with throughput merely held within the tolerance band.
+func TestGuardSLOPassesOnTailOnlyWin(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 8000, 7990, 25_000_000),
+		sloRow(true, 8000, 7985, 12_000_000), // tail halved, throughput a hair lower
+	)
+	if guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate failed a pair whose on row strictly wins p99 at held throughput")
+	}
+}
+
+// TestGuardSLOPassesOnThroughputOnlyWin: at saturation the queue pins p99
+// at its ceiling on both sides — the strict win is carried by achieved
+// throughput alone, with p99 merely no worse.
+func TestGuardSLOPassesOnThroughputOnlyWin(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 240000, 175000, 100_000_000),
+		sloRow(true, 240000, 194000, 100_000_000), // p99 tied at the ceiling
+	)
+	if guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate failed a saturated pair whose on row strictly wins throughput at tied p99")
+	}
+}
+
+// TestGuardSLOFailsOnAllTies: rows that never show a strict win in either
+// form mean the front cache buys nothing — the gate must say so.
+func TestGuardSLOFailsOnAllTies(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 1000, 990, 3_000_000),
+		sloRow(true, 1000, 990, 3_000_000),
+	)
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed a sweep where on never strictly beats off")
+	}
+}
+
+// TestGuardSLOFailsOnTailRegression: an on row with worse p99 than its off
+// pair fails even when another pair carries the strict win.
+func TestGuardSLOFailsOnTailRegression(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 1000, 990, 3_000_000),
+		sloRow(true, 1000, 991, 6_000_000), // p99 worse with the cache on
+		sloRow(false, 8000, 5000, 100_000_000),
+		sloRow(true, 8000, 7000, 12_000_000),
+	)
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed an on row whose p99 regressed vs its off pair")
+	}
+}
+
+// TestGuardSLOFailsOnThroughputCollapse: on throughput below the tolerance
+// band of its off pair fails.
+func TestGuardSLOFailsOnThroughputCollapse(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 8000, 5000, 100_000_000),
+		sloRow(true, 8000, 3000, 12_000_000), // -40% throughput
+	)
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed an on row whose throughput collapsed vs its off pair")
+	}
+}
+
+// TestGuardSLOFailsOnFrontTrafficInOffRows: the off rows are the evidence
+// that the persistent path is structurally unchanged; any front counter
+// movement there is a wiring bug.
+func TestGuardSLOFailsOnFrontTrafficInOffRows(t *testing.T) {
+	off := sloRow(false, 8000, 5000, 100_000_000)
+	off.FrontHits = 7
+	rep := sloReport(off, sloRow(true, 8000, 7000, 12_000_000))
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed an off row with front-cache traffic")
+	}
+}
+
+// TestGuardSLOFailsOnColdFront: an on row with zero hits under a zipfian
+// read-heavy mix means the front cache is miswired.
+func TestGuardSLOFailsOnColdFront(t *testing.T) {
+	on := sloRow(true, 8000, 7000, 12_000_000)
+	on.FrontHits = 0
+	rep := sloReport(sloRow(false, 8000, 5000, 100_000_000), on)
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed an on row that never hit the front cache")
+	}
+}
+
+// TestGuardSLOFailsOnUnpairedRates: every rate needs both sides.
+func TestGuardSLOFailsOnUnpairedRates(t *testing.T) {
+	rep := sloReport(
+		sloRow(false, 8000, 5000, 100_000_000),
+		sloRow(true, 9000, 7000, 12_000_000),
+	)
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed a sweep whose off and on rows share no rate")
+	}
+}
+
+// TestGuardSLOFailsOnTransportErrors: rows with errors are not measurements.
+func TestGuardSLOFailsOnTransportErrors(t *testing.T) {
+	off := sloRow(false, 8000, 5000, 100_000_000)
+	off.Errors = 3
+	rep := sloReport(off, sloRow(true, 8000, 7000, 12_000_000))
+	if !guardSLORows(rep, 0.20) {
+		t.Fatal("slo gate passed a row with transport errors")
+	}
+}

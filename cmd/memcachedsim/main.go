@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"clobbernvm/internal/harness"
@@ -57,6 +58,9 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "per-connection read/write deadline; 0 disables")
 	drainTimeout := flag.Duration("drain-timeout", time.Second, "how long Close waits for in-flight sessions before force-closing")
 	shards := flag.Int("shards", 1, "independent persistence domains behind a consistent-hash key router; each shard has its own pool, engine and crash-recovery supervisor")
+	frontCache := flag.Bool("front-cache", false, "enable the volatile hot-key front cache: hot reads skip the txn layer; writes invalidate inline before the ack; recovery drops the front wholesale")
+	frontEntries := flag.Int("front-entries", 0, "front cache capacity in entries (0 = default 4096)")
+	writeLanes := flag.Int("write-lanes", 0, "partition each shard's keyspace into this many independent write lanes so concurrent writes commit in parallel (0 or 1 = single lane)")
 	flag.Parse()
 
 	const serverConns = 8
@@ -83,8 +87,11 @@ func main() {
 
 	const rootSlot = 34
 	copts := memcache.Options{
-		Capacity: *capacity,
-		Lock:     lockMode,
+		Capacity:          *capacity,
+		Lock:              lockMode,
+		WriteLanes:        *writeLanes,
+		FrontCache:        *frontCache,
+		FrontCacheEntries: *frontEntries,
 	}
 
 	// backend is what the protocol layer serves; sups are the per-shard
@@ -219,6 +226,7 @@ func main() {
 					"evictions": evictions,
 				}
 			},
+			"frontcache": func() any { return backend.FrontStats() },
 		}, ring)
 		mux.HandleFunc("/debug/crash", func(w http.ResponseWriter, r *http.Request) {
 			kind, err := nvm.ParseCrashKind(r.URL.Query().Get("at"))
@@ -277,12 +285,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memcachedsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("memcachedsim: engine=%s lock=%s shards=%d listening on %s (ctrl-c to stop)\n",
-		*engine, *lock, len(sups), srv.Addr())
+	fmt.Printf("memcachedsim: engine=%s lock=%s shards=%d lanes=%d front-cache=%v listening on %s (ctrl-c or SIGTERM to stop)\n",
+		*engine, *lock, len(sups), *writeLanes, *frontCache, srv.Addr())
 
+	<-shutdownSignals()
+	fmt.Println(shutdown(srv, backend, sups, traceFile))
+}
+
+// shutdownSignals delivers SIGINT and SIGTERM on the returned channel:
+// ctrl-c at a terminal and an orchestrator's stop signal both get the same
+// graceful drain instead of SIGTERM's default instant kill.
+func shutdownSignals() chan os.Signal {
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return sig
+}
+
+// shutdown closes the server — stopping the acceptor and letting in-flight
+// sessions drain their pipelined commands for the configured drain window —
+// detaches the trace sink, and returns the final stats line.
+func shutdown(srv *memcache.Server, backend memcache.Backend, sups []*memcache.Supervisor, traceFile *os.File) string {
 	_ = srv.Close()
 	if traceFile != nil {
 		obs.SetSink(nil)
@@ -293,6 +315,6 @@ func main() {
 	for _, s := range sups {
 		restarts += s.Restarts()
 	}
-	fmt.Printf("memcachedsim: done (hits=%d misses=%d evictions=%d restarts=%d)\n",
+	return fmt.Sprintf("memcachedsim: done (hits=%d misses=%d evictions=%d restarts=%d)",
 		hits, misses, evictions, restarts)
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"clobbernvm/internal/harness"
+	"clobbernvm/internal/memcache"
+)
+
+// TestShutdownSignalsDeliverSIGTERM pins the orchestrator contract: SIGTERM
+// must reach the shutdown channel instead of killing the process outright,
+// or a container stop would skip the graceful drain entirely.
+func TestShutdownSignalsDeliverSIGTERM(t *testing.T) {
+	sig := shutdownSignals()
+	defer signal.Stop(sig)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-sig:
+		if got != syscall.SIGTERM {
+			t.Fatalf("received %v, want SIGTERM", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM never delivered to the shutdown channel")
+	}
+}
+
+// TestShutdownDrainsInFlight races shutdown against a client that has just
+// pipelined a burst of sets: the drain window must let every command finish
+// and its reply reach the wire before the connection dies.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	sc := harness.SmallScale
+	sc.PoolBytes = 1 << 26
+	sc.Threads = []int{4}
+	setup, err := harness.NewSetup(harness.EngineClobber, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := memcache.New(setup.Engine, 34, memcache.Options{
+		Capacity: 1 << 12, Lock: memcache.LockRW,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := memcache.NewServer(cache, "127.0.0.1:0", 4,
+		memcache.WithIdleTimeout(30*time.Second),
+		memcache.WithDrainTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const burst = 50
+	var req strings.Builder
+	for i := 0; i < burst; i++ {
+		fmt.Fprintf(&req, "set k%03d 0 0 5\r\nhello\r\n", i)
+	}
+	req.WriteString("quit\r\n")
+	if _, err := conn.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan string, 1)
+	go func() { done <- shutdown(srv, cache, nil, nil) }()
+
+	r := bufio.NewReader(conn)
+	for i := 0; i < burst; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d/%d lost during shutdown: %v", i, burst, err)
+		}
+		if line != "STORED\r\n" {
+			t.Fatalf("reply %d: got %q, want STORED", i, line)
+		}
+	}
+	summary := <-done
+	if !strings.Contains(summary, "restarts=0") {
+		t.Fatalf("summary %q reports unexpected restarts", summary)
+	}
+	if n, err := cache.Len(); err != nil || n != burst {
+		t.Fatalf("cache holds %d items (err=%v), want %d — drained commands were dropped", n, err, burst)
+	}
+	if err := shutdown(srv, cache, nil, nil); !strings.Contains(err, "done") {
+		t.Fatalf("second shutdown not idempotent: %q", err)
+	}
+}

@@ -66,6 +66,9 @@ func main() {
 	keys := flag.Int("keys", 48, "chaos mode: keys per client")
 	shards := flag.Int("shards", 1, "independent persistence domains; >1 shards the backend (chaos: one victim shard crashes per round while the rest must keep serving; sweep: every persist point of one shard crashed while survivors are audited)")
 	chaosBroken := flag.Bool("chaos-broken", false, "chaos mode: deliberately skip engine recovery — the harness self-test; the run MUST be convicted")
+	frontCache := flag.Bool("front-cache", false, "chaos mode: serve reads through the volatile DRAM hot-key front cache; the audit additionally convicts any read older than the client's last ack")
+	chaosFrontStale := flag.Bool("chaos-front-stale", false, "chaos mode: front cache with invalidation deliberately disabled — the coherence self-test; the run MUST be convicted")
+	writeLanes := flag.Int("write-lanes", 0, "chaos mode: split each cache into that many independently locked persistent write lanes (0/1 = classic layout)")
 	replay := flag.String("replay", "", "replay a proptest spec line exactly (overrides -mode)")
 	flag.Parse()
 
@@ -84,7 +87,9 @@ func main() {
 			Engine: *engine, Clients: *clients, Rounds: *rounds,
 			KeysPerClient: *keys, Seed: *seed,
 			Kind: kind, Policy: policy, Broken: *chaosBroken,
-			Shards: *shards,
+			Shards:     *shards,
+			FrontCache: *frontCache, FrontStale: *chaosFrontStale,
+			Lanes: *writeLanes,
 		})
 		return
 	}
@@ -158,15 +163,19 @@ func runChaos(spec chaos.Spec) {
 		check(err)
 		return
 	}
-	if spec.Broken {
+	if spec.Broken || spec.FrontStale {
+		adversary := "broken engine"
+		if spec.FrontStale {
+			adversary = "non-invalidating front cache"
+		}
 		convicted := len(res.Violations) > 0 || err != nil
 		if !convicted {
-			fmt.Fprintf(os.Stderr, "torture chaos: broken engine escaped conviction after %d rounds\n", res.Rounds)
+			fmt.Fprintf(os.Stderr, "torture chaos: %s escaped conviction after %d rounds\n", adversary, res.Rounds)
 			fmt.Fprintf(os.Stderr, "torture chaos: reproduce: %s\n", res.Reproduce())
 			os.Exit(1)
 		}
-		fmt.Printf("torture chaos: broken engine convicted after %d rounds (%d violations, err=%v)\n",
-			res.Rounds, len(res.Violations), err)
+		fmt.Printf("torture chaos: %s convicted after %d rounds (%d violations, err=%v)\n",
+			adversary, res.Rounds, len(res.Violations), err)
 		return
 	}
 	if err != nil {

@@ -56,6 +56,21 @@ type Spec struct {
 	// Broken swaps in an engine whose recovery is deliberately skipped —
 	// the self-test proving the audit can convict a bad engine.
 	Broken bool
+	// FrontCache serves reads through the volatile DRAM hot-key front in
+	// front of the persistent cache. The audit gains a coherence dimension:
+	// clients check every read inline against their oracle, so a front
+	// cache that ever returns a value older than the client's last ack is
+	// convicted on the spot, and crash rounds verify the front is dropped
+	// wholesale on recovery (a stale survivor would likewise convict).
+	FrontCache bool
+	// FrontStale enables the front cache with invalidation deliberately
+	// disabled — the coherence self-test proving the audit convicts a
+	// cache that serves stale values. Implies FrontCache.
+	FrontStale bool
+	// Lanes splits the persistent cache into that many independently
+	// locked write lanes (shared group-commit enlistment); 0 or 1 keeps
+	// the classic single-lane layout.
+	Lanes int
 	// Shards runs the server over that many independent persistence domains
 	// (internal/memcache.ShardedBackend); each round crashes one seeded-
 	// random shard and the audit additionally convicts any *other* shard
@@ -86,6 +101,16 @@ func (s Spec) String() string {
 		// Appended only when sharded so pre-sharding spec lines round-trip
 		// byte-identically.
 		out += fmt.Sprintf(" shards=%d", s.Shards)
+	}
+	// Like shards, serialized only when set so older spec lines round-trip.
+	if s.FrontCache {
+		out += " front-cache=1"
+	}
+	if s.FrontStale {
+		out += " front-stale=1"
+	}
+	if s.Lanes > 1 {
+		out += fmt.Sprintf(" lanes=%d", s.Lanes)
 	}
 	return out
 }
@@ -119,6 +144,12 @@ func Parse(enc string) (Spec, error) {
 			s.Broken = v == "1" || v == "true"
 		case "shards":
 			s.Shards, err = strconv.Atoi(v)
+		case "front-cache":
+			s.FrontCache = v == "1" || v == "true"
+		case "front-stale":
+			s.FrontStale = v == "1" || v == "true"
+		case "lanes":
+			s.Lanes, err = strconv.Atoi(v)
 		default:
 			return s, fmt.Errorf("chaos: unknown spec key %q", k)
 		}
@@ -173,6 +204,15 @@ func (r *Result) Reproduce() string {
 	if s.Shards > 1 {
 		cmd += fmt.Sprintf(" -shards %d", s.Shards)
 	}
+	if s.FrontCache {
+		cmd += " -front-cache"
+	}
+	if s.FrontStale {
+		cmd += " -chaos-front-stale"
+	}
+	if s.Lanes > 1 {
+		cmd += fmt.Sprintf(" -write-lanes %d", s.Lanes)
+	}
 	return cmd
 }
 
@@ -210,6 +250,21 @@ func engineSpecSized(name string, slots int, cap uint64) (crashsweep.EngineSpec,
 		}
 	}
 	return crashsweep.EngineSpec{}, fmt.Errorf("chaos: unknown engine %q (want clobber|pmdk|mnemosyne|atlas)", name)
+}
+
+// cacheOptions maps the spec onto the memcache world configuration both the
+// single-pool and sharded builders use. Capacity stays far above the live
+// key count: LRU eviction would legally drop acked keys and blind the audit.
+// FrontStale implies the front cache on, with its invalidation hooks
+// disabled — the variant the coherence audit must convict.
+func cacheOptions(spec Spec) memcache.Options {
+	return memcache.Options{
+		Capacity:               1 << 16,
+		Lock:                   memcache.LockExclusive,
+		WriteLanes:             spec.Lanes,
+		FrontCache:             spec.FrontCache || spec.FrontStale,
+		FrontCacheNoInvalidate: spec.FrontStale,
+	}
 }
 
 // skipRecovery deliberately drops engine recovery: the embedded interface
@@ -284,9 +339,7 @@ func Run(spec Spec, logf func(format string, a ...any)) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Capacity far above the live key count: LRU eviction would legally
-	// drop acked keys and blind the audit.
-	copts := memcache.Options{Capacity: 1 << 16, Lock: memcache.LockExclusive}
+	copts := cacheOptions(spec)
 	cache, err := memcache.New(eng, rootSlot, copts)
 	if err != nil {
 		return nil, err

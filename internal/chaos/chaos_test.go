@@ -14,6 +14,11 @@ func TestSpecRoundTrip(t *testing.T) {
 			Kind: nvm.CrashAtStore, Policy: nvm.EvictAll, Broken: true},
 		{Engine: "atlas", Clients: 2, Rounds: 1, KeysPerClient: 8, Seed: -5,
 			Kind: nvm.CrashAtFence, Policy: nvm.EvictTorn},
+		{Engine: "clobber", Clients: 4, Rounds: 2, KeysPerClient: 8, Seed: 11,
+			Kind: nvm.CrashAtAny, Policy: nvm.EvictRandom,
+			Shards: 2, FrontCache: true, Lanes: 4},
+		{Engine: "clobber", Clients: 2, Rounds: 1, KeysPerClient: 8, Seed: 12,
+			Kind: nvm.CrashAtAny, Policy: nvm.EvictRandom, FrontStale: true},
 	}
 	for _, want := range specs {
 		got, err := Parse(want.String())
@@ -87,6 +92,75 @@ func TestChaosOtherEngines(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestChaosFrontCacheCoherent is the front-cache coherence audit: with the
+// volatile hot-key front enabled the inline read oracle in every client
+// checks each GET against the acked-write history, so any stale front hit —
+// a value older than the client's last acknowledged overwrite, or a resurrected
+// deleted key — lands in Violations. Crash rounds additionally exercise the
+// recovery contract that the front is dropped wholesale before the rebuilt
+// persistent cache is swapped in. Runs both single-pool (with write lanes)
+// and sharded variants, matching the serving configurations the SLO sweep
+// measures.
+func TestChaosFrontCacheCoherent(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"lanes", func(s *Spec) { s.FrontCache = true; s.Lanes = 4 }},
+		{"sharded", func(s *Spec) { s.FrontCache = true; s.Shards = 2; s.Lanes = 2 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			spec := DefaultSpec()
+			spec.Clients, spec.Rounds, spec.KeysPerClient = 4, 4, 16
+			if testing.Short() {
+				spec.Rounds = 2
+			}
+			v.mut(&spec)
+			res, err := Run(spec, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range res.Violations {
+				t.Errorf("violation: %s", viol)
+			}
+			if res.LeakedGoroutines != 0 {
+				t.Errorf("leaked %d goroutines", res.LeakedGoroutines)
+			}
+			if res.OpsAcked == 0 {
+				t.Error("no operations acknowledged — the harness generated no real traffic")
+			}
+		})
+	}
+}
+
+// TestChaosConvictsStaleFrontCache is the coherence audit's self-test: a
+// front cache whose write-path invalidation is deliberately disabled serves
+// whatever value it first populated for a key, forever. The very first
+// overwrite-then-reread of a hot key returns a value older than the client's
+// own acknowledged SET, and the inline oracle must convict it. Unlike the
+// broken-engine conviction this does not depend on crash timing — staleness
+// accrues under plain traffic — so a single short schedule suffices, but the
+// test keeps the multi-seed escape hatch for scheduling pathologies.
+func TestChaosConvictsStaleFrontCache(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		spec := DefaultSpec()
+		spec.Clients, spec.Rounds, spec.KeysPerClient, spec.Seed = 4, 2, 8, seed
+		spec.FrontStale = true
+		res, err := Run(spec, t.Logf)
+		if res == nil {
+			t.Fatalf("no result: %v", err)
+		}
+		if len(res.Violations) > 0 {
+			t.Logf("seed %d: convicted after %d rounds: %d violations, first: %s",
+				seed, res.Rounds, len(res.Violations), res.Violations[0])
+			return
+		}
+		t.Logf("seed %d: escaped (err=%v rounds=%d), trying next seed", seed, err, res.Rounds)
+	}
+	t.Fatalf("non-invalidating front cache escaped conviction on all seeds")
 }
 
 // TestChaosConvictsBrokenEngine is the harness self-test: an undo-log engine

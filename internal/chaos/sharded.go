@@ -90,7 +90,7 @@ func runSharded(spec Spec, logf func(format string, a ...any)) (*Result, error) 
 	if slots > 16 {
 		slots = 16
 	}
-	copts := memcache.Options{Capacity: 1 << 16, Lock: memcache.LockExclusive}
+	copts := cacheOptions(spec)
 	sups := make([]*memcache.Supervisor, spec.Shards)
 	for i := range sups {
 		var err error

@@ -85,6 +85,7 @@ type BenchReport struct {
 	ShardSweep         []ShardSweepPoint  `json:"shard_sweep,omitempty"`
 	LineLogSweep       []LineLogPoint     `json:"linelog_sweep,omitempty"`
 	LockfreeSweep      []LockFreePoint    `json:"lockfree_sweep,omitempty"`
+	SLOSweep           []SLOPoint         `json:"slo_sweep,omitempty"`
 }
 
 // reportEngines is the engine set the JSON report sweeps — the four

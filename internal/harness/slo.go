@@ -1,0 +1,410 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"clobbernvm/internal/loadgen"
+	"clobbernvm/internal/memcache"
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/obs"
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/pmem"
+)
+
+// SLOConfig shapes the serving-tail-latency sweep: the open-loop load
+// profile plus the server stack it runs against. The stack is the same
+// supervised (optionally sharded) memcache deployment cmd/memcachedsim
+// builds, served over real TCP, so the recorded percentiles include the
+// protocol, socket and session layers — not just the txn engine.
+type SLOConfig struct {
+	// Scale provides pool sizing, latency model, group commit and shard
+	// count, exactly like the other sweeps.
+	Scale Scale
+	// Engine picks the persistence engine (default clobber).
+	Engine EngineKind
+	// Rates is the offered-load axis in ops/sec; each rate is measured
+	// twice, front cache off then on (default 4000, 16000).
+	Rates []float64
+	// Ops bounds each run by operation count; when 0, Seconds bounds it
+	// by wall time (default 4000 ops).
+	Ops int
+	// Seconds bounds each run in wall-clock time when Ops == 0.
+	Seconds float64
+	// Conns is the number of simulated client connections, and also the
+	// server's session-slot count (default 8).
+	Conns int
+	// Pipeline is the per-connection outstanding-request window (default 16).
+	Pipeline int
+	// Keys is the keyspace size, preloaded before measuring (default 2048).
+	Keys int
+	// ZipfS is the key-popularity skew (default 1.2: a hot head, the
+	// front cache's target workload).
+	ZipfS float64
+	// GetFrac/SetFrac is the op mix (default read-heavy 0.9/0.1).
+	GetFrac, SetFrac float64
+	// ValueBytes is the stored payload size (default 64).
+	ValueBytes int
+	// Warmup is the number of unmeasured operations driven through the
+	// full TCP path before each measured run, settling connection state,
+	// code paths and (for on rows) the front cache into steady state
+	// (default 1024).
+	Warmup int
+	// Reps interleaves that many repetitions per (rate, front) point —
+	// off, on, off, on, … — pooling each side's latency histograms and
+	// op counts into one row. On a shared machine, noise arrives in
+	// episodes (CPU steal, background GC) that last longer than one run;
+	// interleaving makes both sides ride through the same episodes
+	// instead of letting one side eat a bad second the other never saw
+	// (default 1).
+	Reps int
+	// WriteLanes splits each shard's cache into independently locked
+	// persistent lanes so concurrent writers coalesce into shared
+	// group-commit epochs (0/1 = single-lane classic layout).
+	WriteLanes int
+	// FrontEntries caps the front cache (0 = memcache default).
+	FrontEntries int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c *SLOConfig) fill() {
+	if c.Engine == "" {
+		c.Engine = EngineClobber
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{4000, 16000}
+	}
+	if c.Ops <= 0 && c.Seconds <= 0 {
+		c.Ops = 4000
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 16
+	}
+	if c.Keys <= 0 {
+		c.Keys = 2048
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.GetFrac == 0 && c.SetFrac == 0 {
+		c.GetFrac, c.SetFrac = 0.9, 0.1
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 64
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 1024
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SLOPoint is one (offered rate × front-cache setting) measurement in the
+// BENCH_PR10 sweep. Latency fields are injection-to-reply nanoseconds from
+// the open-loop generator — coordinated omission measured, not hidden.
+// FrontHits == 0 on front_cache=false rows is the recorded evidence that
+// the off configuration serves the exact pre-front persistent path.
+type SLOPoint struct {
+	FrontCache        bool    `json:"front_cache"`
+	Shards            int     `json:"shards"`
+	Reps              int     `json:"reps"`
+	WriteLanes        int     `json:"write_lanes"`
+	GroupCommit       bool    `json:"group_commit"`
+	Conns             int     `json:"conns"`
+	Pipeline          int     `json:"pipeline"`
+	ZipfS             float64 `json:"zipf_s"`
+	GetFrac           float64 `json:"get_frac"`
+	OfferedOpsPerSec  float64 `json:"offered_ops_per_sec"`
+	AchievedOpsPerSec float64 `json:"achieved_ops_per_sec"`
+	Sent              int64   `json:"sent"`
+	Completed         int64   `json:"completed"`
+	Rejected          int64   `json:"rejected"`
+	Errors            int64   `json:"errors"`
+	GetHits           int64   `json:"get_hits"`
+	P50NS             int64   `json:"p50_ns"`
+	P95NS             int64   `json:"p95_ns"`
+	P99NS             int64   `json:"p99_ns"`
+	P999NS            int64   `json:"p999_ns"`
+	MaxNS             int64   `json:"max_ns"`
+	GetP99NS          int64   `json:"get_p99_ns"`
+	SetP99NS          int64   `json:"set_p99_ns"`
+	FrontHits         int64   `json:"front_hits"`
+	FrontMisses       int64   `json:"front_misses"`
+	GCEpochs          int64   `json:"gc_epochs"`
+	GCEnlisted        int64   `json:"gc_enlisted"`
+	GCFencesSaved     int64   `json:"gc_fences_saved"`
+}
+
+// sloServer is one fully provisioned serving stack: supervised (optionally
+// sharded) caches behind a TCP server, plus the handles the sweep reads
+// stats through.
+type sloServer struct {
+	srv     *memcache.Server
+	backend memcache.Backend
+	sups    []*memcache.Supervisor
+}
+
+func (s *sloServer) close() { _ = s.srv.Close() }
+
+// groupCommitTotals sums the epoch coordinator counters over every shard.
+func (s *sloServer) groupCommitTotals() (epochs, enlisted, saved int64) {
+	for _, sup := range s.sups {
+		st := sup.Pool().GroupCommitStats()
+		epochs += st.Epochs
+		enlisted += st.Enlisted
+		saved += st.FencesSaved
+	}
+	return
+}
+
+// newSLOServer builds the stack the way cmd/memcachedsim does — per-shard
+// pool/allocator/engine with a crash-recovery supervisor each, behind a
+// consistent-hash router when sharded — and serves it on a loopback port.
+func newSLOServer(cfg SLOConfig, frontCache bool) (*sloServer, error) {
+	const rootSlot = 34
+	sc := cfg.Scale
+	// One engine worker slot per server session, like memcachedsim.
+	sc.Threads = []int{cfg.Conns}
+	copts := memcache.Options{
+		// Headroom over the keyspace: an LRU eviction inside a store txn
+		// drops the whole front cache, which would turn the sweep into an
+		// eviction benchmark.
+		Capacity:          uint64(4 * cfg.Keys),
+		Lock:              memcache.LockRW,
+		WriteLanes:        cfg.WriteLanes,
+		FrontCache:        frontCache,
+		FrontCacheEntries: cfg.FrontEntries,
+	}
+
+	var (
+		backend memcache.Backend
+		sups    []*memcache.Supervisor
+	)
+	if sc.Shards <= 1 {
+		setup, err := NewSetup(cfg.Engine, sc)
+		if err != nil {
+			return nil, err
+		}
+		cache, err := memcache.New(setup.Engine, rootSlot, copts)
+		if err != nil {
+			return nil, err
+		}
+		rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
+			p, err := nvm.NewFromImage(img, nvm.WithLatency(sc.Latency))
+			if err != nil {
+				return nil, nil, err
+			}
+			p.Prefault()
+			p.SetFastPath(true)
+			if sc.GroupCommit {
+				p.GroupCommit(nvm.DefaultGroupCommitWaiters, nvm.DefaultGroupCommitDelayNS)
+			}
+			a, err := pmem.Attach(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			e, err := AttachEngine(cfg.Engine, p, a)
+			if err != nil {
+				return nil, nil, err
+			}
+			return p, e, nil
+		}
+		sup := memcache.NewSupervisor(cache, setup.Pool, rootSlot, copts, rebuild)
+		sups = []*memcache.Supervisor{sup}
+		backend = sup
+	} else {
+		shSetup, err := NewShardedSetup(cfg.Engine, sc)
+		if err != nil {
+			return nil, err
+		}
+		sups = make([]*memcache.Supervisor, shSetup.Set.N())
+		for i := range sups {
+			sh := shSetup.Set.Shard(i)
+			shCache, err := memcache.New(sh.Engine, rootSlot, copts)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
+				s2, err := RebuildShard(cfg.Engine, img, sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				return s2.Pool, s2.Engine, nil
+			}
+			sups[i] = memcache.NewSupervisor(shCache, sh.Pool, rootSlot, copts, rebuild)
+		}
+		sharded, err := memcache.NewShardedBackend(sups)
+		if err != nil {
+			return nil, err
+		}
+		backend = sharded
+	}
+
+	srv, err := memcache.NewServer(backend, "127.0.0.1:0", cfg.Conns)
+	if err != nil {
+		return nil, err
+	}
+	return &sloServer{srv: srv, backend: backend, sups: sups}, nil
+}
+
+// preloadKeys stores the generator's keyspace so the read side measures
+// hits, not miss-path shortcuts.
+func preloadKeys(backend memcache.Backend, keys, valueBytes int) error {
+	value := make([]byte, valueBytes)
+	for i := range value {
+		value[i] = 'x'
+	}
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("lg-%06d", i))
+		if err := backend.SetFlags(0, key, value, 0); err != nil {
+			return fmt.Errorf("preload %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// sloSide is one half of an off/on pair while its rate is being measured:
+// the live stack plus the accumulators the interleaved repetitions pool
+// into. The registry is shared across this side's repetitions, so the last
+// repetition's summaries describe the merged latency distribution.
+type sloSide struct {
+	front   bool
+	srv     *sloServer
+	reg     *obs.Registry
+	last    loadgen.Result
+	sent    int64
+	done    int64
+	rejects int64
+	errs    int64
+	getHits int64
+	elapsed time.Duration
+}
+
+// RunSLOSweep measures serving tail latency under open-loop load: for each
+// offered rate it provisions two server stacks — front cache off and on —
+// preloads each keyspace, and drives the zipfian read-heavy mix over TCP in
+// Reps interleaved repetitions per side, pooling latency histograms and op
+// counts. Off rows are the persistent-path baseline (front_hits must be 0:
+// the volatile read cache is structurally absent, so the serving path is
+// bit-identical to the pre-front code); on rows show what the DRAM hot-key
+// front buys at the same offered load.
+func RunSLOSweep(cfg SLOConfig) ([]SLOPoint, error) {
+	cfg.fill()
+	shards := cfg.Scale.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	genCfg := func(rate float64, ops int, seed int64, reg *obs.Registry, addr string) loadgen.Config {
+		return loadgen.Config{
+			Addr:       addr,
+			Conns:      cfg.Conns,
+			Rate:       rate,
+			Ops:        ops,
+			Keys:       cfg.Keys,
+			ZipfS:      cfg.ZipfS,
+			GetFrac:    cfg.GetFrac,
+			SetFrac:    cfg.SetFrac,
+			ValueBytes: cfg.ValueBytes,
+			Pipeline:   cfg.Pipeline,
+			Seed:       seed,
+			Registry:   reg,
+		}
+	}
+	var out []SLOPoint
+	for _, rate := range cfg.Rates {
+		sides := []*sloSide{{front: false}, {front: true}}
+		for _, side := range sides {
+			s, err := newSLOServer(cfg, side.front)
+			if err != nil {
+				return nil, fmt.Errorf("slo front=%v rate=%g: %w", side.front, rate, err)
+			}
+			side.srv = s
+			side.reg = obs.NewRegistry()
+			if err := preloadKeys(s.backend, cfg.Keys, cfg.ValueBytes); err != nil {
+				s.close()
+				return nil, err
+			}
+			// Unmeasured warmup through the same TCP path: its latencies and
+			// throughput are discarded (its front-cache hits are not — the
+			// measured runs start from cache steady state, which is the
+			// regime the hot-key front exists for).
+			if _, err := loadgen.Run(genCfg(rate, cfg.Warmup, cfg.Seed+1, nil, s.srv.Addr())); err != nil {
+				s.close()
+				return nil, fmt.Errorf("slo warmup front=%v rate=%g: %w", side.front, rate, err)
+			}
+		}
+		// Interleave: off, on, off, on, … so episodic machine noise (CPU
+		// steal, background work) hits both sides alike instead of landing
+		// wholesale on whichever side happened to run during the episode.
+		for rep := 0; rep < cfg.Reps; rep++ {
+			for _, side := range sides {
+				runtime.GC()
+				gc := genCfg(rate, cfg.Ops, cfg.Seed+int64(rep)*101, side.reg, side.srv.srv.Addr())
+				gc.Duration = time.Duration(cfg.Seconds * float64(time.Second))
+				res, err := loadgen.Run(gc)
+				if err != nil {
+					for _, sd := range sides {
+						sd.srv.close()
+					}
+					return nil, fmt.Errorf("slo front=%v rate=%g rep=%d: %w", side.front, rate, rep, err)
+				}
+				side.last = res
+				side.sent += res.Sent
+				side.done += res.Completed
+				side.rejects += res.Rejected
+				side.errs += res.Errors
+				side.getHits += res.GetHits
+				side.elapsed += res.Elapsed
+			}
+		}
+		for _, side := range sides {
+			fs := side.srv.backend.FrontStats()
+			epochs, enlisted, saved := side.srv.groupCommitTotals()
+			side.srv.close()
+			achieved := 0.0
+			if secs := side.elapsed.Seconds(); secs > 0 {
+				achieved = float64(side.done) / secs
+			}
+			out = append(out, SLOPoint{
+				FrontCache:        side.front,
+				Shards:            shards,
+				Reps:              cfg.Reps,
+				WriteLanes:        cfg.WriteLanes,
+				GroupCommit:       cfg.Scale.GroupCommit,
+				Conns:             cfg.Conns,
+				Pipeline:          cfg.Pipeline,
+				ZipfS:             cfg.ZipfS,
+				GetFrac:           cfg.GetFrac,
+				OfferedOpsPerSec:  rate,
+				AchievedOpsPerSec: achieved,
+				Sent:              side.sent,
+				Completed:         side.done,
+				Rejected:          side.rejects,
+				Errors:            side.errs,
+				GetHits:           side.getHits,
+				P50NS:             side.last.Latency.P50,
+				P95NS:             side.last.Latency.P95,
+				P99NS:             side.last.Latency.P99,
+				P999NS:            side.last.Latency.P999,
+				MaxNS:             side.last.Latency.Max,
+				GetP99NS:          side.last.PerOp["get"].P99,
+				SetP99NS:          side.last.PerOp["set"].P99,
+				FrontHits:         fs.Hits,
+				FrontMisses:       fs.Misses,
+				GCEpochs:          epochs,
+				GCEnlisted:        enlisted,
+				GCFencesSaved:     saved,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,411 @@
+// Package loadgen is an open-loop load generator for the memcached text
+// protocol: the production-traffic harness the serving-performance numbers
+// are measured under.
+//
+// Open loop means arrival-rate-driven. A closed-loop driver (like
+// internal/memcache/driver.go, or memslap) issues the next request only
+// after the previous one returns, so a slow server silently throttles its
+// own load and the measured latency distribution excludes exactly the
+// requests that would have suffered — the classic coordinated-omission
+// blind spot. Here, each simulated connection draws request injection
+// times from a Poisson process at its share of the offered rate and
+// timestamps every operation at its *scheduled* injection time. If the
+// server (or the connection's pipeline window) falls behind, later
+// requests still carry their original schedule, so queueing delay shows
+// up in the recorded latency instead of being coordinated away.
+//
+// Latencies land in internal/obs power-of-two histograms (striped by
+// connection), and the result reports p50/p95/p99/p999 plus achieved
+// versus offered throughput — the gap between the two is the server
+// saturating, not the generator.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clobbernvm/internal/obs"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the number of simulated client connections (default 8).
+	Conns int
+	// Rate is the offered load in operations/second across all
+	// connections; each connection injects at Rate/Conns (required).
+	Rate float64
+	// Duration bounds the run in wall-clock time.
+	Duration time.Duration
+	// Ops bounds the run in total injected operations (0 = unbounded;
+	// at least one of Duration/Ops must bound the run).
+	Ops int
+	// Keys is the keyspace size (default 1024). Keys are "lg-%06d".
+	Keys int
+	// ZipfS is the zipfian skew exponent; values > 1 produce a hot head
+	// (default 1.1), values <= 1 fall back to uniform.
+	ZipfS float64
+	// GetFrac/SetFrac/DeleteFrac is the operation mix; it is normalized,
+	// and all-zero defaults to the read-heavy 0.9/0.1/0.
+	GetFrac, SetFrac, DeleteFrac float64
+	// ValueBytes is the payload size for stores (default 64).
+	ValueBytes int
+	// Pipeline is the per-connection outstanding-request window (default
+	// 16). A full window blocks the injector — the schedule keeps
+	// advancing, so the induced queueing delay is measured.
+	Pipeline int
+	// Seed makes the schedule and key/op choices reproducible.
+	Seed int64
+	// Registry, when non-nil, receives the latency histograms instead of a
+	// run-private registry. Because histograms are create-or-get by name,
+	// passing the same registry to repeated runs pools their samples: the
+	// last run's Result then summarizes the merged distribution, which is
+	// how the SLO sweep interleaves repetitions to ride out episodic
+	// environment noise.
+	Registry *obs.Registry
+}
+
+func (c *Config) fill() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("loadgen: Rate must be > 0")
+	}
+	if c.Duration <= 0 && c.Ops <= 0 {
+		return fmt.Errorf("loadgen: need Duration or Ops to bound the run")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1024
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.GetFrac == 0 && c.SetFrac == 0 && c.DeleteFrac == 0 {
+		c.GetFrac, c.SetFrac = 0.9, 0.1
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 64
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 16
+	}
+	return nil
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Offered is the configured arrival rate (ops/sec); Achieved is what
+	// actually completed per second of elapsed time.
+	Offered, Achieved float64
+	// Elapsed spans first injection to last reply.
+	Elapsed time.Duration
+	// Sent counts injected operations; Completed counts operations that
+	// received a well-formed reply (including misses and NOT_FOUNDs);
+	// Rejected counts SERVER_ERROR replies (e.g. a recovering shard);
+	// Errors counts transport/framing failures.
+	Sent, Completed, Rejected, Errors int64
+	// Per-kind completion counts; GetHits counts gets that found a value.
+	Gets, GetHits, Sets, Deletes int64
+	// Latency is the injection-to-reply distribution over every completed
+	// or rejected operation.
+	Latency obs.HistogramSummary
+	// PerOp breaks Latency down by operation kind.
+	PerOp map[string]obs.HistogramSummary
+}
+
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opDelete
+)
+
+var kindNames = [...]string{"get", "set", "delete"}
+
+type op struct {
+	kind   opKind
+	key    string
+	inject time.Time
+}
+
+type counters struct {
+	sent, completed, rejected, errors atomic.Int64
+	gets, getHits, sets, deletes      atomic.Int64
+}
+
+// Run executes one load run and blocks until it finishes.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lat := reg.Histogram("latency_ns")
+	perOp := map[opKind]*obs.Histogram{
+		opGet:    reg.Histogram("get_ns"),
+		opSet:    reg.Histogram("set_ns"),
+		opDelete: reg.Histogram("delete_ns"),
+	}
+	var cnt counters
+
+	// Per-connection op budget (conn 0 absorbs the remainder).
+	perConn := make([]int, cfg.Conns)
+	if cfg.Ops > 0 {
+		for i := range perConn {
+			perConn[i] = cfg.Ops / cfg.Conns
+		}
+		perConn[0] += cfg.Ops % cfg.Conns
+	}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Conns)
+	for ci := 0; ci < cfg.Conns; ci++ {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			// Connections already launched finish their runs; the dial
+			// error wins.
+			errCh <- fmt.Errorf("loadgen: dial conn %d: %w", ci, err)
+			break
+		}
+		wg.Add(1)
+		go func(ci int, conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			runConn(connConfig{
+				cfg:      cfg,
+				id:       ci,
+				budget:   perConn[ci],
+				rate:     cfg.Rate / float64(cfg.Conns),
+				start:    start,
+				deadline: deadline,
+			}, conn, &cnt, lat, perOp)
+		}(ci, conn)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Result{}, err
+	default:
+	}
+
+	res := Result{
+		Offered:   cfg.Rate,
+		Elapsed:   elapsed,
+		Sent:      cnt.sent.Load(),
+		Completed: cnt.completed.Load(),
+		Rejected:  cnt.rejected.Load(),
+		Errors:    cnt.errors.Load(),
+		Gets:      cnt.gets.Load(),
+		GetHits:   cnt.getHits.Load(),
+		Sets:      cnt.sets.Load(),
+		Deletes:   cnt.deletes.Load(),
+		Latency:   lat.Summary(),
+		PerOp: map[string]obs.HistogramSummary{
+			"get":    perOp[opGet].Summary(),
+			"set":    perOp[opSet].Summary(),
+			"delete": perOp[opDelete].Summary(),
+		},
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.Achieved = float64(res.Completed) / secs
+	}
+	return res, nil
+}
+
+type connConfig struct {
+	cfg      Config
+	id       int
+	budget   int // 0 = unbounded (duration-bound run)
+	rate     float64
+	start    time.Time
+	deadline time.Time
+}
+
+// runConn drives one connection: an injector goroutine paces requests on
+// the open-loop schedule and a reader goroutine matches replies to the
+// in-flight FIFO, recording injection-to-reply latency.
+func runConn(cc connConfig, conn net.Conn, cnt *counters, lat *obs.Histogram, perOp map[opKind]*obs.Histogram) {
+	rng := rand.New(rand.NewSource(cc.cfg.Seed + int64(cc.id)*0x9e3779b9))
+	var zipf *rand.Zipf
+	if cc.cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cc.cfg.ZipfS, 1, uint64(cc.cfg.Keys-1))
+	}
+	value := strings.Repeat("x", cc.cfg.ValueBytes)
+	total := cc.cfg.GetFrac + cc.cfg.SetFrac + cc.cfg.DeleteFrac
+
+	pending := make(chan op, cc.cfg.Pipeline)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		r := bufio.NewReader(conn)
+		for o := range pending {
+			ok, rejected, hit := readReply(r, o.kind)
+			ns := time.Since(o.inject).Nanoseconds()
+			if !ok {
+				cnt.errors.Add(1)
+				// Transport broken: drain remaining in-flight ops as
+				// errors so the injector unblocks and stops on write.
+				for range pending {
+					cnt.errors.Add(1)
+				}
+				return
+			}
+			lat.Observe(cc.id, ns)
+			perOp[o.kind].Observe(cc.id, ns)
+			if rejected {
+				cnt.rejected.Add(1)
+				continue
+			}
+			cnt.completed.Add(1)
+			switch o.kind {
+			case opGet:
+				cnt.gets.Add(1)
+				if hit {
+					cnt.getHits.Add(1)
+				}
+			case opSet:
+				cnt.sets.Add(1)
+			case opDelete:
+				cnt.deletes.Add(1)
+			}
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	next := time.Now()
+	mean := float64(time.Second) / cc.rate
+	for n := 0; cc.budget == 0 || n < cc.budget; n++ {
+		// Poisson arrivals: exponential inter-arrival times. The schedule
+		// advances from the previous *scheduled* time, never from "now" —
+		// that independence is what keeps omission uncoordinated.
+		next = next.Add(time.Duration(rng.ExpFloat64() * mean))
+		if !cc.deadline.IsZero() && next.After(cc.deadline) {
+			break
+		}
+		if until := time.Until(next); until > 0 {
+			// About to go idle: push the batched commands to the server so
+			// their replies overlap the sleep.
+			if w.Flush() != nil {
+				break
+			}
+			time.Sleep(until)
+		}
+
+		var o op
+		o.inject = next
+		p := rng.Float64() * total
+		switch {
+		case p < cc.cfg.GetFrac:
+			o.kind = opGet
+		case p < cc.cfg.GetFrac+cc.cfg.SetFrac:
+			o.kind = opSet
+		default:
+			o.kind = opDelete
+		}
+		var rank uint64
+		if zipf != nil {
+			rank = zipf.Uint64()
+		} else {
+			rank = uint64(rng.Intn(cc.cfg.Keys))
+		}
+		o.key = fmt.Sprintf("lg-%06d", rank)
+
+		// Writes batch in the bufio.Writer; the flush happens before the
+		// injector blocks — on a full pipeline window here, or on the next
+		// sleep — so commands coalesce into one socket write per burst
+		// while every in-flight op's bytes are always on the wire before
+		// its reply is awaited. The full-window check cannot go stale: this
+		// goroutine is the only sender, and the reader only drains.
+		if len(pending) == cap(pending) {
+			if w.Flush() != nil {
+				break
+			}
+		}
+		pending <- o // blocks at the pipeline window; schedule unaffected
+		cnt.sent.Add(1)
+		var werr error
+		switch o.kind {
+		case opGet:
+			_, werr = fmt.Fprintf(w, "get %s\r\n", o.key)
+		case opSet:
+			_, werr = fmt.Fprintf(w, "set %s 0 0 %d\r\n%s\r\n", o.key, len(value), value)
+		case opDelete:
+			_, werr = fmt.Fprintf(w, "delete %s\r\n", o.key)
+		}
+		if werr != nil {
+			break
+		}
+	}
+	// Whatever is still buffered must reach the server, or the reader would
+	// wait forever for replies to commands that never left this process.
+	w.Flush()
+	close(pending)
+	<-readerDone
+}
+
+// readReply consumes one reply for the given op kind. ok=false means the
+// stream is broken (transport or framing); rejected means the server
+// answered SERVER_ERROR (the op completed as a refusal, e.g. a shard
+// mid-recovery); hit reports a get that returned a value.
+func readReply(r *bufio.Reader, kind opKind) (ok, rejected, hit bool) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return false, false, false
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if strings.HasPrefix(line, "SERVER_ERROR") {
+		if kind == opGet {
+			// handleGet still closes the response with END.
+			if end, err := r.ReadString('\n'); err != nil || strings.TrimRight(end, "\r\n") != "END" {
+				return false, false, false
+			}
+		}
+		return true, true, false
+	}
+	switch kind {
+	case opGet:
+		if line == "END" {
+			return true, false, false
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] != "VALUE" {
+			return false, false, false
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return false, false, false
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return false, false, false
+		}
+		if end, err := r.ReadString('\n'); err != nil || strings.TrimRight(end, "\r\n") != "END" {
+			return false, false, false
+		}
+		return true, false, true
+	case opSet:
+		return line == "STORED", false, false
+	default:
+		return line == "DELETED" || line == "NOT_FOUND", false, false
+	}
+}

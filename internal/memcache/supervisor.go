@@ -269,6 +269,28 @@ func (s *Supervisor) Set(slot int, key, value []byte) error {
 	return s.SetFlags(slot, key, value, 0)
 }
 
+// Add stores key=value only if the key is absent, reporting whether it
+// stored.
+func (s *Supervisor) Add(slot int, key, value []byte, flags uint32) (stored bool, err error) {
+	err = s.do(func(c *Cache) error {
+		var e error
+		stored, e = c.Add(slot, key, value, flags)
+		return e
+	})
+	return stored, err
+}
+
+// Replace stores key=value only if the key is present, reporting whether
+// it stored.
+func (s *Supervisor) Replace(slot int, key, value []byte, flags uint32) (stored bool, err error) {
+	err = s.do(func(c *Cache) error {
+		var e error
+		stored, e = c.Replace(slot, key, value, flags)
+		return e
+	})
+	return stored, err
+}
+
 // GetWithCAS returns the value, flags and cas id for key.
 func (s *Supervisor) GetWithCAS(slot int, key []byte) (val []byte, flags uint32, cas uint64, found bool, err error) {
 	err = s.do(func(c *Cache) error {
@@ -314,6 +336,11 @@ func (s *Supervisor) CheckInvariants() error {
 func (s *Supervisor) Counters() (hits, misses, evictions int64) {
 	return s.cur.Load().cache.Counters()
 }
+
+// FrontStats returns the current cache incarnation's front-cache counters.
+// Counters reset on recovery because the swapped-in cache carries a fresh
+// (empty) front — the wholesale drop the coherence protocol relies on.
+func (s *Supervisor) FrontStats() FrontStats { return s.cur.Load().cache.FrontStats() }
 
 // Engine returns the current engine (swapped on every recovery).
 func (s *Supervisor) Engine() pds.Engine { return s.cur.Load().cache.Engine() }

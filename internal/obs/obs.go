@@ -136,6 +136,7 @@ type HistogramSummary struct {
 	P50   int64 `json:"p50_ns"`
 	P95   int64 `json:"p95_ns"`
 	P99   int64 `json:"p99_ns"`
+	P999  int64 `json:"p999_ns"`
 	Max   int64 `json:"max_ns"`
 }
 
@@ -183,7 +184,7 @@ func summarize(buckets [histBuckets]int64) HistogramSummary {
 		}
 		return bucketMid(histBuckets - 1)
 	}
-	s.P50, s.P95, s.P99 = pct(0.50), pct(0.95), pct(0.99)
+	s.P50, s.P95, s.P99, s.P999 = pct(0.50), pct(0.95), pct(0.99), pct(0.999)
 	return s
 }
 

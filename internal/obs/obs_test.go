@@ -69,6 +69,51 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+func TestHistogramP999Accuracy(t *testing.T) {
+	var h Histogram
+	// 10000 observations: 9990 near 1µs, 9 near 100µs, 1 near 10ms. The
+	// 99.9th percentile rank (9990, zero-based) is the first of the 100µs
+	// observations, so P999 must report the midpoint of the bucket holding
+	// 100_000 (bucket 17, [65536,131072), midpoint 98304) — not the 1µs
+	// bulk and not the 10ms max.
+	for i := 0; i < 9990; i++ {
+		h.Observe(i, 1000)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(i, 100_000)
+	}
+	h.Observe(0, 10_000_000)
+	s := h.Summary()
+	if s.Count != 10000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	want := bucketMid(bucketOf(100_000))
+	if want != 98304 {
+		t.Fatalf("bucket midpoint for 100µs = %d, want 98304", want)
+	}
+	if s.P999 != want {
+		t.Fatalf("p999 = %d, want %d", s.P999, want)
+	}
+	// Ordering invariant: percentiles are monotone and the tail estimate
+	// sits strictly between p99 (1µs bulk) and the max (10ms outlier).
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+	if s.P99 >= s.P999 {
+		t.Fatalf("p99 %d should be below p999 %d for this distribution", s.P99, s.P999)
+	}
+	// With every observation in one bucket, all percentiles collapse to
+	// that bucket's midpoint.
+	var u Histogram
+	for i := 0; i < 1000; i++ {
+		u.Observe(i, 3000)
+	}
+	us := u.Summary()
+	if us.P999 != us.P50 || us.P999 != bucketMid(bucketOf(3000)) {
+		t.Fatalf("uniform p999 = %d, p50 = %d", us.P999, us.P50)
+	}
+}
+
 func TestRegistryReuseAndReset(t *testing.T) {
 	r := NewRegistry()
 	c1 := r.Counter("a")
